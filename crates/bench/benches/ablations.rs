@@ -1,0 +1,62 @@
+//! Criterion bench: the Section III-D optimizations in isolation — wire
+//! encoding with and without CSC compression, and reduce-range sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use papar_mr::sampler;
+use papar_record::batch::Batch;
+use papar_record::compress;
+use papar_record::wire;
+use papar_record::{rec, Schema, Value};
+use papar_config::input::FieldType;
+
+fn grouped_batch(groups: usize, members: usize) -> (Schema, Batch) {
+    let schema = Schema::new(vec![
+        ("vertex_a", FieldType::Integer),
+        ("vertex_b", FieldType::Integer),
+        ("indegree", FieldType::Long),
+    ]);
+    let mut rows = Vec::with_capacity(groups * members);
+    for g in 0..groups as i32 {
+        for m in 0..members as i32 {
+            rows.push(rec![g * 1000 + m, g, members as i64]);
+        }
+    }
+    (schema, Batch::Flat(rows).pack_by(1).unwrap())
+}
+
+fn bench_compression(c: &mut Criterion) {
+    let (schema, batch) = grouped_batch(500, 40);
+    let mut group = c.benchmark_group("wire-encode-20k-records");
+    group.bench_function("plain", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            wire::encode_batch(&batch, &schema, &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    group.bench_function("csc-compressed", |b| {
+        b.iter(|| {
+            let mut buf = Vec::new();
+            compress::encode_compressed(&batch, &schema, 1, &mut buf).unwrap();
+            buf.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let keys: Vec<Value> = (0..200_000).map(|i| Value::Int((i * 2654435761u64 as i64 % 1_000_000) as i32)).collect();
+    c.bench_function("sampler-boundaries-200k-keys", |b| {
+        b.iter(|| {
+            let sample = sampler::local_sample(&keys, sampler::DEFAULT_SAMPLE_STRIDE);
+            sampler::boundaries_from_samples(&[sample], 32).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_compression, bench_sampling
+}
+criterion_main!(benches);

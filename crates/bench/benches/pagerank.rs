@@ -1,0 +1,31 @@
+//! Criterion bench: PageRank iterations under the three cuts (Figure 14's
+//! measured quantity).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use papar_mr::stats::NetModel;
+use powerlyra::pagerank::distributed_pagerank;
+use powerlyra::partition::{edge_cut, hybrid_cut, vertex_cut};
+
+fn bench_pagerank_cuts(c: &mut Criterion) {
+    let graph = powerlyra::gen::chung_lu(10_000, 80_000, 2.0, 17).unwrap();
+    let net = NetModel::ethernet_10g();
+    let cuts = [
+        ("hybrid", hybrid_cut(&graph, 16, 60).unwrap()),
+        ("edge", edge_cut(&graph, 16).unwrap()),
+        ("vertex", vertex_cut(&graph, 16).unwrap()),
+    ];
+    let mut group = c.benchmark_group("pagerank-5-iters-80k-edges");
+    for (name, asg) in &cuts {
+        group.bench_with_input(BenchmarkId::new("cut", name), asg, |b, asg| {
+            b.iter(|| distributed_pagerank(&graph, asg, 5, &net).unwrap().1.sim_time())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_pagerank_cuts
+}
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: end-to-end partitioning time (the quantity Figures
+//! 13a/15a compare) at a bench-friendly scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mublastp::baseline::{self, BaselinePolicy};
+use mublastp::dbgen::DbSpec;
+use papar_bench::workflows::{run_blast, run_hybrid};
+use papar_core::exec::ExecOptions;
+
+fn bench_blast_partitioning(c: &mut Criterion) {
+    let db = DbSpec::env_nr_scaled(20_000, 11).generate();
+    let mut group = c.benchmark_group("blast-partitioning-20k");
+    for nodes in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("papar", nodes), &nodes, |b, &nodes| {
+            b.iter(|| run_blast(&db, "roundRobin", 32, nodes, ExecOptions::default()).total_time())
+        });
+    }
+    group.bench_function("mublastp-baseline", |b| {
+        b.iter(|| {
+            let run = baseline::partition(&db.index, 32, BaselinePolicy::Cyclic);
+            let (dbs, t) = baseline::materialize_payloads(&db, &run.partitions).unwrap();
+            std::hint::black_box(&dbs);
+            run.modeled_time(16, 0.6) + t
+        })
+    });
+    group.finish();
+}
+
+fn bench_hybrid_partitioning(c: &mut Criterion) {
+    let graph = powerlyra::gen::chung_lu(8_000, 60_000, 2.1, 13).unwrap();
+    let mut group = c.benchmark_group("hybrid-partitioning-60k-edges");
+    for nodes in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::new("papar", nodes), &nodes, |b, &nodes| {
+            b.iter(|| {
+                run_hybrid(&graph, 16, 50, nodes, ExecOptions::default())
+                    .report
+                    .total_sim_time()
+            })
+        });
+    }
+    group.bench_function("powerlyra-baseline-16", |b| {
+        b.iter(|| {
+            powerlyra::baseline::powerlyra_partition(&graph, 16, 50)
+                .unwrap()
+                .modeled_time(16)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_blast_partitioning, bench_hybrid_partitioning
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench: the sort kernels behind the sort operator (ablation
+//! A3) — papar-sort's samplesort and mergesort vs the standard library and
+//! the baseline's qsort-style sort, on muBLASTP index keys.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mublastp::dbgen::DbSpec;
+use papar_sort::parallel;
+
+fn bench_sorts(c: &mut Criterion) {
+    let db = DbSpec::env_nr_scaled(50_000, 7).generate();
+    let keys: Vec<(i32, u32)> = db
+        .index
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.seq_size, i as u32))
+        .collect();
+
+    let mut group = c.benchmark_group("index-sort-50k");
+    group.bench_function(BenchmarkId::new("papar", "samplesort"), |b| {
+        b.iter_batched(
+            || keys.clone(),
+            |mut v| parallel::par_sort_unstable_by(&mut v, 1, |a, b| a < b),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("papar", "mergesort"), |b| {
+        b.iter_batched(
+            || keys.clone(),
+            |mut v| parallel::mergesort_by(&mut v, |a, b| a.cmp(b)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("std", "stable"), |b| {
+        b.iter_batched(
+            || keys.clone(),
+            |mut v| v.sort(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function(BenchmarkId::new("std", "unstable"), |b| {
+        b.iter_batched(
+            || keys.clone(),
+            |mut v| v.sort_unstable(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_sorts
+}
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Figure 12: normalized muBLASTP search time with cyclic vs block
+//! partitioning, on `env_nr` and `nr`, for query batches "100", "500" and
+//! "mixed", on 8 and 16 nodes (16 and 32 partitions — the paper binds one
+//! MPI rank per socket, two per node).
+
+use mublastp::baseline::{partition, BaselinePolicy};
+use mublastp::search::{QueryBatch, SearchCostModel};
+
+use crate::datasets::{databases, Scale};
+use crate::report::{fmt_ratio, Table};
+
+/// One figure row.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Database name.
+    pub db: &'static str,
+    /// Compute nodes (partitions = 2x nodes).
+    pub nodes: usize,
+    /// Batch label.
+    pub batch: String,
+    /// Block makespan normalized to cyclic (cyclic = 1.0).
+    pub block_over_cyclic: f64,
+}
+
+/// Compute the figure's data.
+pub fn rows(scale: &Scale) -> Vec<Row> {
+    let model = SearchCostModel::default();
+    let mut out = Vec::new();
+    for (db_name, db) in databases(scale) {
+        let batches = QueryBatch::standard_batches(&db, 7_000 + db.len() as u64);
+        for nodes in [8usize, 16] {
+            let parts = nodes * 2;
+            let cyclic = partition(&db.index, parts, BaselinePolicy::Cyclic);
+            let block = partition(&db.index, parts, BaselinePolicy::Block);
+            for batch in &batches {
+                let t_cyc = model.makespan(batch, &cyclic.partitions);
+                let t_blk = model.makespan(batch, &block.partitions);
+                out.push(Row {
+                    db: db_name,
+                    nodes,
+                    batch: batch.name.clone(),
+                    block_over_cyclic: t_blk / t_cyc,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the figure as a table.
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 12: normalized muBLASTP search time (cyclic = 1.00)",
+        &["database", "nodes", "batch", "cyclic", "block"],
+    );
+    for r in rows(scale) {
+        t.row(vec![
+            r.db.to_string(),
+            r.nodes.to_string(),
+            r.batch.clone(),
+            "1.00".to_string(),
+            fmt_ratio(r.block_over_cyclic),
+        ]);
+    }
+    t.note("expected shape: block > 1 everywhere (cyclic wins), with the largest gap for batch \"500\"");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cyclic_wins_everywhere_and_gap_grows_with_batch_500() {
+        let rs = rows(&Scale::quick());
+        assert_eq!(rs.len(), 2 * 2 * 3);
+        for r in &rs {
+            assert!(
+                r.block_over_cyclic > 1.0,
+                "{} nodes={} batch={}: block {} should lose",
+                r.db,
+                r.nodes,
+                r.batch,
+                r.block_over_cyclic
+            );
+        }
+        // For each (db, nodes), batch 500's ratio exceeds batch 100's.
+        for db in ["env_nr", "nr"] {
+            for nodes in [8, 16] {
+                let get = |b: &str| {
+                    rs.iter()
+                        .find(|r| r.db == db && r.nodes == nodes && r.batch == b)
+                        .unwrap()
+                        .block_over_cyclic
+                };
+                assert!(
+                    get("500") > get("100"),
+                    "{db}/{nodes}: 500 ratio {} !> 100 ratio {}",
+                    get("500"),
+                    get("100")
+                );
+            }
+        }
+    }
+}

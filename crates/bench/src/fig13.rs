@@ -1,0 +1,166 @@
+//! Figure 13: (a) partitioning time of the PaPar-generated cyclic
+//! partitioner vs the original muBLASTP partitioner on 16 nodes, and
+//! (b) PaPar's strong scalability from 1 to 16 nodes.
+//!
+//! Both sides do the complete job: sort + cyclic scatter + pointer
+//! recalculation + partition payload materialization. The baseline runs on
+//! one node (its multithreading modeled per `mublastp::baseline`); PaPar
+//! distributes every phase, including the payload copies (`1/N` per node).
+
+use mublastp::baseline::{self, BaselinePolicy};
+use papar_core::exec::ExecOptions;
+use std::time::Duration;
+
+use crate::datasets::{databases, Scale};
+use crate::measure;
+use crate::report::{fmt_dur, fmt_ratio, Table};
+use crate::workflows::run_blast;
+
+/// Threads the paper's baseline node has (two 8-core Xeon E5-2670).
+pub const BASELINE_THREADS: usize = 16;
+/// Modeled parallel efficiency of the baseline's multithreaded sort.
+///
+/// Calibrated to the paper's own relative numbers: Figure 13 implies the
+/// 16-thread muBLASTP partitioner runs about as fast as PaPar on a single
+/// node (8.6x speedup at 16 nodes vs 7.9x self-scaling), i.e. its
+/// memory-bound sort gains only ~3x from 16 threads.
+pub const BASELINE_EFFICIENCY: f64 = 0.15;
+
+/// The measured sides of Figure 13(a) for one database.
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Database name.
+    pub db: &'static str,
+    /// PaPar total simulated time on 16 nodes.
+    pub papar_16: Duration,
+    /// muBLASTP baseline modeled at 16 threads on one node.
+    pub baseline: Duration,
+}
+
+impl Comparison {
+    /// The headline speedup (the paper reports 8.6x for env_nr and 20.2x
+    /// for nr at full scale).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.as_secs_f64() / self.papar_16.as_secs_f64()
+    }
+}
+
+/// Measure one database's baseline time (sort modeled multithreaded,
+/// serial scatter/recalc, serial payload materialization).
+fn baseline_time(db: &mublastp::BlastDb, parts: usize) -> Duration {
+    measure::avg_of(|| {
+        let run = baseline::partition(&db.index, parts, BaselinePolicy::Cyclic);
+        let (dbs, payload) = baseline::materialize_payloads(db, &run.partitions).expect("payload");
+        std::hint::black_box(&dbs);
+        run.modeled_time(BASELINE_THREADS, BASELINE_EFFICIENCY) + payload
+    })
+}
+
+/// Measure PaPar's total partitioning time at `nodes` nodes.
+fn papar_time(db: &mublastp::BlastDb, parts: usize, nodes: usize) -> Duration {
+    measure::avg_of(|| run_blast(db, "roundRobin", parts, nodes, ExecOptions::default()).total_time())
+}
+
+/// Figure 13(a): the 16-node comparison.
+pub fn comparisons(scale: &Scale) -> Vec<Comparison> {
+    databases(scale)
+        .into_iter()
+        .map(|(name, db)| {
+            let parts = 32; // 16 nodes x 2 ranks
+            Comparison {
+                db: name,
+                papar_16: papar_time(&db, parts, 16),
+                baseline: baseline_time(&db, parts),
+            }
+        })
+        .collect()
+}
+
+/// Figure 13(b): PaPar's strong scaling.
+pub fn scaling(scale: &Scale) -> Vec<(&'static str, Vec<(usize, Duration)>)> {
+    databases(scale)
+        .into_iter()
+        .map(|(name, db)| {
+            let series = [1usize, 2, 4, 8, 16]
+                .iter()
+                .map(|&nodes| (nodes, papar_time(&db, 32, nodes)))
+                .collect();
+            (name, series)
+        })
+        .collect()
+}
+
+/// Render Figure 13(a).
+pub fn run_a(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 13a: partitioning time (cyclic), PaPar on 16 nodes vs muBLASTP baseline",
+        &["database", "muBLASTP (1 node, 16 threads)", "PaPar (16 nodes)", "speedup"],
+    );
+    for c in comparisons(scale) {
+        t.row(vec![
+            c.db.to_string(),
+            fmt_dur(c.baseline),
+            fmt_dur(c.papar_16),
+            format!("{}x", fmt_ratio(c.speedup())),
+        ]);
+    }
+    t.note("paper reports 8.6x (env_nr) and 20.2x (nr) at full dataset scale; expect PaPar ahead on both, more on nr");
+    t
+}
+
+/// Render Figure 13(b).
+pub fn run_b(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 13b: PaPar strong scalability (speedup vs its own 1-node time)",
+        &["database", "nodes", "time", "speedup"],
+    );
+    for (db, series) in scaling(scale) {
+        let t1 = series[0].1;
+        for (nodes, time) in series {
+            t.row(vec![
+                db.to_string(),
+                nodes.to_string(),
+                fmt_dur(time),
+                format!("{}x", fmt_ratio(t1.as_secs_f64() / time.as_secs_f64())),
+            ]);
+        }
+    }
+    t.note("paper reports 14.3x (env_nr) and 7.9x (nr) at 16 nodes");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papar_beats_the_single_node_baseline_at_16_nodes() {
+        let cs = comparisons(&Scale::quick());
+        for c in &cs {
+            // Quick-scale datasets shrink the payload advantage; the full
+            // default scale shows larger margins (see EXPERIMENTS.md).
+            assert!(
+                c.speedup() > 1.0,
+                "{}: expected a PaPar win, got {:.2}x",
+                c.db,
+                c.speedup()
+            );
+        }
+    }
+
+    #[test]
+    fn papar_scales_with_nodes() {
+        let s = scaling(&Scale::quick());
+        for (db, series) in s {
+            let t1 = series[0].1.as_secs_f64();
+            let t16 = series.last().unwrap().1.as_secs_f64();
+            assert!(
+                t1 / t16 > 2.0,
+                "{db}: expected >2x speedup at 16 nodes, got {:.2}",
+                t1 / t16
+            );
+            // Broadly monotone: 16 nodes no slower than 2.
+            assert!(series.last().unwrap().1 <= series[1].1);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 15: (a) hybrid-cut partitioning time of PaPar vs the PowerLyra
+//! baseline on 16 nodes, and (b) strong scalability of both from 1 to 16
+//! nodes.
+
+use papar_core::exec::ExecOptions;
+use powerlyra::baseline::{powerlyra_partition_with_rounds, scoring_rounds};
+use std::time::Duration;
+
+use crate::datasets::{graphs, scaled_threshold, Scale};
+use crate::measure;
+use crate::report::{fmt_dur, fmt_ratio, Table};
+use crate::workflows::run_hybrid;
+
+fn papar_time(graph: &powerlyra::Graph, threshold: usize, nodes: usize) -> Duration {
+    measure::avg_of(|| {
+        run_hybrid(graph, 16, threshold, nodes, ExecOptions::default())
+            .report
+            .total_sim_time()
+    })
+}
+
+fn powerlyra_time(graph: &powerlyra::Graph, threshold: usize, nodes: usize) -> Duration {
+    // Clustering-dependent rescoring rounds (computed once per graph).
+    let rounds = scoring_rounds(graph.triangles(), graph.num_edges());
+    measure::avg_of(|| {
+        powerlyra_partition_with_rounds(graph, 16, threshold, rounds)
+            .expect("baseline")
+            .modeled_time(nodes)
+    })
+}
+
+/// One comparison row of Figure 15(a).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// Graph name.
+    pub graph: &'static str,
+    /// PaPar at 16 nodes.
+    pub papar: Duration,
+    /// PowerLyra at 16 nodes.
+    pub powerlyra: Duration,
+}
+
+/// Figure 15(a) data.
+pub fn comparisons(scale: &Scale) -> Vec<Comparison> {
+    let threshold = scaled_threshold(scale);
+    graphs(scale)
+        .into_iter()
+        .map(|(name, graph)| Comparison {
+            graph: name,
+            papar: papar_time(&graph, threshold, 16),
+            powerlyra: powerlyra_time(&graph, threshold, 16),
+        })
+        .collect()
+}
+
+/// One scaling point: `(nodes, papar time, powerlyra time)`.
+pub type ScalePoint = (usize, Duration, Duration);
+
+/// Figure 15(b) data: `(graph, [(nodes, papar, powerlyra)])`.
+pub fn scaling(scale: &Scale) -> Vec<(&'static str, Vec<ScalePoint>)> {
+    let threshold = scaled_threshold(scale);
+    graphs(scale)
+        .into_iter()
+        .map(|(name, graph)| {
+            let series = [1usize, 2, 4, 8, 16]
+                .iter()
+                .map(|&nodes| {
+                    (
+                        nodes,
+                        papar_time(&graph, threshold, nodes),
+                        powerlyra_time(&graph, threshold, nodes),
+                    )
+                })
+                .collect();
+            (name, series)
+        })
+        .collect()
+}
+
+/// Render Figure 15(a).
+pub fn run_a(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 15a: hybrid-cut partitioning time on 16 nodes, PaPar vs PowerLyra",
+        &["graph", "PowerLyra", "PaPar", "PaPar speedup"],
+    );
+    for c in comparisons(scale) {
+        t.row(vec![
+            c.graph.to_string(),
+            fmt_dur(c.powerlyra),
+            fmt_dur(c.papar),
+            format!(
+                "{}x",
+                fmt_ratio(c.powerlyra.as_secs_f64() / c.papar.as_secs_f64())
+            ),
+        ]);
+    }
+    t.note("paper: PowerLyra faster on Google and Pokec; PaPar 1.2x faster on LiveJournal");
+    t
+}
+
+/// Render Figure 15(b).
+pub fn run_b(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Figure 15b: strong scalability of hybrid-cut partitioning",
+        &["graph", "nodes", "PaPar", "PowerLyra"],
+    );
+    for (g, series) in scaling(scale) {
+        for (nodes, papar, pl) in series {
+            t.row(vec![
+                g.to_string(),
+                nodes.to_string(),
+                fmt_dur(papar),
+                fmt_dur(pl),
+            ]);
+        }
+    }
+    t.note("paper: PaPar scales to 16 nodes on all three graphs; PowerLyra stops scaling early (Google: not at all)");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn papar_scales_powerlyra_saturates() {
+        let s = scaling(&Scale::quick());
+        for (g, series) in s {
+            let papar_1 = series[0].1.as_secs_f64();
+            let papar_16 = series.last().unwrap().1.as_secs_f64();
+            assert!(
+                papar_1 / papar_16 > 2.0,
+                "{g}: PaPar should scale, got {:.2}x",
+                papar_1 / papar_16
+            );
+            // PowerLyra's 8->16 gain is marginal at these sizes.
+            let pl_8 = series[3].2.as_secs_f64();
+            let pl_16 = series[4].2.as_secs_f64();
+            assert!(
+                pl_16 > pl_8 * 0.7,
+                "{g}: PowerLyra should saturate, got {pl_8} -> {pl_16}"
+            );
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Fixed-width console tables with optional markdown rendering, used by
+//! every experiment to print the rows the paper's figures plot.
+
+/// A simple table: header row plus data rows.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    /// Table title (the figure/table id).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (expected shape, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        debug_assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Append a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Render for the console.
+    pub fn to_console(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>width$}", c, width = w[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(w.iter().sum::<usize>() + 2 * (w.len() - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        for n in &self.notes {
+            out.push_str(&format!("note: {n}\n"));
+        }
+        out
+    }
+
+    /// Render as a markdown section.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!(
+            "|{}|\n",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out.push('\n');
+        for n in &self.notes {
+            out.push_str(&format!("*{n}*\n\n"));
+        }
+        out
+    }
+}
+
+/// Format a duration in engineering units.
+pub fn fmt_dur(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.3} s")
+    } else if s >= 1e-3 {
+        format!("{:.3} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Format a ratio with two decimals.
+pub fn fmt_ratio(r: f64) -> String {
+    format!("{r:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn console_render_aligns() {
+        let mut t = Table::new("Fig X", &["name", "value"]);
+        t.row(vec!["a".into(), "1.00".into()]);
+        t.row(vec!["longer".into(), "2".into()]);
+        t.note("shape holds");
+        let s = t.to_console();
+        assert!(s.contains("== Fig X =="));
+        assert!(s.contains("note: shape holds"));
+        // Both rows end aligned on the value column.
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn markdown_render_is_well_formed() {
+        let mut t = Table::new("Table II", &["graph", "vertices"]);
+        t.row(vec!["google".into(), "875713".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("### Table II"));
+        assert!(md.contains("| graph | vertices |"));
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        use std::time::Duration;
+        assert_eq!(fmt_dur(Duration::from_secs(2)), "2.000 s");
+        assert_eq!(fmt_dur(Duration::from_millis(5)), "5.000 ms");
+        assert_eq!(fmt_dur(Duration::from_micros(7)), "7.0 us");
+    }
+}

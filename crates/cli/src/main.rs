@@ -1,0 +1,28 @@
+//! `papar` binary: thin shell around [`papar_cli::run`].
+
+fn main() {
+    let spec = match papar_cli::parse_args(std::env::args().skip(1)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match papar_cli::run(&spec) {
+        Ok(summary) => {
+            println!("read {} records", summary.records_in);
+            for (id, time, bytes) in &summary.jobs {
+                println!("job '{id}': {time:?} simulated, {bytes} bytes shuffled");
+            }
+            println!("total simulated partitioning time: {:?}", summary.total_sim);
+            println!("wrote {} partitions:", summary.files.len());
+            for f in &summary.files {
+                println!("  {}", f.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("papar: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,185 @@
+//! End-to-end CLI test: a real muBLASTP database file on disk, real
+//! configuration files, partition files written and re-read.
+
+use mublastp::dbgen::DbSpec;
+use papar_cli::{run, RunSpec};
+use std::collections::HashMap;
+
+const INPUT_CFG: &str = r#"
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+const WORKFLOW: &str = r#"
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let d = std::env::temp_dir().join(format!("papar-cli-test-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn partitions_a_real_database_file() {
+    let dir = temp_dir("blast");
+    let input_cfg = dir.join("blast_db.xml");
+    let workflow = dir.join("wf.xml");
+    let data = dir.join("env_nr.db");
+    std::fs::write(&input_cfg, INPUT_CFG).unwrap();
+    std::fs::write(&workflow, WORKFLOW).unwrap();
+
+    // A real database file, payloads and all; the CLI reads the index
+    // region (the Figure 4 contract).
+    let db = DbSpec::env_nr_scaled(500, 9).generate();
+    std::fs::write(&data, db.to_bytes()).unwrap();
+
+    let mut args = HashMap::new();
+    args.insert("num_partitions".to_string(), "4".to_string());
+    let spec = RunSpec {
+        input_config: input_cfg,
+        workflow,
+        data,
+        out_dir: dir.join("parts"),
+        nodes: 3,
+        args,
+        // The file carries sequence payload after the index region.
+        records: Some(db.len()),
+    };
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.records_in, 500);
+    assert_eq!(summary.files.len(), 4);
+    assert_eq!(summary.jobs.len(), 2);
+
+    // The partition files are valid index files that the baseline agrees
+    // with.
+    let base = mublastp::baseline::partition(
+        &db.index,
+        4,
+        mublastp::baseline::BaselinePolicy::Cyclic,
+    );
+    let cfg = papar_config::InputConfig::parse_str(INPUT_CFG).unwrap();
+    let schema = papar_record::Schema::from_input_config(&cfg);
+    for (i, file) in summary.files.iter().enumerate() {
+        let bytes = std::fs::read(file).unwrap();
+        let records = papar_record::codec::binary::read(&cfg, &schema, &bytes).unwrap();
+        let entries: Vec<_> = records
+            .iter()
+            .map(|r| mublastp::dbformat::IndexEntry::from_record(r).unwrap())
+            .collect();
+        assert_eq!(entries, base.partitions[i], "partition {i} differs");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn rejects_wrong_argument_names() {
+    let dir = temp_dir("badargs");
+    let input_cfg = dir.join("in.xml");
+    let workflow = dir.join("wf.xml");
+    let data = dir.join("d.db");
+    std::fs::write(&input_cfg, INPUT_CFG).unwrap();
+    std::fs::write(&workflow, WORKFLOW).unwrap();
+    std::fs::write(&data, DbSpec::env_nr_scaled(10, 1).generate().to_bytes()).unwrap();
+    let mut args = HashMap::new();
+    args.insert("num_partitions".to_string(), "2".to_string());
+    args.insert("bogus".to_string(), "1".to_string());
+    let spec = RunSpec {
+        input_config: input_cfg,
+        workflow,
+        data,
+        out_dir: dir.join("parts"),
+        nodes: 2,
+        args,
+        records: Some(10),
+    };
+    let e = run(&spec).unwrap_err();
+    assert!(e.to_string().contains("bogus"), "{e}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn text_workflow_writes_text_partitions() {
+    let dir = temp_dir("text");
+    let input_cfg = dir.join("edges.xml");
+    let workflow = dir.join("wf.xml");
+    let data = dir.join("edges.txt");
+    std::fs::write(
+        &input_cfg,
+        r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        &workflow,
+        r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer" value="2"/>
+  </arguments>
+  <operators>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#,
+    )
+    .unwrap();
+    std::fs::write(&data, "1\t2\n2\t3\n3\t1\n4\t1\n").unwrap();
+    let spec = RunSpec {
+        input_config: input_cfg,
+        workflow,
+        data,
+        out_dir: dir.join("parts"),
+        nodes: 2,
+        args: HashMap::new(),
+        records: None,
+    };
+    let summary = run(&spec).unwrap();
+    assert_eq!(summary.records_in, 4);
+    assert_eq!(summary.files.len(), 2);
+    let p0 = std::fs::read_to_string(&summary.files[0]).unwrap();
+    let p1 = std::fs::read_to_string(&summary.files[1]).unwrap();
+    // Round-robin over the 4 edges.
+    assert_eq!(p0, "1\t2\n3\t1\n");
+    assert_eq!(p1, "2\t3\n4\t1\n");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -1,0 +1,73 @@
+//! Error type shared by all configuration parsers.
+
+use std::fmt;
+
+/// Result alias used throughout `papar-config`.
+pub type Result<T> = std::result::Result<T, ConfigError>;
+
+/// An error raised while parsing or interpreting a configuration document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Lexical or structural XML error, with 1-based line and column.
+    Xml {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// 1-based line of the offending input position.
+        line: usize,
+        /// 1-based column of the offending input position.
+        col: usize,
+    },
+    /// The document parsed as XML but is not a valid configuration of the
+    /// expected kind (missing element, bad attribute value, ...).
+    Schema(String),
+    /// A `$variable` reference is syntactically malformed.
+    BadVarRef(String),
+}
+
+impl ConfigError {
+    /// Convenience constructor for schema-level errors.
+    pub fn schema(msg: impl Into<String>) -> Self {
+        ConfigError::Schema(msg.into())
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::Xml { message, line, col } => {
+                write!(f, "XML error at {line}:{col}: {message}")
+            }
+            ConfigError::Schema(m) => write!(f, "configuration error: {m}"),
+            ConfigError::BadVarRef(m) => write!(f, "bad variable reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ConfigError::Xml {
+            message: "unexpected end of input".into(),
+            line: 3,
+            col: 7,
+        };
+        assert_eq!(e.to_string(), "XML error at 3:7: unexpected end of input");
+    }
+
+    #[test]
+    fn display_schema_and_varref() {
+        assert_eq!(
+            ConfigError::schema("missing <element>").to_string(),
+            "configuration error: missing <element>"
+        );
+        assert_eq!(
+            ConfigError::BadVarRef("$".into()).to_string(),
+            "bad variable reference: $"
+        );
+    }
+}

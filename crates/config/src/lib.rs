@@ -1,0 +1,50 @@
+//! Configuration-file frontend for the PaPar framework.
+//!
+//! PaPar's user interface is two XML configuration files (paper, Section III):
+//!
+//! 1. an **InputData** configuration describing the record layout of an input
+//!    file (paper Figures 4 and 5), parsed by [`input::InputConfig`], and
+//! 2. a **Workflow** configuration describing the pipeline of partitioning
+//!    operators (paper Figures 8 and 10), parsed by
+//!    [`workflow::WorkflowConfig`].
+//!
+//! A third document type registers user-defined operators (paper Figure 7),
+//! parsed by [`opdef::OperatorRegistration`].
+//!
+//! All three sit on a small, dependency-free, non-validating XML subset
+//! parser in [`xml`]. The subset covers everything the paper's figures use:
+//! elements, attributes, text content, self-closing tags, comments, XML
+//! declarations, and the five predefined entities.
+//!
+//! # Example
+//!
+//! ```
+//! use papar_config::input::{InputConfig, InputFormat};
+//!
+//! let doc = r#"
+//! <input id="graph_edge" name="edge lists">
+//!   <input_format>text</input_format>
+//!   <element>
+//!     <value name="vertex_a" type="String"/>
+//!     <delimiter value="\t"/>
+//!     <value name="vertex_b" type="String"/>
+//!     <delimiter value="\n"/>
+//!   </element>
+//! </input>"#;
+//! let cfg = InputConfig::parse_str(doc).unwrap();
+//! assert_eq!(cfg.id, "graph_edge");
+//! assert_eq!(cfg.format, InputFormat::Text);
+//! ```
+
+pub mod error;
+pub mod input;
+pub mod opdef;
+pub mod varref;
+pub mod workflow;
+pub mod xml;
+
+pub use error::{ConfigError, Result};
+pub use input::{FieldType, InputConfig, InputFormat};
+pub use opdef::OperatorRegistration;
+pub use varref::VarRef;
+pub use workflow::WorkflowConfig;

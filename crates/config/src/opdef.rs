@@ -1,0 +1,176 @@
+//! User-defined operator registration documents (paper Section III-B,
+//! Figure 7).
+//!
+//! PaPar lets users register their own computational operators by inheriting
+//! one of the operator base classes and describing the implementation in a
+//! small `<prog>` document: where the code lives (`<import>`) and what
+//! arguments its constructor takes (`<arguments>`, with optional defaults).
+//! The framework uses the registration to know how to invoke the operator
+//! from a workflow.
+//!
+//! In this Rust reproduction the `classpath`/`package`/`class` triple maps
+//! onto a name under which a Rust implementation of
+//! `papar_core::operator::Operator` has been registered; the parsed
+//! signature is used to validate workflow parameters.
+
+use crate::error::{ConfigError, Result};
+use crate::xml::{self, Element};
+
+/// One declared constructor argument of a registered operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpArgDef {
+    /// Argument name (`inputPath`, `keyId`, ...).
+    pub name: String,
+    /// Declared type (`String`, `KeyId`, `boolean`, ...).
+    pub ty: String,
+    /// Default value, if the argument is optional.
+    pub default: Option<String>,
+}
+
+/// A parsed operator registration (`<prog type="operator">`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorRegistration {
+    /// Registration id — the name workflows use in `operator="..."`.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Location of the implementation (the paper's Java classpath; here an
+    /// opaque registry path).
+    pub classpath: String,
+    /// Package of the implementation.
+    pub package: String,
+    /// Class (implementation entry point) of the operator.
+    pub class: String,
+    /// Declared constructor arguments in order.
+    pub arguments: Vec<OpArgDef>,
+}
+
+impl OperatorRegistration {
+    /// Parse a registration document from XML text.
+    pub fn parse_str(doc: &str) -> Result<Self> {
+        Self::from_element(&xml::parse(doc)?)
+    }
+
+    /// Build from an already-parsed XML element.
+    pub fn from_element(el: &Element) -> Result<Self> {
+        if el.name != "prog" {
+            return Err(ConfigError::schema(format!(
+                "expected <prog> root, found <{}>",
+                el.name
+            )));
+        }
+        match el.attr("type") {
+            Some("operator") => {}
+            Some(other) => {
+                return Err(ConfigError::schema(format!(
+                    "unsupported prog type '{other}' (expected 'operator')"
+                )))
+            }
+            None => return Err(ConfigError::schema("<prog> is missing 'type' attribute")),
+        }
+        let import = el.req_child("import")?;
+        let mut arguments = Vec::new();
+        if let Some(args) = el.child("arguments") {
+            for p in args.children_named("param") {
+                arguments.push(OpArgDef {
+                    name: p.req_attr("name")?.to_string(),
+                    ty: p.req_attr("type")?.to_string(),
+                    default: p.attr("default").map(str::to_string),
+                });
+            }
+        }
+        let reg = OperatorRegistration {
+            id: el.req_attr("id")?.to_string(),
+            name: el.attr("name").unwrap_or("").to_string(),
+            classpath: import.req_attr("classpath")?.to_string(),
+            package: import.req_attr("package")?.to_string(),
+            class: import.req_attr("class")?.to_string(),
+            arguments,
+        };
+        let mut seen = std::collections::HashSet::new();
+        for a in &reg.arguments {
+            if !seen.insert(a.name.as_str()) {
+                return Err(ConfigError::schema(format!(
+                    "duplicate operator argument '{}'",
+                    a.name
+                )));
+            }
+        }
+        Ok(reg)
+    }
+
+    /// Look up a declared argument by name.
+    pub fn argument(&self, name: &str) -> Option<&OpArgDef> {
+        self.arguments.iter().find(|a| a.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 7, verbatim.
+    const FIG7: &str = r#"
+<prog id="Sort" type="operator" name="MapReduce sort operator">
+  <import classpath="/user/mr/sort" package="com.mr.sort" class="Sort"/>
+  <arguments>
+    <param name="inputPath" type="String"/>
+    <param name="outputPath" type="String"/>
+    <param name="keyId" type="KeyId"/>
+    <param name="ascending" type="boolean" default="true"/>
+  </arguments>
+</prog>"#;
+
+    #[test]
+    fn paper_figure7_parses() {
+        let reg = OperatorRegistration::parse_str(FIG7).unwrap();
+        assert_eq!(reg.id, "Sort");
+        assert_eq!(reg.class, "Sort");
+        assert_eq!(reg.package, "com.mr.sort");
+        assert_eq!(reg.arguments.len(), 4);
+        assert_eq!(
+            reg.argument("ascending").unwrap().default.as_deref(),
+            Some("true")
+        );
+        assert_eq!(reg.argument("keyId").unwrap().ty, "KeyId");
+        assert_eq!(reg.argument("inputPath").unwrap().default, None);
+    }
+
+    #[test]
+    fn rejects_wrong_root_or_type() {
+        assert!(OperatorRegistration::parse_str("<other/>").is_err());
+        assert!(
+            OperatorRegistration::parse_str(r#"<prog id="x" type="job"><import classpath="a" package="b" class="c"/></prog>"#)
+                .is_err()
+        );
+        assert!(OperatorRegistration::parse_str(r#"<prog id="x"><import classpath="a" package="b" class="c"/></prog>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_missing_import() {
+        assert!(OperatorRegistration::parse_str(r#"<prog id="x" type="operator"/>"#).is_err());
+    }
+
+    #[test]
+    fn rejects_duplicate_arguments() {
+        let doc = r#"
+<prog id="x" type="operator">
+  <import classpath="a" package="b" class="c"/>
+  <arguments>
+    <param name="p" type="String"/>
+    <param name="p" type="String"/>
+  </arguments>
+</prog>"#;
+        assert!(OperatorRegistration::parse_str(doc).is_err());
+    }
+
+    #[test]
+    fn arguments_section_is_optional() {
+        let doc = r#"
+<prog id="x" type="operator">
+  <import classpath="a" package="b" class="c"/>
+</prog>"#;
+        let reg = OperatorRegistration::parse_str(doc).unwrap();
+        assert!(reg.arguments.is_empty());
+    }
+}

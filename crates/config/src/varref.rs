@@ -1,0 +1,248 @@
+//! `$variable` references inside workflow configurations.
+//!
+//! The paper (Section III-C) uses the `$` symbol to denote values that come
+//! from the workflow arguments or from intermediate data of earlier jobs:
+//!
+//! * `$input_path` — a workflow argument,
+//! * `$sort.outputPath` — a parameter of the earlier operator with id `sort`
+//!   (the figures spell it `ouputPath` in one spot; both spellings resolve),
+//! * `$group.$indegree` — an *attribute* added by an add-on operator of the
+//!   earlier `group` job (the `$` before the attribute marks it as data, not
+//!   as a static parameter),
+//! * `$threshold` inside a policy expression such as
+//!   `{>=, $threshold},{<,$threshold}`.
+//!
+//! [`VarRef::parse`] classifies a single token; [`substitute`] rewrites every
+//! reference inside an arbitrary string (used for policy expressions and
+//! comma-separated lists).
+
+use crate::error::{ConfigError, Result};
+
+/// A classified `$` reference (or a literal if no `$` is present).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarRef {
+    /// Plain text, no reference.
+    Literal(String),
+    /// `$name` — a workflow argument.
+    Arg(String),
+    /// `$job.param` — a parameter of an earlier operator (typically its
+    /// `outputPath`).
+    JobParam {
+        /// Operator id of the earlier job.
+        job: String,
+        /// Parameter name on that job.
+        param: String,
+    },
+    /// `$job.$attr` — a data attribute added by an earlier job's add-on.
+    JobAttr {
+        /// Operator id of the earlier job.
+        job: String,
+        /// Attribute name added by that job.
+        attr: String,
+    },
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if is_ident_start(c)) && chars.all(is_ident_char)
+}
+
+impl VarRef {
+    /// Classify a whole token. A token that does not start with `$` is a
+    /// [`VarRef::Literal`].
+    pub fn parse(token: &str) -> Result<VarRef> {
+        if !token.starts_with('$') {
+            return Ok(VarRef::Literal(token.to_string()));
+        }
+        let body = &token[1..];
+        if body.is_empty() {
+            return Err(ConfigError::BadVarRef(token.to_string()));
+        }
+        match body.split_once('.') {
+            None => {
+                if is_ident(body) {
+                    Ok(VarRef::Arg(body.to_string()))
+                } else {
+                    Err(ConfigError::BadVarRef(token.to_string()))
+                }
+            }
+            Some((job, rest)) => {
+                if !is_ident(job) {
+                    return Err(ConfigError::BadVarRef(token.to_string()));
+                }
+                if let Some(attr) = rest.strip_prefix('$') {
+                    if !is_ident(attr) {
+                        return Err(ConfigError::BadVarRef(token.to_string()));
+                    }
+                    Ok(VarRef::JobAttr {
+                        job: job.to_string(),
+                        attr: attr.to_string(),
+                    })
+                } else {
+                    if !is_ident(rest) {
+                        return Err(ConfigError::BadVarRef(token.to_string()));
+                    }
+                    Ok(VarRef::JobParam {
+                        job: job.to_string(),
+                        param: rest.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// True when this is a reference (not a literal).
+    pub fn is_reference(&self) -> bool {
+        !matches!(self, VarRef::Literal(_))
+    }
+}
+
+/// Replace every `$reference` occurring in `s` using `lookup`.
+///
+/// `lookup` receives the parsed reference and returns its replacement text;
+/// returning an `Err` aborts the substitution. Text outside references is
+/// copied verbatim, so policy expressions like `{>=, $threshold}` work.
+pub fn substitute<F>(s: &str, mut lookup: F) -> Result<String>
+where
+    F: FnMut(&VarRef) -> Result<String>,
+{
+    let mut out = String::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] != b'$' {
+            out.push(bytes[i] as char);
+            i += 1;
+            continue;
+        }
+        // Greedily take the longest `$job.$attr` / `$job.param` / `$name`.
+        let start = i;
+        i += 1;
+        let seg_start = i;
+        if i < bytes.len() && is_ident_start(bytes[i] as char) {
+            i += 1;
+            while i < bytes.len() && is_ident_char(bytes[i] as char) {
+                i += 1;
+            }
+        }
+        if i == seg_start {
+            return Err(ConfigError::BadVarRef(s.to_string()));
+        }
+        // Optional `.param` or `.$attr` suffix.
+        if i < bytes.len() && bytes[i] == b'.' {
+            let dot = i;
+            let mut j = i + 1;
+            let dollar = j < bytes.len() && bytes[j] == b'$';
+            if dollar {
+                j += 1;
+            }
+            let p_start = j;
+            while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                j += 1;
+            }
+            if j > p_start {
+                i = j;
+            } else {
+                i = dot; // a bare trailing dot is not part of the reference
+            }
+        }
+        let token = &s[start..i];
+        let r = VarRef::parse(token)?;
+        out.push_str(&lookup(&r)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_argument_reference() {
+        assert_eq!(
+            VarRef::parse("$input_path").unwrap(),
+            VarRef::Arg("input_path".into())
+        );
+    }
+
+    #[test]
+    fn parses_job_param_reference() {
+        assert_eq!(
+            VarRef::parse("$sort.outputPath").unwrap(),
+            VarRef::JobParam {
+                job: "sort".into(),
+                param: "outputPath".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_job_attr_reference() {
+        assert_eq!(
+            VarRef::parse("$group.$indegree").unwrap(),
+            VarRef::JobAttr {
+                job: "group".into(),
+                attr: "indegree".into()
+            }
+        );
+    }
+
+    #[test]
+    fn literal_passthrough() {
+        let v = VarRef::parse("roundRobin").unwrap();
+        assert_eq!(v, VarRef::Literal("roundRobin".into()));
+        assert!(!v.is_reference());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(VarRef::parse("$").is_err());
+        assert!(VarRef::parse("$a.").is_err());
+        assert!(VarRef::parse("$a.$").is_err());
+        assert!(VarRef::parse("$a-b").is_err());
+    }
+
+    #[test]
+    fn substitute_policy_expression() {
+        // Paper Figure 10: value="{>=, $threshold},{<,$threshold}"
+        let out = substitute("{>=, $threshold},{<,$threshold}", |r| match r {
+            VarRef::Arg(a) if a == "threshold" => Ok("4".to_string()),
+            other => panic!("unexpected ref {other:?}"),
+        })
+        .unwrap();
+        assert_eq!(out, "{>=, 4},{<,4}");
+    }
+
+    #[test]
+    fn substitute_job_refs_and_plain_text() {
+        let out = substitute("$sort.outputPath/part", |r| match r {
+            VarRef::JobParam { job, param } => Ok(format!("<{job}:{param}>")),
+            _ => panic!(),
+        })
+        .unwrap();
+        assert_eq!(out, "<sort:outputPath>/part");
+    }
+
+    #[test]
+    fn substitute_trailing_dot_is_literal() {
+        let out = substitute("$a.", |r| match r {
+            VarRef::Arg(a) => Ok(format!("[{a}]")),
+            _ => panic!(),
+        })
+        .unwrap();
+        assert_eq!(out, "[a].");
+    }
+
+    #[test]
+    fn substitute_bare_dollar_errors() {
+        assert!(substitute("cost: $5", |_| Ok(String::new())).is_err());
+    }
+}

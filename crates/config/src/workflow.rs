@@ -1,0 +1,390 @@
+//! The **Workflow** configuration: the user-defined partitioning pipeline
+//! (paper Section III-B/C, Figures 8 and 10).
+//!
+//! A workflow has an `<arguments>` section declaring the runtime parameters
+//! (input/output paths, `num_partitions`, ...) and an `<operators>` section
+//! listing the jobs to launch, in order. Each operator names a registered
+//! operator implementation (`Sort`, `Group`, `Split`, `Distribute`, or a
+//! user registration), carries its own `<param>`s — whose values may
+//! reference arguments or earlier jobs with `$` — and may attach `<addon>`
+//! operators (`count`, `max`, `min`, `mean`, `sum`).
+
+use crate::error::{ConfigError, Result};
+use crate::xml::{self, Element};
+
+/// A declared workflow argument (`<param>` inside `<arguments>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgDef {
+    /// Argument name (referenced as `$name`).
+    pub name: String,
+    /// Declared type: `hdfs`, `integer`, `String`, ... (free-form; the
+    /// planner interprets it).
+    pub ty: String,
+    /// For path-typed arguments: the id of the InputData configuration
+    /// describing the file's record layout.
+    pub format: Option<String>,
+    /// Optional default value baked into the configuration.
+    pub value: Option<String>,
+}
+
+/// A parameter of one operator (`<param>` inside `<operator>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDef {
+    /// Parameter name (`inputPath`, `key`, `policy`, ...).
+    pub name: String,
+    /// Declared type (`String`, `KeyId`, `DistrPolicy`, ...).
+    pub ty: String,
+    /// Raw value text; may contain `$` references. `None` when the parameter
+    /// is bound at launch time (e.g. workflow arguments without defaults).
+    pub value: Option<String>,
+    /// Output-format annotation (`format="pack"` or, for path lists,
+    /// `format="unpack,orig"`).
+    pub format: Option<String>,
+}
+
+/// An add-on operator attached to a basic operator (`<addon>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AddOnDef {
+    /// Add-on operator name: `count`, `max`, `min`, `mean` or `sum`.
+    pub operator: String,
+    /// The field the add-on computes over.
+    pub key: String,
+    /// The name of the attribute the add-on appends to each record.
+    pub attr: String,
+}
+
+/// One job of the workflow (`<operator>`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperatorDef {
+    /// Job id, referenced by later jobs as `$id.param`.
+    pub id: String,
+    /// Name of the operator implementation to invoke.
+    pub operator: String,
+    /// Optional reducer-count override (`num_reducers="..."`), possibly a
+    /// `$` reference.
+    pub num_reducers: Option<String>,
+    /// Parameters in document order.
+    pub params: Vec<ParamDef>,
+    /// Attached add-on operators.
+    pub addons: Vec<AddOnDef>,
+}
+
+impl OperatorDef {
+    /// Look up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&ParamDef> {
+        self.params.iter().find(|p| p.name == name)
+    }
+
+    /// Look up a parameter value, tolerating the paper's `ouputPath` typo
+    /// when asked for `outputPath` (Figure 8 uses both spellings).
+    pub fn param_fuzzy(&self, name: &str) -> Option<&ParamDef> {
+        self.param(name).or_else(|| {
+            if name == "outputPath" {
+                self.param("ouputPath")
+            } else if name == "ouputPath" {
+                self.param("outputPath")
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Required-parameter lookup with a schema error on absence.
+    pub fn req_param(&self, name: &str) -> Result<&ParamDef> {
+        self.param_fuzzy(name).ok_or_else(|| {
+            ConfigError::schema(format!(
+                "operator '{}' is missing required param '{name}'",
+                self.id
+            ))
+        })
+    }
+}
+
+/// A parsed workflow document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkflowConfig {
+    /// Workflow id.
+    pub id: String,
+    /// Human-readable name.
+    pub name: String,
+    /// Declared arguments.
+    pub arguments: Vec<ArgDef>,
+    /// Jobs in launch order.
+    pub operators: Vec<OperatorDef>,
+}
+
+impl WorkflowConfig {
+    /// Parse a workflow document from XML text.
+    pub fn parse_str(doc: &str) -> Result<Self> {
+        Self::from_element(&xml::parse(doc)?)
+    }
+
+    /// Build from an already-parsed XML element.
+    pub fn from_element(el: &Element) -> Result<Self> {
+        if el.name != "workflow" {
+            return Err(ConfigError::schema(format!(
+                "expected <workflow> root, found <{}>",
+                el.name
+            )));
+        }
+        let id = el.req_attr("id")?.to_string();
+        let name = el.attr("name").unwrap_or("").to_string();
+
+        let mut arguments = Vec::new();
+        if let Some(args) = el.child("arguments") {
+            for p in args.children_named("param") {
+                arguments.push(ArgDef {
+                    name: p.req_attr("name")?.to_string(),
+                    ty: p.req_attr("type")?.to_string(),
+                    format: p.attr("format").map(str::to_string),
+                    value: p.attr("value").map(str::to_string),
+                });
+            }
+        }
+
+        let mut operators = Vec::new();
+        let ops = el.req_child("operators")?;
+        for o in ops.children_named("operator") {
+            let mut params = Vec::new();
+            let mut addons = Vec::new();
+            for c in &o.children {
+                match c.name.as_str() {
+                    "param" => params.push(ParamDef {
+                        name: c.req_attr("name")?.to_string(),
+                        ty: c.req_attr("type")?.to_string(),
+                        value: c.attr("value").map(str::to_string),
+                        format: c.attr("format").map(str::to_string),
+                    }),
+                    "addon" => addons.push(AddOnDef {
+                        operator: c.req_attr("operator")?.to_string(),
+                        key: c.req_attr("key")?.to_string(),
+                        attr: c.req_attr("attr")?.to_string(),
+                    }),
+                    other => {
+                        return Err(ConfigError::schema(format!(
+                            "unexpected <{other}> inside <operator>"
+                        )))
+                    }
+                }
+            }
+            operators.push(OperatorDef {
+                id: o.req_attr("id")?.to_string(),
+                operator: o.req_attr("operator")?.to_string(),
+                num_reducers: o.attr("num_reducers").map(str::to_string),
+                params,
+                addons,
+            });
+        }
+
+        let wf = WorkflowConfig {
+            id,
+            name,
+            arguments,
+            operators,
+        };
+        wf.validate()?;
+        Ok(wf)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.operators.is_empty() {
+            return Err(ConfigError::schema("workflow declares no operators"));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for a in &self.arguments {
+            if !seen.insert(a.name.as_str()) {
+                return Err(ConfigError::schema(format!(
+                    "duplicate argument '{}'",
+                    a.name
+                )));
+            }
+        }
+        let mut ids = std::collections::HashSet::new();
+        for o in &self.operators {
+            if !ids.insert(o.id.as_str()) {
+                return Err(ConfigError::schema(format!(
+                    "duplicate operator id '{}'",
+                    o.id
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Look up an argument declaration by name.
+    pub fn argument(&self, name: &str) -> Option<&ArgDef> {
+        self.arguments.iter().find(|a| a.name == name)
+    }
+
+    /// Look up an operator by id.
+    pub fn operator(&self, id: &str) -> Option<&OperatorDef> {
+        self.operators.iter().find(|o| o.id == id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Paper Figure 8, verbatim (including the `ouputPath` typo on the sort
+    /// operator and the `$sort.ouputPath` back-reference).
+    pub const FIG8: &str = r#"
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="num_reducers" type="integer" value="3"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="$num_reducers">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="ouputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.ouputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+    /// Paper Figure 10, verbatim (including the `$sort.outputPath` slip in
+    /// the split operator, which per the text means the group job's output).
+    pub const FIG10: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+    #[test]
+    fn paper_figure8_parses() {
+        let wf = WorkflowConfig::parse_str(FIG8).unwrap();
+        assert_eq!(wf.id, "blast_partition");
+        assert_eq!(wf.arguments.len(), 4);
+        assert_eq!(wf.operators.len(), 2);
+        let sort = wf.operator("sort").unwrap();
+        assert_eq!(sort.operator, "Sort");
+        assert_eq!(sort.num_reducers.as_deref(), Some("$num_reducers"));
+        assert_eq!(
+            sort.req_param("key").unwrap().value.as_deref(),
+            Some("seq_size")
+        );
+        // The figure's typo: `ouputPath` resolves when asked for `outputPath`.
+        assert_eq!(
+            sort.req_param("outputPath").unwrap().value.as_deref(),
+            Some("/user/sort_output")
+        );
+        let distr = wf.operator("distr").unwrap();
+        assert_eq!(
+            distr.req_param("distrPolicy").unwrap().value.as_deref(),
+            Some("roundRobin")
+        );
+    }
+
+    #[test]
+    fn paper_figure10_parses() {
+        let wf = WorkflowConfig::parse_str(FIG10).unwrap();
+        assert_eq!(wf.operators.len(), 3);
+        let group = wf.operator("group").unwrap();
+        assert_eq!(group.addons.len(), 1);
+        assert_eq!(group.addons[0].operator, "count");
+        assert_eq!(group.addons[0].attr, "indegree");
+        assert_eq!(
+            group.req_param("outputPath").unwrap().format.as_deref(),
+            Some("pack")
+        );
+        let split = wf.operator("split").unwrap();
+        assert_eq!(
+            split.req_param("key").unwrap().value.as_deref(),
+            Some("$group.$indegree")
+        );
+        assert_eq!(
+            split.req_param("policy").unwrap().value.as_deref(),
+            Some("{>=, $threshold},{<,$threshold}")
+        );
+        assert_eq!(
+            split.req_param("outputPathList").unwrap().format.as_deref(),
+            Some("unpack,orig")
+        );
+    }
+
+    #[test]
+    fn default_argument_values_survive() {
+        let wf = WorkflowConfig::parse_str(FIG8).unwrap();
+        assert_eq!(
+            wf.argument("num_reducers").unwrap().value.as_deref(),
+            Some("3")
+        );
+        assert_eq!(wf.argument("num_partitions").unwrap().value, None);
+        assert_eq!(
+            wf.argument("input_path").unwrap().format.as_deref(),
+            Some("blast_db")
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_operator_ids() {
+        let doc = r#"
+<workflow id="w" name="n">
+  <operators>
+    <operator id="a" operator="Sort"/>
+    <operator id="a" operator="Sort"/>
+  </operators>
+</workflow>"#;
+        assert!(WorkflowConfig::parse_str(doc).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_workflow() {
+        let doc = r#"<workflow id="w" name="n"><operators/></workflow>"#;
+        assert!(WorkflowConfig::parse_str(doc).is_err());
+    }
+
+    #[test]
+    fn rejects_stray_children() {
+        let doc = r#"
+<workflow id="w" name="n">
+  <operators>
+    <operator id="a" operator="Sort"><bogus/></operator>
+  </operators>
+</workflow>"#;
+        assert!(WorkflowConfig::parse_str(doc).is_err());
+    }
+
+    #[test]
+    fn missing_required_param_is_reported() {
+        let wf = WorkflowConfig::parse_str(FIG8).unwrap();
+        let sort = wf.operator("sort").unwrap();
+        let e = sort.req_param("nonexistent").unwrap_err();
+        assert!(e.to_string().contains("nonexistent"));
+    }
+}

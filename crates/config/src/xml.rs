@@ -1,0 +1,558 @@
+//! A minimal, dependency-free, non-validating XML subset parser.
+//!
+//! The PaPar configuration documents (paper Figures 4, 5, 7, 8 and 10) only
+//! need a small slice of XML, which this module implements:
+//!
+//! * elements with attributes (`<tag a="x" b='y'>` ... `</tag>`),
+//! * self-closing elements (`<tag/>`),
+//! * text content,
+//! * comments (`<!-- ... -->`),
+//! * the XML declaration (`<?xml ... ?>`), which is skipped,
+//! * the five predefined entities (`&lt; &gt; &amp; &quot; &apos;`) and
+//!   decimal/hex character references (`&#10;`, `&#x0A;`).
+//!
+//! The parser is strict about well-formedness (matching end tags, quoted
+//! attributes, a single root element) and reports 1-based line/column
+//! positions on error. It does **not** implement DTDs, namespaces, CDATA or
+//! processing instructions other than the declaration — the configuration
+//! schema has no use for them.
+
+use crate::error::{ConfigError, Result};
+
+/// A parsed XML element.
+///
+/// Text content is accumulated in [`Element::text`] with surrounding
+/// whitespace preserved; use [`Element::trimmed_text`] for the common case.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in document order. Duplicate names are rejected at parse
+    /// time, so linear lookup is unambiguous.
+    pub attrs: Vec<(String, String)>,
+    /// Child elements in document order.
+    pub children: Vec<Element>,
+    /// Concatenated character data directly inside this element.
+    pub text: String,
+}
+
+impl Element {
+    /// Create an element with a name and no content.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+            text: String::new(),
+        }
+    }
+
+    /// Look up an attribute by name.
+    pub fn attr(&self, name: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Look up an attribute, raising a schema error naming the element when
+    /// the attribute is missing.
+    pub fn req_attr(&self, name: &str) -> Result<&str> {
+        self.attr(name).ok_or_else(|| {
+            ConfigError::schema(format!(
+                "element <{}> is missing required attribute '{name}'",
+                self.name
+            ))
+        })
+    }
+
+    /// First child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// First child element with the given tag name, or a schema error.
+    pub fn req_child(&self, name: &str) -> Result<&Element> {
+        self.child(name).ok_or_else(|| {
+            ConfigError::schema(format!(
+                "element <{}> is missing required child <{name}>",
+                self.name
+            ))
+        })
+    }
+
+    /// All child elements with the given tag name, in document order.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> {
+        self.children.iter().filter(move |c| c.name == name)
+    }
+
+    /// Text content with leading/trailing ASCII whitespace removed.
+    pub fn trimmed_text(&self) -> &str {
+        self.text.trim()
+    }
+
+    /// Serialize this element (and its subtree) back to XML.
+    ///
+    /// Used by round-trip tests; the output re-parses to an equal tree
+    /// (modulo insignificant whitespace, which serialization does not add).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write_xml(&mut out);
+        out
+    }
+
+    fn write_xml(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attrs {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            escape_into(v, out);
+            out.push('"');
+        }
+        if self.children.is_empty() && self.text.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        escape_into(&self.text, out);
+        for c in &self.children {
+            c.write_xml(out);
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+/// Escape the five XML special characters into `out`.
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '&' => out.push_str("&amp;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parse a complete document and return its single root element.
+pub fn parse(input: &str) -> Result<Element> {
+    let mut p = Parser::new(input);
+    p.skip_misc()?;
+    let root = p.parse_element()?;
+    p.skip_misc()?;
+    if !p.at_end() {
+        return Err(p.err("content after the document's root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser {
+            src: input.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> ConfigError {
+        ConfigError::Xml {
+            message: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn eat(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(got) if got == b => Ok(()),
+            Some(got) => Err(self.err(format!(
+                "expected '{}', found '{}'",
+                b as char, got as char
+            ))),
+            None => Err(self.err(format!("expected '{}', found end of input", b as char))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.bump();
+        }
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.src[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn advance_str(&mut self, s: &str) {
+        for _ in 0..s.len() {
+            self.bump();
+        }
+    }
+
+    /// Skip whitespace, comments and the XML declaration between elements.
+    fn skip_misc(&mut self) -> Result<()> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<?") {
+                self.skip_declaration()?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    fn skip_comment(&mut self) -> Result<()> {
+        self.advance_str("<!--");
+        loop {
+            if self.at_end() {
+                return Err(self.err("unterminated comment"));
+            }
+            if self.starts_with("-->") {
+                self.advance_str("-->");
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_declaration(&mut self) -> Result<()> {
+        self.advance_str("<?");
+        loop {
+            if self.at_end() {
+                return Err(self.err("unterminated <? ... ?> declaration"));
+            }
+            if self.starts_with("?>") {
+                self.advance_str("?>");
+                return Ok(());
+            }
+            self.bump();
+        }
+    }
+
+    fn is_name_start(b: u8) -> bool {
+        b.is_ascii_alphabetic() || b == b'_' || b == b':'
+    }
+
+    fn is_name_char(b: u8) -> bool {
+        Self::is_name_start(b) || b.is_ascii_digit() || b == b'-' || b == b'.'
+    }
+
+    fn parse_name(&mut self) -> Result<String> {
+        match self.peek() {
+            Some(b) if Self::is_name_start(b) => {}
+            _ => return Err(self.err("expected a name")),
+        }
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if Self::is_name_char(b)) {
+            self.bump();
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn parse_entity(&mut self) -> Result<char> {
+        // Caller consumed nothing yet; we are at '&'.
+        self.eat(b'&')?;
+        let start = self.pos;
+        while matches!(self.peek(), Some(b) if b != b';') {
+            self.bump();
+        }
+        if self.at_end() {
+            return Err(self.err("unterminated entity reference"));
+        }
+        let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.eat(b';')?;
+        match name.as_str() {
+            "lt" => Ok('<'),
+            "gt" => Ok('>'),
+            "amp" => Ok('&'),
+            "quot" => Ok('"'),
+            "apos" => Ok('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point in &{name};")))
+            }
+            _ if name.starts_with('#') => {
+                let code = name[1..]
+                    .parse::<u32>()
+                    .map_err(|_| self.err(format!("bad character reference &{name};")))?;
+                char::from_u32(code)
+                    .ok_or_else(|| self.err(format!("invalid code point in &{name};")))
+            }
+            _ => Err(self.err(format!("unknown entity &{name};"))),
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String> {
+        let quote = match self.bump() {
+            Some(q @ (b'"' | b'\'')) => q,
+            _ => return Err(self.err("expected a quoted attribute value")),
+        };
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    self.bump();
+                    return Ok(out);
+                }
+                Some(b'&') => out.push(self.parse_entity()?),
+                Some(b'<') => return Err(self.err("raw '<' inside attribute value")),
+                Some(_) => {
+                    // Attribute values may span multiple bytes of UTF-8; copy
+                    // the whole code point.
+                    let ch = self.bump_char()?;
+                    out.push(ch);
+                }
+            }
+        }
+    }
+
+    /// Consume one UTF-8 code point.
+    fn bump_char(&mut self) -> Result<char> {
+        let rest = &self.src[self.pos..];
+        let s = std::str::from_utf8(rest)
+            .map_err(|_| self.err("invalid UTF-8"))?
+            .chars()
+            .next()
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        for _ in 0..s.len_utf8() {
+            self.bump();
+        }
+        Ok(s)
+    }
+
+    fn parse_element(&mut self) -> Result<Element> {
+        self.eat(b'<')?;
+        let name = self.parse_name()?;
+        let mut el = Element::new(name);
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.bump();
+                    self.eat(b'>')?;
+                    return Ok(el);
+                }
+                Some(b'>') => {
+                    self.bump();
+                    break;
+                }
+                Some(b) if Self::is_name_start(b) => {
+                    let aname = self.parse_name()?;
+                    self.skip_ws();
+                    self.eat(b'=')?;
+                    self.skip_ws();
+                    let aval = self.parse_attr_value()?;
+                    if el.attr(&aname).is_some() {
+                        return Err(self.err(format!(
+                            "duplicate attribute '{aname}' on <{}>",
+                            el.name
+                        )));
+                    }
+                    el.attrs.push((aname, aval));
+                }
+                Some(b) => {
+                    return Err(self.err(format!("unexpected '{}' in start tag", b as char)))
+                }
+                None => return Err(self.err("unterminated start tag")),
+            }
+        }
+        // Content until matching end tag.
+        loop {
+            match self.peek() {
+                None => return Err(self.err(format!("missing </{}>", el.name))),
+                Some(b'<') => {
+                    if self.starts_with("<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with("</") {
+                        self.advance_str("</");
+                        let end = self.parse_name()?;
+                        if end != el.name {
+                            return Err(self.err(format!(
+                                "mismatched end tag: expected </{}>, found </{end}>",
+                                el.name
+                            )));
+                        }
+                        self.skip_ws();
+                        self.eat(b'>')?;
+                        return Ok(el);
+                    } else {
+                        el.children.push(self.parse_element()?);
+                    }
+                }
+                Some(b'&') => {
+                    let ch = self.parse_entity()?;
+                    el.text.push(ch);
+                }
+                Some(_) => {
+                    let ch = self.bump_char()?;
+                    el.text.push(ch);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_element() {
+        let el = parse("<a/>").unwrap();
+        assert_eq!(el.name, "a");
+        assert!(el.attrs.is_empty());
+        assert!(el.children.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let el = parse(r#"<a x="1" y='two'/>"#).unwrap();
+        assert_eq!(el.attr("x"), Some("1"));
+        assert_eq!(el.attr("y"), Some("two"));
+        assert_eq!(el.attr("z"), None);
+    }
+
+    #[test]
+    fn parses_nested_children_and_text() {
+        let el = parse("<a><b>hi</b><c/></a>").unwrap();
+        assert_eq!(el.children.len(), 2);
+        assert_eq!(el.child("b").unwrap().trimmed_text(), "hi");
+        assert!(el.child("c").is_some());
+    }
+
+    #[test]
+    fn entity_decoding_in_text_and_attrs() {
+        let el = parse(r#"<a v="&lt;&amp;&gt;">&quot;&apos;&#65;&#x42;</a>"#).unwrap();
+        assert_eq!(el.attr("v"), Some("<&>"));
+        assert_eq!(el.text, "\"'AB");
+    }
+
+    #[test]
+    fn skips_declaration_and_comments() {
+        let el = parse("<?xml version=\"1.0\"?>\n<!-- c --><a><!-- in --><b/></a>").unwrap();
+        assert_eq!(el.children.len(), 1);
+    }
+
+    #[test]
+    fn rejects_mismatched_end_tag() {
+        let e = parse("<a><b></a></b>").unwrap_err();
+        assert!(e.to_string().contains("mismatched end tag"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unterminated_document() {
+        assert!(parse("<a><b/>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("<a foo=>").is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        let e = parse("<a/><b/>").unwrap_err();
+        assert!(e.to_string().contains("after the document's root"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_attribute() {
+        let e = parse(r#"<a x="1" x="2"/>"#).unwrap_err();
+        assert!(e.to_string().contains("duplicate attribute"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(parse("<a>&nope;</a>").is_err());
+    }
+
+    #[test]
+    fn error_position_is_tracked() {
+        let e = parse("<a>\n  <b x=></b>\n</a>").unwrap_err();
+        match e {
+            ConfigError::Xml { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected Xml error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn paper_figure4_parses() {
+        let doc = r#"
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+        let el = parse(doc).unwrap();
+        assert_eq!(el.name, "input");
+        assert_eq!(el.req_child("element").unwrap().children.len(), 4);
+        assert_eq!(
+            el.req_child("start_position").unwrap().trimmed_text(),
+            "32"
+        );
+    }
+
+    #[test]
+    fn roundtrip_serialization() {
+        let doc = r#"<w id="x"><p name="a" value="$in"/><q>text &amp; more</q></w>"#;
+        let el = parse(doc).unwrap();
+        let re = parse(&el.to_xml()).unwrap();
+        assert_eq!(el, re);
+    }
+
+    #[test]
+    fn utf8_content_is_preserved() {
+        let el = parse("<a note=\"héllo\">wörld</a>").unwrap();
+        assert_eq!(el.attr("note"), Some("héllo"));
+        assert_eq!(el.text, "wörld");
+    }
+
+    #[test]
+    fn req_helpers_report_missing_parts() {
+        let el = parse("<a/>").unwrap();
+        assert!(el.req_attr("id").is_err());
+        assert!(el.req_child("element").is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Property tests for the XML subset parser: serialization round-trips
+//! and crash-freedom on arbitrary input.
+
+use papar_config::xml::{self, Element};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-z_][a-z0-9_-]{0,10}".prop_map(|s| s)
+}
+
+fn attr_value_strategy() -> impl Strategy<Value = String> {
+    // Arbitrary text including the XML special characters; escaping must
+    // handle all of them.
+    prop::collection::vec(
+        prop_oneof![
+            Just('<'),
+            Just('>'),
+            Just('&'),
+            Just('"'),
+            Just('\''),
+            Just(' '),
+            prop::char::range('a', 'z'),
+            prop::char::range('0', '9'),
+        ],
+        0..20,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        prop::collection::vec((name_strategy(), attr_value_strategy()), 0..4),
+        attr_value_strategy(),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut el = Element::new(name);
+            // Deduplicate attribute names (the parser rejects duplicates).
+            let mut seen = std::collections::HashSet::new();
+            for (k, v) in attrs {
+                if seen.insert(k.clone()) {
+                    el.attrs.push((k, v));
+                }
+            }
+            el.text = text;
+            el
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            prop::collection::vec((name_strategy(), attr_value_strategy()), 0..3),
+            prop::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut el = Element::new(name);
+                let mut seen = std::collections::HashSet::new();
+                for (k, v) in attrs {
+                    if seen.insert(k.clone()) {
+                        el.attrs.push((k, v));
+                    }
+                }
+                el.children = children;
+                el
+            })
+    })
+}
+
+proptest! {
+    /// serialize -> parse is the identity on any tree the serializer can
+    /// produce (text inside elements with children is emitted before the
+    /// children, which the parser preserves).
+    #[test]
+    fn serialize_parse_roundtrip(el in element_strategy()) {
+        let xml = el.to_xml();
+        let back = xml::parse(&xml).unwrap_or_else(|e| panic!("reparse failed: {e}\n{xml}"));
+        prop_assert_eq!(back, el);
+    }
+
+    /// The parser never panics on arbitrary input — it either parses or
+    /// returns a positioned error.
+    #[test]
+    fn parser_never_panics(input in "\\PC{0,200}") {
+        let _ = xml::parse(&input);
+    }
+
+    /// Variable-reference substitution is the identity when the lookup
+    /// returns the reference's own text.
+    #[test]
+    fn varref_identity_substitution(name in "[a-z_][a-z0-9_]{0,8}", tail in "[-/a-z0-9]{0,10}") {
+        use papar_config::varref::{substitute, VarRef};
+        let s = format!("${name}{tail}");
+        // Skip inputs where the tail immediately extends the identifier.
+        prop_assume!(!tail.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_'));
+        let out = substitute(&s, |r| match r {
+            VarRef::Arg(a) => Ok(format!("${a}")),
+            other => panic!("unexpected {other:?}"),
+        }).unwrap();
+        prop_assert_eq!(out, s);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for planning and execution.
+
+use std::fmt;
+
+/// Result alias used throughout `papar-core`.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// An error raised while planning or running a workflow.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Configuration documents were malformed.
+    Config(String),
+    /// The workflow references something that does not exist (argument,
+    /// operator, key field, input format, ...).
+    Plan(String),
+    /// A job failed at run time.
+    Exec(String),
+}
+
+impl CoreError {
+    /// Convenience constructor for planning errors.
+    pub fn plan(msg: impl Into<String>) -> Self {
+        CoreError::Plan(msg.into())
+    }
+
+    /// Convenience constructor for execution errors.
+    pub fn exec(msg: impl Into<String>) -> Self {
+        CoreError::Exec(msg.into())
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Config(m) => write!(f, "configuration error: {m}"),
+            CoreError::Plan(m) => write!(f, "planning error: {m}"),
+            CoreError::Exec(m) => write!(f, "execution error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<papar_config::ConfigError> for CoreError {
+    fn from(e: papar_config::ConfigError) -> Self {
+        CoreError::Config(e.to_string())
+    }
+}
+
+impl From<papar_record::CodecError> for CoreError {
+    fn from(e: papar_record::CodecError) -> Self {
+        CoreError::Exec(e.to_string())
+    }
+}
+
+impl From<papar_mr::MrError> for CoreError {
+    fn from(e: papar_mr::MrError) -> Self {
+        CoreError::Exec(e.to_string())
+    }
+}
+
+impl From<CoreError> for papar_mr::MrError {
+    /// Closures handed to the MapReduce engine must speak its error type;
+    /// core errors cross that boundary as messages.
+    fn from(e: CoreError) -> papar_mr::MrError {
+        papar_mr::MrError(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CoreError::plan("x").to_string().contains("planning"));
+        assert!(CoreError::exec("x").to_string().contains("execution"));
+        assert!(CoreError::Config("x".into()).to_string().contains("configuration"));
+    }
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let c: CoreError = papar_config::ConfigError::schema("missing thing").into();
+        assert!(c.to_string().contains("missing thing"));
+        let c: CoreError = papar_record::CodecError("bad bytes".into()).into();
+        assert!(c.to_string().contains("bad bytes"));
+        let c: CoreError = papar_mr::MrError("shuffle broke".into()).into();
+        assert!(c.to_string().contains("shuffle broke"));
+    }
+}

@@ -1,0 +1,715 @@
+//! The workflow executor: launches planned jobs one by one on the
+//! simulated cluster (paper Section III-D, "the jobs are launched one by
+//! one following the order defined in the workflow configuration file").
+
+use papar_mr::engine::{FnMapper, FnReducer, HashPartitioner, MapInput};
+use papar_mr::sampler::{self, RangePartitioner};
+use papar_mr::stats::JobStats;
+use papar_mr::{Cluster, Entry, MapReduceJob, Partitioner};
+use papar_record::batch::{Batch, Dataset};
+use papar_record::packed::PackedRecord;
+use papar_record::{Record, Value};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use crate::error::{CoreError, Result};
+use crate::operator::{BoundAddOn, CustomJobCtx, FormatOp};
+use crate::plan::{DatasetMeta, Format, JobKind, JobPlan, WorkflowPlan};
+use crate::policy::{DistrPolicy, SplitPolicy};
+
+/// How the sort operator picks its reduce-key ranges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Sample every node's local data and combine (the paper's method,
+    /// following TopCluster-style distributed sampling).
+    Distributed,
+    /// Sample only the first fragment — the naive strawman the ablation
+    /// experiment contrasts against; skewed inputs overload reducers.
+    FirstFragmentOnly,
+}
+
+/// Execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Reducers per job when the configuration does not override
+    /// (`None` → one reducer per cluster node).
+    pub default_reducers: Option<usize>,
+    /// Reduce-range sampling mode.
+    pub sampling: SamplingMode,
+    /// CSC-compress packed entries on the wire (paper Section III-D "Data
+    /// Compression").
+    pub compression: bool,
+    /// Sampling stride (1 in `stride` keys).
+    pub sample_stride: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            default_reducers: None,
+            sampling: SamplingMode::Distributed,
+            compression: false,
+            sample_stride: sampler::DEFAULT_SAMPLE_STRIDE,
+        }
+    }
+}
+
+/// Everything a workflow run produced besides the output datasets.
+#[derive(Debug, Clone, Default)]
+pub struct WorkflowReport {
+    /// Per-job stats in launch order.
+    pub jobs: Vec<JobStats>,
+    /// Time spent in the pre-job sampling passes.
+    pub sample_time: Duration,
+}
+
+impl WorkflowReport {
+    /// Total simulated partitioning time: sampling plus every job's
+    /// `max(map) + comm + max(reduce)` makespan.
+    pub fn total_sim_time(&self) -> Duration {
+        self.sample_time + self.jobs.iter().map(JobStats::sim_time).sum::<Duration>()
+    }
+
+    /// Total bytes shuffled between distinct nodes.
+    pub fn total_shuffled_bytes(&self) -> u64 {
+        self.jobs.iter().map(|j| j.exchange.remote_bytes).sum()
+    }
+}
+
+/// Runs a [`WorkflowPlan`] on a cluster.
+pub struct WorkflowRunner {
+    plan: WorkflowPlan,
+    options: ExecOptions,
+}
+
+impl WorkflowRunner {
+    /// Runner with default options.
+    pub fn new(plan: WorkflowPlan) -> Self {
+        Self::with_options(plan, ExecOptions::default())
+    }
+
+    /// Runner with explicit options.
+    pub fn with_options(plan: WorkflowPlan, options: ExecOptions) -> Self {
+        WorkflowRunner { plan, options }
+    }
+
+    /// The plan being run.
+    pub fn plan(&self) -> &WorkflowPlan {
+        &self.plan
+    }
+
+    /// Scatter an external input across the cluster, checking it against
+    /// the plan's expectations.
+    pub fn scatter_input(&self, cluster: &mut Cluster, name: &str, data: Dataset) -> Result<()> {
+        let meta = self
+            .plan
+            .external_inputs
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| m)
+            .ok_or_else(|| {
+                CoreError::exec(format!(
+                    "'{name}' is not an external input of workflow '{}' (expected one of {:?})",
+                    self.plan.id,
+                    self.plan
+                        .external_inputs
+                        .iter()
+                        .map(|(n, _)| n)
+                        .collect::<Vec<_>>()
+                ))
+            })?;
+        if data.schema.as_ref() != meta.schema.as_ref() {
+            return Err(CoreError::exec(format!(
+                "input '{name}' schema does not match the declared format"
+            )));
+        }
+        cluster.scatter(name, data)?;
+        Ok(())
+    }
+
+    /// Execute every job in order. Outputs stay in the cluster's stores;
+    /// fetch the final partitions with
+    /// `cluster.collect(&runner.plan().output_path)`.
+    pub fn run(&self, cluster: &mut Cluster) -> Result<WorkflowReport> {
+        let mut report = WorkflowReport::default();
+        for job in &self.plan.jobs {
+            let stats = match &job.kind {
+                JobKind::Sort {
+                    key_idx,
+                    descending,
+                    addons,
+                    output_format,
+                } => self.run_sort(
+                    cluster,
+                    job,
+                    *key_idx,
+                    *descending,
+                    addons,
+                    *output_format,
+                    &mut report.sample_time,
+                )?,
+                JobKind::Group {
+                    key_idx,
+                    addons,
+                    output_format,
+                } => self.run_group(cluster, job, *key_idx, addons, *output_format)?,
+                JobKind::Split { key_idx, policy } => {
+                    self.run_split(cluster, job, *key_idx, policy)?
+                }
+                JobKind::Distribute {
+                    policy,
+                    num_partitions,
+                    final_schema,
+                } => self.run_distribute(cluster, job, *policy, *num_partitions, final_schema)?,
+                JobKind::Custom { op_name, params } => {
+                    self.run_custom(cluster, job, op_name, params)?
+                }
+            };
+            report.jobs.push(stats);
+        }
+        Ok(report)
+    }
+
+    fn reducers_for(&self, job: &JobPlan, cluster: &Cluster) -> usize {
+        job.num_reducers
+            .or(self.options.default_reducers)
+            .unwrap_or_else(|| cluster.num_nodes())
+            .max(1)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_sort(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        key_idx: usize,
+        descending: bool,
+        addons: &[BoundAddOn],
+        output_format: FormatOp,
+        sample_time: &mut Duration,
+    ) -> Result<JobStats> {
+        let num_reducers = self.reducers_for(job, cluster);
+
+        // Pre-job sampling pass (paper: "sampled when reading the input").
+        let t0 = Instant::now();
+        let mut per_node: Vec<Vec<Value>> = Vec::new();
+        'nodes: for node in 0..cluster.num_nodes() {
+            let mut sample = Vec::new();
+            for name in &job.inputs {
+                if let Some(frags) = cluster.node(node).get(name) {
+                    for f in frags {
+                        sample_keys(&f.data.batch, key_idx, self.options.sample_stride, &mut sample)?;
+                    }
+                }
+            }
+            per_node.push(sample);
+            if self.options.sampling == SamplingMode::FirstFragmentOnly && !per_node[node].is_empty()
+            {
+                break 'nodes;
+            }
+        }
+        let range = RangePartitioner::from_samples(&per_node, num_reducers)?;
+        *sample_time += t0.elapsed();
+
+        let partitioner = SortPartitioner {
+            range,
+            descending,
+            num_reducers,
+        };
+        let mapper = FnMapper(move |_ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+            let mut out = Vec::new();
+            for mi in inputs {
+                emit_keyed(&mi.data.batch, key_idx, &mut out).map_err(papar_mr::MrError::from)?;
+            }
+            Ok(out)
+        });
+        let addons = addons.to_vec();
+        let out_format = job.outputs[0].1.format;
+        let reducer = FnReducer(move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
+            reduce_ordered(pairs, &addons, key_idx, out_format, output_format)
+                .map_err(papar_mr::MrError::from)
+        });
+        let mr_job = MapReduceJob {
+            name: job.id.clone(),
+            inputs: job.inputs.clone(),
+            output: job.output().to_string(),
+            num_reducers,
+            map_output_schema: job.input_meta.schema.clone(),
+            output_schema: job.outputs[0].1.schema.clone(),
+            mapper: &mapper,
+            partitioner: &partitioner,
+            reducer: &reducer,
+            sort_by_key: true,
+            descending,
+            compress_key: self.compress_key(&job.input_meta),
+        };
+        Ok(cluster.run_job(&mr_job)?)
+    }
+
+    fn run_group(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        key_idx: usize,
+        addons: &[BoundAddOn],
+        output_format: FormatOp,
+    ) -> Result<JobStats> {
+        let num_reducers = self.reducers_for(job, cluster);
+        let mapper = FnMapper(move |_ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+            let mut out = Vec::new();
+            for mi in inputs {
+                emit_keyed(&mi.data.batch, key_idx, &mut out).map_err(papar_mr::MrError::from)?;
+            }
+            Ok(out)
+        });
+        let addons = addons.to_vec();
+        let out_format = job.outputs[0].1.format;
+        let reducer = FnReducer(move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
+            reduce_ordered(pairs, &addons, key_idx, out_format, output_format)
+                .map_err(papar_mr::MrError::from)
+        });
+        let mr_job = MapReduceJob {
+            name: job.id.clone(),
+            inputs: job.inputs.clone(),
+            output: job.output().to_string(),
+            num_reducers,
+            map_output_schema: job.input_meta.schema.clone(),
+            output_schema: job.outputs[0].1.schema.clone(),
+            mapper: &mapper,
+            partitioner: &HashPartitioner,
+            reducer: &reducer,
+            sort_by_key: true,
+            descending: false,
+            compress_key: self.compress_key(&job.input_meta),
+        };
+        Ok(cluster.run_job(&mr_job)?)
+    }
+
+    /// Split is a map-only local job: every node routes its local entries
+    /// to the per-condition outputs and applies the output format
+    /// operators; no shuffle happens (paper Figure 11 keeps split data on
+    /// its reducers until the distribute job moves it).
+    fn run_split(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        key_idx: usize,
+        policy: &SplitPolicy,
+    ) -> Result<JobStats> {
+        let n = cluster.num_nodes();
+        let mut stats = JobStats {
+            name: job.id.clone(),
+            map_time_by_node: vec![Duration::ZERO; n],
+            reduce_time_by_node: vec![Duration::ZERO; n],
+            ..Default::default()
+        };
+        for node in 0..n {
+            let t0 = Instant::now();
+            // Route local entries.
+            let mut routed: Vec<Vec<Entry>> = (0..policy.arity()).map(|_| Vec::new()).collect();
+            for name in &job.inputs {
+                let frags: Vec<std::sync::Arc<Dataset>> = cluster
+                    .node(node)
+                    .get(name)
+                    .map(|fs| fs.into_iter().map(|f| std::sync::Arc::clone(&f.data)).collect())
+                    .unwrap_or_default();
+                for frag in frags {
+                    stats.records_in += frag.batch.record_count() as u64;
+                    for entry in batch_entries(frag.batch.clone()) {
+                        let key = entry_key(&entry, key_idx)?;
+                        let dest = policy.route(&key).ok_or_else(|| {
+                            CoreError::exec(format!(
+                                "split key {key} matches no condition of job '{}'",
+                                job.id
+                            ))
+                        })?;
+                        routed[dest].push(entry);
+                    }
+                }
+            }
+            // Apply per-output format ops and store locally.
+            for (dest, entries) in routed.into_iter().enumerate() {
+                let (out_name, out_meta) = &job.outputs[dest];
+                let batch = entries_to_batch(entries, out_meta.format, key_idx)?;
+                stats.records_out += batch.record_count() as u64;
+                cluster.node_mut(node).put(
+                    out_name,
+                    node as u32,
+                    Dataset::new(out_meta.schema.clone(), batch),
+                );
+            }
+            stats.map_time_by_node[node] = t0.elapsed();
+        }
+        Ok(stats)
+    }
+
+    fn run_distribute(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        policy: DistrPolicy,
+        num_partitions: usize,
+        final_schema: &Option<std::sync::Arc<papar_record::Schema>>,
+    ) -> Result<JobStats> {
+        // Global offsets per (input, fragment ordinal) so the index-routed
+        // policies (cyclic/block) see the global entry order; the paper's
+        // Figure 9 distributes the *globally* sorted sequence round-robin.
+        let mut offsets: HashMap<(String, u32), u64> = HashMap::new();
+        let mut total: u64 = 0;
+        for name in &job.inputs {
+            let mut frags: Vec<(u32, u64)> = Vec::new();
+            for node in 0..cluster.num_nodes() {
+                if let Some(fs) = cluster.node(node).get(name) {
+                    for f in fs {
+                        frags.push((f.ordinal, f.data.batch.entry_count() as u64));
+                    }
+                }
+            }
+            frags.sort_by_key(|&(ord, _)| ord);
+            for (ord, count) in frags {
+                offsets.insert((name.clone(), ord), total);
+                total += count;
+            }
+        }
+
+        // Projection of output records onto the declared output schema.
+        let projection: Option<Vec<usize>> = match final_schema {
+            Some(out) => {
+                let mut idxs = Vec::with_capacity(out.len());
+                for f in out.fields() {
+                    idxs.push(job.input_meta.schema.require(&f.name).map_err(|e| {
+                        CoreError::plan(format!(
+                            "output format field '{}' missing from data: {e}",
+                            f.name
+                        ))
+                    })?);
+                }
+                Some(idxs)
+            }
+            None => None,
+        };
+
+        let policy_total = total as usize;
+        let mapper = FnMapper(move |_ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+            let mut out = Vec::new();
+            for mi in inputs {
+                let base = *offsets
+                    .get(&(mi.name.clone(), mi.ordinal))
+                    .expect("offsets cover every fragment");
+                for (local, entry) in batch_entries(mi.data.batch.clone()).into_iter().enumerate()
+                {
+                    let g = base as usize + local;
+                    let part = match policy {
+                        DistrPolicy::Cyclic | DistrPolicy::Block => {
+                            policy.partition_of_index(g, policy_total, num_partitions)
+                        }
+                        DistrPolicy::GraphVertexCut => {
+                            let routing = match &entry {
+                                // A whole low-degree group travels to the
+                                // partition its in-vertex hashes to.
+                                Entry::Packed(p) => p.key.clone(),
+                                // High-degree in-edges spread by source
+                                // vertex (field 0 of an edge record).
+                                Entry::Rec(r) => {
+                                    r.require(0).map_err(papar_mr::MrError::from)?.clone()
+                                }
+                            };
+                            policy.partition_of_value(&routing, num_partitions)
+                        }
+                    };
+                    // Key embeds both the route and the global order; see
+                    // EmbeddedOrderPartitioner.
+                    let key = (g as i64) * num_partitions as i64 + part as i64;
+                    out.push((Value::Long(key), entry));
+                }
+            }
+            Ok(out)
+        });
+        let out_format = job.outputs[0].1.format;
+        let reducer = FnReducer(move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
+            let entries: Vec<Entry> = pairs.into_iter().map(|(_, e)| e).collect();
+            let mut batch = match out_format {
+                Format::Flat => {
+                    let mut records = Vec::new();
+                    for e in entries {
+                        match e {
+                            Entry::Rec(r) => records.push(r),
+                            Entry::Packed(p) => records.extend(p.records),
+                        }
+                    }
+                    Batch::Flat(records)
+                }
+                Format::Packed => Batch::Packed(
+                    entries
+                        .into_iter()
+                        .map(|e| match e {
+                            Entry::Packed(p) => Ok(p),
+                            Entry::Rec(_) => Err(papar_mr::MrError(
+                                "distribute cannot keep flat entries in a packed output".into(),
+                            )),
+                        })
+                        .collect::<papar_mr::Result<Vec<_>>>()?,
+                ),
+            };
+            if let Some(proj) = &projection {
+                batch = project_batch(batch, proj);
+            }
+            Ok(batch)
+        });
+        let mr_job = MapReduceJob {
+            name: job.id.clone(),
+            inputs: job.inputs.clone(),
+            output: job.output().to_string(),
+            num_reducers: num_partitions,
+            map_output_schema: job.input_meta.schema.clone(),
+            output_schema: job.outputs[0].1.schema.clone(),
+            mapper: &mapper,
+            partitioner: &EmbeddedOrderPartitioner,
+            reducer: &reducer,
+            sort_by_key: true,
+            descending: false,
+            compress_key: self.compress_key_any(&job.input_metas),
+        };
+        Ok(cluster.run_job(&mr_job)?)
+    }
+
+    fn run_custom(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        op_name: &str,
+        params: &HashMap<String, String>,
+    ) -> Result<JobStats> {
+        let op = self
+            .plan
+            .registry
+            .custom(op_name)
+            .ok_or_else(|| {
+                CoreError::exec(format!("custom operator '{op_name}' vanished from registry"))
+            })?
+            .clone();
+        let ctx = CustomJobCtx {
+            id: job.id.clone(),
+            params: params.clone(),
+            inputs: job.inputs.clone(),
+            output: job.output().to_string(),
+            input_schema: job.input_meta.schema.clone(),
+            num_reducers: self.reducers_for(job, cluster),
+        };
+        op.run(cluster, &ctx)
+    }
+
+    /// The wire-compression key for a job: enabled only when the option is
+    /// set and the input is packed (flat entries have nothing to factor).
+    fn compress_key(&self, input_meta: &DatasetMeta) -> Option<usize> {
+        if self.options.compression && input_meta.format == Format::Packed {
+            input_meta.packed_key
+        } else {
+            None
+        }
+    }
+
+    /// Compression key across several inputs (a distribute job may read a
+    /// flat and a packed split output; the packed one decides).
+    fn compress_key_any(&self, metas: &[DatasetMeta]) -> Option<usize> {
+        metas.iter().find_map(|m| self.compress_key(m))
+    }
+}
+
+/// Distribute's partitioner: the mapper embeds the target partition in the
+/// reduce key as `g * P + partition` (g = global entry index), so the key
+/// both routes (`key % P`) and orders (`key / P` restores the global order
+/// inside every partition, independent of how fragments were laid out
+/// across nodes).
+struct EmbeddedOrderPartitioner;
+
+impl Partitioner for EmbeddedOrderPartitioner {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+        let k = key.as_i64().unwrap_or(0).max(0) as usize;
+        k % num_reducers
+    }
+}
+
+/// Range partitioner with optional reducer-order flip for descending sorts:
+/// reducer 0 must hold the *largest* range so the concatenated outputs read
+/// in descending order.
+struct SortPartitioner {
+    range: RangePartitioner,
+    descending: bool,
+    num_reducers: usize,
+}
+
+impl Partitioner for SortPartitioner {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+        debug_assert_eq!(num_reducers, self.num_reducers);
+        let r = self.range.reducer_for(key, num_reducers);
+        if self.descending {
+            num_reducers - 1 - r
+        } else {
+            r
+        }
+    }
+}
+
+/// Sample every `stride`-th entry key of a batch (flat: the record field;
+/// packed: the field of the first member, which equals the group key for
+/// key-field grouping). Cloning only the sampled keys keeps the sampling
+/// pass O(n/stride) in allocations.
+fn sample_keys(batch: &Batch, key_idx: usize, stride: usize, out: &mut Vec<Value>) -> Result<()> {
+    let stride = stride.max(1);
+    match batch {
+        Batch::Flat(records) => {
+            for r in records.iter().step_by(stride) {
+                out.push(r.require(key_idx).map_err(CoreError::from)?.clone());
+            }
+        }
+        Batch::Packed(groups) => {
+            for g in groups.iter().step_by(stride) {
+                let first = g.records.first().ok_or_else(|| {
+                    CoreError::exec("packed group with no members")
+                })?;
+                out.push(first.require(key_idx).map_err(CoreError::from)?.clone());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Emit `(key, entry)` pairs for every entry of a batch.
+fn emit_keyed(batch: &Batch, key_idx: usize, out: &mut Vec<(Value, Entry)>) -> Result<()> {
+    match batch {
+        Batch::Flat(records) => {
+            for r in records {
+                let key = r.require(key_idx).map_err(CoreError::from)?.clone();
+                out.push((key, Entry::Rec(r.clone())));
+            }
+        }
+        Batch::Packed(groups) => {
+            for g in groups {
+                let first = g.records.first().ok_or_else(|| {
+                    CoreError::exec("packed group with no members")
+                })?;
+                let key = first.require(key_idx).map_err(CoreError::from)?.clone();
+                out.push((key, Entry::Packed(g.clone())));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The shared reduce logic of sort and group: pairs arrive key-sorted;
+/// apply add-ons per key-run, then the output format operator.
+fn reduce_ordered(
+    pairs: Vec<(Value, Entry)>,
+    addons: &[BoundAddOn],
+    key_idx: usize,
+    out_format: Format,
+    format_op: FormatOp,
+) -> Result<Batch> {
+    // Flatten to records, remembering key-run boundaries.
+    let mut records: Vec<Record> = Vec::with_capacity(pairs.len());
+    let mut runs: Vec<(usize, usize)> = Vec::new(); // [start, end) per key-run
+    let mut run_start = 0usize;
+    let mut prev_key: Option<Value> = None;
+    for (key, entry) in pairs {
+        if prev_key.as_ref() != Some(&key) {
+            if prev_key.is_some() {
+                runs.push((run_start, records.len()));
+            }
+            run_start = records.len();
+            prev_key = Some(key);
+        }
+        match entry {
+            Entry::Rec(r) => records.push(r),
+            Entry::Packed(p) => records.extend(p.records),
+        }
+    }
+    if prev_key.is_some() {
+        runs.push((run_start, records.len()));
+    }
+    // Add-ons per key-run.
+    for addon in addons {
+        for &(s, e) in &runs {
+            addon.apply_to_group(&mut records[s..e])?;
+        }
+    }
+    // Format operator.
+    let batch = match (format_op, out_format) {
+        (FormatOp::Pack, _) | (_, Format::Packed) => Batch::Flat(records).pack_by(key_idx)?,
+        _ => Batch::Flat(records),
+    };
+    Ok(batch)
+}
+
+/// Decompose a batch into shuffle entries.
+fn batch_entries(batch: Batch) -> Vec<Entry> {
+    match batch {
+        Batch::Flat(records) => records.into_iter().map(Entry::Rec).collect(),
+        Batch::Packed(groups) => groups.into_iter().map(Entry::Packed).collect(),
+    }
+}
+
+/// The routing key of one entry.
+fn entry_key(entry: &Entry, key_idx: usize) -> Result<Value> {
+    match entry {
+        Entry::Rec(r) => Ok(r.require(key_idx).map_err(CoreError::from)?.clone()),
+        Entry::Packed(p) => {
+            let first = p
+                .records
+                .first()
+                .ok_or_else(|| CoreError::exec("packed group with no members"))?;
+            Ok(first.require(key_idx).map_err(CoreError::from)?.clone())
+        }
+    }
+}
+
+/// Rebuild a batch from entries under a target format.
+fn entries_to_batch(entries: Vec<Entry>, format: Format, key_idx: usize) -> Result<Batch> {
+    match format {
+        Format::Flat => {
+            let mut records = Vec::new();
+            for e in entries {
+                match e {
+                    Entry::Rec(r) => records.push(r),
+                    Entry::Packed(p) => records.extend(p.records),
+                }
+            }
+            Ok(Batch::Flat(records))
+        }
+        Format::Packed => {
+            let mut groups = Vec::new();
+            for e in entries {
+                match e {
+                    Entry::Packed(p) => groups.push(p),
+                    Entry::Rec(r) => {
+                        let key = r.require(key_idx).map_err(CoreError::from)?.clone();
+                        groups.push(PackedRecord {
+                            key,
+                            records: vec![r],
+                        });
+                    }
+                }
+            }
+            Ok(Batch::Packed(groups))
+        }
+    }
+}
+
+/// Project every record onto the given field indices.
+fn project_batch(batch: Batch, proj: &[usize]) -> Batch {
+    let project = |r: &Record| -> Record {
+        Record::new(proj.iter().map(|&i| r.values()[i].clone()).collect())
+    };
+    match batch {
+        Batch::Flat(records) => Batch::Flat(records.iter().map(project).collect()),
+        Batch::Packed(groups) => Batch::Packed(
+            groups
+                .into_iter()
+                .map(|g| PackedRecord {
+                    key: g.key,
+                    records: g.records.iter().map(project).collect(),
+                })
+                .collect(),
+        ),
+    }
+}

@@ -1,0 +1,33 @@
+//! The PaPar framework core: operators, distribution policies, the workflow
+//! planner ("code generation") and the executor.
+//!
+//! This crate is the paper's primary contribution (Sections III-B through
+//! III-D). The pieces map one-to-one onto the paper:
+//!
+//! * [`operator`] — the operator taxonomy of Table I: **basic** operators
+//!   (`Sort`, `Group`, `Split`, `Distribute`) that reorder data, **add-on**
+//!   operators (`count`, `max`, `min`, `mean`, `sum`) that add attributes,
+//!   and **format** operators (`orig`, `pack`, `unpack`). Users can register
+//!   custom operators through [`operator::OperatorRegistry`].
+//! * [`policy`] — distribution policies formalized as stride-permutation
+//!   matrices `L_m^{km}` and split predicates (`{>=, t},{<, t}`).
+//! * [`plan`] — the planner parses the two configuration files, resolves
+//!   `$variable` references, type-checks operator keys against the evolving
+//!   schema, and emits an executable [`plan::WorkflowPlan`] — the paper's
+//!   "code generation" step. Distribution policies stay symbolic in the
+//!   plan and become concrete permutations only at run time, exactly the
+//!   decoupling the paper highlights.
+//! * [`exec`] — [`exec::WorkflowRunner`] launches the plan's jobs one by one
+//!   on a [`papar_mr::Cluster`], wiring samplers, add-ons, format
+//!   conversions and the distribution matrices.
+
+pub mod error;
+pub mod exec;
+pub mod operator;
+pub mod plan;
+pub mod policy;
+
+pub use error::{CoreError, Result};
+pub use exec::{ExecOptions, WorkflowReport, WorkflowRunner};
+pub use plan::{Planner, WorkflowPlan};
+pub use policy::{DistrPolicy, SplitPolicy, StridePermutation};

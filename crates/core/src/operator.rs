@@ -1,0 +1,421 @@
+//! The operator taxonomy of paper Table I.
+//!
+//! * **Basic operators** (`Sort`, `Group`, `Split`, `Distribute`) reorder
+//!   data but never add or delete attributes. They are planned into
+//!   MapReduce jobs by [`crate::plan`] and executed by [`crate::exec`].
+//! * **Add-on operators** ([`AddOnKind`]: `count`, `max`, `min`, `mean`,
+//!   `sum`) add attributes. They cannot form a job on their own — they
+//!   attach to a basic operator and run in its reduce stage over each
+//!   key-group.
+//! * **Format operators** ([`FormatOp`]: `orig`, `pack`, `unpack`) change
+//!   the data format without reordering or adding/deleting attributes.
+//!
+//! User-defined operators implement [`CustomOperator`] and are registered
+//! in an [`OperatorRegistry`] under the id that workflow configurations
+//! name in `operator="..."` — the Rust analog of the paper's Figure 7
+//! class registration.
+
+use papar_config::input::FieldType;
+use papar_config::opdef::OperatorRegistration;
+use papar_mr::stats::JobStats;
+use papar_mr::Cluster;
+use papar_record::{Record, Schema, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+
+/// The add-on operators of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AddOnKind {
+    /// Number of elements in the key-group.
+    Count,
+    /// Maximum of a value field over the group.
+    Max,
+    /// Minimum of a value field over the group.
+    Min,
+    /// Arithmetic mean of a value field over the group.
+    Mean,
+    /// Sum of a value field over the group.
+    Sum,
+}
+
+impl AddOnKind {
+    /// Parse the configuration spelling.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "count" => Ok(AddOnKind::Count),
+            "max" => Ok(AddOnKind::Max),
+            "min" => Ok(AddOnKind::Min),
+            "mean" => Ok(AddOnKind::Mean),
+            "sum" => Ok(AddOnKind::Sum),
+            other => Err(CoreError::plan(format!("unknown add-on operator '{other}'"))),
+        }
+    }
+
+    /// The type of the attribute this add-on appends, given the type of the
+    /// field it computes over.
+    pub fn result_type(&self, field: FieldType) -> Result<FieldType> {
+        match self {
+            AddOnKind::Count => Ok(FieldType::Long),
+            AddOnKind::Mean => Ok(FieldType::Double),
+            AddOnKind::Max | AddOnKind::Min => match field {
+                FieldType::Str => Ok(FieldType::Str),
+                other => Ok(other),
+            },
+            AddOnKind::Sum => match field {
+                FieldType::Integer | FieldType::Long => Ok(FieldType::Long),
+                FieldType::Double => Ok(FieldType::Double),
+                FieldType::Str => Err(CoreError::plan("cannot sum a String field")),
+            },
+        }
+    }
+
+    /// Compute the attribute value over one key-group.
+    pub fn apply(&self, group: &[Record], field_idx: usize) -> Result<Value> {
+        if group.is_empty() {
+            return Err(CoreError::exec("add-on applied to an empty group"));
+        }
+        let values = || {
+            group
+                .iter()
+                .map(|r| r.require(field_idx).map_err(CoreError::from))
+        };
+        match self {
+            AddOnKind::Count => Ok(Value::Long(group.len() as i64)),
+            AddOnKind::Max => {
+                let mut best: Option<Value> = None;
+                for v in values() {
+                    let v = v?.clone();
+                    best = Some(match best {
+                        Some(b) if b >= v => b,
+                        _ => v,
+                    });
+                }
+                Ok(best.expect("non-empty group"))
+            }
+            AddOnKind::Min => {
+                let mut best: Option<Value> = None;
+                for v in values() {
+                    let v = v?.clone();
+                    best = Some(match best {
+                        Some(b) if b <= v => b,
+                        _ => v,
+                    });
+                }
+                Ok(best.expect("non-empty group"))
+            }
+            AddOnKind::Mean => {
+                let mut sum = 0.0;
+                for v in values() {
+                    sum += v?.as_f64().ok_or_else(|| {
+                        CoreError::exec("mean add-on over a non-numeric field")
+                    })?;
+                }
+                Ok(Value::Double(sum / group.len() as f64))
+            }
+            AddOnKind::Sum => {
+                // Integer fields sum exactly; doubles sum in f64.
+                let first = group[0].require(field_idx).map_err(CoreError::from)?;
+                if first.as_i64().is_some() {
+                    let mut sum = 0i64;
+                    for v in values() {
+                        sum = sum
+                            .checked_add(v?.as_i64().ok_or_else(|| {
+                                CoreError::exec("sum add-on over mixed types")
+                            })?)
+                            .ok_or_else(|| CoreError::exec("sum add-on overflowed i64"))?;
+                    }
+                    Ok(Value::Long(sum))
+                } else {
+                    let mut sum = 0.0;
+                    for v in values() {
+                        sum += v?.as_f64().ok_or_else(|| {
+                            CoreError::exec("sum add-on over a non-numeric field")
+                        })?;
+                    }
+                    Ok(Value::Double(sum))
+                }
+            }
+        }
+    }
+}
+
+/// An add-on bound to field indices at plan time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BoundAddOn {
+    /// Which add-on.
+    pub kind: AddOnKind,
+    /// Index of the field it computes over (the `key=` attribute of the
+    /// `<addon>` element).
+    pub field_idx: usize,
+    /// Name of the appended attribute.
+    pub attr: String,
+}
+
+impl BoundAddOn {
+    /// Append this add-on's attribute to every record of a key-group.
+    pub fn apply_to_group(&self, group: &mut [Record]) -> Result<()> {
+        let value = self.kind.apply(group, self.field_idx)?;
+        for r in group.iter_mut() {
+            r.push(value.clone());
+        }
+        Ok(())
+    }
+}
+
+/// The format operators of Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FormatOp {
+    /// Keep the input format (the default).
+    #[default]
+    Orig,
+    /// Pack runs of equal keys into groups.
+    Pack,
+    /// Flatten packed groups back to records.
+    Unpack,
+}
+
+impl FormatOp {
+    /// Parse the configuration spelling.
+    pub fn parse(s: &str) -> Result<Self> {
+        match s {
+            "orig" => Ok(FormatOp::Orig),
+            "pack" => Ok(FormatOp::Pack),
+            "unpack" => Ok(FormatOp::Unpack),
+            other => Err(CoreError::plan(format!("unknown format operator '{other}'"))),
+        }
+    }
+}
+
+/// Context handed to a custom operator's `run`.
+pub struct CustomJobCtx {
+    /// The workflow operator id of this job.
+    pub id: String,
+    /// Resolved parameter values (after `$` substitution).
+    pub params: HashMap<String, String>,
+    /// Resolved input dataset names.
+    pub inputs: Vec<String>,
+    /// Resolved output dataset name.
+    pub output: String,
+    /// Schema of the input dataset.
+    pub input_schema: Arc<Schema>,
+    /// Reducer count the runner chose for this job.
+    pub num_reducers: usize,
+}
+
+/// A user-defined operator (the paper's Figure 7 extension point).
+///
+/// Implementations typically build a [`papar_mr::MapReduceJob`] and run it,
+/// but map-only local transforms are equally valid (the muBLASTP index
+/// recalculation is one).
+pub trait CustomOperator: Send + Sync {
+    /// Transform the input schema (identity by default; override when the
+    /// operator changes the record layout).
+    fn output_schema(&self, input: &Schema) -> Result<Arc<Schema>> {
+        Ok(Arc::new(input.clone()))
+    }
+
+    /// Execute the job on the cluster.
+    fn run(&self, cluster: &mut Cluster, ctx: &CustomJobCtx) -> Result<JobStats>;
+}
+
+/// Names under which the built-in basic operators are known. Workflow
+/// files in the paper use both capitalizations (`Sort`, `group`).
+pub const BUILTIN_OPERATORS: [&str; 8] = [
+    "Sort",
+    "sort",
+    "Group",
+    "group",
+    "Split",
+    "split",
+    "Distribute",
+    "distribute",
+];
+
+/// Registry of operator implementations available to the planner.
+#[derive(Default)]
+pub struct OperatorRegistry {
+    customs: HashMap<String, Arc<dyn CustomOperator>>,
+    registrations: HashMap<String, OperatorRegistration>,
+}
+
+impl OperatorRegistry {
+    /// A registry with only the built-in operators.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when `name` is one of the built-in basic operators.
+    pub fn is_builtin(name: &str) -> bool {
+        BUILTIN_OPERATORS.contains(&name)
+    }
+
+    /// Register a custom operator under `id`, optionally with its Figure 7
+    /// registration document (used to validate workflow parameters).
+    pub fn register(
+        &mut self,
+        id: &str,
+        op: Arc<dyn CustomOperator>,
+        registration: Option<OperatorRegistration>,
+    ) -> Result<()> {
+        if Self::is_builtin(id) {
+            return Err(CoreError::plan(format!(
+                "cannot shadow built-in operator '{id}'"
+            )));
+        }
+        if self.customs.insert(id.to_string(), op).is_some() {
+            return Err(CoreError::plan(format!(
+                "operator '{id}' registered twice"
+            )));
+        }
+        if let Some(reg) = registration {
+            self.registrations.insert(id.to_string(), reg);
+        }
+        Ok(())
+    }
+
+    /// Look up a custom operator.
+    pub fn custom(&self, id: &str) -> Option<&Arc<dyn CustomOperator>> {
+        self.customs.get(id)
+    }
+
+    /// Look up a registration document.
+    pub fn registration(&self, id: &str) -> Option<&OperatorRegistration> {
+        self.registrations.get(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papar_record::rec;
+
+    fn group() -> Vec<Record> {
+        vec![rec![1, 10], rec![1, 30], rec![1, 20]]
+    }
+
+    #[test]
+    fn addon_parsing() {
+        assert_eq!(AddOnKind::parse("count").unwrap(), AddOnKind::Count);
+        assert_eq!(AddOnKind::parse("mean").unwrap(), AddOnKind::Mean);
+        assert!(AddOnKind::parse("median").is_err());
+    }
+
+    #[test]
+    fn count_counts_group_members() {
+        assert_eq!(
+            AddOnKind::Count.apply(&group(), 0).unwrap(),
+            Value::Long(3)
+        );
+    }
+
+    #[test]
+    fn max_min_mean_sum() {
+        let g = group();
+        assert_eq!(AddOnKind::Max.apply(&g, 1).unwrap(), Value::Int(30));
+        assert_eq!(AddOnKind::Min.apply(&g, 1).unwrap(), Value::Int(10));
+        assert_eq!(AddOnKind::Mean.apply(&g, 1).unwrap(), Value::Double(20.0));
+        assert_eq!(AddOnKind::Sum.apply(&g, 1).unwrap(), Value::Long(60));
+    }
+
+    #[test]
+    fn sum_of_doubles_stays_double() {
+        let g = vec![rec![1.5], rec![2.5]];
+        assert_eq!(AddOnKind::Sum.apply(&g, 0).unwrap(), Value::Double(4.0));
+        assert_eq!(AddOnKind::Mean.apply(&g, 0).unwrap(), Value::Double(2.0));
+    }
+
+    #[test]
+    fn addons_reject_bad_input() {
+        assert!(AddOnKind::Count.apply(&[], 0).is_err());
+        let g = vec![rec!["x"]];
+        assert!(AddOnKind::Mean.apply(&g, 0).is_err());
+        assert!(AddOnKind::Sum.apply(&g, 0).is_err());
+        assert!(AddOnKind::Max.apply(&g, 5).is_err());
+    }
+
+    #[test]
+    fn sum_overflow_is_detected() {
+        let g = vec![rec![i64::MAX], rec![1i64]];
+        assert!(AddOnKind::Sum.apply(&g, 0).is_err());
+    }
+
+    #[test]
+    fn result_types() {
+        assert_eq!(
+            AddOnKind::Count.result_type(FieldType::Str).unwrap(),
+            FieldType::Long
+        );
+        assert_eq!(
+            AddOnKind::Mean.result_type(FieldType::Integer).unwrap(),
+            FieldType::Double
+        );
+        assert_eq!(
+            AddOnKind::Sum.result_type(FieldType::Integer).unwrap(),
+            FieldType::Long
+        );
+        assert_eq!(
+            AddOnKind::Max.result_type(FieldType::Str).unwrap(),
+            FieldType::Str
+        );
+        assert!(AddOnKind::Sum.result_type(FieldType::Str).is_err());
+    }
+
+    #[test]
+    fn bound_addon_appends_to_every_member() {
+        // The paper's worked example: count in-vertex 1's edges -> indegree 4.
+        let mut g = vec![
+            rec!["2", "1"],
+            rec!["3", "1"],
+            rec!["4", "1"],
+            rec!["5", "1"],
+        ];
+        let addon = BoundAddOn {
+            kind: AddOnKind::Count,
+            field_idx: 1,
+            attr: "indegree".into(),
+        };
+        addon.apply_to_group(&mut g).unwrap();
+        for r in &g {
+            assert_eq!(r.arity(), 3);
+            assert_eq!(r.value(2), Some(&Value::Long(4)));
+        }
+    }
+
+    #[test]
+    fn format_op_parsing() {
+        assert_eq!(FormatOp::parse("orig").unwrap(), FormatOp::Orig);
+        assert_eq!(FormatOp::parse("pack").unwrap(), FormatOp::Pack);
+        assert_eq!(FormatOp::parse("unpack").unwrap(), FormatOp::Unpack);
+        assert!(FormatOp::parse("zip").is_err());
+        assert_eq!(FormatOp::default(), FormatOp::Orig);
+    }
+
+    struct Nop;
+    impl CustomOperator for Nop {
+        fn run(&self, _: &mut Cluster, _: &CustomJobCtx) -> Result<JobStats> {
+            Ok(JobStats::default())
+        }
+    }
+
+    #[test]
+    fn registry_accepts_and_guards_customs() {
+        let mut reg = OperatorRegistry::new();
+        reg.register("Recalc", Arc::new(Nop), None).unwrap();
+        assert!(reg.custom("Recalc").is_some());
+        assert!(reg.custom("Other").is_none());
+        // Double registration and builtin shadowing are rejected.
+        assert!(reg.register("Recalc", Arc::new(Nop), None).is_err());
+        assert!(reg.register("Sort", Arc::new(Nop), None).is_err());
+        assert!(OperatorRegistry::is_builtin("Distribute"));
+        assert!(!OperatorRegistry::is_builtin("Recalc"));
+    }
+
+    #[test]
+    fn custom_default_schema_is_identity() {
+        let s = Schema::new(vec![("a", FieldType::Integer)]);
+        let out = Nop.output_schema(&s).unwrap();
+        assert_eq!(&*out, &s);
+    }
+}

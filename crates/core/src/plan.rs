@@ -1,0 +1,817 @@
+//! The workflow planner — the paper's "code generation" step (Section
+//! III-D).
+//!
+//! [`Planner::bind`] takes a parsed [`WorkflowConfig`], the InputData
+//! configurations it references, and the launch-time argument values, and
+//! produces an executable [`WorkflowPlan`]: one [`JobPlan`] per operator
+//! with every `$` reference resolved, every key bound to a field index of
+//! the dataset schema at that point of the pipeline, and every dataset's
+//! representation ([`Format::Flat`] vs [`Format::Packed`]) tracked through
+//! the format operators.
+//!
+//! Distribution policies remain *symbolic* in the plan ([`DistrPolicy`],
+//! not a permutation): the permutation matrix is generated at run time from
+//! `policy` and `numPartitions`, which is exactly the decoupling the paper
+//! stresses ("at the time of code generation, it is not necessary to bind a
+//! distribution policy").
+
+use papar_config::input::{FieldType, InputConfig};
+use papar_config::varref::{self, VarRef};
+use papar_config::workflow::{OperatorDef, WorkflowConfig};
+use papar_record::Schema;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::{CoreError, Result};
+use crate::operator::{AddOnKind, BoundAddOn, FormatOp, OperatorRegistry};
+use crate::policy::{DistrPolicy, SplitPolicy};
+
+/// The representation of a dataset at some point of the pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Flat records (the `orig` representation).
+    Flat,
+    /// Packed `(key, group)` entries.
+    Packed,
+}
+
+/// Schema + representation of a dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatasetMeta {
+    /// Field layout of (member) records.
+    pub schema: Arc<Schema>,
+    /// Flat or packed.
+    pub format: Format,
+    /// For packed datasets, the member field index holding the group key —
+    /// what the wire compressor factors out (paper Section III-D).
+    pub packed_key: Option<usize>,
+}
+
+/// What a planned job does.
+#[derive(Debug, Clone)]
+pub enum JobKind {
+    /// Sort entries by a key field.
+    Sort {
+        /// Key field index in the input schema.
+        key_idx: usize,
+        /// Descending order when true.
+        descending: bool,
+        /// Add-ons applied per key-group in the reduce stage.
+        addons: Vec<BoundAddOn>,
+        /// Format operator applied to the output.
+        output_format: FormatOp,
+    },
+    /// Group entries by a key field.
+    Group {
+        /// Key field index in the input schema.
+        key_idx: usize,
+        /// Add-ons applied per key-group.
+        addons: Vec<BoundAddOn>,
+        /// Format operator applied to the output (`pack` in the hybrid-cut).
+        output_format: FormatOp,
+    },
+    /// Route entries to one of several outputs by a predicate list.
+    Split {
+        /// Key field index (in member records for packed inputs).
+        key_idx: usize,
+        /// The predicate list, one condition per output.
+        policy: SplitPolicy,
+    },
+    /// Distribute entries to `numPartitions` output partitions.
+    Distribute {
+        /// The (still symbolic) distribution policy.
+        policy: DistrPolicy,
+        /// Number of output partitions.
+        num_partitions: usize,
+        /// When this is the workflow's final job, records are projected
+        /// onto the declared output schema (dropping add-on attributes) so
+        /// "the output has the same format of input".
+        final_schema: Option<Arc<Schema>>,
+    },
+    /// A registered user-defined operator.
+    Custom {
+        /// Registry id.
+        op_name: String,
+        /// Resolved parameters.
+        params: HashMap<String, String>,
+    },
+}
+
+/// One planned job.
+#[derive(Debug, Clone)]
+pub struct JobPlan {
+    /// Operator id from the workflow file.
+    pub id: String,
+    /// Input dataset names in deterministic order.
+    pub inputs: Vec<String>,
+    /// Output datasets: `(name, meta)`. Basic operators have one; split has
+    /// one per condition.
+    pub outputs: Vec<(String, DatasetMeta)>,
+    /// Reducer-count override from the configuration.
+    pub num_reducers: Option<usize>,
+    /// Metadata of the (first) input dataset.
+    pub input_meta: DatasetMeta,
+    /// Metadata of every input dataset, parallel to `inputs`.
+    pub input_metas: Vec<DatasetMeta>,
+    /// What to do.
+    pub kind: JobKind,
+}
+
+impl JobPlan {
+    /// The primary output name.
+    pub fn output(&self) -> &str {
+        &self.outputs[0].0
+    }
+}
+
+/// An executable workflow: jobs in launch order plus the resolved
+/// environment.
+pub struct WorkflowPlan {
+    /// Workflow id.
+    pub id: String,
+    /// Jobs in launch order.
+    pub jobs: Vec<JobPlan>,
+    /// Dataset names the workflow consumes but does not produce, with their
+    /// metadata — the external inputs callers must scatter before running.
+    pub external_inputs: Vec<(String, DatasetMeta)>,
+    /// The final job's primary output name.
+    pub output_path: String,
+    /// Resolved argument values.
+    pub args: HashMap<String, String>,
+    /// Operator registry for custom jobs.
+    pub registry: Arc<OperatorRegistry>,
+}
+
+impl std::fmt::Debug for WorkflowPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkflowPlan")
+            .field("id", &self.id)
+            .field("jobs", &self.jobs)
+            .field("external_inputs", &self.external_inputs)
+            .field("output_path", &self.output_path)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Builds [`WorkflowPlan`]s from configuration documents.
+pub struct Planner {
+    workflow: WorkflowConfig,
+    input_configs: HashMap<String, InputConfig>,
+    registry: Arc<OperatorRegistry>,
+}
+
+impl Planner {
+    /// A planner for `workflow` knowing the given InputData configurations,
+    /// with only built-in operators.
+    pub fn new(workflow: WorkflowConfig, input_configs: Vec<InputConfig>) -> Self {
+        Self::with_registry(workflow, input_configs, Arc::new(OperatorRegistry::new()))
+    }
+
+    /// A planner with a custom operator registry.
+    pub fn with_registry(
+        workflow: WorkflowConfig,
+        input_configs: Vec<InputConfig>,
+        registry: Arc<OperatorRegistry>,
+    ) -> Self {
+        Planner {
+            workflow,
+            input_configs: input_configs
+                .into_iter()
+                .map(|c| (c.id.clone(), c))
+                .collect(),
+            registry,
+        }
+    }
+
+    /// Parse both configuration documents and build a planner.
+    pub fn from_xml(workflow_xml: &str, input_xmls: &[&str]) -> Result<Self> {
+        let workflow = WorkflowConfig::parse_str(workflow_xml)?;
+        let inputs = input_xmls
+            .iter()
+            .map(|x| InputConfig::parse_str(x))
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(Self::new(workflow, inputs))
+    }
+
+    /// The parsed workflow (for introspection).
+    pub fn workflow(&self) -> &WorkflowConfig {
+        &self.workflow
+    }
+
+    /// Resolve everything against launch-time argument values and emit the
+    /// plan.
+    pub fn bind(&self, arg_values: &HashMap<String, String>) -> Result<WorkflowPlan> {
+        // 1. Argument values: launch-time overrides beat config defaults.
+        let mut args: HashMap<String, String> = HashMap::new();
+        for a in &self.workflow.arguments {
+            let v = arg_values.get(&a.name).cloned().or_else(|| a.value.clone());
+            match v {
+                Some(v) => {
+                    args.insert(a.name.clone(), v);
+                }
+                None => {
+                    return Err(CoreError::plan(format!(
+                        "argument '{}' has no value (pass it at launch or set a default)",
+                        a.name
+                    )))
+                }
+            }
+        }
+        for k in arg_values.keys() {
+            if !args.contains_key(k) {
+                return Err(CoreError::plan(format!(
+                    "launch argument '{k}' is not declared by workflow '{}'",
+                    self.workflow.id
+                )));
+            }
+        }
+
+        // Map: path value -> InputData config id (from hdfs-typed args).
+        let mut path_formats: HashMap<String, String> = HashMap::new();
+        for a in &self.workflow.arguments {
+            if let Some(fmt) = &a.format {
+                if let Some(v) = args.get(&a.name) {
+                    path_formats.insert(v.clone(), fmt.clone());
+                }
+            }
+        }
+
+        let mut binder = Binder {
+            planner: self,
+            args,
+            path_formats,
+            resolved_params: HashMap::new(),
+            job_attrs: HashMap::new(),
+            datasets: Vec::new(),
+            external_inputs: Vec::new(),
+            jobs: Vec::new(),
+        };
+        for (i, op) in self.workflow.operators.iter().enumerate() {
+            let is_last = i + 1 == self.workflow.operators.len();
+            binder.plan_operator(op, is_last)?;
+        }
+        let output_path = binder
+            .jobs
+            .last()
+            .map(|j| j.output().to_string())
+            .expect("validated: workflow has operators");
+        Ok(WorkflowPlan {
+            id: self.workflow.id.clone(),
+            jobs: binder.jobs,
+            external_inputs: binder.external_inputs,
+            output_path,
+            args: binder.args,
+            registry: self.registry.clone(),
+        })
+    }
+}
+
+/// Per-bind working state.
+struct Binder<'p> {
+    planner: &'p Planner,
+    args: HashMap<String, String>,
+    path_formats: HashMap<String, String>,
+    /// `(job id, param name) -> resolved value` for `$job.param` refs.
+    resolved_params: HashMap<(String, String), String>,
+    /// `job id -> attribute names` its add-ons append, for `$job.$attr`.
+    job_attrs: HashMap<String, Vec<String>>,
+    /// Known datasets in creation order: `(name, meta)`.
+    datasets: Vec<(String, DatasetMeta)>,
+    external_inputs: Vec<(String, DatasetMeta)>,
+    jobs: Vec<JobPlan>,
+}
+
+impl Binder<'_> {
+    /// Substitute every `$` reference in a raw parameter value.
+    fn resolve_value(&self, raw: &str) -> Result<String> {
+        varref::substitute(raw, |r| match r {
+            VarRef::Literal(s) => Ok(s.clone()),
+            VarRef::Arg(name) => self
+                .args
+                .get(name)
+                .cloned()
+                .ok_or_else(|| CoreError::plan(format!("unknown argument '${name}'")).into_config()),
+            VarRef::JobParam { job, param } => {
+                let key = (job.clone(), param.clone());
+                let fuzzy = |p: &str| -> Option<String> {
+                    self.resolved_params.get(&(job.clone(), p.to_string())).cloned()
+                };
+                self.resolved_params
+                    .get(&key)
+                    .cloned()
+                    .or_else(|| {
+                        // Tolerate the paper's ouputPath/outputPath typo in
+                        // either direction.
+                        match param.as_str() {
+                            "outputPath" => fuzzy("ouputPath"),
+                            "ouputPath" => fuzzy("outputPath"),
+                            _ => None,
+                        }
+                    })
+                    .ok_or_else(|| {
+                        CoreError::plan(format!(
+                            "reference '${job}.{param}' does not match any earlier job parameter"
+                        ))
+                        .into_config()
+                    })
+            }
+            VarRef::JobAttr { job, attr } => {
+                let attrs = self.job_attrs.get(job).ok_or_else(|| {
+                    CoreError::plan(format!("reference '${job}.${attr}': no earlier job '{job}'"))
+                        .into_config()
+                })?;
+                if attrs.iter().any(|a| a == attr) {
+                    Ok(attr.clone())
+                } else {
+                    Err(CoreError::plan(format!(
+                        "job '{job}' does not add an attribute '{attr}'"
+                    ))
+                    .into_config())
+                }
+            }
+        })
+        .map_err(CoreError::from)
+    }
+
+    fn resolve_param(&self, op: &OperatorDef, name: &str) -> Result<Option<String>> {
+        match op.param_fuzzy(name) {
+            Some(p) => match &p.value {
+                Some(raw) => Ok(Some(self.resolve_value(raw)?)),
+                None => Ok(None),
+            },
+            None => Ok(None),
+        }
+    }
+
+    fn require_param(&self, op: &OperatorDef, name: &str) -> Result<String> {
+        self.resolve_param(op, name)?.ok_or_else(|| {
+            CoreError::plan(format!(
+                "operator '{}' is missing required param '{name}'",
+                op.id
+            ))
+        })
+    }
+
+    /// Metadata of a dataset name, resolving external inputs from the
+    /// workflow's hdfs-typed arguments on first use.
+    fn dataset_meta(&mut self, name: &str) -> Result<DatasetMeta> {
+        if let Some((_, meta)) = self.datasets.iter().find(|(n, _)| n == name) {
+            return Ok(meta.clone());
+        }
+        // Not produced by an earlier job: must be an external input with a
+        // declared format.
+        let fmt_id = self.path_formats.get(name).ok_or_else(|| {
+            CoreError::plan(format!(
+                "dataset '{name}' is not produced by an earlier job and no \
+                 argument declares its format"
+            ))
+        })?;
+        let cfg = self.planner.input_configs.get(fmt_id).ok_or_else(|| {
+            CoreError::plan(format!(
+                "input format '{fmt_id}' referenced but its InputData configuration \
+                 was not supplied"
+            ))
+        })?;
+        let meta = DatasetMeta {
+            schema: Arc::new(Schema::from_input_config(cfg)),
+            format: Format::Flat,
+            packed_key: None,
+        };
+        self.external_inputs.push((name.to_string(), meta.clone()));
+        self.datasets.push((name.to_string(), meta.clone()));
+        Ok(meta)
+    }
+
+    /// Resolve an input path to dataset names: exact match, else directory
+    /// prefix match over known datasets (creation order), else an external
+    /// input.
+    fn resolve_inputs(&mut self, path: &str) -> Result<Vec<String>> {
+        if self.datasets.iter().any(|(n, _)| n == path) || self.path_formats.contains_key(path) {
+            self.dataset_meta(path)?;
+            return Ok(vec![path.to_string()]);
+        }
+        let matches: Vec<String> = self
+            .datasets
+            .iter()
+            .filter(|(n, _)| n.starts_with(path))
+            .map(|(n, _)| n.clone())
+            .collect();
+        if matches.is_empty() {
+            return Err(CoreError::plan(format!(
+                "input path '{path}' matches no dataset (known: {:?})",
+                self.datasets.iter().map(|(n, _)| n).collect::<Vec<_>>()
+            )));
+        }
+        Ok(matches)
+    }
+
+    /// Metadata of every resolved input, parallel to `inputs`.
+    fn input_metas(&mut self, inputs: &[String]) -> Result<Vec<DatasetMeta>> {
+        inputs.iter().map(|n| self.dataset_meta(n)).collect()
+    }
+
+    fn bind_addons(&self, op: &OperatorDef, schema: &Schema) -> Result<(Vec<BoundAddOn>, Arc<Schema>)> {
+        let mut bound = Vec::new();
+        let mut out_schema = Arc::new(schema.clone());
+        for a in &op.addons {
+            let kind = AddOnKind::parse(&a.operator)?;
+            let field_idx = out_schema
+                .require(&a.key)
+                .map_err(|e| CoreError::plan(e.to_string()))?;
+            let field_ty = out_schema.fields()[field_idx].ty;
+            let attr_ty = kind.result_type(field_ty)?;
+            out_schema = out_schema
+                .with_attr(&a.attr, attr_ty)
+                .map_err(|e| CoreError::plan(e.to_string()))?;
+            bound.push(BoundAddOn {
+                kind,
+                field_idx,
+                attr: a.attr.clone(),
+            });
+        }
+        Ok((bound, out_schema))
+    }
+
+    fn record_job_params(&mut self, op: &OperatorDef) -> Result<()> {
+        for p in &op.params {
+            if let Some(raw) = &p.value {
+                let resolved = self.resolve_value(raw)?;
+                self.resolved_params
+                    .insert((op.id.clone(), p.name.clone()), resolved);
+            }
+        }
+        Ok(())
+    }
+
+    fn num_reducers(&self, op: &OperatorDef) -> Result<Option<usize>> {
+        match &op.num_reducers {
+            None => Ok(None),
+            Some(raw) => {
+                let v = self.resolve_value(raw)?;
+                v.parse::<usize>().map(Some).map_err(|_| {
+                    CoreError::plan(format!(
+                        "operator '{}': num_reducers '{v}' is not a positive integer",
+                        op.id
+                    ))
+                })
+            }
+        }
+    }
+
+    fn plan_operator(&mut self, op: &OperatorDef, is_last: bool) -> Result<()> {
+        self.record_job_params(op)?;
+        let kind_name = op.operator.as_str();
+        match kind_name {
+            "Sort" | "sort" => self.plan_sort(op),
+            "Group" | "group" => self.plan_group(op),
+            "Split" | "split" => self.plan_split(op),
+            "Distribute" | "distribute" => self.plan_distribute(op, is_last),
+            custom => self.plan_custom(op, custom),
+        }
+    }
+
+    fn plan_sort(&mut self, op: &OperatorDef) -> Result<()> {
+        let input_path = self.require_param(op, "inputPath")?;
+        let output_path = self.require_param(op, "outputPath")?;
+        let key_name = self.require_param(op, "key")?;
+        let inputs = self.resolve_inputs(&input_path)?;
+        let input_meta = self.dataset_meta(&inputs[0])?;
+        let key_idx = input_meta
+            .schema
+            .require(&key_name)
+            .map_err(|e| CoreError::plan(e.to_string()))?;
+        let descending = match self.resolve_param(op, "flag")?.as_deref() {
+            // Table I: -1 ascending, 1 descending.
+            None | Some("-1") | Some("asc") | Some("ascending") => false,
+            Some("1") | Some("desc") | Some("descending") => true,
+            Some(other) => {
+                return Err(CoreError::plan(format!(
+                    "operator '{}': unknown sort flag '{other}'",
+                    op.id
+                )))
+            }
+        };
+        let (addons, out_schema) = self.bind_addons(op, &input_meta.schema)?;
+        let output_format = match op.param_fuzzy("outputPath").and_then(|p| p.format.as_deref()) {
+            Some(f) => FormatOp::parse(f)?,
+            None => FormatOp::Orig,
+        };
+        let out_format_repr = apply_format(input_meta.format, output_format);
+        let out_meta = DatasetMeta {
+            schema: out_schema,
+            format: out_format_repr,
+            packed_key: match out_format_repr {
+                Format::Packed => Some(key_idx),
+                Format::Flat => None,
+            },
+        };
+        self.job_attrs
+            .insert(op.id.clone(), addons.iter().map(|a| a.attr.clone()).collect());
+        let input_metas = self.input_metas(&inputs)?;
+        self.push_job(JobPlan {
+            id: op.id.clone(),
+            inputs,
+            outputs: vec![(output_path, out_meta)],
+            num_reducers: self.num_reducers(op)?,
+            input_meta,
+            input_metas,
+            kind: JobKind::Sort {
+                key_idx,
+                descending,
+                addons,
+                output_format,
+            },
+        })
+    }
+
+    fn plan_group(&mut self, op: &OperatorDef) -> Result<()> {
+        let input_path = self.require_param(op, "inputPath")?;
+        let output_path = self.require_param(op, "outputPath")?;
+        let key_name = self.require_param(op, "key")?;
+        let inputs = self.resolve_inputs(&input_path)?;
+        let input_meta = self.dataset_meta(&inputs[0])?;
+        if input_meta.format != Format::Flat {
+            return Err(CoreError::plan(format!(
+                "operator '{}': group expects flat input (apply 'unpack' first)",
+                op.id
+            )));
+        }
+        let key_idx = input_meta
+            .schema
+            .require(&key_name)
+            .map_err(|e| CoreError::plan(e.to_string()))?;
+        let (addons, out_schema) = self.bind_addons(op, &input_meta.schema)?;
+        let output_format = match op.param_fuzzy("outputPath").and_then(|p| p.format.as_deref()) {
+            Some(f) => FormatOp::parse(f)?,
+            None => FormatOp::Orig,
+        };
+        let out_format_repr = apply_format(input_meta.format, output_format);
+        let out_meta = DatasetMeta {
+            schema: out_schema,
+            format: out_format_repr,
+            packed_key: match out_format_repr {
+                Format::Packed => Some(key_idx),
+                Format::Flat => None,
+            },
+        };
+        self.job_attrs
+            .insert(op.id.clone(), addons.iter().map(|a| a.attr.clone()).collect());
+        let input_metas = self.input_metas(&inputs)?;
+        self.push_job(JobPlan {
+            id: op.id.clone(),
+            inputs,
+            outputs: vec![(output_path, out_meta)],
+            num_reducers: self.num_reducers(op)?,
+            input_meta,
+            input_metas,
+            kind: JobKind::Group {
+                key_idx,
+                addons,
+                output_format,
+            },
+        })
+    }
+
+    fn plan_split(&mut self, op: &OperatorDef) -> Result<()> {
+        let input_path = self.require_param(op, "inputPath")?;
+        let key_name = self.require_param(op, "key")?;
+        let policy_expr = self.require_param(op, "policy")?;
+        let list_param = op.req_param("outputPathList")?;
+        let raw_list = list_param
+            .value
+            .as_deref()
+            .ok_or_else(|| CoreError::plan("outputPathList has no value"))?;
+        let resolved_list = self.resolve_value(raw_list)?;
+        let names: Vec<String> = resolved_list
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        let formats: Vec<FormatOp> = match &list_param.format {
+            Some(f) => f
+                .split(',')
+                .map(|s| FormatOp::parse(s.trim()))
+                .collect::<Result<_>>()?,
+            None => vec![FormatOp::Orig; names.len()],
+        };
+        if formats.len() != names.len() {
+            return Err(CoreError::plan(format!(
+                "operator '{}': {} outputs but {} formats",
+                op.id,
+                names.len(),
+                formats.len()
+            )));
+        }
+        let policy = SplitPolicy::parse(&policy_expr)?;
+        if policy.arity() != names.len() {
+            return Err(CoreError::plan(format!(
+                "operator '{}': {} split conditions for {} outputs",
+                op.id,
+                policy.arity(),
+                names.len()
+            )));
+        }
+        let inputs = self.resolve_inputs(&input_path)?;
+        let input_meta = self.dataset_meta(&inputs[0])?;
+        let key_idx = input_meta
+            .schema
+            .require(&key_name)
+            .map_err(|e| CoreError::plan(e.to_string()))?;
+        let outputs: Vec<(String, DatasetMeta)> = names
+            .into_iter()
+            .zip(&formats)
+            .map(|(name, &f)| {
+                let fmt = apply_format(input_meta.format, f);
+                (
+                    name,
+                    DatasetMeta {
+                        schema: input_meta.schema.clone(),
+                        format: fmt,
+                        packed_key: match fmt {
+                            Format::Packed => input_meta.packed_key,
+                            Format::Flat => None,
+                        },
+                    },
+                )
+            })
+            .collect();
+        let input_metas = self.input_metas(&inputs)?;
+        self.push_job(JobPlan {
+            id: op.id.clone(),
+            inputs,
+            outputs,
+            num_reducers: self.num_reducers(op)?,
+            input_meta,
+            input_metas,
+            kind: JobKind::Split { key_idx, policy },
+        })
+    }
+
+    fn plan_distribute(&mut self, op: &OperatorDef, is_last: bool) -> Result<()> {
+        let input_path = self.require_param(op, "inputPath")?;
+        let output_path = self.require_param(op, "outputPath")?;
+        let policy_s = self
+            .resolve_param(op, "distrPolicy")?
+            .or(self.resolve_param(op, "policy")?)
+            .ok_or_else(|| {
+                CoreError::plan(format!(
+                    "operator '{}' needs a 'policy' or 'distrPolicy' param",
+                    op.id
+                ))
+            })?;
+        let policy = DistrPolicy::parse(&policy_s)?;
+        let parts_s = self.require_param(op, "numPartitions")?;
+        let num_partitions: usize = parts_s.parse().map_err(|_| {
+            CoreError::plan(format!(
+                "operator '{}': numPartitions '{parts_s}' is not a positive integer",
+                op.id
+            ))
+        })?;
+        if num_partitions == 0 {
+            return Err(CoreError::plan(format!(
+                "operator '{}': numPartitions must be positive",
+                op.id
+            )));
+        }
+        let inputs = self.resolve_inputs(&input_path)?;
+        let input_meta = self.dataset_meta(&inputs[0])?;
+        // Final jobs project onto the declared output format so add-on
+        // attributes disappear from the written partitions.
+        let final_schema = if is_last {
+            match self.path_formats.get(&output_path) {
+                Some(fmt_id) => {
+                    let cfg = self.planner.input_configs.get(fmt_id).ok_or_else(|| {
+                        CoreError::plan(format!(
+                            "output format '{fmt_id}' has no InputData configuration"
+                        ))
+                    })?;
+                    Some(Arc::new(Schema::from_input_config(cfg)))
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+        let out_schema = final_schema
+            .clone()
+            .unwrap_or_else(|| input_meta.schema.clone());
+        let out_format = if is_last { Format::Flat } else { input_meta.format };
+        let input_metas = self.input_metas(&inputs)?;
+        self.push_job(JobPlan {
+            id: op.id.clone(),
+            inputs,
+            outputs: vec![(
+                output_path,
+                DatasetMeta {
+                    schema: out_schema,
+                    format: out_format,
+                    packed_key: match out_format {
+                        Format::Packed => input_meta.packed_key,
+                        Format::Flat => None,
+                    },
+                },
+            )],
+            num_reducers: self.num_reducers(op)?,
+            input_meta,
+            input_metas,
+            kind: JobKind::Distribute {
+                policy,
+                num_partitions,
+                final_schema,
+            },
+        })
+    }
+
+    fn plan_custom(&mut self, op: &OperatorDef, name: &str) -> Result<()> {
+        let custom = self
+            .planner
+            .registry
+            .custom(name)
+            .ok_or_else(|| {
+                CoreError::plan(format!(
+                    "operator '{}' uses unregistered operator '{name}'",
+                    op.id
+                ))
+            })?
+            .clone();
+        // Validate against the registration document when one was supplied.
+        if let Some(reg) = self.planner.registry.registration(name) {
+            for arg in &reg.arguments {
+                if arg.default.is_none() && op.param_fuzzy(&arg.name).is_none() {
+                    return Err(CoreError::plan(format!(
+                        "operator '{}': registered operator '{name}' requires param '{}'",
+                        op.id, arg.name
+                    )));
+                }
+            }
+        }
+        let input_path = self.require_param(op, "inputPath")?;
+        let output_path = self.require_param(op, "outputPath")?;
+        let inputs = self.resolve_inputs(&input_path)?;
+        let input_meta = self.dataset_meta(&inputs[0])?;
+        let out_schema = custom
+            .output_schema(&input_meta.schema)
+            .map_err(|e| CoreError::plan(e.to_string()))?;
+        let mut params = HashMap::new();
+        for p in &op.params {
+            if let Some(raw) = &p.value {
+                params.insert(p.name.clone(), self.resolve_value(raw)?);
+            }
+        }
+        let input_metas = self.input_metas(&inputs)?;
+        self.push_job(JobPlan {
+            id: op.id.clone(),
+            inputs,
+            outputs: vec![(
+                output_path,
+                DatasetMeta {
+                    schema: out_schema,
+                    format: input_meta.format,
+                    packed_key: input_meta.packed_key,
+                },
+            )],
+            num_reducers: self.num_reducers(op)?,
+            input_meta,
+            input_metas,
+            kind: JobKind::Custom {
+                op_name: name.to_string(),
+                params,
+            },
+        })
+    }
+
+    fn push_job(&mut self, job: JobPlan) -> Result<()> {
+        for (name, meta) in &job.outputs {
+            if self.datasets.iter().any(|(n, _)| n == name) {
+                return Err(CoreError::plan(format!(
+                    "job '{}' writes dataset '{name}', which already exists",
+                    job.id
+                )));
+            }
+            self.datasets.push((name.clone(), meta.clone()));
+        }
+        self.jobs.push(job);
+        Ok(())
+    }
+}
+
+/// Apply a format operator to a representation.
+fn apply_format(input: Format, op: FormatOp) -> Format {
+    match op {
+        FormatOp::Orig => input,
+        FormatOp::Pack => Format::Packed,
+        FormatOp::Unpack => Format::Flat,
+    }
+}
+
+impl CoreError {
+    /// Adapter: `varref::substitute` wants `ConfigError`s from its lookup.
+    fn into_config(self) -> papar_config::ConfigError {
+        papar_config::ConfigError::Schema(self.to_string())
+    }
+}
+
+/// Schema fields commonly needed by tests and examples.
+pub fn field(name: &str, ty: FieldType) -> (String, FieldType) {
+    (name.to_string(), ty)
+}

@@ -1,0 +1,662 @@
+//! End-to-end tests: the paper's two workflow configurations planned and
+//! executed on the simulated cluster, checked against the worked examples
+//! in Figures 9 and 11.
+
+use papar_core::exec::{ExecOptions, SamplingMode, WorkflowRunner};
+use papar_core::plan::{Format, JobKind, Planner};
+use papar_mr::Cluster;
+use papar_record::batch::{Batch, Dataset};
+use papar_record::{rec, Record, Value};
+use std::collections::HashMap;
+
+const BLAST_INPUT_CFG: &str = r#"
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+/// Paper Figure 8 (with the original `ouputPath` typo preserved).
+const BLAST_WORKFLOW: &str = r#"
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="num_reducers" type="integer" value="3"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="$num_reducers">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="ouputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.ouputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+const EDGE_INPUT_CFG: &str = r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+/// Paper Figure 10 (input path reference normalized to the group job).
+const HYBRID_WORKFLOW: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+/// The 12 index entries of Figure 9's input column.
+fn figure9_input() -> Vec<Record> {
+    vec![
+        rec![0, 94, 0, 74],
+        rec![94, 192, 74, 89],
+        rec![286, 99, 163, 109],
+        rec![385, 91, 272, 107],
+        rec![476, 90, 379, 111],
+        rec![566, 51, 490, 120],
+        rec![617, 72, 610, 118],
+        rec![689, 94, 728, 71],
+        rec![783, 64, 799, 91],
+        rec![847, 99, 890, 113],
+        rec![946, 95, 1003, 104],
+        rec![1041, 79, 1107, 76],
+    ]
+}
+
+fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[test]
+fn blast_plan_structure_matches_figure8() {
+    let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_path", "/data/env_nr"),
+            ("output_path", "/data/parts"),
+            ("num_partitions", "3"),
+        ]))
+        .unwrap();
+    assert_eq!(plan.jobs.len(), 2);
+    assert_eq!(plan.jobs[0].id, "sort");
+    assert_eq!(plan.jobs[0].inputs, vec!["/data/env_nr"]);
+    assert_eq!(plan.jobs[0].output(), "/user/sort_output");
+    assert_eq!(plan.jobs[0].num_reducers, Some(3));
+    match &plan.jobs[0].kind {
+        JobKind::Sort { key_idx, descending, .. } => {
+            assert_eq!(*key_idx, 1); // seq_size
+            assert!(!descending);
+        }
+        other => panic!("expected sort, got {other:?}"),
+    }
+    assert_eq!(plan.jobs[1].id, "distr");
+    // `$sort.ouputPath` resolves through the figure's typo.
+    assert_eq!(plan.jobs[1].inputs, vec!["/user/sort_output"]);
+    assert_eq!(plan.output_path, "/data/parts");
+    assert_eq!(plan.external_inputs.len(), 1);
+    assert_eq!(plan.external_inputs[0].0, "/data/env_nr");
+}
+
+#[test]
+fn blast_workflow_reproduces_figure9_partitions() {
+    let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_path", "/data/env_nr"),
+            ("output_path", "/data/parts"),
+            ("num_partitions", "3"),
+        ]))
+        .unwrap();
+    let runner = WorkflowRunner::new(plan);
+    let mut cluster = Cluster::new(3);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/data/env_nr",
+            Dataset::new(schema, Batch::Flat(figure9_input())),
+        )
+        .unwrap();
+    let report = runner.run(&mut cluster).unwrap();
+    assert_eq!(report.jobs.len(), 2);
+
+    let parts = cluster.collect("/data/parts").unwrap();
+    assert_eq!(parts.len(), 3);
+    let as_tuples = |d: &Dataset| -> Vec<String> {
+        d.batch
+            .clone()
+            .flatten()
+            .iter()
+            .map(Record::display_tuple)
+            .collect()
+    };
+    // The exact partitions of Figure 9, steps (4)-(5).
+    assert_eq!(
+        as_tuples(&parts[0]),
+        vec![
+            "{566, 51, 490, 120}",
+            "{1041, 79, 1107, 76}",
+            "{0, 94, 0, 74}",
+            "{286, 99, 163, 109}",
+        ]
+    );
+    assert_eq!(
+        as_tuples(&parts[1]),
+        vec![
+            "{783, 64, 799, 91}",
+            "{476, 90, 379, 111}",
+            "{689, 94, 728, 71}",
+            "{847, 99, 890, 113}",
+        ]
+    );
+    assert_eq!(
+        as_tuples(&parts[2]),
+        vec![
+            "{617, 72, 610, 118}",
+            "{385, 91, 272, 107}",
+            "{946, 95, 1003, 104}",
+            "{94, 192, 74, 89}",
+        ]
+    );
+}
+
+#[test]
+fn blast_partitions_are_node_count_invariant() {
+    let run = |nodes: usize| -> Vec<Vec<String>> {
+        let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+        let plan = planner
+            .bind(&args(&[
+                ("input_path", "/data/env_nr"),
+                ("output_path", "/data/parts"),
+                ("num_partitions", "3"),
+            ]))
+            .unwrap();
+        let runner = WorkflowRunner::new(plan);
+        let mut cluster = Cluster::new(nodes);
+        let schema = runner.plan().external_inputs[0].1.schema.clone();
+        runner
+            .scatter_input(
+                &mut cluster,
+                "/data/env_nr",
+                Dataset::new(schema, Batch::Flat(figure9_input())),
+            )
+            .unwrap();
+        runner.run(&mut cluster).unwrap();
+        cluster
+            .collect("/data/parts")
+            .unwrap()
+            .iter()
+            .map(|d| {
+                d.batch
+                    .clone()
+                    .flatten()
+                    .iter()
+                    .map(Record::display_tuple)
+                    .collect()
+            })
+            .collect()
+    };
+    let a = run(1);
+    for nodes in [2, 4, 7] {
+        assert_eq!(a, run(nodes), "partitions changed at {nodes} nodes");
+    }
+}
+
+/// Figure 11's example graph: vertex "1" has indegree 4 (high-degree at
+/// threshold 4), everything else is low-degree.
+fn figure11_edges() -> Vec<Record> {
+    vec![
+        rec!["2", "1"],
+        rec!["3", "1"],
+        rec!["4", "1"],
+        rec!["5", "1"],
+        rec!["1", "2"],
+        rec!["3", "2"],
+        rec!["1", "3"],
+        rec!["2", "4"],
+    ]
+}
+
+fn hybrid_runner(num_partitions: &str, threshold: &str) -> WorkflowRunner {
+    let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_file", "/data/edges"),
+            ("output_path", "/data/parts"),
+            ("num_partitions", num_partitions),
+            ("threshold", threshold),
+        ]))
+        .unwrap();
+    WorkflowRunner::new(plan)
+}
+
+#[test]
+fn hybrid_plan_structure_matches_figure10() {
+    let runner = hybrid_runner("3", "4");
+    let plan = runner.plan();
+    assert_eq!(plan.jobs.len(), 3);
+
+    // Group: packs by vertex_b, adds indegree.
+    match &plan.jobs[0].kind {
+        JobKind::Group { key_idx, addons, .. } => {
+            assert_eq!(*key_idx, 1);
+            assert_eq!(addons.len(), 1);
+            assert_eq!(addons[0].attr, "indegree");
+        }
+        other => panic!("expected group, got {other:?}"),
+    }
+    assert_eq!(plan.jobs[0].outputs[0].1.format, Format::Packed);
+    // The group output schema gained the indegree attribute.
+    assert_eq!(plan.jobs[0].outputs[0].1.schema.len(), 3);
+
+    // Split: keyed by the group job's added attribute, two outputs with
+    // formats unpack (flat) and orig (packed).
+    match &plan.jobs[1].kind {
+        JobKind::Split { key_idx, policy } => {
+            assert_eq!(*key_idx, 2); // indegree
+            assert_eq!(policy.arity(), 2);
+        }
+        other => panic!("expected split, got {other:?}"),
+    }
+    assert_eq!(plan.jobs[1].outputs[0].0, "/tmp/split/high_degree");
+    assert_eq!(plan.jobs[1].outputs[0].1.format, Format::Flat);
+    assert_eq!(plan.jobs[1].outputs[1].0, "/tmp/split/low_degree");
+    assert_eq!(plan.jobs[1].outputs[1].1.format, Format::Packed);
+
+    // Distribute: the directory input matched both split outputs.
+    assert_eq!(
+        plan.jobs[2].inputs,
+        vec!["/tmp/split/high_degree", "/tmp/split/low_degree"]
+    );
+    match &plan.jobs[2].kind {
+        JobKind::Distribute { final_schema, .. } => {
+            // Final job projects back onto the 2-field edge format.
+            assert_eq!(final_schema.as_ref().unwrap().len(), 2);
+        }
+        other => panic!("expected distribute, got {other:?}"),
+    }
+}
+
+#[test]
+fn hybrid_workflow_partitions_cover_all_edges_once() {
+    let runner = hybrid_runner("3", "4");
+    let mut cluster = Cluster::new(3);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/data/edges",
+            Dataset::new(schema, Batch::Flat(figure11_edges())),
+        )
+        .unwrap();
+    runner.run(&mut cluster).unwrap();
+
+    let parts = cluster.collect("/data/parts").unwrap();
+    assert_eq!(parts.len(), 3);
+    let mut all: Vec<Record> = Vec::new();
+    for p in &parts {
+        // Output format is the 2-field edge format (indegree projected out).
+        for r in p.batch.clone().flatten() {
+            assert_eq!(r.arity(), 2);
+            all.push(r);
+        }
+    }
+    let mut expect = figure11_edges();
+    expect.sort();
+    all.sort();
+    assert_eq!(all, expect, "every edge appears in exactly one partition");
+}
+
+#[test]
+fn hybrid_low_degree_vertices_stay_together_high_degree_spread() {
+    let runner = hybrid_runner("3", "4");
+    let mut cluster = Cluster::new(2);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/data/edges",
+            Dataset::new(schema, Batch::Flat(figure11_edges())),
+        )
+        .unwrap();
+    runner.run(&mut cluster).unwrap();
+    let parts = cluster.collect("/data/parts").unwrap();
+
+    // For each low-degree in-vertex (2, 3, 4), all its in-edges must land
+    // in a single partition (the hybrid-cut's low-cut rule).
+    for v in ["2", "3", "4"] {
+        let holders = parts
+            .iter()
+            .filter(|p| {
+                p.batch
+                    .clone()
+                    .flatten()
+                    .iter()
+                    .any(|r| r.value(1).unwrap().as_str() == Some(v))
+            })
+            .count();
+        assert_eq!(holders, 1, "low-degree vertex {v} split across partitions");
+    }
+    // The high-degree vertex "1" has 4 in-edges from sources 2..5; with 3
+    // partitions and hash routing by source they must span >1 partition.
+    let holders_of_1 = parts
+        .iter()
+        .filter(|p| {
+            p.batch
+                .clone()
+                .flatten()
+                .iter()
+                .any(|r| r.value(1).unwrap().as_str() == Some("1"))
+        })
+        .count();
+    assert!(
+        holders_of_1 > 1,
+        "high-degree vertex should spread across partitions"
+    );
+}
+
+#[test]
+fn intermediate_datasets_have_expected_shapes() {
+    let runner = hybrid_runner("2", "4");
+    let mut cluster = Cluster::new(2);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/data/edges",
+            Dataset::new(schema, Batch::Flat(figure11_edges())),
+        )
+        .unwrap();
+    runner.run(&mut cluster).unwrap();
+
+    // Group output: packed, every member annotated with its indegree.
+    let grouped = cluster.collect_concat("/tmp/group").unwrap();
+    for g in grouped.batch.as_packed().unwrap() {
+        let expected = Value::Long(g.records.len() as i64);
+        for r in &g.records {
+            assert_eq!(r.value(2), Some(&expected), "indegree annotation");
+            assert_eq!(r.value(1), Some(&g.key));
+        }
+    }
+    // Split outputs: high-degree flat (indegree >= 4), low-degree packed.
+    let high = cluster.collect_concat("/tmp/split/high_degree").unwrap();
+    for r in high.batch.as_flat().unwrap() {
+        assert!(r.value(2).unwrap().as_i64().unwrap() >= 4);
+        assert_eq!(r.value(1).unwrap().as_str(), Some("1"));
+    }
+    let low = cluster.collect_concat("/tmp/split/low_degree").unwrap();
+    for g in low.batch.as_packed().unwrap() {
+        assert!(g.records[0].value(2).unwrap().as_i64().unwrap() < 4);
+    }
+}
+
+#[test]
+fn unbound_and_extraneous_arguments_are_rejected() {
+    let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+    // num_partitions missing.
+    let e = planner
+        .bind(&args(&[
+            ("input_path", "/a"),
+            ("output_path", "/b"),
+        ]))
+        .unwrap_err();
+    assert!(e.to_string().contains("num_partitions"), "{e}");
+    // Unknown launch argument.
+    let e2 = planner
+        .bind(&args(&[
+            ("input_path", "/a"),
+            ("output_path", "/b"),
+            ("num_partitions", "2"),
+            ("bogus", "1"),
+        ]))
+        .unwrap_err();
+    assert!(e2.to_string().contains("bogus"), "{e2}");
+}
+
+#[test]
+fn missing_input_config_is_reported_at_bind_time() {
+    let planner = Planner::from_xml(BLAST_WORKFLOW, &[]).unwrap();
+    let e = planner
+        .bind(&args(&[
+            ("input_path", "/a"),
+            ("output_path", "/b"),
+            ("num_partitions", "2"),
+        ]))
+        .unwrap_err();
+    assert!(e.to_string().contains("blast_db"), "{e}");
+}
+
+#[test]
+fn bad_key_and_bad_policy_are_rejected() {
+    let wf = BLAST_WORKFLOW.replace("seq_size", "no_such_field");
+    let planner = Planner::from_xml(&wf, &[BLAST_INPUT_CFG]).unwrap();
+    assert!(planner
+        .bind(&args(&[
+            ("input_path", "/a"),
+            ("output_path", "/b"),
+            ("num_partitions", "2"),
+        ]))
+        .is_err());
+
+    let wf2 = BLAST_WORKFLOW.replace("roundRobin", "teleport");
+    let planner2 = Planner::from_xml(&wf2, &[BLAST_INPUT_CFG]).unwrap();
+    assert!(planner2
+        .bind(&args(&[
+            ("input_path", "/a"),
+            ("output_path", "/b"),
+            ("num_partitions", "2"),
+        ]))
+        .is_err());
+}
+
+#[test]
+fn compression_option_reduces_shuffle_bytes_in_hybrid_cut() {
+    let run = |compress: bool| -> u64 {
+        // A bigger graph so packed traffic dominates: 40 in-vertices with
+        // 8 in-edges each, threshold high enough that all stay packed.
+        let mut edges = Vec::new();
+        for v in 0..40 {
+            for s in 0..8 {
+                edges.push(rec![format!("s{s}"), format!("v{v}")]);
+            }
+        }
+        let runner = {
+            let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
+            let plan = planner
+                .bind(&args(&[
+                    ("input_file", "/data/edges"),
+                    ("output_path", "/data/parts"),
+                    // Three partitions on four nodes: partition p lives on
+                    // node p, while the group job hash-placed groups mod 4,
+                    // so the distribute shuffle actually crosses nodes.
+                    ("num_partitions", "3"),
+                    ("threshold", "100"),
+                ]))
+                .unwrap();
+            WorkflowRunner::with_options(
+                plan,
+                ExecOptions {
+                    compression: compress,
+                    ..ExecOptions::default()
+                },
+            )
+        };
+        let mut cluster = Cluster::new(4);
+        let schema = runner.plan().external_inputs[0].1.schema.clone();
+        runner
+            .scatter_input(
+                &mut cluster,
+                "/data/edges",
+                Dataset::new(schema, Batch::Flat(edges)),
+            )
+            .unwrap();
+        let report = runner.run(&mut cluster).unwrap();
+        report.total_shuffled_bytes()
+    };
+    let plain = run(false);
+    let compressed = run(true);
+    assert!(
+        compressed < plain,
+        "compression should shrink the hybrid-cut shuffle: {compressed} >= {plain}"
+    );
+}
+
+#[test]
+fn compressed_run_produces_identical_partitions() {
+    let collect = |compress: bool| -> Vec<Vec<String>> {
+        let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
+        let plan = planner
+            .bind(&args(&[
+                ("input_file", "/data/edges"),
+                ("output_path", "/data/parts"),
+                ("num_partitions", "3"),
+                ("threshold", "4"),
+            ]))
+            .unwrap();
+        let runner = WorkflowRunner::with_options(
+            plan,
+            ExecOptions {
+                compression: compress,
+                ..ExecOptions::default()
+            },
+        );
+        let mut cluster = Cluster::new(3);
+        let schema = runner.plan().external_inputs[0].1.schema.clone();
+        runner
+            .scatter_input(
+                &mut cluster,
+                "/data/edges",
+                Dataset::new(schema, Batch::Flat(figure11_edges())),
+            )
+            .unwrap();
+        runner.run(&mut cluster).unwrap();
+        cluster
+            .collect("/data/parts")
+            .unwrap()
+            .iter()
+            .map(|d| {
+                d.batch
+                    .clone()
+                    .flatten()
+                    .iter()
+                    .map(Record::display_tuple)
+                    .collect()
+            })
+            .collect()
+    };
+    assert_eq!(collect(false), collect(true));
+}
+
+#[test]
+fn sampling_modes_affect_balance_not_content() {
+    // 2000 heavily skewed keys: sampling from the first fragment only
+    // mis-places the boundaries; distributed sampling balances reducers.
+    let mut records = Vec::new();
+    for i in 0..2000 {
+        // First half small keys, second half large: a naive first-fragment
+        // sample sees only small keys.
+        let key = if i < 1000 { i % 10 } else { 1000 + i };
+        records.push(rec![0, key, 0, 0]);
+    }
+    let run = |mode: SamplingMode| -> (Vec<String>, usize) {
+        let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+        let plan = planner
+            .bind(&args(&[
+                ("input_path", "/in"),
+                ("output_path", "/out"),
+                ("num_partitions", "4"),
+            ]))
+            .unwrap();
+        let runner = WorkflowRunner::with_options(
+            plan,
+            ExecOptions {
+                sampling: mode,
+                ..ExecOptions::default()
+            },
+        );
+        let mut cluster = Cluster::new(4);
+        let schema = runner.plan().external_inputs[0].1.schema.clone();
+        runner
+            .scatter_input(
+                &mut cluster,
+                "/in",
+                Dataset::new(schema, Batch::Flat(records.clone())),
+            )
+            .unwrap();
+        runner.run(&mut cluster).unwrap();
+        // Sorted intermediate: fragment sizes show reducer balance.
+        let frag_sizes: Vec<usize> = cluster
+            .collect("/user/sort_output")
+            .unwrap()
+            .iter()
+            .map(|d| d.batch.record_count())
+            .collect();
+        let imbalance = *frag_sizes.iter().max().unwrap();
+        let content: Vec<String> = cluster
+            .collect_concat("/user/sort_output")
+            .unwrap()
+            .batch
+            .flatten()
+            .iter()
+            .map(Record::display_tuple)
+            .collect();
+        (content, imbalance)
+    };
+    // sort key is seq_start here? No: the workflow sorts by seq_size, field
+    // 1 — put the skewed key there instead.
+    let _ = &records;
+    let (good_content, good_max) = run(SamplingMode::Distributed);
+    let (naive_content, naive_max) = run(SamplingMode::FirstFragmentOnly);
+    assert_eq!(good_content, naive_content, "content must not change");
+    assert!(
+        good_max < naive_max,
+        "distributed sampling should balance reducers: {good_max} !< {naive_max}"
+    );
+}

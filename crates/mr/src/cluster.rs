@@ -1,0 +1,321 @@
+//! The simulated cluster: nodes, dataset placement, and the all-to-all
+//! exchange primitive.
+
+use papar_record::batch::{Batch, Dataset};
+use papar_record::Schema;
+use std::sync::Arc;
+
+use crate::stats::{ExchangeStats, NetModel};
+use crate::store::DataStore;
+use crate::{MrError, Result};
+
+/// `N` simulated compute nodes with private storage and a modeled
+/// interconnect.
+///
+/// Node tasks execute sequentially under a virtual clock (see the crate
+/// docs); the cluster's job is data placement, the exchange primitive, and
+/// accounting.
+pub struct Cluster {
+    nodes: Vec<DataStore>,
+    net: NetModel,
+}
+
+impl Cluster {
+    /// A cluster of `num_nodes` nodes with the default (InfiniBand) network
+    /// model.
+    pub fn new(num_nodes: usize) -> Self {
+        Self::with_net(num_nodes, NetModel::default())
+    }
+
+    /// A cluster with an explicit network model.
+    pub fn with_net(num_nodes: usize, net: NetModel) -> Self {
+        assert!(num_nodes > 0, "a cluster needs at least one node");
+        Cluster {
+            nodes: (0..num_nodes).map(|_| DataStore::new()).collect(),
+            net,
+        }
+    }
+
+    /// Number of simulated nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The interconnect model.
+    pub fn net(&self) -> &NetModel {
+        &self.net
+    }
+
+    /// Immutable view of one node's store.
+    pub fn node(&self, id: usize) -> &DataStore {
+        &self.nodes[id]
+    }
+
+    /// Mutable view of one node's store.
+    pub fn node_mut(&mut self, id: usize) -> &mut DataStore {
+        &mut self.nodes[id]
+    }
+
+    /// Split a dataset into contiguous blocks, one per node — how an input
+    /// file's splits land on the mappers (`InputFormat.getSplits`).
+    ///
+    /// Flat batches split by records, packed batches by groups. Fragment
+    /// ordinals record the block order so `collect` restores input order.
+    pub fn scatter(&mut self, name: &str, dataset: Dataset) -> Result<()> {
+        let n = self.num_nodes();
+        let schema = dataset.schema.clone();
+        match dataset.batch {
+            Batch::Flat(records) => {
+                for (i, chunk) in split_evenly(records, n).into_iter().enumerate() {
+                    self.nodes[i].put(name, i as u32, Dataset::new(schema.clone(), Batch::Flat(chunk)));
+                }
+            }
+            Batch::Packed(groups) => {
+                for (i, chunk) in split_evenly(groups, n).into_iter().enumerate() {
+                    self.nodes[i].put(
+                        name,
+                        i as u32,
+                        Dataset::new(schema.clone(), Batch::Packed(chunk)),
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Place explicit fragments: `fragments[i]` goes to node `i % N` with
+    /// ordinal `i` (how a previous job's reducer outputs are already laid
+    /// out, or how pre-partitioned data is loaded).
+    pub fn scatter_fragments(&mut self, name: &str, fragments: Vec<Dataset>) {
+        let n = self.num_nodes();
+        for (i, frag) in fragments.into_iter().enumerate() {
+            self.nodes[i % n].put(name, i as u32, frag);
+        }
+    }
+
+    /// Gather every fragment of a dataset across all nodes, in global
+    /// ordinal order. For a job output this is reducer order — i.e. the
+    /// output partitions in partition order.
+    pub fn collect(&self, name: &str) -> Result<Vec<Dataset>> {
+        let mut frags: Vec<(u32, Dataset)> = Vec::new();
+        let mut found = false;
+        for node in &self.nodes {
+            if let Some(local) = node.get(name) {
+                found = true;
+                for f in local {
+                    frags.push((f.ordinal, (*f.data).clone()));
+                }
+            }
+        }
+        if !found {
+            return Err(MrError(format!("dataset '{name}' not found on any node")));
+        }
+        frags.sort_by_key(|(ord, _)| *ord);
+        Ok(frags.into_iter().map(|(_, d)| d).collect())
+    }
+
+    /// Gather and concatenate a dataset into one flat-ordered `Dataset`.
+    pub fn collect_concat(&self, name: &str) -> Result<Dataset> {
+        let frags = self.collect(name)?;
+        let schema: Arc<Schema> = frags
+            .first()
+            .map(|d| d.schema.clone())
+            .ok_or_else(|| MrError(format!("dataset '{name}' has no fragments")))?;
+        // Preserve the format: concatenating packed fragments keeps groups.
+        let all_packed = frags
+            .iter()
+            .all(|d| matches!(d.batch, Batch::Packed(_)));
+        if all_packed {
+            let mut groups = Vec::new();
+            for f in frags {
+                groups.extend(f.batch.into_packed().map_err(MrError::from_codec)?);
+            }
+            Ok(Dataset::new(schema, Batch::Packed(groups)))
+        } else {
+            let mut records = Vec::new();
+            for f in frags {
+                records.extend(f.batch.flatten());
+            }
+            Ok(Dataset::new(schema, Batch::Flat(records)))
+        }
+    }
+
+    /// Drop a dataset everywhere; returns how many nodes held it.
+    pub fn drop_dataset(&mut self, name: &str) -> usize {
+        self.nodes.iter_mut().map(|n| n.remove(name)).filter(|&r| r).count()
+    }
+
+    /// All-to-all exchange of byte buffers: `outboxes[from][to]` is the
+    /// buffer node `from` sends to node `to`. Returns the inboxes (for each
+    /// receiver, the `(sender, buffer)` list in sender order) plus the
+    /// exchange accounting. Self-sends are delivered but cost nothing, like
+    /// MR-MPI's in-memory rank-local aggregation.
+    pub fn exchange(&self, outboxes: Vec<Vec<Vec<u8>>>) -> Result<(Inboxes, ExchangeStats)> {
+        let n = self.num_nodes();
+        if outboxes.len() != n || outboxes.iter().any(|row| row.len() != n) {
+            return Err(MrError(format!(
+                "exchange wants an {n}x{n} outbox matrix, got {}x{:?}",
+                outboxes.len(),
+                outboxes.first().map(Vec::len)
+            )));
+        }
+        let mut stats = ExchangeStats {
+            sent_by_node: vec![0; n],
+            recv_by_node: vec![0; n],
+            ..Default::default()
+        };
+        let mut inboxes: Vec<Vec<(usize, Vec<u8>)>> = (0..n).map(|_| Vec::new()).collect();
+        for (from, row) in outboxes.into_iter().enumerate() {
+            for (to, buf) in row.into_iter().enumerate() {
+                if from != to && !buf.is_empty() {
+                    stats.remote_bytes += buf.len() as u64;
+                    stats.remote_messages += 1;
+                    stats.sent_by_node[from] += buf.len() as u64;
+                    stats.recv_by_node[to] += buf.len() as u64;
+                }
+                if !buf.is_empty() {
+                    inboxes[to].push((from, buf));
+                }
+            }
+        }
+        Ok((inboxes, stats))
+    }
+}
+
+/// Per-receiver `(sender, buffer)` lists produced by [`Cluster::exchange`].
+pub type Inboxes = Vec<Vec<(usize, Vec<u8>)>>;
+
+impl MrError {
+    fn from_codec(e: papar_record::CodecError) -> Self {
+        MrError(e.to_string())
+    }
+}
+
+/// Split a vector into `n` contiguous chunks of near-equal length (the
+/// earlier chunks take the remainder, like HDFS block assignment).
+pub fn split_evenly<T>(mut items: Vec<T>, n: usize) -> Vec<Vec<T>> {
+    let n = n.max(1);
+    let len = items.len();
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    // Take chunks from the back to avoid repeated shifting, then reverse.
+    let mut sizes: Vec<usize> = (0..n).map(|i| base + usize::from(i < extra)).collect();
+    sizes.reverse();
+    for sz in sizes {
+        let tail = items.split_off(items.len() - sz);
+        out.push(tail);
+    }
+    out.reverse();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papar_config::input::FieldType;
+    use papar_record::rec;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(Schema::new(vec![("a", FieldType::Integer)]))
+    }
+
+    fn flat(vals: std::ops::Range<i32>) -> Dataset {
+        Dataset::new(schema(), Batch::Flat(vals.map(|v| rec![v]).collect()))
+    }
+
+    #[test]
+    fn split_evenly_covers_and_orders() {
+        let chunks = split_evenly((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(chunks, vec![vec![0, 1, 2, 3], vec![4, 5, 6], vec![7, 8, 9]]);
+        let empty = split_evenly(Vec::<i32>::new(), 4);
+        assert_eq!(empty.len(), 4);
+        assert!(empty.iter().all(Vec::is_empty));
+        let more_nodes = split_evenly(vec![1, 2], 5);
+        assert_eq!(more_nodes.iter().filter(|c| !c.is_empty()).count(), 2);
+    }
+
+    #[test]
+    fn scatter_collect_roundtrip() {
+        let mut c = Cluster::new(4);
+        c.scatter("in", flat(0..10)).unwrap();
+        let back = c.collect_concat("in").unwrap();
+        assert_eq!(back.batch.record_count(), 10);
+        let flat_records = back.batch.into_flat().unwrap();
+        let vals: Vec<i32> = flat_records
+            .iter()
+            .map(|r| match r.value(0).unwrap() {
+                papar_record::Value::Int(v) => *v,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(vals, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scatter_fragments_round_robin() {
+        let mut c = Cluster::new(2);
+        let frags: Vec<Dataset> = (0..5).map(|i| flat(i..i + 1)).collect();
+        c.scatter_fragments("p", frags);
+        assert_eq!(c.node(0).get("p").unwrap().len(), 3); // ordinals 0, 2, 4
+        assert_eq!(c.node(1).get("p").unwrap().len(), 2); // ordinals 1, 3
+        let collected = c.collect("p").unwrap();
+        assert_eq!(collected.len(), 5);
+    }
+
+    #[test]
+    fn collect_missing_dataset_errors() {
+        let c = Cluster::new(2);
+        assert!(c.collect("ghost").is_err());
+    }
+
+    #[test]
+    fn drop_dataset_removes_everywhere() {
+        let mut c = Cluster::new(3);
+        c.scatter("x", flat(0..9)).unwrap();
+        assert_eq!(c.drop_dataset("x"), 3);
+        assert!(c.collect("x").is_err());
+    }
+
+    #[test]
+    fn exchange_accounts_remote_bytes_only() {
+        let c = Cluster::new(2);
+        let outboxes = vec![
+            vec![vec![1, 2, 3], vec![4, 5]], // node 0: to self (3B), to 1 (2B)
+            vec![vec![], vec![9; 10]],       // node 1: nothing to 0, self 10B
+        ];
+        let (inboxes, stats) = c.exchange(outboxes).unwrap();
+        assert_eq!(stats.remote_bytes, 2);
+        assert_eq!(stats.remote_messages, 1);
+        assert_eq!(stats.sent_by_node, vec![2, 0]);
+        assert_eq!(stats.recv_by_node, vec![0, 2]);
+        assert_eq!(inboxes[0].len(), 1); // self-send delivered
+        assert_eq!(inboxes[1].len(), 2);
+    }
+
+    #[test]
+    fn exchange_rejects_malformed_matrix() {
+        let c = Cluster::new(2);
+        assert!(c.exchange(vec![vec![vec![]]]).is_err());
+        assert!(c.exchange(vec![vec![vec![]], vec![vec![]]]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_node_cluster_panics() {
+        let _ = Cluster::new(0);
+    }
+
+    #[test]
+    fn packed_scatter_splits_groups() {
+        let schema = schema();
+        let packed = Batch::Flat(vec![rec![1], rec![1], rec![2], rec![3]])
+            .pack_by(0)
+            .unwrap();
+        let mut c = Cluster::new(2);
+        c.scatter("g", Dataset::new(schema, packed)).unwrap();
+        let back = c.collect_concat("g").unwrap();
+        assert_eq!(back.batch.entry_count(), 3);
+        assert_eq!(back.batch.record_count(), 4);
+    }
+}

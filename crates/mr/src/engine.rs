@@ -1,0 +1,435 @@
+//! The MapReduce engine: map over node-local data, shuffle by reduce key,
+//! reduce per reducer, under the virtual clock.
+//!
+//! The execution follows the paper's Figures 9 and 11 exactly:
+//!
+//! 1. every node runs one **mapper** over its local fragments of the input
+//!    dataset(s) and emits `(reduce-key, entry)` pairs;
+//! 2. a **partitioner** maps each reduce key to one of `num_reducers`
+//!    reducers (range-sampled for sort, identity for distribute, hashed for
+//!    group), and the pairs are serialized and shuffled all-to-all;
+//! 3. every node runs the **reducer** for each reducer id it owns
+//!    (`reducer % num_nodes`), receiving the pairs sorted deterministically,
+//!    and writes its output fragment under the job's output name with the
+//!    reducer id as the fragment ordinal.
+//!
+//! Determinism: each pair carries its emitting mapper id and emission index,
+//! and the engine sorts each reducer's pairs by `(key, mapper, seq)` (or
+//! `(mapper, seq)` when key-sorting is off), so results are independent of
+//! arrival order — the property behind the paper's "same partitions"
+//! correctness claim.
+
+use papar_record::batch::{Batch, Dataset};
+use papar_record::packed::PackedRecord;
+use papar_record::wire::{self, Reader};
+use papar_record::{Record, Schema, Value};
+use std::sync::Arc;
+
+use std::time::{Duration, Instant};
+
+use crate::cluster::Cluster;
+use crate::stats::JobStats;
+use crate::{MrError, Result};
+
+/// One shuffled unit: either a flat record or a whole packed group (the
+/// hybrid-cut shuffles packed low-degree groups as single entries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// A flat record.
+    Rec(Record),
+    /// A packed group.
+    Packed(PackedRecord),
+}
+
+impl Entry {
+    /// Number of flat records this entry represents.
+    pub fn record_count(&self) -> usize {
+        match self {
+            Entry::Rec(_) => 1,
+            Entry::Packed(p) => p.records.len(),
+        }
+    }
+}
+
+/// Execution context handed to mappers and reducers.
+#[derive(Debug, Clone)]
+pub struct TaskCtx {
+    /// The node this task runs on.
+    pub node: usize,
+    /// Cluster size.
+    pub num_nodes: usize,
+    /// Number of reducers of the running job.
+    pub num_reducers: usize,
+    /// For reduce tasks, the reducer id; `None` in map tasks.
+    pub reducer: Option<usize>,
+}
+
+/// One local input fragment handed to a mapper.
+#[derive(Debug, Clone)]
+pub struct MapInput {
+    /// Dataset name this fragment belongs to.
+    pub name: String,
+    /// Global fragment ordinal (scatter chunk or producing reducer id) —
+    /// what distribute mappers use to compute global entry offsets.
+    pub ordinal: u32,
+    /// The records (shared with the node's store; reading is free).
+    pub data: Arc<Dataset>,
+}
+
+/// A map task: local fragments in, `(reduce-key, entry)` pairs out.
+pub trait Mapper {
+    /// Transform this node's local input fragments into keyed entries.
+    /// `inputs` holds the node's fragments in (dataset, ordinal) order;
+    /// nodes without local fragments get an empty slice.
+    fn map(&self, ctx: &TaskCtx, inputs: &[MapInput]) -> Result<Vec<(Value, Entry)>>;
+}
+
+/// Assignment of reduce keys to reducers.
+pub trait Partitioner {
+    /// The reducer (in `0..num_reducers`) that handles `key`.
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize;
+}
+
+/// A reduce task: a reducer's pairs in deterministic order in, an output
+/// batch out.
+pub trait Reducer {
+    /// Produce the output fragment of one reducer.
+    fn reduce(&self, ctx: &TaskCtx, pairs: Vec<(Value, Entry)>) -> Result<Batch>;
+}
+
+/// Blanket adapters so plain closures can serve as map/reduce tasks.
+pub struct FnMapper<F>(pub F);
+
+impl<F> Mapper for FnMapper<F>
+where
+    F: Fn(&TaskCtx, &[MapInput]) -> Result<Vec<(Value, Entry)>>,
+{
+    fn map(&self, ctx: &TaskCtx, inputs: &[MapInput]) -> Result<Vec<(Value, Entry)>> {
+        (self.0)(ctx, inputs)
+    }
+}
+
+/// Closure adapter for reducers.
+pub struct FnReducer<F>(pub F);
+
+impl<F> Reducer for FnReducer<F>
+where
+    F: Fn(&TaskCtx, Vec<(Value, Entry)>) -> Result<Batch>,
+{
+    fn reduce(&self, ctx: &TaskCtx, pairs: Vec<(Value, Entry)>) -> Result<Batch> {
+        (self.0)(ctx, pairs)
+    }
+}
+
+/// Hash partitioner (group-by-key jobs).
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+        (key.stable_hash() % num_reducers as u64) as usize
+    }
+}
+
+/// Identity partitioner: the key *is* the reducer id (distribute jobs set
+/// the temporary reduce-key to the target partition, paper Figure 9 step 4).
+pub struct IdentityPartitioner;
+
+impl Partitioner for IdentityPartitioner {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+        let id = key.as_i64().unwrap_or(0).max(0) as usize;
+        id.min(num_reducers.saturating_sub(1))
+    }
+}
+
+/// A MapReduce job description.
+pub struct MapReduceJob<'a> {
+    /// Job name (the workflow operator id), used in stats.
+    pub name: String,
+    /// Input dataset names (usually one; the hybrid-cut distribute job
+    /// reads both split outputs).
+    pub inputs: Vec<String>,
+    /// Output dataset name.
+    pub output: String,
+    /// Number of reducers (= output fragments).
+    pub num_reducers: usize,
+    /// Schema of the entries mappers emit (map may extend the input schema
+    /// via add-ons before the shuffle).
+    pub map_output_schema: Arc<Schema>,
+    /// Schema of the reducer output (usually the same).
+    pub output_schema: Arc<Schema>,
+    /// The map task.
+    pub mapper: &'a dyn Mapper,
+    /// Reduce-key to reducer assignment.
+    pub partitioner: &'a dyn Partitioner,
+    /// The reduce task.
+    pub reducer: &'a dyn Reducer,
+    /// Sort each reducer's pairs by key before reducing (sort/group jobs);
+    /// otherwise pairs arrive in `(mapper, seq)` order (distribute jobs).
+    pub sort_by_key: bool,
+    /// Reverse the key order in the reduce-side sort (Table I's descending
+    /// sort flag). Only meaningful with `sort_by_key`.
+    pub descending: bool,
+    /// CSC-compress packed entries on the wire, factoring the key column at
+    /// this index out of group members (paper Section III-D); `None` sends
+    /// packed groups uncompressed.
+    pub compress_key: Option<usize>,
+}
+
+const ENTRY_REC: u8 = 0;
+const ENTRY_PACKED: u8 = 1;
+const ENTRY_PACKED_CSC: u8 = 2;
+
+fn encode_entry(
+    entry: &Entry,
+    schema: &Schema,
+    compress_key: Option<usize>,
+    buf: &mut Vec<u8>,
+) -> Result<()> {
+    match entry {
+        Entry::Rec(r) => {
+            buf.push(ENTRY_REC);
+            wire::encode_record(r, schema, buf)?;
+        }
+        Entry::Packed(p) => match compress_key {
+            Some(key_idx) => {
+                buf.push(ENTRY_PACKED_CSC);
+                wire::encode_value(&p.key, buf);
+                buf.extend_from_slice(&(p.records.len() as u32).to_le_bytes());
+                for (fi, field) in schema.fields().iter().enumerate() {
+                    if fi == key_idx {
+                        continue;
+                    }
+                    for rec in &p.records {
+                        let v = rec.require(fi).map_err(MrError::from)?;
+                        wire::encode_field(v, field.ty, buf)?;
+                    }
+                }
+            }
+            None => {
+                buf.push(ENTRY_PACKED);
+                wire::encode_value(&p.key, buf);
+                buf.extend_from_slice(&(p.records.len() as u32).to_le_bytes());
+                for rec in &p.records {
+                    wire::encode_record(rec, schema, buf)?;
+                }
+            }
+        },
+    }
+    Ok(())
+}
+
+/// Decode one entry, dispatching on its tag byte.
+fn decode_entry(r: &mut Reader<'_>, schema: &Schema, compress_key: Option<usize>) -> Result<Entry> {
+    let tag = r.read_u8()?;
+    match tag {
+        ENTRY_REC => Ok(Entry::Rec(wire::decode_record(r, schema)?)),
+        ENTRY_PACKED => {
+            let key = wire::decode_value(r)?;
+            let count = r.read_u32()? as usize;
+            let mut records = Vec::with_capacity(count);
+            for _ in 0..count {
+                records.push(wire::decode_record(r, schema)?);
+            }
+            Ok(Entry::Packed(PackedRecord { key, records }))
+        }
+        ENTRY_PACKED_CSC => {
+            let key_idx = compress_key.ok_or_else(|| {
+                MrError("received CSC-compressed entry but job has no compress_key".into())
+            })?;
+            let key = wire::decode_value(r)?;
+            let count = r.read_u32()? as usize;
+            let mut columns: Vec<Vec<Value>> = Vec::new();
+            for (fi, field) in schema.fields().iter().enumerate() {
+                if fi == key_idx {
+                    continue;
+                }
+                let mut col = Vec::with_capacity(count);
+                for _ in 0..count {
+                    col.push(wire::decode_field(r, field.ty)?);
+                }
+                columns.push(col);
+            }
+            let mut records = Vec::with_capacity(count);
+            #[allow(clippy::needless_range_loop)] // ri walks several columns in lockstep
+            for ri in 0..count {
+                let mut values = Vec::with_capacity(schema.len());
+                let mut ci = 0;
+                for fi in 0..schema.len() {
+                    if fi == key_idx {
+                        values.push(key.clone());
+                    } else {
+                        values.push(columns[ci][ri].clone());
+                        ci += 1;
+                    }
+                }
+                records.push(Record::new(values));
+            }
+            Ok(Entry::Packed(PackedRecord { key, records }))
+        }
+        other => Err(MrError(format!("unknown entry tag {other}"))),
+    }
+}
+
+/// A decoded shuffled pair with its determinism tag.
+struct ShuffledPair {
+    reducer: u32,
+    mapper: u32,
+    seq: u32,
+    key: Value,
+    entry: Entry,
+}
+
+impl Cluster {
+    /// Run one MapReduce job under the virtual clock and return its stats.
+    ///
+    /// The output dataset is written fragment-per-reducer with the reducer
+    /// id as ordinal; collect it with [`Cluster::collect`] to obtain the
+    /// partitions in partition order.
+    pub fn run_job(&mut self, job: &MapReduceJob<'_>) -> Result<JobStats> {
+        if job.num_reducers == 0 {
+            return Err(MrError(format!("job '{}' has zero reducers", job.name)));
+        }
+        let n = self.num_nodes();
+        let mut stats = JobStats {
+            name: job.name.clone(),
+            map_time_by_node: vec![Duration::ZERO; n],
+            reduce_time_by_node: vec![Duration::ZERO; n],
+            ..Default::default()
+        };
+
+        // ---- Map phase (each node timed individually). ----
+        let mut outboxes: Vec<Vec<Vec<u8>>> = (0..n).map(|_| vec![Vec::new(); n]).collect();
+        #[allow(clippy::needless_range_loop)] // node indexes both stores and outboxes
+        for node in 0..n {
+            let t0 = Instant::now();
+            let mut inputs: Vec<MapInput> = Vec::new();
+            for name in &job.inputs {
+                if let Some(frags) = self.node(node).get(name) {
+                    for f in frags {
+                        stats.records_in += f.data.batch.record_count() as u64;
+                        inputs.push(MapInput {
+                            name: name.clone(),
+                            ordinal: f.ordinal,
+                            data: Arc::clone(&f.data),
+                        });
+                    }
+                }
+            }
+            let ctx = TaskCtx {
+                node,
+                num_nodes: n,
+                num_reducers: job.num_reducers,
+                reducer: None,
+            };
+            let pairs = job.mapper.map(&ctx, &inputs)?;
+            stats.pairs_shuffled += pairs.len() as u64;
+            for (seq, (key, entry)) in pairs.into_iter().enumerate() {
+                let reducer = job.partitioner.reducer_for(&key, job.num_reducers);
+                if reducer >= job.num_reducers {
+                    return Err(MrError(format!(
+                        "partitioner returned reducer {reducer} >= {}",
+                        job.num_reducers
+                    )));
+                }
+                let dest = reducer % n;
+                let buf = &mut outboxes[node][dest];
+                buf.extend_from_slice(&(reducer as u32).to_le_bytes());
+                buf.extend_from_slice(&(seq as u32).to_le_bytes());
+                wire::encode_value(&key, buf);
+                encode_entry(&entry, &job.map_output_schema, job.compress_key, buf)?;
+            }
+            stats.map_time_by_node[node] = t0.elapsed();
+        }
+
+        // ---- Shuffle. ----
+        let (inboxes, exchange) = self.exchange(outboxes)?;
+        stats.comm_time = exchange.comm_time(self.net());
+        stats.exchange = exchange;
+
+        // ---- Reduce phase (each node timed individually). ----
+        for (node, inbox) in inboxes.into_iter().enumerate() {
+            let t0 = Instant::now();
+            let mut pairs: Vec<ShuffledPair> = Vec::new();
+            for (from, buf) in inbox {
+                let mut r = Reader::new(&buf);
+                while r.remaining() > 0 {
+                    let reducer = r.read_u32().map_err(MrError::from)?;
+                    let seq = r.read_u32().map_err(MrError::from)?;
+                    let key = wire::decode_value(&mut r)?;
+                    let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
+                    pairs.push(ShuffledPair {
+                        reducer,
+                        mapper: from as u32,
+                        seq,
+                        key,
+                        entry,
+                    });
+                }
+            }
+            // Group pairs per owned reducer.
+            pairs.sort_by(|a, b| {
+                a.reducer
+                    .cmp(&b.reducer)
+                    .then_with(|| {
+                        if job.sort_by_key {
+                            let ord = a.key.cmp(&b.key);
+                            if job.descending {
+                                ord.reverse()
+                            } else {
+                                ord
+                            }
+                        } else {
+                            std::cmp::Ordering::Equal
+                        }
+                    })
+                    .then_with(|| a.mapper.cmp(&b.mapper))
+                    .then_with(|| a.seq.cmp(&b.seq))
+            });
+            let mut handled: Vec<bool> = vec![false; job.num_reducers];
+            let mut iter = pairs.into_iter().peekable();
+            while let Some(first) = iter.next() {
+                let rid = first.reducer;
+                let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
+                while iter.peek().is_some_and(|p| p.reducer == rid) {
+                    let p = iter.next().expect("peeked");
+                    group.push((p.key, p.entry));
+                }
+                let ctx = TaskCtx {
+                    node,
+                    num_nodes: n,
+                    num_reducers: job.num_reducers,
+                    reducer: Some(rid as usize),
+                };
+                let batch = job.reducer.reduce(&ctx, group)?;
+                stats.records_out += batch.record_count() as u64;
+                handled[rid as usize] = true;
+                self.node_mut(node).put(
+                    &job.output,
+                    rid,
+                    Dataset::new(job.output_schema.clone(), batch),
+                );
+            }
+            // Reducers that received nothing still own an (empty) output
+            // fragment, so a distribute job always materializes every
+            // partition.
+            for rid in (node..job.num_reducers).step_by(n) {
+                if !handled[rid] {
+                    let ctx = TaskCtx {
+                        node,
+                        num_nodes: n,
+                        num_reducers: job.num_reducers,
+                        reducer: Some(rid),
+                    };
+                    let batch = job.reducer.reduce(&ctx, Vec::new())?;
+                    self.node_mut(node).put(
+                        &job.output,
+                        rid as u32,
+                        Dataset::new(job.output_schema.clone(), batch),
+                    );
+                }
+            }
+            stats.reduce_time_by_node[node] = t0.elapsed();
+        }
+        Ok(stats)
+    }
+}

@@ -1,0 +1,63 @@
+//! A simulated message-passing cluster and MapReduce engine — the MR-MPI
+//! substitute the PaPar framework executes on.
+//!
+//! The paper runs PaPar on MR-MPI (MapReduce over MPI) on a 16-node
+//! InfiniBand cluster. This crate reproduces the *structure* of that stack
+//! on a single machine:
+//!
+//! * [`cluster::Cluster`] — `N` simulated nodes, each with a private
+//!   [`store::DataStore`] of named datasets (the stand-in for HDFS paths),
+//!   plus an all-to-all [`cluster::Cluster::exchange`] primitive that moves
+//!   serialized byte buffers between nodes (the `MPI_Isend`/`Irecv`/`Wait`
+//!   analog) while accounting every byte.
+//! * [`engine`] — MapReduce jobs: a map phase over each node's local data,
+//!   a shuffle keyed by a user partitioner, and a reduce phase, with
+//!   deterministic ordering guarantees.
+//! * [`sampler`] — distributed key sampling for balanced reduce ranges
+//!   (paper Section III-D, "Data Sampling").
+//! * [`stats`] — per-job timing under a *virtual clock*: node tasks execute
+//!   sequentially and each node is charged its measured compute time; the
+//!   job's simulated makespan is `max(map) + comm + max(reduce)` (BSP
+//!   barriers, like MapReduce), with communication time from a configurable
+//!   [`stats::NetModel`].
+//!
+//! ## Why a virtual clock
+//!
+//! Running node tasks on real threads would make per-node times meaningless
+//! whenever the host has fewer cores than simulated nodes (a 16-node
+//! strong-scaling sweep on a laptop). Sequential execution with per-node
+//! timing is deterministic, noise-free, and preserves exactly what the
+//! paper's scalability figures measure: the critical-path node time plus
+//! communication volume.
+
+pub mod cluster;
+pub mod engine;
+pub mod sampler;
+pub mod stats;
+pub mod store;
+
+pub use cluster::Cluster;
+pub use engine::{Entry, MapInput, MapReduceJob, Mapper, Partitioner, Reducer, TaskCtx};
+pub use sampler::RangePartitioner;
+pub use stats::{JobStats, NetModel};
+
+/// Error type for cluster operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrError(pub String);
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mapreduce error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MrError {}
+
+impl From<papar_record::CodecError> for MrError {
+    fn from(e: papar_record::CodecError) -> Self {
+        MrError(e.to_string())
+    }
+}
+
+/// Result alias for cluster operations.
+pub type Result<T> = std::result::Result<T, MrError>;

@@ -1,0 +1,169 @@
+//! Distributed key sampling for balanced reduce ranges (paper Section
+//! III-D, "Data Sampling").
+//!
+//! The sort operator needs a temporary reduce-key corresponding to the
+//! *range* of the user key so that reducer `i` receives keys smaller than
+//! reducer `i+1`'s and the concatenated reducer outputs are globally
+//! sorted. Picking the ranges naively (uniform over the key domain) skews
+//! reducers badly on non-uniform data; the paper follows TopCluster-style
+//! local sampling: every node samples its local keys, the samples are
+//! gathered, and the quantiles of the combined sample become the range
+//! boundaries.
+
+use papar_record::Value;
+
+use crate::engine::Partitioner;
+use crate::Result;
+
+/// Default sampling stride: one key in 64 is sampled, matching the regime
+/// where the sample is big enough to place boundaries within a fraction of
+/// a percent of the true quantiles but cheap next to the sort itself.
+pub const DEFAULT_SAMPLE_STRIDE: usize = 64;
+
+/// Take every `stride`-th key from a node's local keys (always including
+/// the first, so tiny fragments contribute).
+pub fn local_sample(keys: &[Value], stride: usize) -> Vec<Value> {
+    let stride = stride.max(1);
+    keys.iter().step_by(stride).cloned().collect()
+}
+
+/// Combine per-node samples and compute `num_reducers - 1` range
+/// boundaries at the sample quantiles.
+///
+/// Reducer `i` handles keys in `[boundaries[i-1], boundaries[i])` with the
+/// first reducer open below and the last open above. Duplicate boundary
+/// values are allowed (heavily skewed keys); lookup uses the first matching
+/// range so behaviour stays deterministic.
+pub fn boundaries_from_samples(
+    per_node: &[Vec<Value>],
+    num_reducers: usize,
+) -> Result<Vec<Value>> {
+    let mut all: Vec<Value> = per_node.iter().flatten().cloned().collect();
+    if num_reducers <= 1 || all.is_empty() {
+        return Ok(Vec::new());
+    }
+    all.sort();
+    let n = all.len();
+    let mut out = Vec::with_capacity(num_reducers - 1);
+    for i in 1..num_reducers {
+        let idx = (i * n / num_reducers).min(n - 1);
+        out.push(all[idx].clone());
+    }
+    Ok(out)
+}
+
+/// A partitioner that routes keys by sampled range boundaries.
+#[derive(Debug, Clone)]
+pub struct RangePartitioner {
+    boundaries: Vec<Value>,
+}
+
+impl RangePartitioner {
+    /// Build from precomputed boundaries (ascending).
+    pub fn new(boundaries: Vec<Value>) -> Self {
+        debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
+        RangePartitioner { boundaries }
+    }
+
+    /// Build by sampling per-node key sets.
+    pub fn from_samples(per_node: &[Vec<Value>], num_reducers: usize) -> Result<Self> {
+        Ok(Self::new(boundaries_from_samples(per_node, num_reducers)?))
+    }
+
+    /// The boundaries (for tests and diagnostics).
+    pub fn boundaries(&self) -> &[Value] {
+        &self.boundaries
+    }
+}
+
+impl Partitioner for RangePartitioner {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+        // First range whose boundary exceeds the key.
+        let r = self.boundaries.partition_point(|b| b <= key);
+        r.min(num_reducers.saturating_sub(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(v: &[i32]) -> Vec<Value> {
+        v.iter().map(|&x| Value::Int(x)).collect()
+    }
+
+    #[test]
+    fn local_sample_strides() {
+        let keys = ints(&[1, 2, 3, 4, 5, 6, 7]);
+        assert_eq!(local_sample(&keys, 3), ints(&[1, 4, 7]));
+        assert_eq!(local_sample(&keys, 1).len(), 7);
+        assert_eq!(local_sample(&keys, 100), ints(&[1]));
+        assert!(local_sample(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn boundaries_split_uniform_data_evenly() {
+        let samples = vec![ints(&(0..100).collect::<Vec<_>>())];
+        let b = boundaries_from_samples(&samples, 4).unwrap();
+        assert_eq!(b, ints(&[25, 50, 75]));
+    }
+
+    #[test]
+    fn single_reducer_needs_no_boundaries() {
+        let samples = vec![ints(&[5, 1, 9])];
+        assert!(boundaries_from_samples(&samples, 1).unwrap().is_empty());
+        assert!(boundaries_from_samples(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn range_partitioner_routes_monotonically() {
+        let p = RangePartitioner::new(ints(&[10, 20]));
+        assert_eq!(p.reducer_for(&Value::Int(-5), 3), 0);
+        assert_eq!(p.reducer_for(&Value::Int(9), 3), 0);
+        assert_eq!(p.reducer_for(&Value::Int(10), 3), 1);
+        assert_eq!(p.reducer_for(&Value::Int(19), 3), 1);
+        assert_eq!(p.reducer_for(&Value::Int(20), 3), 2);
+        assert_eq!(p.reducer_for(&Value::Int(1000), 3), 2);
+    }
+
+    #[test]
+    fn skewed_samples_balance_better_than_uniform_ranges() {
+        // 90% of keys are < 10, the rest spread to 1000. A uniform split of
+        // the domain would put ~90% of keys in reducer 0; sampled quantiles
+        // must spread them.
+        let mut keys = Vec::new();
+        for i in 0..900 {
+            keys.push(Value::Int(i % 10));
+        }
+        for i in 0..100 {
+            keys.push(Value::Int(10 + i * 10));
+        }
+        let p = RangePartitioner::from_samples(&[keys.clone()], 4).unwrap();
+        let mut counts = [0usize; 4];
+        for k in &keys {
+            counts[p.reducer_for(k, 4)] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max < 600,
+            "sampled ranges should break up the skew, got {counts:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_boundaries_stay_deterministic() {
+        let p = RangePartitioner::new(ints(&[7, 7, 7]));
+        assert_eq!(p.reducer_for(&Value::Int(6), 4), 0);
+        assert_eq!(p.reducer_for(&Value::Int(7), 4), 3);
+    }
+
+    #[test]
+    fn multi_node_samples_combine() {
+        let a = ints(&[1, 2, 3]);
+        let b = ints(&[100, 200, 300]);
+        let bounds = boundaries_from_samples(&[a, b], 2).unwrap();
+        assert_eq!(bounds.len(), 1);
+        // The median of the combined sample separates the two nodes' data.
+        assert!(bounds[0] >= Value::Int(3) && bounds[0] <= Value::Int(200));
+    }
+}

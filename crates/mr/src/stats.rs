@@ -1,0 +1,213 @@
+//! Virtual-clock timing and network modeling.
+
+use std::time::Duration;
+
+/// A simple α–β model of the interconnect: each message costs a fixed
+/// latency (α) and each byte costs `1/bandwidth` (β).
+///
+/// Two presets match the paper's testbed: QDR InfiniBand with RDMA (what
+/// MVAPICH2 gives the PaPar/MR-MPI stack) and 10 Gbps Ethernet sockets
+/// (what PowerLyra's GraphLab shuffle uses) — the contrast the paper calls
+/// out when explaining Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetModel {
+    /// Per-message latency in seconds.
+    pub latency_s: f64,
+    /// Bandwidth in bytes per second.
+    pub bytes_per_s: f64,
+}
+
+impl NetModel {
+    /// QDR InfiniBand with RDMA: ~2 µs latency, 32 Gbit/s effective.
+    pub fn infiniband_qdr() -> Self {
+        NetModel {
+            latency_s: 2e-6,
+            bytes_per_s: 32e9 / 8.0,
+        }
+    }
+
+    /// 10 Gbps Ethernet over sockets: ~50 µs latency, 10 Gbit/s nominal
+    /// (socket stacks rarely exceed ~70% of line rate; use 7 Gbit/s).
+    pub fn ethernet_10g() -> Self {
+        NetModel {
+            latency_s: 50e-6,
+            bytes_per_s: 7e9 / 8.0,
+        }
+    }
+
+    /// An infinitely fast network (useful to isolate compute effects in
+    /// ablation experiments).
+    pub fn instant() -> Self {
+        NetModel {
+            latency_s: 0.0,
+            bytes_per_s: f64::INFINITY,
+        }
+    }
+
+    /// Time to deliver `messages` messages totalling `bytes` bytes.
+    pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
+        let secs = self.latency_s * messages as f64 + bytes as f64 / self.bytes_per_s;
+        Duration::from_secs_f64(secs)
+    }
+}
+
+impl Default for NetModel {
+    /// The default models the paper's primary configuration (InfiniBand).
+    fn default() -> Self {
+        NetModel::infiniband_qdr()
+    }
+}
+
+/// Byte/message accounting of one all-to-all exchange.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExchangeStats {
+    /// Total bytes moved between distinct nodes (self-sends are free, as
+    /// MR-MPI keeps rank-local data in memory).
+    pub remote_bytes: u64,
+    /// Number of non-empty remote (sender, receiver) transfers.
+    pub remote_messages: u64,
+    /// Per-node bytes sent to other nodes.
+    pub sent_by_node: Vec<u64>,
+    /// Per-node bytes received from other nodes.
+    pub recv_by_node: Vec<u64>,
+}
+
+impl ExchangeStats {
+    /// The communication makespan under `net`: the busiest node's traffic
+    /// (max of its send and receive volume, as links are full duplex) plus
+    /// its message latencies.
+    pub fn comm_time(&self, net: &NetModel) -> Duration {
+        let nodes = self.sent_by_node.len().max(1);
+        let per_node_msgs = if self.remote_messages == 0 {
+            0
+        } else {
+            self.remote_messages.div_ceil(nodes as u64)
+        };
+        let busiest = self
+            .sent_by_node
+            .iter()
+            .zip(&self.recv_by_node)
+            .map(|(&s, &r)| s.max(r))
+            .max()
+            .unwrap_or(0);
+        net.transfer_time(per_node_msgs, busiest)
+    }
+}
+
+/// Timing and volume summary of one MapReduce job under the virtual clock.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Job name (the workflow operator id).
+    pub name: String,
+    /// Measured compute time of each node's map phase.
+    pub map_time_by_node: Vec<Duration>,
+    /// Measured compute time of each node's reduce phase.
+    pub reduce_time_by_node: Vec<Duration>,
+    /// Shuffle accounting.
+    pub exchange: ExchangeStats,
+    /// Modeled communication time of the shuffle.
+    pub comm_time: Duration,
+    /// Records entering the map phase.
+    pub records_in: u64,
+    /// Key-value pairs emitted by mappers.
+    pub pairs_shuffled: u64,
+    /// Records in the reduce output.
+    pub records_out: u64,
+}
+
+impl JobStats {
+    /// Critical-path map time (the slowest node).
+    pub fn map_time(&self) -> Duration {
+        self.map_time_by_node.iter().max().copied().unwrap_or_default()
+    }
+
+    /// Critical-path reduce time (the slowest node).
+    pub fn reduce_time(&self) -> Duration {
+        self.reduce_time_by_node
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// The job's simulated makespan: BSP phases joined by barriers, like a
+    /// MapReduce round — `max(map) + comm + max(reduce)`.
+    pub fn sim_time(&self) -> Duration {
+        self.map_time() + self.comm_time + self.reduce_time()
+    }
+}
+
+/// Sum of the simulated times of a sequence of jobs (a whole workflow, which
+/// launches its jobs one by one).
+pub fn total_sim_time(jobs: &[JobStats]) -> Duration {
+    jobs.iter().map(JobStats::sim_time).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_scales_with_volume() {
+        let net = NetModel {
+            latency_s: 1e-3,
+            bytes_per_s: 1e6,
+        };
+        let t = net.transfer_time(2, 1_000_000);
+        assert!((t.as_secs_f64() - (0.002 + 1.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn instant_network_is_free() {
+        let t = NetModel::instant().transfer_time(1000, u64::MAX / 2);
+        assert_eq!(t, Duration::ZERO);
+    }
+
+    #[test]
+    fn infiniband_beats_ethernet() {
+        let msg = 1_000;
+        let bytes = 100_000_000;
+        assert!(
+            NetModel::infiniband_qdr().transfer_time(msg, bytes)
+                < NetModel::ethernet_10g().transfer_time(msg, bytes)
+        );
+    }
+
+    #[test]
+    fn comm_time_uses_busiest_node() {
+        let ex = ExchangeStats {
+            remote_bytes: 300,
+            remote_messages: 3,
+            sent_by_node: vec![100, 200, 0],
+            recv_by_node: vec![50, 0, 250],
+        };
+        let net = NetModel {
+            latency_s: 0.0,
+            bytes_per_s: 1000.0,
+        };
+        // Busiest node is node 2 with max(0, 250) = 250 bytes.
+        assert!((ex.comm_time(&net).as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sim_time_is_bsp_sum() {
+        let st = JobStats {
+            map_time_by_node: vec![Duration::from_millis(5), Duration::from_millis(9)],
+            reduce_time_by_node: vec![Duration::from_millis(4)],
+            comm_time: Duration::from_millis(2),
+            ..Default::default()
+        };
+        assert_eq!(st.map_time(), Duration::from_millis(9));
+        assert_eq!(st.sim_time(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn empty_stats_are_zero() {
+        let st = JobStats::default();
+        assert_eq!(st.sim_time(), Duration::ZERO);
+        assert_eq!(
+            ExchangeStats::default().comm_time(&NetModel::default()),
+            Duration::ZERO
+        );
+    }
+}

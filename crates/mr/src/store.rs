@@ -1,0 +1,143 @@
+//! Node-local dataset storage.
+//!
+//! Every simulated node owns a [`DataStore`]: a map from dataset name (the
+//! paper's HDFS paths such as `/user/sort_output` become plain names) to
+//! the *fragments* of that dataset the node holds. A fragment carries an
+//! ordinal so that globally collecting a dataset reproduces a deterministic
+//! order — for job outputs the ordinal is the reducer id, so collecting a
+//! distribute job's output yields the partitions in partition order.
+
+use papar_record::batch::Dataset;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::{MrError, Result};
+
+/// One stored fragment: a global ordinal plus its data.
+///
+/// Data is behind an `Arc` so handing fragments to map tasks never copies
+/// records — the map phase reads shared immutable data, like mappers over
+/// HDFS blocks.
+#[derive(Debug, Clone)]
+pub struct Fragment {
+    /// Global position of this fragment within the dataset (scatter chunk
+    /// index or reducer id).
+    pub ordinal: u32,
+    /// The records (shared, immutable).
+    pub data: Arc<Dataset>,
+}
+
+/// The named datasets held by one node.
+#[derive(Debug, Default)]
+pub struct DataStore {
+    data: HashMap<String, Vec<Fragment>>,
+}
+
+impl DataStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a fragment to a dataset (created on first use).
+    pub fn put(&mut self, name: &str, ordinal: u32, data: Dataset) {
+        self.data
+            .entry(name.to_string())
+            .or_default()
+            .push(Fragment {
+                ordinal,
+                data: Arc::new(data),
+            });
+    }
+
+    /// The local fragments of a dataset, in ordinal order.
+    pub fn get(&self, name: &str) -> Option<Vec<&Fragment>> {
+        self.data.get(name).map(|frags| {
+            let mut v: Vec<&Fragment> = frags.iter().collect();
+            v.sort_by_key(|f| f.ordinal);
+            v
+        })
+    }
+
+    /// Like [`DataStore::get`] but with an error naming the dataset.
+    pub fn require(&self, name: &str) -> Result<Vec<&Fragment>> {
+        self.get(name)
+            .ok_or_else(|| MrError(format!("dataset '{name}' not found on this node")))
+    }
+
+    /// True when the node holds (possibly empty) fragments for `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.data.contains_key(name)
+    }
+
+    /// Remove a dataset, returning whether it existed.
+    pub fn remove(&mut self, name: &str) -> bool {
+        self.data.remove(name).is_some()
+    }
+
+    /// Names of all stored datasets (unordered).
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.data.keys().map(String::as_str)
+    }
+
+    /// Total records across the local fragments of `name`.
+    pub fn record_count(&self, name: &str) -> usize {
+        self.data
+            .get(name)
+            .map(|frags| frags.iter().map(|f| f.data.batch.record_count()).sum())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papar_record::{rec, Batch, Schema};
+    use papar_config::input::FieldType;
+    use std::sync::Arc;
+
+    fn ds(vals: &[i32]) -> Dataset {
+        let schema = Arc::new(Schema::new(vec![("a", FieldType::Integer)]));
+        Dataset::new(schema, Batch::Flat(vals.iter().map(|&v| rec![v]).collect()))
+    }
+
+    #[test]
+    fn put_get_roundtrip_in_ordinal_order() {
+        let mut store = DataStore::new();
+        store.put("x", 2, ds(&[30]));
+        store.put("x", 0, ds(&[10]));
+        store.put("x", 1, ds(&[20]));
+        let frags = store.get("x").unwrap();
+        assert_eq!(
+            frags.iter().map(|f| f.ordinal).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn missing_dataset_is_reported() {
+        let store = DataStore::new();
+        assert!(store.get("nope").is_none());
+        let e = store.require("nope").unwrap_err();
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut store = DataStore::new();
+        store.put("x", 0, ds(&[1]));
+        assert!(store.contains("x"));
+        assert!(store.remove("x"));
+        assert!(!store.contains("x"));
+        assert!(!store.remove("x"));
+    }
+
+    #[test]
+    fn record_count_sums_fragments() {
+        let mut store = DataStore::new();
+        store.put("x", 0, ds(&[1, 2]));
+        store.put("x", 1, ds(&[3]));
+        assert_eq!(store.record_count("x"), 3);
+        assert_eq!(store.record_count("y"), 0);
+    }
+}

@@ -1,0 +1,49 @@
+//! The muBLASTP driving application substrate.
+//!
+//! muBLASTP (Zhang et al., BMC Bioinformatics 2016) is a database-indexed
+//! BLAST for protein sequences whose performance is highly sensitive to how
+//! the database is partitioned: search time depends on the *distribution of
+//! sequence lengths* in each partition more than on partition size (paper
+//! Section II-A). This crate provides everything the PaPar evaluation needs
+//! from the application side:
+//!
+//! * [`dbformat`] — the muBLASTP database file layout: a 32-byte header,
+//!   the four-tuple index `{seq_start, seq_size, desc_start, desc_size}`
+//!   (paper Figures 1 and 4), and the sequence/description payloads.
+//! * [`dbgen`] — synthetic databases with the length profile of `env_nr`
+//!   and `nr` ("most of the sequences ... are less than 100 letters"),
+//!   including the positional length correlation real databases exhibit —
+//!   the property that makes the block policy skew.
+//! * [`baseline`] — the original muBLASTP partitioner: a *single-node*
+//!   multithreaded sort + cyclic scatter, the Figure 13 baseline.
+//! * [`recalc`] — the index-recalculation add-on ([36] in the paper): after
+//!   distribution each partition's start pointers are rebuilt as prefix
+//!   sums. Available both as a plain function and as a registered
+//!   [`papar_core::operator::CustomOperator`].
+//! * [`search`] — the BLAST search cost model and query-batch construction
+//!   ("100", "500", "mixed") used to reproduce Figure 12.
+
+pub mod baseline;
+pub mod dbformat;
+pub mod dbgen;
+pub mod recalc;
+pub mod search;
+
+pub use dbformat::{BlastDb, IndexEntry};
+pub use dbgen::{DbProfile, DbSpec};
+pub use search::{QueryBatch, SearchCostModel};
+
+/// Error type for database operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbError(pub String);
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "muBLASTP error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result alias for database operations.
+pub type Result<T> = std::result::Result<T, DbError>;

@@ -1,0 +1,88 @@
+//! Property tests for the muBLASTP substrate: file-format round-trips,
+//! recalculation laws, and partitioning invariants.
+
+use mublastp::baseline::{partition, BaselinePolicy};
+use mublastp::dbformat::{BlastDb, IndexEntry};
+use mublastp::recalc;
+use proptest::prelude::*;
+
+fn entry_strategy() -> impl Strategy<Value = (u16, u8)> {
+    // (seq len, desc len) — kept small so payload construction stays cheap.
+    (1u16..400, 1u8..60)
+}
+
+fn db_strategy() -> impl Strategy<Value = BlastDb> {
+    prop::collection::vec(entry_strategy(), 0..80).prop_map(|sizes| {
+        let mut index = Vec::new();
+        let mut sequences = Vec::new();
+        let mut descriptions = Vec::new();
+        for (i, (sl, dl)) in sizes.iter().enumerate() {
+            let seq_start = sequences.len() as i32;
+            sequences.extend(std::iter::repeat(b'A' + (i % 20) as u8).take(*sl as usize));
+            let desc_start = descriptions.len() as i32;
+            descriptions.extend(std::iter::repeat(b'd').take(*dl as usize));
+            index.push(IndexEntry {
+                seq_start,
+                seq_size: *sl as i32,
+                desc_start,
+                desc_size: *dl as i32,
+            });
+        }
+        BlastDb { index, sequences, descriptions }
+    })
+}
+
+proptest! {
+    /// Database files round-trip bit-for-bit.
+    #[test]
+    fn db_file_roundtrip(db in db_strategy()) {
+        let back = BlastDb::from_bytes(&db.to_bytes()).unwrap();
+        prop_assert_eq!(back, db);
+    }
+
+    /// Recalculation is idempotent and preserves sizes.
+    #[test]
+    fn recalculate_idempotent(db in db_strategy()) {
+        let once = recalc::recalculate(&db.index);
+        let twice = recalc::recalculate(&once);
+        prop_assert_eq!(&once, &twice);
+        for (a, b) in db.index.iter().zip(&once) {
+            prop_assert_eq!(a.seq_size, b.seq_size);
+            prop_assert_eq!(a.desc_size, b.desc_size);
+        }
+    }
+
+    /// Both policies produce true partitions: every entry exactly once,
+    /// counts balanced within one.
+    #[test]
+    fn partitions_cover_exactly_once(db in db_strategy(), parts in 1usize..9) {
+        for policy in [BaselinePolicy::Cyclic, BaselinePolicy::Block] {
+            let run = partition(&db.index, parts, policy);
+            let mut all: Vec<IndexEntry> = run.partitions.concat();
+            all.sort_by_key(|e| e.seq_start);
+            let mut expect = db.index.clone();
+            expect.sort_by_key(|e| e.seq_start);
+            prop_assert_eq!(&all, &expect, "{:?}", policy);
+            let counts: Vec<usize> = run.partitions.iter().map(Vec::len).collect();
+            let max = counts.iter().max().copied().unwrap_or(0);
+            let min = counts.iter().min().copied().unwrap_or(0);
+            prop_assert!(max - min <= 1, "{:?}: {counts:?}", policy);
+        }
+    }
+
+    /// Extracted partitions are valid standalone databases whose payloads
+    /// match the source.
+    #[test]
+    fn extract_partition_preserves_payload(db in db_strategy(), parts in 1usize..5) {
+        let run = partition(&db.index, parts, BaselinePolicy::Cyclic);
+        for part in &run.partitions {
+            let sub = recalc::extract_partition(&db, part).unwrap();
+            sub.validate().unwrap();
+            for (i, e) in part.iter().enumerate() {
+                let original = &db.sequences
+                    [e.seq_start as usize..(e.seq_start + e.seq_size) as usize];
+                prop_assert_eq!(sub.sequence(i), original);
+            }
+        }
+    }
+}

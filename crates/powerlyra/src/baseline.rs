@@ -1,0 +1,205 @@
+//! PowerLyra's own partitioning pipeline — the Figure 15 baseline.
+//!
+//! The paper compares PaPar-generated hybrid-cut partitioning against the
+//! PowerLyra snapshot and explains the observed differences with three
+//! properties this model reproduces:
+//!
+//! 1. **Single-node speed.** PowerLyra is NUMA-aware C++ integrated with
+//!    GraphLab; per-node it is faster than MR-MPI-based PaPar. Modeled as a
+//!    constant `NUMA_BOOST` speedup on the measured compute phases.
+//! 2. **Socket communication.** "its data shuffle is still based on the
+//!    socket communication on Ethernet" — redistribution costs are charged
+//!    to [`NetModel::ethernet_10g`], while PaPar's MR-MPI shuffle rides
+//!    InfiniBand RDMA.
+//! 3. **Dynamic low-degree scoring.** "PowerLyra uses the dynamic approach
+//!    that calculates scores for low-degree vertices in each partition.
+//!    This method introduces additional overhead, especially for graphs
+//!    which vertices cluster together" — implemented as a real, measured
+//!    scoring pass over every low-degree vertex's neighborhood, which does
+//!    not parallelize across nodes (it synchronizes on shared placement
+//!    state).
+//!
+//! The final edge assignment is the hash-based hybrid-cut of
+//! [`crate::partition::hybrid_cut`] — identical to PaPar's output, which is
+//! what lets the paper (and `tests/correctness_powerlyra.rs`) claim "the
+//! same partitions".
+
+use papar_mr::stats::NetModel;
+use std::time::{Duration, Instant};
+
+use crate::graph::Graph;
+use crate::partition::{hybrid_cut, PartitionAssignment};
+use crate::Result;
+
+/// PowerLyra's measured single-node advantage over an MR-MPI stack
+/// (NUMA-aware allocation, no serialization) — a documented modeling knob.
+pub const NUMA_BOOST: f64 = 2.0;
+
+/// Parallel efficiency of PowerLyra's compute phases across nodes.
+pub const PARALLEL_EFFICIENCY: f64 = 0.9;
+
+/// Bytes to ship one edge over the socket shuffle (two u32 ids plus
+/// framing).
+pub const BYTES_PER_EDGE: u64 = 12;
+
+/// Dynamic-rebalancing rounds PowerLyra's scoring performs, derived from
+/// how strongly the graph clusters: clustered graphs (triangles per edge)
+/// keep re-triggering low-degree rescoring — "additional overhead,
+/// especially for graphs which vertices cluster together, e.g., the
+/// LiveJournal dataset" (paper Section IV-C).
+pub fn scoring_rounds(triangles: u64, edges: usize) -> usize {
+    if edges == 0 {
+        return 1;
+    }
+    let ratio = triangles as f64 / edges as f64;
+    (1.0 + 25.0 * ratio).round().clamp(1.0, 40.0) as usize
+}
+
+/// One baseline partitioning run with measured phases.
+#[derive(Debug, Clone)]
+pub struct PowerLyraRun {
+    /// The resulting assignment (hash hybrid-cut).
+    pub assignment: PartitionAssignment,
+    /// Measured degree-counting + edge-placement time (parallelizable).
+    pub compute_time: Duration,
+    /// Measured dynamic-scoring overhead (does not parallelize).
+    pub scoring_time: Duration,
+    /// Total low-degree score lookups performed (diagnostic: grows with
+    /// clustering).
+    pub score_lookups: u64,
+}
+
+impl PowerLyraRun {
+    /// Modeled wall time on `nodes` nodes.
+    ///
+    /// Compute parallelizes with [`PARALLEL_EFFICIENCY`] and enjoys
+    /// [`NUMA_BOOST`]; scoring stays serial; redistribution ships the
+    /// cross-node share of edges over Ethernet sockets.
+    pub fn modeled_time(&self, nodes: usize) -> Duration {
+        let nodes = nodes.max(1);
+        let eff = 1.0 + (nodes as f64 - 1.0) * PARALLEL_EFFICIENCY;
+        let compute =
+            Duration::from_secs_f64(self.compute_time.as_secs_f64() / (eff * NUMA_BOOST));
+        let net = NetModel::ethernet_10g();
+        let total_edges = self.assignment.total_edges() as u64;
+        let cross = total_edges * BYTES_PER_EDGE * (nodes as u64 - 1) / nodes as u64;
+        let per_node = cross / nodes as u64;
+        // Each node overlaps its sends: it pays one latency per peer plus
+        // its own share of the volume.
+        let msgs = nodes as u64 - 1;
+        compute + self.scoring_time + net.transfer_time(msgs, per_node)
+    }
+}
+
+/// Run the PowerLyra hybrid-cut partitioning pipeline with one scoring
+/// round (an unclustered graph's behaviour).
+pub fn powerlyra_partition(
+    graph: &Graph,
+    num_partitions: usize,
+    threshold: usize,
+) -> Result<PowerLyraRun> {
+    powerlyra_partition_with_rounds(graph, num_partitions, threshold, 1)
+}
+
+/// Run the PowerLyra hybrid-cut partitioning pipeline.
+///
+/// `rounds` is how many times the dynamic scoring re-evaluates low-degree
+/// placements — derive it from the graph with [`scoring_rounds`] (clustered
+/// graphs re-trigger rescoring; see module docs).
+pub fn powerlyra_partition_with_rounds(
+    graph: &Graph,
+    num_partitions: usize,
+    threshold: usize,
+    rounds: usize,
+) -> Result<PowerLyraRun> {
+    // Phase 1+2 (parallelizable): degree statistics and edge placement.
+    let t0 = Instant::now();
+    let assignment = hybrid_cut(graph, num_partitions, threshold)?;
+    let compute_time = t0.elapsed();
+
+    // Phase 3: dynamic scoring of low-degree vertices: every round, for
+    // each low-degree vertex, tally which partitions hold its neighbors
+    // and score the candidates. The snapshot's tuned parameters end up
+    // confirming the hash placement, but every lookup is paid.
+    let t1 = Instant::now();
+    let vp = crate::partition::vertex_partitions(graph.num_vertices(), num_partitions);
+    let mut score_lookups = 0u64;
+    let mut tally = vec![0u32; num_partitions];
+    for _ in 0..rounds.max(1) {
+        for v in 0..graph.num_vertices() as u32 {
+            if graph.in_degree(v) >= threshold {
+                continue;
+            }
+            for &s in graph.in_neighbors(v) {
+                tally[vp[s as usize] as usize] += 1;
+                score_lookups += 1;
+            }
+            for &d in graph.out_neighbors(v) {
+                tally[vp[d as usize] as usize] += 1;
+                score_lookups += 1;
+            }
+            // Keep the tally observable so the loop cannot be optimized
+            // away, then reset for the next vertex.
+            std::hint::black_box(&tally);
+            tally.iter_mut().for_each(|t| *t = 0);
+        }
+    }
+    let scoring_time = t1.elapsed();
+
+    Ok(PowerLyraRun {
+        assignment,
+        compute_time,
+        scoring_time,
+        score_lookups,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn baseline_assignment_equals_native_hybrid_cut() {
+        let g = gen::chung_lu(600, 4800, 2.1, 3).unwrap();
+        let run = powerlyra_partition(&g, 8, 50).unwrap();
+        let native = hybrid_cut(&g, 8, 50).unwrap();
+        assert_eq!(run.assignment, native, "baseline must match hash hybrid");
+    }
+
+    #[test]
+    fn scoring_lookups_scale_with_low_degree_edges() {
+        let g = gen::chung_lu(600, 4800, 2.1, 3).unwrap();
+        let all_low = powerlyra_partition(&g, 8, usize::MAX).unwrap();
+        let none_low = powerlyra_partition(&g, 8, 0).unwrap();
+        assert_eq!(none_low.score_lookups, 0);
+        // Every edge contributes twice (in + out side) when all are low.
+        assert_eq!(all_low.score_lookups, 2 * g.num_edges() as u64);
+    }
+
+    #[test]
+    fn modeled_time_has_a_scaling_floor() {
+        let g = gen::chung_lu(3000, 40_000, 2.1, 5).unwrap();
+        let run = powerlyra_partition(&g, 16, 100).unwrap();
+        let t1 = run.modeled_time(1);
+        let t4 = run.modeled_time(4);
+        assert!(t4 < t1, "some scaling expected: {t4:?} !< {t1:?}");
+        // Scoring never parallelizes, so the model is bounded below.
+        assert!(run.modeled_time(64) >= run.scoring_time);
+    }
+
+    #[test]
+    fn socket_shuffle_grows_with_node_count_messages() {
+        // At high node counts the Ethernet latency term catches up; the
+        // curve flattens (the Google dataset "cannot scale" in Fig 15b).
+        let g = gen::chung_lu(800, 5000, 2.1, 7).unwrap();
+        let run = powerlyra_partition(&g, 16, 100).unwrap();
+        let t8 = run.modeled_time(8);
+        let t16 = run.modeled_time(16);
+        // Small graph: no meaningful gain from 8 -> 16 nodes.
+        assert!(
+            t16.as_secs_f64() > t8.as_secs_f64() * 0.8,
+            "small graphs should stop scaling: {t8:?} -> {t16:?}"
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! The PowerLyra driving application substrate.
+//!
+//! PowerLyra (Chen et al., EuroSys 2015) is a graph computation and
+//! partitioning engine for skewed (power-law) graphs. Its *hybrid-cut*
+//! treats low-degree and high-degree vertices differently: a low-degree
+//! vertex keeps all its in-edges on one partition, a high-degree vertex's
+//! in-edges are spread across partitions (paper Figure 2). This crate
+//! builds everything the PaPar evaluation needs from the application side:
+//!
+//! * [`graph`] — directed graphs in CSR/CSC form, degree statistics and
+//!   triangle counting (paper Table II).
+//! * [`gen`] — synthetic power-law and R-MAT generators with presets scaled
+//!   from the paper's SNAP datasets (Google, Pokec, LiveJournal), plus a
+//!   loader for the real SNAP edge-list text format.
+//! * [`partition`] — native implementations of the three partitionings of
+//!   paper Figure 14: edge-cut, vertex-cut and hybrid-cut, with
+//!   master/mirror replication tables. The hybrid-cut routing uses the
+//!   same [`papar_record::Value::stable_hash`] as PaPar's `graphVertexCut`
+//!   policy, so the two produce identical partitions (the paper's
+//!   correctness claim).
+//! * [`baseline`] — PowerLyra's own partitioning pipeline with its greedy
+//!   low-degree scoring and socket-over-Ethernet redistribution, the
+//!   Figure 15 baseline.
+//! * [`pagerank`] — reference and distributed PageRank with gather/apply/
+//!   scatter communication accounting (Figure 14's test algorithm).
+
+pub mod baseline;
+pub mod gen;
+pub mod graph;
+pub mod pagerank;
+pub mod partition;
+
+pub use graph::{Graph, GraphStats};
+pub use partition::{CutKind, PartitionAssignment};
+
+/// Error type for graph operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphError(pub String);
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "powerlyra error: {}", self.0)
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Result alias for graph operations.
+pub type Result<T> = std::result::Result<T, GraphError>;

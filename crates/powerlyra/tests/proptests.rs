@@ -1,0 +1,68 @@
+//! Property tests for the PowerLyra substrate: cuts are true partitions,
+//! replication accounting is consistent, PageRank conserves mass.
+
+use papar_mr::stats::NetModel;
+use powerlyra::graph::Graph;
+use powerlyra::pagerank;
+use powerlyra::partition::{edge_cut, hybrid_cut, vertex_cut};
+use proptest::prelude::*;
+
+fn graph_strategy() -> impl Strategy<Value = Graph> {
+    (2usize..60, prop::collection::vec((0u32..60, 0u32..60), 0..200)).prop_map(|(nv, edges)| {
+        let edges: Vec<(u32, u32)> = edges
+            .into_iter()
+            .map(|(s, d)| (s % nv as u32, d % nv as u32))
+            .collect();
+        Graph::from_edges(nv, &edges).unwrap()
+    })
+}
+
+proptest! {
+    /// Every cut is a true partition of the edge set, and the replication
+    /// tables are consistent with the edge placement.
+    #[test]
+    fn cuts_are_partitions_with_consistent_replicas(
+        g in graph_strategy(), parts in 1usize..7, threshold in 0usize..20) {
+        for asg in [
+            edge_cut(&g, parts).unwrap(),
+            vertex_cut(&g, parts).unwrap(),
+            hybrid_cut(&g, parts, threshold).unwrap(),
+        ] {
+            asg.validate_against(&g).unwrap();
+            // Every partition holding an edge of v appears in v's replicas.
+            for (p, edges) in asg.edges.iter().enumerate() {
+                for &(s, d) in edges {
+                    prop_assert!(asg.replicas[s as usize].contains(&(p as u32)));
+                    prop_assert!(asg.replicas[d as usize].contains(&(p as u32)));
+                }
+            }
+            // Replication factor >= 1 whenever any edge exists.
+            if g.num_edges() > 0 {
+                prop_assert!(asg.replication_factor() >= 1.0);
+                prop_assert!(asg.replication_factor() <= parts as f64);
+            }
+        }
+    }
+
+    /// Distributed PageRank conserves probability mass and matches the
+    /// reference for every cut.
+    #[test]
+    fn pagerank_mass_conserved(g in graph_strategy(), parts in 1usize..5) {
+        let reference = pagerank::reference_pagerank(&g, 5);
+        if !reference.is_empty() {
+            let mass: f64 = reference.iter().sum();
+            prop_assert!((mass - 1.0).abs() < 1e-6, "mass {mass}");
+        }
+        let asg = hybrid_cut(&g, parts, 5).unwrap();
+        let (ranks, _) = pagerank::distributed_pagerank(&g, &asg, 5, &NetModel::instant()).unwrap();
+        prop_assert!(pagerank::l1_distance(&ranks, &reference) < 1e-9);
+    }
+
+    /// SNAP text round-trip preserves the edge multiset.
+    #[test]
+    fn snap_text_roundtrip(g in graph_strategy()) {
+        let text = powerlyra::gen::to_snap_text(&g);
+        let back = powerlyra::gen::load_snap_text(&text).unwrap();
+        prop_assert_eq!(back.num_edges(), g.num_edges());
+    }
+}

@@ -1,0 +1,50 @@
+//! Record model and codecs for the PaPar framework.
+//!
+//! PaPar operators manipulate *records*: flat tuples of typed values whose
+//! layout is declared by an InputData configuration (paper Section III-A).
+//! This crate provides:
+//!
+//! * [`value::Value`] — the dynamically-typed field value with a total order
+//!   (used as operator keys),
+//! * [`schema::Schema`] — the field list of a dataset, extendable by add-on
+//!   operators that append attributes (paper Section III-B),
+//! * [`record::Record`] — one tuple,
+//! * [`batch::Batch`] — a dataset fragment, either in the original flat
+//!   format or in the *packed* format produced by the `pack` format operator,
+//! * [`packed::PackedRecord`] — a key plus the group of records sharing it,
+//! * [`codec`] — readers/writers for the two on-disk formats (fixed-width
+//!   binary and delimited text),
+//! * [`wire`] — the byte serialization used when records travel between
+//!   simulated cluster nodes, and
+//! * [`compress`] — the CSR/CSC-style compression of packed data described
+//!   in paper Section III-D ("Data Compression").
+
+pub mod batch;
+pub mod codec;
+pub mod compress;
+pub mod packed;
+pub mod record;
+pub mod schema;
+pub mod value;
+pub mod wire;
+
+pub use batch::Batch;
+pub use packed::PackedRecord;
+pub use record::Record;
+pub use schema::Schema;
+pub use value::Value;
+
+/// Error raised by codecs and wire (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CodecError(pub String);
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codec error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Result alias for codec operations.
+pub type Result<T> = std::result::Result<T, CodecError>;

@@ -1,0 +1,156 @@
+//! Records: flat tuples of typed values.
+
+use crate::value::Value;
+use crate::{CodecError, Result, Schema};
+
+/// One record — a tuple of values laid out according to some [`Schema`].
+///
+/// Records do not carry their schema; datasets do. That keeps the per-record
+/// footprint small, which matters because the partitioning workloads move
+/// tens of millions of records through the shuffle.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Record {
+    values: Vec<Value>,
+}
+
+impl Record {
+    /// Build a record from its values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Record { values }
+    }
+
+    /// The values in schema order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at a field index.
+    pub fn value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Value at a field index, with a descriptive error.
+    pub fn require(&self, idx: usize) -> Result<&Value> {
+        self.values.get(idx).ok_or_else(|| {
+            CodecError(format!(
+                "field index {idx} out of range for record of arity {}",
+                self.values.len()
+            ))
+        })
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Append an attribute value (add-on operators).
+    pub fn push(&mut self, v: Value) {
+        self.values.push(v);
+    }
+
+    /// Remove and return the value at `idx` (schema `without_field`).
+    pub fn remove(&mut self, idx: usize) -> Value {
+        self.values.remove(idx)
+    }
+
+    /// Overwrite the value at `idx`.
+    pub fn set(&mut self, idx: usize, v: Value) {
+        self.values[idx] = v;
+    }
+
+    /// Consume the record, yielding its values.
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+
+    /// True when every value's runtime type matches the schema.
+    pub fn conforms_to(&self, schema: &Schema) -> bool {
+        self.values.len() == schema.len()
+            && self
+                .values
+                .iter()
+                .zip(schema.fields())
+                .all(|(v, f)| v.field_type() == f.ty)
+    }
+
+    /// Render the record in the paper's figure notation: `{94, 100, 74, 89}`.
+    pub fn display_tuple(&self) -> String {
+        let inner = self
+            .values
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!("{{{inner}}}")
+    }
+}
+
+impl From<Vec<Value>> for Record {
+    fn from(values: Vec<Value>) -> Self {
+        Record::new(values)
+    }
+}
+
+/// Build a record from anything convertible to values.
+///
+/// ```
+/// use papar_record::{rec, Value};
+/// let r = rec![0, 94, 0, 74];
+/// assert_eq!(r.value(1), Some(&Value::Int(94)));
+/// ```
+#[macro_export]
+macro_rules! rec {
+    ($($v:expr),* $(,)?) => {
+        $crate::Record::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use papar_config::input::FieldType;
+
+    #[test]
+    fn construction_and_access() {
+        let r = rec![0, 94, 0, 74];
+        assert_eq!(r.arity(), 4);
+        assert_eq!(r.value(1), Some(&Value::Int(94)));
+        assert_eq!(r.value(9), None);
+        assert!(r.require(9).is_err());
+    }
+
+    #[test]
+    fn mutation() {
+        let mut r = rec!["v1", "v2"];
+        r.push(Value::Long(3));
+        assert_eq!(r.arity(), 3);
+        assert_eq!(r.remove(2), Value::Long(3));
+        r.set(0, Value::Str("v9".into()));
+        assert_eq!(r.value(0).unwrap().as_str(), Some("v9"));
+    }
+
+    #[test]
+    fn conformance() {
+        let schema = Schema::new(vec![
+            ("a", FieldType::Integer),
+            ("b", FieldType::Str),
+        ]);
+        assert!(rec![1, "x"].conforms_to(&schema));
+        assert!(!rec![1, 2].conforms_to(&schema));
+        assert!(!rec![1].conforms_to(&schema));
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        // Figure 1's first index entry.
+        assert_eq!(rec![0, 94, 0, 74].display_tuple(), "{0, 94, 0, 74}");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(rec![1, 5] < rec![2, 0]);
+        assert!(rec![1, 5] < rec![1, 6]);
+        assert_eq!(rec![3, 3], rec![3, 3]);
+    }
+}

@@ -1,0 +1,349 @@
+//! Wire serialization: the byte format records use when they travel between
+//! simulated cluster nodes.
+//!
+//! The shuffle of the MapReduce substrate moves *bytes*, exactly like MR-MPI
+//! moves MPI messages, so communication volume is measurable and the CSR/CSC
+//! compression of paper Section III-D has something real to compress.
+//!
+//! Two encodings exist:
+//!
+//! * **schema-driven** ([`encode_record`]/[`decode_record`]) — no per-field
+//!   tags; field types come from the schema. Fixed-width fields take exactly
+//!   their width; strings are `u32` length-prefixed.
+//! * **tagged** ([`encode_value`]/[`decode_value`]) — a 1-byte type tag then
+//!   the payload; used for group keys and reduce keys whose type is not
+//!   described by the record schema.
+//!
+//! All integers are little-endian.
+
+use papar_config::input::FieldType;
+
+use crate::packed::PackedRecord;
+use crate::record::Record;
+use crate::value::Value;
+use crate::{Batch, CodecError, Result, Schema};
+
+/// A cursor over a byte slice for decoding.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wrap a byte slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError(format!(
+                "truncated buffer: needed {n} bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Read one byte (public for framing layers built on this module).
+    pub fn read_u8(&mut self) -> Result<u8> {
+        self.u8()
+    }
+
+    /// Read a little-endian `u32` (public for framing layers).
+    pub fn read_u32(&mut self) -> Result<u32> {
+        self.u32()
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i32(&mut self) -> Result<i32> {
+        Ok(i32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError("invalid UTF-8".into()))
+    }
+}
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one value according to its declared field type (schema-driven).
+pub fn encode_field(v: &Value, ty: FieldType, buf: &mut Vec<u8>) -> Result<()> {
+    match (ty, v) {
+        (FieldType::Integer, Value::Int(x)) => buf.extend_from_slice(&x.to_le_bytes()),
+        (FieldType::Long, Value::Long(x)) => buf.extend_from_slice(&x.to_le_bytes()),
+        (FieldType::Double, Value::Double(x)) => buf.extend_from_slice(&x.to_le_bytes()),
+        (FieldType::Str, Value::Str(s)) => {
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+        (ty, v) => {
+            return Err(CodecError(format!(
+                "value {v} does not match declared field type {ty:?}"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// Decode one value according to its declared field type (schema-driven).
+pub fn decode_field(r: &mut Reader<'_>, ty: FieldType) -> Result<Value> {
+    Ok(match ty {
+        FieldType::Integer => Value::Int(r.i32()?),
+        FieldType::Long => Value::Long(r.i64()?),
+        FieldType::Double => Value::Double(r.f64()?),
+        FieldType::Str => Value::Str(r.str()?),
+    })
+}
+
+/// Encode a record without tags; the schema supplies the field types.
+pub fn encode_record(rec: &Record, schema: &Schema, buf: &mut Vec<u8>) -> Result<()> {
+    if rec.arity() != schema.len() {
+        return Err(CodecError(format!(
+            "record arity {} does not match schema arity {}",
+            rec.arity(),
+            schema.len()
+        )));
+    }
+    for (v, f) in rec.values().iter().zip(schema.fields()) {
+        encode_field(v, f.ty, buf)?;
+    }
+    Ok(())
+}
+
+/// Decode a record using the schema's field types.
+pub fn decode_record(r: &mut Reader<'_>, schema: &Schema) -> Result<Record> {
+    let mut values = Vec::with_capacity(schema.len());
+    for f in schema.fields() {
+        values.push(decode_field(r, f.ty)?);
+    }
+    Ok(Record::new(values))
+}
+
+/// Encode a value with a 1-byte type tag (for keys of unknown schema).
+pub fn encode_value(v: &Value, buf: &mut Vec<u8>) {
+    match v {
+        Value::Int(x) => {
+            buf.push(0);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Long(x) => {
+            buf.push(1);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Double(x) => {
+            buf.push(2);
+            buf.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            buf.push(3);
+            put_u32(buf, s.len() as u32);
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decode a tagged value.
+pub fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
+    Ok(match r.u8()? {
+        0 => Value::Int(r.i32()?),
+        1 => Value::Long(r.i64()?),
+        2 => Value::Double(r.f64()?),
+        3 => Value::Str(r.str()?),
+        t => return Err(CodecError(format!("unknown value tag {t}"))),
+    })
+}
+
+const BATCH_FLAT: u8 = 0;
+const BATCH_PACKED: u8 = 1;
+
+/// Encode a whole batch (format tag + entry count + entries).
+pub fn encode_batch(batch: &Batch, schema: &Schema, buf: &mut Vec<u8>) -> Result<()> {
+    match batch {
+        Batch::Flat(records) => {
+            buf.push(BATCH_FLAT);
+            put_u32(buf, records.len() as u32);
+            for rec in records {
+                encode_record(rec, schema, buf)?;
+            }
+        }
+        Batch::Packed(groups) => {
+            buf.push(BATCH_PACKED);
+            put_u32(buf, groups.len() as u32);
+            for g in groups {
+                encode_value(&g.key, buf);
+                put_u32(buf, g.records.len() as u32);
+                for rec in &g.records {
+                    encode_record(rec, schema, buf)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode a whole batch.
+pub fn decode_batch(r: &mut Reader<'_>, schema: &Schema) -> Result<Batch> {
+    match r.u8()? {
+        BATCH_FLAT => {
+            let n = r.u32()? as usize;
+            let mut records = Vec::with_capacity(n);
+            for _ in 0..n {
+                records.push(decode_record(r, schema)?);
+            }
+            Ok(Batch::Flat(records))
+        }
+        BATCH_PACKED => {
+            let n = r.u32()? as usize;
+            let mut groups = Vec::with_capacity(n);
+            for _ in 0..n {
+                let key = decode_value(r)?;
+                let m = r.u32()? as usize;
+                let mut records = Vec::with_capacity(m);
+                for _ in 0..m {
+                    records.push(decode_record(r, schema)?);
+                }
+                groups.push(PackedRecord { key, records });
+            }
+            Ok(Batch::Packed(groups))
+        }
+        t => Err(CodecError(format!("unknown batch tag {t}"))),
+    }
+}
+
+/// Convenience: encoded size of a batch in bytes.
+pub fn encoded_size(batch: &Batch, schema: &Schema) -> Result<usize> {
+    let mut buf = Vec::new();
+    encode_batch(batch, schema, &mut buf)?;
+    Ok(buf.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+
+    fn blast_schema() -> Schema {
+        Schema::new(vec![
+            ("seq_start", FieldType::Integer),
+            ("seq_size", FieldType::Integer),
+            ("desc_start", FieldType::Integer),
+            ("desc_size", FieldType::Integer),
+        ])
+    }
+
+    fn edge_schema() -> Schema {
+        Schema::new(vec![
+            ("vertex_a", FieldType::Str),
+            ("vertex_b", FieldType::Str),
+        ])
+    }
+
+    #[test]
+    fn record_roundtrip_fixed_width() {
+        let schema = blast_schema();
+        let r0 = rec![293, 91, 272, 107];
+        let mut buf = Vec::new();
+        encode_record(&r0, &schema, &mut buf).unwrap();
+        assert_eq!(buf.len(), 16);
+        let mut rd = Reader::new(&buf);
+        assert_eq!(decode_record(&mut rd, &schema).unwrap(), r0);
+        assert_eq!(rd.remaining(), 0);
+    }
+
+    #[test]
+    fn record_roundtrip_strings() {
+        let schema = edge_schema();
+        let r0 = rec!["v12", "v3456"];
+        let mut buf = Vec::new();
+        encode_record(&r0, &schema, &mut buf).unwrap();
+        let mut rd = Reader::new(&buf);
+        assert_eq!(decode_record(&mut rd, &schema).unwrap(), r0);
+    }
+
+    #[test]
+    fn tagged_value_roundtrip() {
+        for v in [
+            Value::Int(-9),
+            Value::Long(1 << 40),
+            Value::Double(2.5),
+            Value::Str("hello".into()),
+        ] {
+            let mut buf = Vec::new();
+            encode_value(&v, &mut buf);
+            let mut rd = Reader::new(&buf);
+            assert_eq!(decode_value(&mut rd).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_flat_and_packed() {
+        let schema = edge_schema();
+        let rows = vec![rec!["2", "1"], rec!["3", "1"], rec!["1", "2"]];
+        let flat = Batch::Flat(rows.clone());
+        let mut buf = Vec::new();
+        encode_batch(&flat, &schema, &mut buf).unwrap();
+        let got = decode_batch(&mut Reader::new(&buf), &schema).unwrap();
+        assert_eq!(got, flat);
+
+        let packed = Batch::Flat(rows).pack_by(1).unwrap();
+        let mut buf2 = Vec::new();
+        encode_batch(&packed, &schema, &mut buf2).unwrap();
+        let got2 = decode_batch(&mut Reader::new(&buf2), &schema).unwrap();
+        assert_eq!(got2, packed);
+    }
+
+    #[test]
+    fn truncated_buffers_error_cleanly() {
+        let schema = blast_schema();
+        let mut buf = Vec::new();
+        encode_record(&rec![1, 2, 3, 4], &schema, &mut buf).unwrap();
+        buf.truncate(10);
+        let mut rd = Reader::new(&buf);
+        assert!(decode_record(&mut rd, &schema).is_err());
+        assert!(decode_value(&mut Reader::new(&[])).is_err());
+        assert!(decode_batch(&mut Reader::new(&[9]), &schema).is_err());
+    }
+
+    #[test]
+    fn type_mismatch_is_rejected() {
+        let schema = blast_schema();
+        let mut buf = Vec::new();
+        assert!(encode_record(&rec!["oops", 1, 2, 3], &schema, &mut buf).is_err());
+        assert!(encode_record(&rec![1, 2], &schema, &mut buf).is_err());
+    }
+
+    #[test]
+    fn encoded_size_reports_bytes() {
+        let schema = blast_schema();
+        let b = Batch::Flat(vec![rec![1, 2, 3, 4], rec![5, 6, 7, 8]]);
+        // 1 tag + 4 count + 2 * 16 payload.
+        assert_eq!(encoded_size(&b, &schema).unwrap(), 1 + 4 + 32);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the record model: total-order laws for `Value`,
+//! codec round-trips, and pack/compress invariants.
+
+use papar_config::input::FieldType;
+use papar_record::codec;
+use papar_record::{rec, Record, Schema, Value};
+use proptest::prelude::*;
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Double),
+        "[ -~]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+proptest! {
+    /// Value's Ord is a total order: antisymmetric, transitive, and total.
+    #[test]
+    fn value_total_order_laws(a in value_strategy(), b in value_strategy(), c in value_strategy()) {
+        use std::cmp::Ordering::*;
+        // Totality + antisymmetry.
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+        // Transitivity (check the <= relation).
+        if a.cmp(&b) != Greater && b.cmp(&c) != Greater {
+            prop_assert_ne!(a.cmp(&c), Greater, "{:?} <= {:?} <= {:?}", a, b, c);
+        }
+        // Reflexivity.
+        prop_assert_eq!(a.cmp(&a), Equal);
+    }
+
+    /// Text codec round-trips arbitrary integer/double rows.
+    #[test]
+    fn text_codec_roundtrip(rows in prop::collection::vec((any::<i32>(), any::<i32>()), 0..50)) {
+        let cfg = papar_config::InputConfig::parse_str(r#"
+<input id="pair" name="n">
+  <input_format>text</input_format>
+  <element>
+    <value name="a" type="integer"/>
+    <delimiter value=","/>
+    <value name="b" type="integer"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#).unwrap();
+        let schema = Schema::from_input_config(&cfg);
+        let records: Vec<Record> = rows.iter().map(|&(a, b)| rec![a, b]).collect();
+        let text = codec::text::write(&cfg, &schema, &records).unwrap();
+        let back = codec::text::read(&cfg, &schema, &text).unwrap();
+        prop_assert_eq!(back, records);
+    }
+
+    /// Binary codec round-trips arbitrary mixed-width rows.
+    #[test]
+    fn binary_codec_roundtrip(rows in prop::collection::vec((any::<i32>(), any::<i64>()), 0..50)) {
+        let cfg = papar_config::InputConfig::parse_str(r#"
+<input id="mixed" name="n">
+  <input_format>binary</input_format>
+  <start_position>8</start_position>
+  <element>
+    <value name="a" type="integer"/>
+    <value name="b" type="long"/>
+  </element>
+</input>"#).unwrap();
+        let schema = Schema::from_input_config(&cfg);
+        let records: Vec<Record> = rows.iter().map(|&(a, b)| rec![a, b]).collect();
+        let bytes = codec::binary::write(&cfg, &schema, &records, None).unwrap();
+        prop_assert_eq!(bytes.len(), 8 + rows.len() * 12);
+        let back = codec::binary::read(&cfg, &schema, &bytes).unwrap();
+        prop_assert_eq!(back, records);
+    }
+}

@@ -1,0 +1,196 @@
+//! Compare–exchange sorting networks (Batcher odd–even mergesort).
+//!
+//! ASPaS builds its in-register sorters from sorting networks because every
+//! comparison pair is data-independent, which vectorizes. The same property
+//! makes the networks branch-predictable scalar code here. Networks are
+//! generated once per size by Batcher's odd–even merge construction and
+//! cached; [`sort_small`] applies them for slices up to
+//! [`MAX_NETWORK_SIZE`] elements.
+//!
+//! Sorting networks are *not* stable; the stable sort paths use insertion
+//! sort for their base case instead.
+
+use std::cmp::Ordering;
+use std::sync::OnceLock;
+
+/// Largest slice length the precomputed networks cover.
+pub const MAX_NETWORK_SIZE: usize = 32;
+
+/// Generate Batcher's odd–even mergesort network for `n` inputs as a list
+/// of compare–exchange pairs `(i, j)` with `i < j`.
+///
+/// Batcher's construction is defined for power-of-two sizes; for other `n`
+/// the network for the next power of two is generated and every comparator
+/// touching an index `>= n` is dropped. That is equivalent to padding the
+/// input with `+inf` sentinels (a comparator whose upper lane holds `+inf`
+/// never swaps), so the truncated network still sorts.
+pub fn batcher_network(n: usize) -> Vec<(usize, usize)> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let p = n.next_power_of_two();
+    let mut pairs = Vec::new();
+    sort_rec(0, p, &mut pairs);
+    pairs.retain(|&(_, j)| j < n);
+    pairs
+}
+
+fn sort_rec(lo: usize, n: usize, pairs: &mut Vec<(usize, usize)>) {
+    if n > 1 {
+        let m = n / 2;
+        sort_rec(lo, m, pairs);
+        sort_rec(lo + m, m, pairs);
+        merge_rec(lo, n, 1, pairs);
+    }
+}
+
+/// Batcher odd–even merge of the two sorted halves of the power-of-two
+/// range starting at `lo` with `n` elements, comparing elements `r` apart.
+fn merge_rec(lo: usize, n: usize, r: usize, pairs: &mut Vec<(usize, usize)>) {
+    let m = r * 2;
+    if m < n {
+        merge_rec(lo, n, m, pairs);
+        merge_rec(lo + r, n, m, pairs);
+        let mut i = lo + r;
+        while i + r <= lo + n - m {
+            pairs.push((i, i + r));
+            i += m;
+        }
+    } else {
+        pairs.push((lo, lo + r));
+    }
+}
+
+fn cached_network(n: usize) -> &'static [(usize, usize)] {
+    static NETWORKS: OnceLock<Vec<Vec<(usize, usize)>>> = OnceLock::new();
+    let all = NETWORKS.get_or_init(|| (0..=MAX_NETWORK_SIZE).map(batcher_network).collect());
+    &all[n]
+}
+
+/// Sort a small slice in place with a precomputed network.
+///
+/// # Panics
+///
+/// Panics if `v.len() > MAX_NETWORK_SIZE`; callers dispatch on length.
+pub fn sort_small<T, F>(v: &mut [T], mut less: F)
+where
+    F: FnMut(&T, &T) -> bool,
+{
+    assert!(
+        v.len() <= MAX_NETWORK_SIZE,
+        "sort_small called with {} > {MAX_NETWORK_SIZE} elements",
+        v.len()
+    );
+    for &(i, j) in cached_network(v.len()) {
+        if less(&v[j], &v[i]) {
+            v.swap(i, j);
+        }
+    }
+}
+
+/// Sort a small slice by a comparator.
+pub fn sort_small_by<T, F>(v: &mut [T], mut cmp: F)
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    sort_small(v, |a, b| cmp(a, b) == Ordering::Less);
+}
+
+/// Stable insertion sort, the base case of the stable mergesort paths.
+pub fn insertion_sort_by<T, F>(v: &mut [T], mut cmp: F)
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    for i in 1..v.len() {
+        let mut j = i;
+        while j > 0 && cmp(&v[j - 1], &v[j]) == Ordering::Greater {
+            v.swap(j - 1, j);
+            j -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The 0–1 principle: a comparison network sorts all inputs iff it
+    /// sorts every binary input. Exhaustively check sizes up to 12.
+    #[test]
+    fn zero_one_principle_exhaustive() {
+        for n in 0..=12usize {
+            for mask in 0..(1u32 << n) {
+                let mut v: Vec<u32> = (0..n).map(|i| (mask >> i) & 1).collect();
+                sort_small(&mut v, |a, b| a < b);
+                assert!(
+                    v.windows(2).all(|w| w[0] <= w[1]),
+                    "network n={n} failed on mask {mask:b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_random_inputs_at_every_size() {
+        // Deterministic LCG so the test needs no rand dependency.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for n in 0..=MAX_NETWORK_SIZE {
+            for _ in 0..50 {
+                let mut v: Vec<u64> = (0..n).map(|_| next() % 1000).collect();
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_small(&mut v, |a, b| a < b);
+                assert_eq!(v, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_variant_sorts_descending() {
+        let mut v = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        sort_small_by(&mut v, |a, b| b.cmp(a));
+        assert_eq!(v, vec![9, 6, 5, 4, 3, 2, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sort_small called with")]
+    fn oversized_slice_panics() {
+        let mut v = vec![0u8; MAX_NETWORK_SIZE + 1];
+        sort_small(&mut v, |a, b| a < b);
+    }
+
+    #[test]
+    fn insertion_sort_is_stable() {
+        // Pairs sorted by first element only; second element records the
+        // original order.
+        let mut v = vec![(2, 0), (1, 1), (2, 2), (1, 3), (2, 4)];
+        insertion_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        assert_eq!(v, vec![(1, 1), (1, 3), (2, 0), (2, 2), (2, 4)]);
+    }
+
+    #[test]
+    fn network_sizes_are_reasonable() {
+        // Batcher's construction is O(n log^2 n) comparators; spot-check a
+        // couple of known counts (n=4 -> 5, n=8 -> 19).
+        assert_eq!(batcher_network(0).len(), 0);
+        assert_eq!(batcher_network(1).len(), 0);
+        assert_eq!(batcher_network(2).len(), 1);
+        assert_eq!(batcher_network(4).len(), 5);
+        assert_eq!(batcher_network(8).len(), 19);
+    }
+
+    #[test]
+    fn network_pairs_are_well_formed() {
+        for n in 2..=MAX_NETWORK_SIZE {
+            for (i, j) in batcher_network(n) {
+                assert!(i < j && j < n, "bad pair ({i},{j}) for n={n}");
+            }
+        }
+    }
+}

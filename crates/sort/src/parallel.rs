@@ -1,0 +1,360 @@
+//! Multi-threaded sorts: parallel mergesort (stable and unstable) and
+//! samplesort.
+//!
+//! This is the ASPaS top level: split the input into one run per thread,
+//! sort runs independently (sorting-network base case for the unstable
+//! path, insertion-sort base case for the stable path), then do a multiway
+//! merge. A samplesort variant partitions by sampled splitters first, which
+//! is the same mechanism the MapReduce sampler uses to pick reduce-key
+//! ranges.
+//!
+//! The thread count is an explicit parameter rather than a global pool:
+//! inside the simulated cluster every *node* runs its own sorts with its
+//! own core budget, so parallelism must stay within the node's allotment.
+
+use std::cmp::Ordering;
+
+use crate::merge::{kway_merge, merge_into};
+use crate::network::{insertion_sort_by, sort_small, MAX_NETWORK_SIZE};
+
+/// Below this length sorting sequentially beats spawning threads.
+const PARALLEL_CUTOFF: usize = 4096;
+
+/// Sequential stable mergesort with an insertion-sort base case.
+pub fn mergesort_by<T: Clone, F>(v: &mut [T], mut cmp: F)
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    let mut buf: Vec<T> = Vec::with_capacity(v.len());
+    mergesort_rec(v, &mut buf, &mut cmp);
+}
+
+fn mergesort_rec<T: Clone, F>(v: &mut [T], buf: &mut Vec<T>, cmp: &mut F)
+where
+    F: FnMut(&T, &T) -> Ordering,
+{
+    if v.len() <= MAX_NETWORK_SIZE {
+        insertion_sort_by(v, &mut *cmp);
+        return;
+    }
+    let mid = v.len() / 2;
+    mergesort_rec(&mut v[..mid], buf, cmp);
+    mergesort_rec(&mut v[mid..], buf, cmp);
+    let (a, b) = v.split_at(mid);
+    merge_into(a, b, buf, &mut *cmp);
+    v.clone_from_slice(buf);
+}
+
+/// Sequential unstable quicksort with a sorting-network base case (the
+/// scalar analog of ASPaS's SIMD in-register sorters).
+///
+/// Partitioning is three-way (Dutch national flag), so inputs dominated by
+/// duplicate keys — common for partitioning workloads like sequence lengths
+/// — cost O(n) per distinct value instead of degrading quadratically.
+/// Recursion always descends into the smaller side and loops on the larger,
+/// bounding stack depth at O(log n).
+pub fn quicksort_by<T, F>(mut v: &mut [T], less: &F)
+where
+    T: Clone,
+    F: Fn(&T, &T) -> bool,
+{
+    loop {
+        if v.len() <= MAX_NETWORK_SIZE {
+            sort_small(v, |a, b| less(a, b));
+            return;
+        }
+        let pivot = v[median_of_three(v, less)].clone();
+        let (mut lt, mut i, mut gt) = (0usize, 0usize, v.len());
+        while i < gt {
+            if less(&v[i], &pivot) {
+                v.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if less(&pivot, &v[i]) {
+                gt -= 1;
+                v.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        // Elements in v[lt..gt] equal the pivot and are already placed.
+        if lt < v.len() - gt {
+            quicksort_by(&mut v[..lt], less);
+            v = &mut v[gt..];
+        } else {
+            quicksort_by(&mut v[gt..], less);
+            v = &mut v[..lt];
+        }
+    }
+}
+
+fn median_of_three<T, F>(v: &[T], less: &F) -> usize
+where
+    F: Fn(&T, &T) -> bool,
+{
+    let (a, b, c) = (0, v.len() / 2, v.len() - 1);
+    let lt = |i: usize, j: usize| less(&v[i], &v[j]);
+    if lt(a, b) {
+        if lt(b, c) {
+            b
+        } else if lt(a, c) {
+            c
+        } else {
+            a
+        }
+    } else if lt(a, c) {
+        a
+    } else if lt(b, c) {
+        c
+    } else {
+        b
+    }
+}
+
+/// Split `v` into `n` contiguous chunks of near-equal length.
+fn chunk_bounds(len: usize, n: usize) -> Vec<(usize, usize)> {
+    let n = n.max(1);
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let sz = base + usize::from(i < extra);
+        out.push((start, start + sz));
+        start += sz;
+    }
+    out
+}
+
+/// Stable parallel sort by comparator.
+///
+/// Runs are sorted on `threads` OS threads, then merged stably in run-index
+/// order, so the whole sort is stable.
+pub fn par_sort_by<T, F>(v: &mut Vec<T>, threads: usize, cmp: F)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if v.len() < PARALLEL_CUTOFF || threads <= 1 {
+        mergesort_by(v, &cmp);
+        return;
+    }
+    let bounds = chunk_bounds(v.len(), threads);
+    {
+        let mut rest: &mut [T] = v;
+        crossbeam::thread::scope(|s| {
+            for &(start, end) in &bounds {
+                let len = end - start;
+                let (chunk, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let cmp = &cmp;
+                s.spawn(move |_| mergesort_by(chunk, cmp));
+            }
+        })
+        .expect("sort worker panicked");
+    }
+    let runs: Vec<Vec<T>> = bounds
+        .iter()
+        .map(|&(start, end)| v[start..end].to_vec())
+        .collect();
+    *v = kway_merge(&runs, |a, b| cmp(a, b));
+}
+
+/// Unstable parallel sort by a strict-less predicate, using samplesort:
+/// sample splitters, bucket the input, sort buckets in parallel, and
+/// concatenate. Falls back to sequential quicksort on small inputs.
+pub fn par_sort_unstable_by<T, F>(v: &mut Vec<T>, threads: usize, less: F)
+where
+    T: Clone + Send,
+    F: Fn(&T, &T) -> bool + Sync,
+{
+    if v.len() < PARALLEL_CUTOFF || threads <= 1 {
+        quicksort_by(v, &less);
+        return;
+    }
+    // Oversample: 32 candidates per bucket gives well-balanced buckets with
+    // high probability (the same regime the paper's reducer sampler uses).
+    let buckets = threads;
+    let oversample = 32;
+    let step = (v.len() / (buckets * oversample)).max(1);
+    let mut sample: Vec<T> = v.iter().step_by(step).cloned().collect();
+    quicksort_by(&mut sample, &less);
+    let splitters: Vec<T> = (1..buckets)
+        .map(|i| sample[i * sample.len() / buckets].clone())
+        .collect();
+
+    let mut parts: Vec<Vec<T>> = (0..buckets).map(|_| Vec::new()).collect();
+    for item in v.drain(..) {
+        // First bucket whose splitter is not less than the item.
+        let b = splitters.partition_point(|s| less(s, &item));
+        parts[b].push(item);
+    }
+    crossbeam::thread::scope(|s| {
+        for part in &mut parts {
+            let less = &less;
+            s.spawn(move |_| quicksort_by(part, less));
+        }
+    })
+    .expect("sort worker panicked");
+    for part in parts {
+        v.extend(part);
+    }
+}
+
+/// Stable parallel sort by an extracted key (the PaPar sort operator's
+/// entry point: sort records by one field).
+pub fn sort_by_key<T, K, F>(v: &mut Vec<T>, threads: usize, key: F)
+where
+    T: Clone + Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sort_by(v, threads, |a, b| key(a).cmp(&key(b)));
+}
+
+/// Unstable parallel sort by an extracted key.
+pub fn sort_unstable_by_key<T, K, F>(v: &mut Vec<T>, threads: usize, key: F)
+where
+    T: Clone + Send,
+    K: Ord,
+    F: Fn(&T) -> K + Sync,
+{
+    par_sort_unstable_by(v, threads, |a, b| key(a) < key(b));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_vec(n: usize, seed: u64, modulo: u64) -> Vec<u64> {
+        let mut s = seed | 1;
+        (0..n).map(|_| xorshift(&mut s) % modulo).collect()
+    }
+
+    #[test]
+    fn mergesort_matches_std() {
+        for n in [0, 1, 2, 33, 100, 1000] {
+            let mut v = random_vec(n, 42, 1 << 20);
+            let mut expect = v.clone();
+            expect.sort();
+            mergesort_by(&mut v, |a, b| a.cmp(b));
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn mergesort_is_stable() {
+        let mut v: Vec<(u64, usize)> = random_vec(500, 7, 10)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .collect();
+        mergesort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+
+    #[test]
+    fn quicksort_matches_std() {
+        for n in [0, 1, 2, 33, 100, 1000] {
+            let mut v = random_vec(n, 99, 1 << 20);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            quicksort_by(&mut v, &|a, b| a < b);
+            assert_eq!(v, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn quicksort_handles_duplicates_and_sorted_input() {
+        let mut v = vec![5u64; 2000];
+        quicksort_by(&mut v, &|a, b| a < b);
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        let mut asc: Vec<u64> = (0..2000).collect();
+        quicksort_by(&mut asc, &|a, b| a < b);
+        assert!(asc.windows(2).all(|w| w[0] <= w[1]));
+        let mut desc: Vec<u64> = (0..2000).rev().collect();
+        quicksort_by(&mut desc, &|a, b| a < b);
+        assert!(desc.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn par_sort_matches_std_across_thread_counts() {
+        for threads in [1, 2, 4, 8] {
+            let mut v = random_vec(20_000, 3, 1 << 30);
+            let mut expect = v.clone();
+            expect.sort();
+            par_sort_by(&mut v, threads, |a, b| a.cmp(b));
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn par_sort_is_stable() {
+        let mut v: Vec<(u64, usize)> = random_vec(30_000, 11, 100)
+            .into_iter()
+            .enumerate()
+            .map(|(i, k)| (k, i))
+            .collect();
+        par_sort_by(&mut v, 4, |a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "stability violated at {:?} -> {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn samplesort_matches_std() {
+        for threads in [1, 2, 4, 8] {
+            let mut v = random_vec(20_000, 17, 1 << 30);
+            let mut expect = v.clone();
+            expect.sort_unstable();
+            par_sort_unstable_by(&mut v, threads, |a, b| a < b);
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn samplesort_with_heavy_duplicates() {
+        let mut v = random_vec(50_000, 23, 3);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort_unstable_by(&mut v, 8, |a, b| a < b);
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn key_based_entry_points() {
+        let mut v: Vec<(u64, &str)> = vec![(3, "c"), (1, "a"), (2, "b")];
+        sort_by_key(&mut v, 2, |t| t.0);
+        assert_eq!(v, vec![(1, "a"), (2, "b"), (3, "c")]);
+        let mut w = random_vec(10_000, 31, 1000);
+        sort_unstable_by_key(&mut w, 4, |&x| std::cmp::Reverse(x));
+        assert!(w.windows(2).all(|p| p[0] >= p[1]));
+    }
+
+    #[test]
+    fn chunk_bounds_cover_input() {
+        for (len, n) in [(10, 3), (0, 4), (7, 7), (5, 9), (100, 1)] {
+            let b = chunk_bounds(len, n);
+            assert_eq!(b.len(), n.max(1));
+            assert_eq!(b[0].0, 0);
+            assert_eq!(b.last().unwrap().1, len);
+            for w in b.windows(2) {
+                assert_eq!(w[0].1, w[1].0);
+            }
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the sort kernels: merges flatten to sorted output,
+//! samplesort/mergesort agree with std, stability holds.
+
+use papar_sort::merge::{kway_merge, kway_merge_ord, merge_into};
+use papar_sort::parallel;
+use proptest::prelude::*;
+
+proptest! {
+    /// Merging k sorted runs gives the sorted multiset union.
+    #[test]
+    fn kway_merge_is_sorted_union(runs in prop::collection::vec(
+        prop::collection::vec(any::<i32>(), 0..40), 0..6)) {
+        let sorted_runs: Vec<Vec<i32>> = runs.iter().map(|r| {
+            let mut v = r.clone();
+            v.sort_unstable();
+            v
+        }).collect();
+        let merged = kway_merge(&sorted_runs, |a, b| a.cmp(b));
+        let mut expect: Vec<i32> = runs.concat();
+        expect.sort_unstable();
+        prop_assert_eq!(&merged, &expect);
+        prop_assert_eq!(kway_merge_ord(&sorted_runs), expect);
+    }
+
+    /// Two-way merge keeps ties in left-then-right order.
+    #[test]
+    fn merge_into_is_stable(a in prop::collection::vec(0u8..8, 0..30),
+                            b in prop::collection::vec(0u8..8, 0..30)) {
+        let mut sa: Vec<(u8, char)> = a.iter().map(|&k| (k, 'a')).collect();
+        let mut sb: Vec<(u8, char)> = b.iter().map(|&k| (k, 'b')).collect();
+        sa.sort_by_key(|&(k, _)| k);
+        sb.sort_by_key(|&(k, _)| k);
+        let mut out = Vec::new();
+        merge_into(&sa, &sb, &mut out, |x, y| x.0.cmp(&y.0));
+        prop_assert!(out.windows(2).all(|w| w[0].0 < w[1].0
+            || (w[0].0 == w[1].0 && !(w[0].1 == 'b' && w[1].1 == 'a'))));
+        prop_assert_eq!(out.len(), sa.len() + sb.len());
+    }
+
+    /// The parallel sorts agree with the standard library for every thread
+    /// count.
+    #[test]
+    fn parallel_sorts_agree_with_std(mut v in prop::collection::vec(any::<u64>(), 0..5000),
+                                     threads in 1usize..5) {
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        let mut stable = v.clone();
+        parallel::par_sort_by(&mut stable, threads, |a, b| a.cmp(b));
+        prop_assert_eq!(&stable, &expect);
+        parallel::par_sort_unstable_by(&mut v, threads, |a, b| a < b);
+        prop_assert_eq!(&v, &expect);
+    }
+
+    /// Stability of the stable path: equal keys keep insertion order.
+    #[test]
+    fn par_sort_by_is_stable(keys in prop::collection::vec(0u8..6, 0..5000),
+                             threads in 1usize..5) {
+        let mut v: Vec<(u8, usize)> = keys.into_iter().enumerate()
+            .map(|(i, k)| (k, i)).collect();
+        parallel::par_sort_by(&mut v, threads, |a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! The PowerLyra case study end-to-end (paper Section III-C, Figures
+//! 10/11): generate a power-law graph, run the PaPar-generated hybrid-cut
+//! workflow over its edge list, verify the partitions against the native
+//! PowerLyra hybrid-cut, and run PageRank on all three cuts to show why
+//! the hybrid wins (Figure 14's comparison).
+//!
+//! ```sh
+//! cargo run --release --example hybrid_cut [vertices] [edges] [partitions] [threshold]
+//! ```
+
+use papar::prelude::*;
+use papar::record::batch::{Batch, Dataset};
+use papar_mr::stats::NetModel;
+use powerlyra::partition::{edge_cut, hybrid_cut, vertex_cut, PartitionAssignment};
+use powerlyra::{gen, pagerank};
+use std::collections::HashMap;
+
+const EDGE_INPUT_CFG: &str = r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+const HYBRID_WORKFLOW: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut cli = std::env::args().skip(1);
+    let vertices: usize = cli.next().map_or(20_000, |s| s.parse().unwrap());
+    let edges: usize = cli.next().map_or(120_000, |s| s.parse().unwrap());
+    let partitions: usize = cli.next().map_or(16, |s| s.parse().unwrap());
+    let threshold: usize = cli.next().map_or(200, |s| s.parse().unwrap());
+
+    println!("generating a power-law graph: {vertices} vertices, {edges} edges ...");
+    let graph = gen::chung_lu(vertices, edges, 2.1, 7)?;
+    let stats = graph.stats();
+    println!(
+        "  max in-degree {} (avg {:.1}), {} triangles",
+        stats.max_in_degree,
+        edges as f64 / vertices as f64,
+        stats.triangles
+    );
+
+    // --- PaPar hybrid-cut over the edge-list text. ---
+    let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG])?;
+    let mut args = HashMap::new();
+    args.insert("input_file".into(), "/g/edges".into());
+    args.insert("output_path".into(), "/g/partitions".into());
+    args.insert("num_partitions".into(), partitions.to_string());
+    args.insert("threshold".into(), threshold.to_string());
+    let plan = planner.bind(&args)?;
+    let runner = WorkflowRunner::new(plan);
+    let mut cluster = Cluster::new(8);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let input_cfg = InputConfig::parse_str(EDGE_INPUT_CFG)?;
+    let text = gen::to_snap_text(&graph);
+    let records = papar::record::codec::text::read(&input_cfg, &schema, &text)?;
+    runner.scatter_input(&mut cluster, "/g/edges", Dataset::new(schema, Batch::Flat(records)))?;
+    let report = runner.run(&mut cluster)?;
+    println!("\nPaPar hybrid-cut on 8 nodes:");
+    for job in &report.jobs {
+        println!(
+            "  job '{:6}' {:>9} pairs shuffled, {:>10} bytes, {:?} simulated",
+            job.name, job.pairs_shuffled, job.exchange.remote_bytes, job.sim_time()
+        );
+    }
+
+    // --- Verify against the native PowerLyra hybrid-cut. ---
+    let native = hybrid_cut(&graph, partitions, threshold)?;
+    let mut papar_edges: Vec<Vec<(u32, u32)>> = cluster
+        .collect(&runner.plan().output_path)?
+        .into_iter()
+        .map(|d| {
+            d.batch
+                .flatten()
+                .iter()
+                .map(|r| {
+                    (
+                        r.value(0).unwrap().as_str().unwrap().parse().unwrap(),
+                        r.value(1).unwrap().as_str().unwrap().parse().unwrap(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let mut native_edges = native.edges.clone();
+    for p in papar_edges.iter_mut().chain(native_edges.iter_mut()) {
+        p.sort_unstable();
+    }
+    assert_eq!(papar_edges, native_edges);
+    println!("\ncorrectness: PaPar partitions == PowerLyra hybrid-cut ✓");
+
+    // --- Figure 14's comparison: PageRank on the three cuts. ---
+    println!("\nPageRank (10 iterations) under the three cuts:");
+    let net = NetModel::ethernet_10g();
+    let reference = pagerank::reference_pagerank(&graph, 10);
+    let mut rows: Vec<(&str, PartitionAssignment)> = vec![
+        ("hybrid-cut", native),
+        ("vertex-cut", vertex_cut(&graph, partitions)?),
+        ("edge-cut", edge_cut(&graph, partitions)?),
+    ];
+    let mut times = Vec::new();
+    for (name, asg) in rows.iter_mut() {
+        let (ranks, stats) = pagerank::distributed_pagerank(&graph, asg, 10, &net)?;
+        assert!(pagerank::l1_distance(&ranks, &reference) < 1e-9);
+        times.push((*name, stats.sim_time(), asg.replication_factor()));
+    }
+    let best = times.iter().map(|t| t.1).min().unwrap();
+    for (name, t, repl) in &times {
+        println!(
+            "  {name:11} replication {repl:5.2}  sim {t:>12?}  normalized {:.2}",
+            t.as_secs_f64() / best.as_secs_f64()
+        );
+    }
+    Ok(())
+}

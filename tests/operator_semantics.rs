@@ -1,0 +1,208 @@
+//! End-to-end semantics of the remaining Table I surface: the descending
+//! sort flag, add-ons attached to sort, block distribution after sorting,
+//! and reducer-count overrides.
+
+use papar::core::exec::WorkflowRunner;
+use papar::core::plan::Planner;
+use papar::mr::Cluster;
+use papar::record::batch::{Batch, Dataset};
+use papar::record::{rec, Record};
+use std::collections::HashMap;
+
+const INPUT_CFG: &str = r#"
+<input id="scores" name="n">
+  <input_format>text</input_format>
+  <element>
+    <value name="name" type="String"/>
+    <delimiter value=","/>
+    <value name="score" type="integer"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn run_workflow(wf: &str, records: Vec<Record>, nodes: usize) -> (WorkflowRunner, Cluster) {
+    let planner = Planner::from_xml(wf, &[INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[("input_path", "/in"), ("output_path", "/out")]))
+        .unwrap();
+    let runner = WorkflowRunner::new(plan);
+    let mut cluster = Cluster::new(nodes);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    runner
+        .scatter_input(&mut cluster, "/in", Dataset::new(schema, Batch::Flat(records)))
+        .unwrap();
+    runner.run(&mut cluster).unwrap();
+    (runner, cluster)
+}
+
+fn scores(ds: &Dataset) -> Vec<i64> {
+    ds.batch
+        .clone()
+        .flatten()
+        .iter()
+        .map(|r| r.value(1).unwrap().as_i64().unwrap())
+        .collect()
+}
+
+#[test]
+fn descending_sort_flag_reverses_global_order() {
+    // Table I: flag 1 = descending.
+    let wf = r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="scores"/>
+    <param name="output_path" type="hdfs" format="scores"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="3">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="key" type="KeyId" value="score"/>
+      <param name="flag" type="integer" value="1"/>
+    </operator>
+  </operators>
+</workflow>"#;
+    let records: Vec<Record> = (0..40).map(|i| rec![format!("p{i}"), (i * 7) % 23]).collect();
+    let (runner, cluster) = run_workflow(wf, records, 3);
+    let all: Vec<i64> = cluster
+        .collect(&runner.plan().output_path)
+        .unwrap()
+        .iter()
+        .flat_map(scores)
+        .collect();
+    assert_eq!(all.len(), 40);
+    assert!(
+        all.windows(2).all(|w| w[0] >= w[1]),
+        "concatenated reducer outputs must be globally descending: {all:?}"
+    );
+}
+
+#[test]
+fn ascending_flag_spellings_agree() {
+    for flag in ["-1", "asc", "ascending"] {
+        let wf = format!(
+            r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="scores"/>
+    <param name="output_path" type="hdfs" format="scores"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="key" type="KeyId" value="score"/>
+      <param name="flag" type="integer" value="{flag}"/>
+    </operator>
+  </operators>
+</workflow>"#
+        );
+        let records = vec![rec!["a", 3], rec!["b", 1], rec!["c", 2]];
+        let (runner, cluster) = run_workflow(&wf, records, 2);
+        let all: Vec<i64> = cluster
+            .collect(&runner.plan().output_path)
+            .unwrap()
+            .iter()
+            .flat_map(scores)
+            .collect();
+        assert_eq!(all, vec![1, 2, 3], "flag {flag}");
+    }
+}
+
+#[test]
+fn sort_addons_annotate_key_groups() {
+    // A count add-on on the sort operator annotates each record with its
+    // key-group size (sort and group share the reduce-side add-on path).
+    let wf = r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="scores"/>
+    <param name="output_path" type="hdfs" format="scores"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="key" type="KeyId" value="score"/>
+      <addon operator="count" key="score" attr="ties"/>
+    </operator>
+  </operators>
+</workflow>"#;
+    let records = vec![rec!["a", 5], rec!["b", 5], rec!["c", 9], rec!["d", 5]];
+    let (runner, cluster) = run_workflow(wf, records, 2);
+    let out = cluster.collect_concat(&runner.plan().output_path).unwrap();
+    // Schema extended by the attribute.
+    assert_eq!(out.schema.index_of("ties"), Some(2));
+    for r in out.batch.as_flat().unwrap() {
+        let score = r.value(1).unwrap().as_i64().unwrap();
+        let ties = r.value(2).unwrap().as_i64().unwrap();
+        assert_eq!(ties, if score == 5 { 3 } else { 1 }, "{r:?}");
+    }
+}
+
+#[test]
+fn block_distribution_after_sort_yields_contiguous_ranges() {
+    // The muBLASTP "block" configuration: distribute sorted data in
+    // contiguous chunks; each partition's scores are then an interval.
+    let wf = r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="scores"/>
+    <param name="output_path" type="hdfs" format="scores"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/tmp/sorted"/>
+      <param name="key" type="KeyId" value="score"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="block"/>
+      <param name="numPartitions" type="integer" value="4"/>
+    </operator>
+  </operators>
+</workflow>"#;
+    let records: Vec<Record> = (0..32).map(|i| rec![format!("p{i}"), (i * 13) % 97]).collect();
+    let (runner, cluster) = run_workflow(wf, records, 3);
+    let parts = cluster.collect(&runner.plan().output_path).unwrap();
+    assert_eq!(parts.len(), 4);
+    let ranges: Vec<Vec<i64>> = parts.iter().map(scores).collect();
+    // Equal counts and globally non-overlapping, increasing ranges.
+    assert!(ranges.iter().all(|r| r.len() == 8));
+    for w in ranges.windows(2) {
+        assert!(w[0].last().unwrap() <= w[1].first().unwrap());
+    }
+    let concat: Vec<i64> = ranges.concat();
+    assert!(concat.windows(2).all(|w| w[0] <= w[1]));
+}
+
+#[test]
+fn num_reducers_override_controls_intermediate_fragments() {
+    let wf = r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="scores"/>
+    <param name="output_path" type="hdfs" format="scores"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort" num_reducers="5">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="key" type="KeyId" value="score"/>
+    </operator>
+  </operators>
+</workflow>"#;
+    let records: Vec<Record> = (0..50).map(|i| rec![format!("p{i}"), i]).collect();
+    let (runner, cluster) = run_workflow(wf, records, 2);
+    let parts = cluster.collect(&runner.plan().output_path).unwrap();
+    assert_eq!(parts.len(), 5, "num_reducers=5 means five output fragments");
+}
