@@ -2,12 +2,12 @@
 //! encoding with and without CSC compression, and reduce-range sampling.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use papar_config::input::FieldType;
 use papar_mr::sampler;
 use papar_record::batch::Batch;
 use papar_record::compress;
 use papar_record::wire;
 use papar_record::{rec, Schema, Value};
-use papar_config::input::FieldType;
 
 fn grouped_batch(groups: usize, members: usize) -> (Schema, Batch) {
     let schema = Schema::new(vec![
@@ -45,7 +45,9 @@ fn bench_compression(c: &mut Criterion) {
 }
 
 fn bench_sampling(c: &mut Criterion) {
-    let keys: Vec<Value> = (0..200_000).map(|i| Value::Int((i * 2654435761u64 as i64 % 1_000_000) as i32)).collect();
+    let keys: Vec<Value> = (0..200_000)
+        .map(|i| Value::Int((i * 2654435761u64 as i64 % 1_000_000) as i32))
+        .collect();
     c.bench_function("sampler-boundaries-200k-keys", |b| {
         b.iter(|| {
             let sample = sampler::local_sample(&keys, sampler::DEFAULT_SAMPLE_STRIDE);

@@ -17,7 +17,12 @@ fn bench_pagerank_cuts(c: &mut Criterion) {
     let mut group = c.benchmark_group("pagerank-5-iters-80k-edges");
     for (name, asg) in &cuts {
         group.bench_with_input(BenchmarkId::new("cut", name), asg, |b, asg| {
-            b.iter(|| distributed_pagerank(&graph, asg, 5, &net).unwrap().1.sim_time())
+            b.iter(|| {
+                distributed_pagerank(&graph, asg, 5, &net)
+                    .unwrap()
+                    .1
+                    .sim_time()
+            })
         });
     }
     group.finish();

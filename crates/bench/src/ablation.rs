@@ -55,11 +55,11 @@ pub fn compression(scale: &Scale) -> Table {
 /// A2 — distributed sampling vs naive first-fragment sampling: reducer
 /// balance of the sort job on the (length-clustered) databases.
 pub fn sampling(scale: &Scale) -> Table {
+    use crate::workflows::{blast_workflow, BLAST_INPUT_CFG};
+    use papar_core::exec::WorkflowRunner;
+    use papar_core::plan::Planner;
     use papar_mr::Cluster;
     use papar_record::batch::{Batch, Dataset};
-    use papar_core::plan::Planner;
-    use papar_core::exec::WorkflowRunner;
-    use crate::workflows::{blast_workflow, BLAST_INPUT_CFG};
 
     let mut t = Table::new(
         "Ablation A2: reduce-range sampling (sort job reducer balance)",
@@ -119,7 +119,13 @@ pub fn sampling(scale: &Scale) -> Table {
 pub fn sort_comparison(scale: &Scale) -> Table {
     let mut t = Table::new(
         "Ablation A3: single-node sort of the muBLASTP index (seq_size key)",
-        &["database", "entries", "papar-sort samplesort", "papar-sort mergesort", "std stable sort"],
+        &[
+            "database",
+            "entries",
+            "papar-sort samplesort",
+            "papar-sort mergesort",
+            "std stable sort",
+        ],
     );
     for (name, db) in databases(scale) {
         let keys: Vec<(i32, u32)> = db
@@ -164,11 +170,7 @@ mod tests {
         for row in &t.rows {
             let plain: u64 = row[1].parse().unwrap();
             let compressed: u64 = row[2].parse().unwrap();
-            assert!(
-                compressed < plain,
-                "{}: {compressed} !< {plain}",
-                row[0]
-            );
+            assert!(compressed < plain, "{}: {compressed} !< {plain}", row[0]);
         }
     }
 
@@ -186,7 +188,11 @@ mod tests {
             );
             // Quick-scale samples are small; allow some jitter but stay
             // far from the naive mode's collapse.
-            assert!(good < 2.0, "{}: distributed sampling too skewed: {good}", pair[0][0]);
+            assert!(
+                good < 2.0,
+                "{}: distributed sampling too skewed: {good}",
+                pair[0][0]
+            );
         }
     }
 }

@@ -1,0 +1,172 @@
+//! Chaos mode: the Figure 8 partitioning workflow under seeded fault
+//! injection, compared against its fault-free run.
+//!
+//! For each fault mix the experiment runs the same workflow twice on the
+//! same database — once on a healthy cluster and once on a cluster carrying
+//! a deterministic [`ChaosSpec`] plan plus replication — asserts the
+//! recovered partitions are byte-identical to the fault-free ones, and
+//! reports the simulated-time overhead recovery cost. Goodput is the
+//! fault-free work rate; its degradation is how much of the chaos run's
+//! makespan went to redone compute, backoff, and recovery traffic.
+
+use papar_core::exec::ExecOptions;
+use papar_mr::stats::RecoveryStats;
+use papar_mr::{ChaosSpec, Cluster, RetryPolicy};
+use std::time::Duration;
+
+use crate::datasets::Scale;
+use crate::report::{fmt_dur, Table};
+use crate::workflows::{run_blast, run_blast_on};
+
+/// Nodes in the chaos cluster.
+pub const NODES: usize = 4;
+
+/// Partitions produced by each run.
+pub const PARTITIONS: usize = 8;
+
+/// Fault plan seed — fixed so the table is reproducible run to run.
+pub const SEED: u64 = 0xC4A0_5EED;
+
+/// The fault mixes the experiment sweeps (CLI `--faults` syntax).
+pub const MIXES: &[&str] = &[
+    "crash=1",
+    "crash=2,drop=1",
+    "corrupt=2,straggler=1",
+    "crash=1,drop=1,corrupt=1,straggler=1",
+];
+
+/// One chaos run against its fault-free baseline.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Fault mix, in `--faults` syntax.
+    pub mix: &'static str,
+    /// Faults the plan actually fired.
+    pub faults_injected: u32,
+    /// Fault-free simulated makespan.
+    pub fault_free: Duration,
+    /// Chaos-run simulated makespan.
+    pub chaos: Duration,
+    /// Aggregated recovery cost of the chaos run.
+    pub recovery: RecoveryStats,
+    /// Whether the recovered partitions matched the fault-free ones.
+    pub identical: bool,
+}
+
+impl Row {
+    /// Fraction of the fault-free goodput lost to recovery, in percent:
+    /// `(chaos - fault_free) / chaos`. Zero when the chaos run was no
+    /// slower (a plan whose faults all missed, or timing noise).
+    pub fn goodput_degradation_pct(&self) -> f64 {
+        let ff = self.fault_free.as_secs_f64();
+        let ch = self.chaos.as_secs_f64();
+        if ch <= ff || ch == 0.0 {
+            0.0
+        } else {
+            (ch - ff) / ch * 100.0
+        }
+    }
+}
+
+/// Run every fault mix and collect the comparison rows.
+pub fn rows(scale: &Scale) -> Vec<Row> {
+    // A fraction of the env_nr scale is plenty: the point is recovery
+    // behavior, not throughput.
+    let sequences = (scale.env_nr_sequences / 4).max(500);
+    let db = mublastp::dbgen::DbSpec::env_nr_scaled(sequences, 4242).generate();
+    let baseline = run_blast(&db, "roundRobin", PARTITIONS, NODES, ExecOptions::default());
+    let num_jobs = baseline.report.jobs.len();
+
+    MIXES
+        .iter()
+        .map(|mix| {
+            let plan = ChaosSpec::parse(mix)
+                .expect("mix")
+                .realize(SEED, NODES, num_jobs);
+            let cluster = Cluster::try_new(NODES)
+                .expect("cluster")
+                .with_replication(1)
+                .with_fault_plan(plan)
+                .with_retry(RetryPolicy::default());
+            let run = run_blast_on(
+                &db,
+                "roundRobin",
+                PARTITIONS,
+                cluster,
+                ExecOptions::default(),
+            );
+            Row {
+                mix,
+                faults_injected: run.report.faults_injected(),
+                fault_free: baseline.report.total_sim_time(),
+                chaos: run.report.total_sim_time(),
+                recovery: run.report.total_recovery(),
+                identical: run.partitions == baseline.partitions,
+            }
+        })
+        .collect()
+}
+
+/// Render the chaos table.
+pub fn run(scale: &Scale) -> Table {
+    let mut t = Table::new(
+        "Chaos: recovery overhead under seeded fault injection (muBLASTP workflow)",
+        &[
+            "fault mix",
+            "injected",
+            "fault-free",
+            "with faults",
+            "redone compute",
+            "recovery traffic",
+            "goodput loss",
+            "output",
+        ],
+    );
+    for r in rows(scale) {
+        t.row(vec![
+            r.mix.to_string(),
+            r.faults_injected.to_string(),
+            fmt_dur(r.fault_free),
+            fmt_dur(r.chaos),
+            fmt_dur(r.recovery.reexec_task_time),
+            format!("{} B", r.recovery.total_bytes()),
+            format!("{:.1}%", r.goodput_degradation_pct()),
+            if r.identical { "identical" } else { "DIVERGED" }.to_string(),
+        ]);
+    }
+    t.note(format!(
+        "replication factor 1, retry policy default, fault seed {SEED:#x}; \
+         every row must read 'identical' — recovery may never change the partitions"
+    ));
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_mix_recovers_to_identical_partitions() {
+        for r in rows(&Scale::quick()) {
+            assert!(
+                r.identical,
+                "mix '{}' diverged from the fault-free run",
+                r.mix
+            );
+            assert!(r.faults_injected > 0, "mix '{}' injected nothing", r.mix);
+        }
+    }
+
+    #[test]
+    fn crashes_charge_redone_compute() {
+        let rs = rows(&Scale::quick());
+        let crashed: Vec<_> = rs.iter().filter(|r| r.mix.contains("crash")).collect();
+        assert!(!crashed.is_empty());
+        for r in crashed {
+            assert!(
+                r.recovery.reexec_task_time > Duration::ZERO,
+                "mix '{}' crashed but charged no re-executed task time",
+                r.mix
+            );
+        }
+    }
+}

@@ -46,7 +46,10 @@ impl Scale {
 /// The two databases of Section IV-B.
 pub fn databases(scale: &Scale) -> Vec<(&'static str, BlastDb)> {
     vec![
-        ("env_nr", DbSpec::env_nr_scaled(scale.env_nr_sequences, 1001).generate()),
+        (
+            "env_nr",
+            DbSpec::env_nr_scaled(scale.env_nr_sequences, 1001).generate(),
+        ),
         ("nr", DbSpec::nr_scaled(scale.nr_sequences, 1002).generate()),
     ]
 }
@@ -55,8 +58,14 @@ pub fn databases(scale: &Scale) -> Vec<(&'static str, BlastDb)> {
 pub fn graphs(scale: &Scale) -> Vec<(&'static str, Graph)> {
     let d = scale.graph_divisor;
     vec![
-        ("Google", gen::presets::google_like(d, 2001).expect("generator")),
-        ("Pokec", gen::presets::pokec_like(d, 2002).expect("generator")),
+        (
+            "Google",
+            gen::presets::google_like(d, 2001).expect("generator"),
+        ),
+        (
+            "Pokec",
+            gen::presets::pokec_like(d, 2002).expect("generator"),
+        ),
         (
             "LiveJournal",
             gen::presets::livejournal_like(d, 2003).expect("generator"),

@@ -58,7 +58,9 @@ fn baseline_time(db: &mublastp::BlastDb, parts: usize) -> Duration {
 
 /// Measure PaPar's total partitioning time at `nodes` nodes.
 fn papar_time(db: &mublastp::BlastDb, parts: usize, nodes: usize) -> Duration {
-    measure::avg_of(|| run_blast(db, "roundRobin", parts, nodes, ExecOptions::default()).total_time())
+    measure::avg_of(|| {
+        run_blast(db, "roundRobin", parts, nodes, ExecOptions::default()).total_time()
+    })
 }
 
 /// Figure 13(a): the 16-node comparison.
@@ -94,7 +96,12 @@ pub fn scaling(scale: &Scale) -> Vec<(&'static str, Vec<(usize, Duration)>)> {
 pub fn run_a(scale: &Scale) -> Table {
     let mut t = Table::new(
         "Figure 13a: partitioning time (cyclic), PaPar on 16 nodes vs muBLASTP baseline",
-        &["database", "muBLASTP (1 node, 16 threads)", "PaPar (16 nodes)", "speedup"],
+        &[
+            "database",
+            "muBLASTP (1 node, 16 threads)",
+            "PaPar (16 nodes)",
+            "speedup",
+        ],
     );
     for c in comparisons(scale) {
         t.row(vec![

@@ -31,7 +31,11 @@ impl Row {
     /// (hybrid, edge, vertex) normalized to hybrid.
     pub fn normalized(&self) -> (f64, f64, f64) {
         let h = self.times.0.as_secs_f64();
-        (1.0, self.times.1.as_secs_f64() / h, self.times.2.as_secs_f64() / h)
+        (
+            1.0,
+            self.times.1.as_secs_f64() / h,
+            self.times.2.as_secs_f64() / h,
+        )
     }
 }
 

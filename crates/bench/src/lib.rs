@@ -12,6 +12,7 @@
 //! to `EXPERIMENTS.md` in markdown.
 
 pub mod ablation;
+pub mod chaos;
 pub mod datasets;
 pub mod fig12;
 pub mod fig13;

@@ -8,7 +8,7 @@
 
 use papar_bench::datasets::Scale;
 use papar_bench::report::Table;
-use papar_bench::{ablation, fig12, fig13, fig14, fig15, table2};
+use papar_bench::{ablation, chaos, fig12, fig13, fig14, fig15, table2};
 use std::io::Write;
 
 const EXPERIMENTS: &[&str] = &[
@@ -22,6 +22,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-compress",
     "ablation-sampling",
     "ablation-sort",
+    "chaos",
 ];
 
 fn usage() -> ! {
@@ -45,6 +46,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Table {
         "ablation-compress" => ablation::compression(scale),
         "ablation-sampling" => ablation::sampling(scale),
         "ablation-sort" => ablation::sort_comparison(scale),
+        "chaos" => chaos::run(scale),
         other => {
             eprintln!("unknown experiment '{other}'");
             usage()

@@ -118,7 +118,10 @@ pub const HYBRID_WORKFLOW: &str = r#"
 </workflow>"#;
 
 fn args(pairs: &[(&str, String)]) -> HashMap<String, String> {
-    pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
 }
 
 /// Result of one PaPar BLAST partitioning run.
@@ -148,6 +151,19 @@ pub fn run_blast(
     nodes: usize,
     options: ExecOptions,
 ) -> BlastRun {
+    run_blast_on(db, policy, num_partitions, Cluster::new(nodes), options)
+}
+
+/// Like [`run_blast`], but on a caller-built cluster — chaos mode hands in
+/// one carrying a fault plan, replication, and a retry policy.
+pub fn run_blast_on(
+    db: &BlastDb,
+    policy: &str,
+    num_partitions: usize,
+    mut cluster: Cluster,
+    options: ExecOptions,
+) -> BlastRun {
+    let nodes = cluster.num_nodes();
     let planner = Planner::from_xml(&blast_workflow(policy), &[BLAST_INPUT_CFG]).expect("config");
     let plan = planner
         .bind(&args(&[
@@ -157,11 +173,14 @@ pub fn run_blast(
         ]))
         .expect("bind");
     let runner = WorkflowRunner::with_options(plan, options);
-    let mut cluster = Cluster::new(nodes);
     let schema = runner.plan().external_inputs[0].1.schema.clone();
     let records = db.index_records();
     runner
-        .scatter_input(&mut cluster, "/db/in", Dataset::new(schema, Batch::Flat(records)))
+        .scatter_input(
+            &mut cluster,
+            "/db/in",
+            Dataset::new(schema, Batch::Flat(records)),
+        )
         .expect("scatter");
     let report = runner.run(&mut cluster).expect("run");
     let partitions: Vec<Vec<IndexEntry>> = cluster
@@ -232,7 +251,11 @@ pub fn run_hybrid(
     let text = powerlyra::gen::to_snap_text(graph);
     let records = papar_record::codec::text::read(&input_cfg, &schema, &text).expect("parse");
     runner
-        .scatter_input(&mut cluster, "/g/in", Dataset::new(schema, Batch::Flat(records)))
+        .scatter_input(
+            &mut cluster,
+            "/g/in",
+            Dataset::new(schema, Batch::Flat(records)),
+        )
         .expect("scatter");
     let report = runner.run(&mut cluster).expect("run");
     let partitions: Vec<Vec<(u32, u32)>> = cluster
@@ -264,11 +287,8 @@ mod tests {
     fn blast_driver_runs_and_matches_baseline() {
         let db = DbSpec::env_nr_scaled(800, 3).generate();
         let run = run_blast(&db, "roundRobin", 4, 2, ExecOptions::default());
-        let base = mublastp::baseline::partition(
-            &db.index,
-            4,
-            mublastp::baseline::BaselinePolicy::Cyclic,
-        );
+        let base =
+            mublastp::baseline::partition(&db.index, 4, mublastp::baseline::BaselinePolicy::Cyclic);
         assert_eq!(run.partitions, base.partitions);
         assert!(run.total_time() > Duration::ZERO);
     }

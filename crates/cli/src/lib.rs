@@ -19,7 +19,7 @@ use papar_config::input::InputFormat;
 use papar_config::{InputConfig, WorkflowConfig};
 use papar_core::exec::{ExecOptions, WorkflowRunner};
 use papar_core::plan::Planner;
-use papar_mr::Cluster;
+use papar_mr::{ChaosSpec, Cluster, RetryPolicy};
 use papar_record::batch::{Batch, Dataset};
 use papar_record::Schema;
 use std::collections::HashMap;
@@ -27,7 +27,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Everything `papar run` needs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct RunSpec {
     /// Path to the InputData configuration document.
     pub input_config: PathBuf,
@@ -47,6 +47,36 @@ pub struct RunSpec {
     /// full muBLASTP database file): read exactly this many records.
     /// `None` reads the longest whole-record suffix-free prefix.
     pub records: Option<usize>,
+    /// Fault spec (`crash=1,drop=2,...`) realized into a seeded schedule;
+    /// `None` runs fault-free.
+    pub faults: Option<String>,
+    /// Seed for the fault schedule (same seed, same faults).
+    pub fault_seed: u64,
+    /// Replicas kept per materialized fragment (0 disables checkpointing;
+    /// crashes then lose data unrecoverably).
+    pub replication: usize,
+    /// Executions allowed per task before the job aborts.
+    pub max_retries: u32,
+}
+
+impl Default for RunSpec {
+    fn default() -> Self {
+        RunSpec {
+            input_config: PathBuf::new(),
+            workflow: PathBuf::new(),
+            data: PathBuf::new(),
+            out_dir: PathBuf::new(),
+            nodes: 0,
+            args: HashMap::new(),
+            records: None,
+            faults: None,
+            fault_seed: 0,
+            replication: 0,
+            // Matches the engine's default retry policy; a derived zero
+            // would clamp every task to a single attempt.
+            max_retries: 3,
+        }
+    }
 }
 
 /// A summary of a completed run, for printing.
@@ -60,6 +90,12 @@ pub struct RunSummary {
     pub jobs: Vec<(String, std::time::Duration, u64)>,
     /// Total simulated partitioning time.
     pub total_sim: std::time::Duration,
+    /// Faults that fired during the run.
+    pub faults_injected: u32,
+    /// Workflow-wide recovery accounting.
+    pub recovery: papar_mr::RecoveryStats,
+    /// Rendered fault/recovery log lines, in order.
+    pub recovery_log: Vec<String>,
 }
 
 /// CLI error: a message for the user (exit code 1).
@@ -117,10 +153,25 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         )));
     }
     let input_name = plan.external_inputs[0].0.clone();
+    let num_jobs = plan.jobs.len();
     let runner = WorkflowRunner::with_options(plan, ExecOptions::default());
-    let mut cluster = Cluster::new(spec.nodes.max(1));
+    let mut cluster = Cluster::try_new(spec.nodes)
+        .map_err(|e| fail(e.to_string()))?
+        .with_replication(spec.replication)
+        .with_retry(RetryPolicy {
+            max_attempts: spec.max_retries.max(1),
+            ..RetryPolicy::default()
+        });
+    if let Some(fault_spec) = &spec.faults {
+        let chaos = ChaosSpec::parse(fault_spec).map_err(|e| fail(e.to_string()))?;
+        cluster = cluster.with_fault_plan(chaos.realize(spec.fault_seed, spec.nodes, num_jobs));
+    }
     runner
-        .scatter_input(&mut cluster, &input_name, Dataset::new(schema.clone(), Batch::Flat(records)))
+        .scatter_input(
+            &mut cluster,
+            &input_name,
+            Dataset::new(schema.clone(), Batch::Flat(records)),
+        )
         .map_err(|e| fail(e.to_string()))?;
     let report = runner.run(&mut cluster).map_err(|e| fail(e.to_string()))?;
 
@@ -139,8 +190,9 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         });
         match input_cfg.format {
             InputFormat::Binary => {
-                let bytes = papar_record::codec::binary::write(&input_cfg, &part.schema, &records, None)
-                    .map_err(|e| fail(e.to_string()))?;
+                let bytes =
+                    papar_record::codec::binary::write(&input_cfg, &part.schema, &records, None)
+                        .map_err(|e| fail(e.to_string()))?;
                 std::fs::write(&path, bytes)
                     .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
             }
@@ -163,6 +215,13 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             .map(|j| (j.name.clone(), j.sim_time(), j.exchange.remote_bytes))
             .collect(),
         total_sim: report.total_sim_time(),
+        faults_injected: report.faults_injected(),
+        recovery: report.total_recovery(),
+        recovery_log: report
+            .recovery_events
+            .iter()
+            .map(|e| e.to_string())
+            .collect(),
     })
 }
 
@@ -219,10 +278,12 @@ fn read_data_file(
 pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, CliError> {
     let mut spec = RunSpec {
         nodes: 4,
+        max_retries: 3,
         ..Default::default()
     };
     let need = |flag: &str, it: &mut I| -> Result<String, CliError> {
-        it.next().ok_or_else(|| fail(format!("{flag} needs a value")))
+        it.next()
+            .ok_or_else(|| fail(format!("{flag} needs a value")))
     };
     while let Some(a) = argv.next() {
         match a.as_str() {
@@ -235,6 +296,9 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                 spec.nodes = v
                     .parse()
                     .map_err(|_| fail(format!("--nodes wants a positive integer, got '{v}'")))?;
+                if spec.nodes == 0 {
+                    return Err(fail("--nodes wants a positive integer, got '0'"));
+                }
             }
             "--records" => {
                 let v = need("--records", &mut argv)?;
@@ -248,6 +312,34 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                     .split_once('=')
                     .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
                 spec.args.insert(k.to_string(), v.to_string());
+            }
+            "--faults" => {
+                let v = need("--faults", &mut argv)?;
+                // Validate now so the user hears about a typo before any
+                // data is read.
+                ChaosSpec::parse(&v).map_err(|e| fail(e.to_string()))?;
+                spec.faults = Some(v);
+            }
+            "--fault-seed" => {
+                let v = need("--fault-seed", &mut argv)?;
+                spec.fault_seed = v
+                    .parse()
+                    .map_err(|_| fail(format!("--fault-seed wants an integer, got '{v}'")))?;
+            }
+            "--replication" => {
+                let v = need("--replication", &mut argv)?;
+                spec.replication = v
+                    .parse()
+                    .map_err(|_| fail(format!("--replication wants an integer, got '{v}'")))?;
+            }
+            "--max-retries" => {
+                let v = need("--max-retries", &mut argv)?;
+                spec.max_retries = v
+                    .parse()
+                    .map_err(|_| fail(format!("--max-retries wants an integer, got '{v}'")))?;
+                if spec.max_retries == 0 {
+                    return Err(fail("--max-retries wants a positive integer, got '0'"));
+                }
             }
             "-h" | "--help" => {
                 return Err(fail(USAGE));
@@ -272,10 +364,17 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
 pub const USAGE: &str = "\
 usage: papar --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
+             [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
 
 Runs the PaPar partitioning workflow described by the two configuration
 documents over the data file, on an N-node simulated cluster, and writes
-one file per partition into the output directory.";
+one file per partition into the output directory.
+
+Fault injection (chaos testing the simulated cluster):
+  --faults SPEC      inject faults, e.g. 'crash=1,drop=2,corrupt=1,straggler=1'
+  --fault-seed N     seed for fault placement (same seed, same schedule; default 0)
+  --replication N    replicas per fragment; crashes need N >= 1 to recover (default 0)
+  --max-retries N    executions allowed per task before aborting (default 3)";
 
 #[cfg(test)]
 mod tests {
@@ -308,11 +407,70 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_chaos_flags() {
+        let spec = parse_args(
+            [
+                "--input-config",
+                "in.xml",
+                "--workflow",
+                "wf.xml",
+                "--data",
+                "d.bin",
+                "--out",
+                "parts",
+                "--faults",
+                "crash=1,straggler=2",
+                "--fault-seed",
+                "99",
+                "--replication",
+                "2",
+                "--max-retries",
+                "5",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(spec.faults.as_deref(), Some("crash=1,straggler=2"));
+        assert_eq!(spec.fault_seed, 99);
+        assert_eq!(spec.replication, 2);
+        assert_eq!(spec.max_retries, 5);
+        // Defaults: fault-free, no replication, 3 attempts.
+        let spec = parse_args(
+            [
+                "--input-config",
+                "a",
+                "--workflow",
+                "b",
+                "--data",
+                "c",
+                "--out",
+                "d",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(spec.faults.is_none());
+        assert_eq!(spec.replication, 0);
+        assert_eq!(spec.max_retries, 3);
+    }
+
+    #[test]
     fn parse_args_rejects_bad_input() {
         let parse = |v: &[&str]| parse_args(v.iter().map(|s| s.to_string()));
         assert!(parse(&["--nodes", "x"]).is_err());
+        let e = parse(&["--nodes", "0"]).unwrap_err();
+        assert!(e.to_string().contains("positive integer"), "{e}");
         assert!(parse(&["--arg", "noequals"]).is_err());
         assert!(parse(&["--bogus"]).is_err());
+        // Chaos flags validate eagerly.
+        let e = parse(&["--faults", "meteor=1"]).unwrap_err();
+        assert!(e.to_string().contains("unknown fault kind"), "{e}");
+        assert!(parse(&["--fault-seed", "x"]).is_err());
+        assert!(parse(&["--replication", "-1"]).is_err());
+        let e = parse(&["--max-retries", "0"]).unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
         // Missing required flags.
         assert!(parse(&[]).is_err());
         let e = parse(&["--input-config", "a", "--workflow", "b", "--data", "c"]).unwrap_err();
@@ -329,6 +487,7 @@ mod tests {
             nodes: 2,
             args: HashMap::new(),
             records: None,
+            ..Default::default()
         };
         let e = run(&spec).unwrap_err();
         assert!(e.to_string().contains("/nonexistent/in.xml"), "{e}");

@@ -15,6 +15,19 @@ fn main() {
                 println!("job '{id}': {time:?} simulated, {bytes} bytes shuffled");
             }
             println!("total simulated partitioning time: {:?}", summary.total_sim);
+            if summary.faults_injected > 0 || !summary.recovery.is_zero() {
+                println!(
+                    "recovery: {} fault(s) injected, {} task(s) re-executed ({:?} redone compute, {:?} backoff, {} B replica/restore/retransmit traffic)",
+                    summary.faults_injected,
+                    summary.recovery.tasks_retried,
+                    summary.recovery.reexec_task_time,
+                    summary.recovery.backoff_time,
+                    summary.recovery.total_bytes(),
+                );
+                for line in &summary.recovery_log {
+                    println!("  {line}");
+                }
+            }
             println!("wrote {} partitions:", summary.files.len());
             for f in &summary.files {
                 println!("  {}", f.display());

@@ -70,6 +70,7 @@ fn partitions_a_real_database_file() {
         args,
         // The file carries sequence payload after the index region.
         records: Some(db.len()),
+        ..Default::default()
     };
     let summary = run(&spec).unwrap();
     assert_eq!(summary.records_in, 500);
@@ -78,11 +79,8 @@ fn partitions_a_real_database_file() {
 
     // The partition files are valid index files that the baseline agrees
     // with.
-    let base = mublastp::baseline::partition(
-        &db.index,
-        4,
-        mublastp::baseline::BaselinePolicy::Cyclic,
-    );
+    let base =
+        mublastp::baseline::partition(&db.index, 4, mublastp::baseline::BaselinePolicy::Cyclic);
     let cfg = papar_config::InputConfig::parse_str(INPUT_CFG).unwrap();
     let schema = papar_record::Schema::from_input_config(&cfg);
     for (i, file) in summary.files.iter().enumerate() {
@@ -93,6 +91,52 @@ fn partitions_a_real_database_file() {
             .map(|r| mublastp::dbformat::IndexEntry::from_record(r).unwrap())
             .collect();
         assert_eq!(entries, base.partitions[i], "partition {i} differs");
+    }
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
+fn chaos_flags_recover_to_the_same_partition_files() {
+    let dir = temp_dir("chaos");
+    let input_cfg = dir.join("blast_db.xml");
+    let workflow = dir.join("wf.xml");
+    let data = dir.join("env_nr.db");
+    std::fs::write(&input_cfg, INPUT_CFG).unwrap();
+    std::fs::write(&workflow, WORKFLOW).unwrap();
+    let db = DbSpec::env_nr_scaled(200, 5).generate();
+    std::fs::write(&data, db.to_bytes()).unwrap();
+
+    let mut args = HashMap::new();
+    args.insert("num_partitions".to_string(), "4".to_string());
+    let base_spec = RunSpec {
+        input_config: input_cfg.clone(),
+        workflow: workflow.clone(),
+        data: data.clone(),
+        out_dir: dir.join("healthy"),
+        nodes: 3,
+        args: args.clone(),
+        records: Some(db.len()),
+        ..Default::default()
+    };
+    let healthy = run(&base_spec).unwrap();
+    assert_eq!(healthy.faults_injected, 0);
+
+    let chaos_spec = RunSpec {
+        out_dir: dir.join("chaos"),
+        faults: Some("crash=1,drop=1".to_string()),
+        fault_seed: 11,
+        replication: 1,
+        ..base_spec
+    };
+    let chaos = run(&chaos_spec).unwrap();
+    assert!(chaos.faults_injected > 0, "the plan must fire");
+    assert!(!chaos.recovery_log.is_empty());
+    for (h, c) in healthy.files.iter().zip(&chaos.files) {
+        assert_eq!(
+            std::fs::read(h).unwrap(),
+            std::fs::read(c).unwrap(),
+            "partition files must be byte-identical after recovery"
+        );
     }
     std::fs::remove_dir_all(dir).ok();
 }
@@ -117,6 +161,7 @@ fn rejects_wrong_argument_names() {
         nodes: 2,
         args,
         records: Some(10),
+        ..Default::default()
     };
     let e = run(&spec).unwrap_err();
     assert!(e.to_string().contains("bogus"), "{e}");
@@ -172,6 +217,7 @@ fn text_workflow_writes_text_partitions() {
         nodes: 2,
         args: HashMap::new(),
         records: None,
+        ..Default::default()
     };
     let summary = run(&spec).unwrap();
     assert_eq!(summary.records_in, 4);

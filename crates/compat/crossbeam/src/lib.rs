@@ -1,0 +1,80 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny slice of crossbeam it actually uses: `thread::scope` with
+//! panic-capturing semantics, implemented on top of `std::thread::scope`
+//! (stable since Rust 1.63). Only the API this repository calls is
+//! provided.
+
+pub mod thread {
+    /// Result of a scope: `Err` carries the payload of the first panicking
+    /// child thread, matching crossbeam's contract (std's scope would
+    /// instead resume the panic on the parent).
+    pub type Result<T> = std::thread::Result<T>;
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. Crossbeam passes the scope itself to the
+        /// closure; every call site in this workspace ignores it (`|_| ...`),
+        /// so the stand-in passes `()`.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing, non-'static threads can be
+    /// spawned; all are joined before `scope` returns. A child panic is
+    /// reported as `Err` rather than propagated.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_borrows() {
+        let mut parts = vec![vec![3u32, 1], vec![2, 4]];
+        super::thread::scope(|s| {
+            for part in &mut parts {
+                s.spawn(move |_| part.sort());
+            }
+        })
+        .unwrap();
+        assert_eq!(parts, vec![vec![1, 3], vec![2, 4]]);
+    }
+
+    #[test]
+    fn scope_reports_child_panic_as_err() {
+        let res = super::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! Character strategies (`prop::char::range`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Inclusive character range strategy.
+pub struct CharRange {
+    lo: u32,
+    hi: u32,
+}
+
+pub fn range(lo: char, hi: char) -> CharRange {
+    assert!(lo <= hi, "empty char range");
+    CharRange {
+        lo: lo as u32,
+        hi: hi as u32,
+    }
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+
+    fn generate(&self, rng: &mut TestRng) -> char {
+        loop {
+            let v = self.lo + rng.below(u64::from(self.hi - self.lo) + 1) as u32;
+            if let Some(c) = char::from_u32(v) {
+                return c;
+            }
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the proptest API subset its tests use: the `proptest!` macro,
+//! `prop_assert*` / `prop_assume!`, `prop_oneof!`, `any::<T>()`, string
+//! regex strategies, ranges, tuples, `prop::collection::vec`,
+//! `prop::char::range`, and the `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed` combinators.
+//!
+//! Differences from upstream: no shrinking (a failure reports the case
+//! number and the seed is derived from the test name, so failures are
+//! reproducible), and the default case count is 64 rather than 256.
+
+pub mod arbitrary;
+pub mod char;
+pub mod collection;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    /// `prop::collection::vec`, `prop::char::range`, ... — upstream
+    /// proptest re-exports the crate root under this name.
+    pub use crate as prop;
+}
+
+/// Define property tests. Each function body runs once per generated
+/// case; `prop_assert*` failures abort the test with the failing case
+/// index.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                let mut __case: u32 = 0;
+                let mut __attempts: u32 = 0;
+                while __case < __config.cases {
+                    __attempts += 1;
+                    if __attempts > __config.cases.saturating_mul(16).saturating_add(64) {
+                        panic!(
+                            "proptest {}: too many inputs rejected by prop_assume!",
+                            stringify!($name)
+                        );
+                    }
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __case += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {}
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {}: {}",
+                                stringify!($name),
+                                __case,
+                                __msg
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert a boolean property; on failure the current case fails with the
+/// condition (or formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert two expressions are equal (by reference, so operands are not
+/// consumed).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+                            __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+                            __l, __r, format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Assert two expressions are unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  both: `{:?}`",
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                        format!(
+                            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+                            __l, format!($($fmt)+)
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Discard the current case (retried with fresh input) when a
+/// precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategy arms, all producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        /// Ranges honour their bounds.
+        #[test]
+        fn range_in_bounds(x in 3usize..17, y in -5i64..6) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..6).contains(&y));
+        }
+
+        /// Vec strategies honour length and element bounds, and tuples
+        /// compose.
+        #[test]
+        fn vec_and_tuple(v in prop::collection::vec((0u32..9, "[a-c]{1,2}"), 0..10)) {
+            prop_assert!(v.len() < 10);
+            for (n, s) in &v {
+                prop_assert!(*n < 9);
+                prop_assert!(!s.is_empty() && s.len() <= 2);
+            }
+        }
+
+        /// prop_oneof mixes arms; filter and map compose.
+        #[test]
+        fn oneof_filter_map(c in prop_oneof![
+            Just('x'),
+            prop::char::range('a', 'c'),
+            (0u8..4).prop_filter("nonzero", |v| *v != 0).prop_map(|v| (b'0' + v) as char),
+        ]) {
+            prop_assert!(matches!(c, 'x' | 'a'..='c' | '1'..='3'));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// Inner-attribute config form compiles and limits cases.
+        #[test]
+        fn configured(_x in 0u8..3) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn assume_rejects_and_retries() {
+        proptest! {
+            fn inner(x in 0u32..100) {
+                prop_assume!(x % 2 == 0);
+                prop_assert!(x % 2 == 0);
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,213 @@
+//! String generation from the regex subset used by `&str` strategies.
+//!
+//! Supported syntax: literal characters, character classes `[...]` with
+//! ranges and literal `-` at either end, the `\PC` (non-control) escape,
+//! backslash-escaped literals, and `{m}` / `{m,n}` counted repetition plus
+//! `?`, `*`, `+` with a bounded unrolling for the unbounded forms.
+
+use crate::test_runner::TestRng;
+
+enum Atom {
+    Literal(char),
+    /// `(lo, hi)` inclusive code-point ranges; single chars are `(c, c)`.
+    Class(Vec<(u32, u32)>),
+    /// `\PC`: any non-control character.
+    NonControl,
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32, // inclusive
+}
+
+/// A few non-ASCII, non-control characters so `\PC` exercises multi-byte
+/// UTF-8 paths.
+const NON_ASCII: &[char] = &['\u{e9}', '\u{3bb}', '\u{4e2d}', '\u{2211}', '\u{1f600}'];
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed class in pattern {pattern:?}"));
+                let body = &chars[i + 1..close];
+                i = close + 1;
+                Atom::Class(parse_class(body, pattern))
+            }
+            '\\' => {
+                let esc = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                if esc == 'P' || esc == 'p' {
+                    // Only `\PC` / `\pC` is supported.
+                    assert!(
+                        chars.get(i + 2) == Some(&'C'),
+                        "unsupported unicode class in pattern {pattern:?}"
+                    );
+                    i += 3;
+                    Atom::NonControl
+                } else {
+                    i += 2;
+                    Atom::Literal(esc)
+                }
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i + 1..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i + 1)
+                    .unwrap_or_else(|| panic!("unclosed repetition in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse().expect("bad repetition lower bound"),
+                        n.trim().parse().expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n: u32 = body.trim().parse().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn parse_class(body: &[char], pattern: &str) -> Vec<(u32, u32)> {
+    assert!(!body.is_empty(), "empty class in pattern {pattern:?}");
+    assert!(
+        body[0] != '^',
+        "negated classes unsupported in pattern {pattern:?}"
+    );
+    let mut items = Vec::new();
+    let mut j = 0;
+    while j < body.len() {
+        if j + 2 < body.len() && body[j + 1] == '-' {
+            items.push((body[j] as u32, body[j + 2] as u32));
+            j += 3;
+        } else if j + 2 == body.len() && body[j + 1] == '-' {
+            // Trailing '-' is a literal, e.g. `[a-z0-9_-]`.
+            items.push((body[j] as u32, body[j] as u32));
+            items.push(('-' as u32, '-' as u32));
+            j += 2;
+        } else {
+            items.push((body[j] as u32, body[j] as u32));
+            j += 1;
+        }
+    }
+    items
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Literal(c) => *c,
+        Atom::Class(items) => {
+            let total: u64 = items.iter().map(|&(lo, hi)| u64::from(hi - lo) + 1).sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in items {
+                let size = u64::from(hi - lo) + 1;
+                if pick < size {
+                    return char::from_u32(lo + pick as u32)
+                        .expect("class range produced invalid code point");
+                }
+                pick -= size;
+            }
+            unreachable!()
+        }
+        Atom::NonControl => {
+            if rng.below(16) == 0 {
+                NON_ASCII[rng.below(NON_ASCII.len() as u64) as usize]
+            } else {
+                char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap()
+            }
+        }
+    }
+}
+
+/// Generate one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let count = piece.min + rng.below(u64::from(piece.max - piece.min) + 1) as u32;
+        for _ in 0..count {
+            out.push(sample_atom(&piece.atom, rng));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn classes_ranges_and_counts() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = generate("[a-z_][a-z0-9_-]{0,10}", &mut rng);
+            assert!((1..=11).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase() || first == '_', "{s:?}");
+            for c in s.chars().skip(1) {
+                assert!(
+                    c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-',
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leading_dash_is_literal() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let s = generate("[-/a-z0-9]{0,10}", &mut rng);
+            for c in s.chars() {
+                assert!(
+                    c == '-' || c == '/' || c.is_ascii_lowercase() || c.is_ascii_digit(),
+                    "{s:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn non_control_escape() {
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..100 {
+            let s = generate("\\PC{0,200}", &mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.chars().any(|c| c.is_control()), "{s:?}");
+        }
+    }
+}

@@ -139,11 +139,14 @@ mod tests {
     #[test]
     fn rejects_wrong_root_or_type() {
         assert!(OperatorRegistration::parse_str("<other/>").is_err());
-        assert!(
-            OperatorRegistration::parse_str(r#"<prog id="x" type="job"><import classpath="a" package="b" class="c"/></prog>"#)
-                .is_err()
-        );
-        assert!(OperatorRegistration::parse_str(r#"<prog id="x"><import classpath="a" package="b" class="c"/></prog>"#).is_err());
+        assert!(OperatorRegistration::parse_str(
+            r#"<prog id="x" type="job"><import classpath="a" package="b" class="c"/></prog>"#
+        )
+        .is_err());
+        assert!(OperatorRegistration::parse_str(
+            r#"<prog id="x"><import classpath="a" package="b" class="c"/></prog>"#
+        )
+        .is_err());
     }
 
     #[test]

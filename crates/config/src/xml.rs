@@ -200,10 +200,9 @@ impl<'a> Parser<'a> {
     fn eat(&mut self, b: u8) -> Result<()> {
         match self.bump() {
             Some(got) if got == b => Ok(()),
-            Some(got) => Err(self.err(format!(
-                "expected '{}', found '{}'",
-                b as char, got as char
-            ))),
+            Some(got) => {
+                Err(self.err(format!("expected '{}', found '{}'", b as char, got as char)))
+            }
             None => Err(self.err(format!("expected '{}', found end of input", b as char))),
         }
     }
@@ -383,16 +382,13 @@ impl<'a> Parser<'a> {
                     self.skip_ws();
                     let aval = self.parse_attr_value()?;
                     if el.attr(&aname).is_some() {
-                        return Err(self.err(format!(
-                            "duplicate attribute '{aname}' on <{}>",
-                            el.name
-                        )));
+                        return Err(
+                            self.err(format!("duplicate attribute '{aname}' on <{}>", el.name))
+                        );
                     }
                     el.attrs.push((aname, aval));
                 }
-                Some(b) => {
-                    return Err(self.err(format!("unexpected '{}' in start tag", b as char)))
-                }
+                Some(b) => return Err(self.err(format!("unexpected '{}' in start tag", b as char))),
                 None => return Err(self.err("unterminated start tag")),
             }
         }
@@ -528,10 +524,7 @@ mod tests {
         let el = parse(doc).unwrap();
         assert_eq!(el.name, "input");
         assert_eq!(el.req_child("element").unwrap().children.len(), 4);
-        assert_eq!(
-            el.req_child("start_position").unwrap().trimmed_text(),
-            "32"
-        );
+        assert_eq!(el.req_child("start_position").unwrap().trimmed_text(), "32");
     }
 
     #[test]

@@ -15,6 +15,10 @@ pub enum CoreError {
     Plan(String),
     /// A job failed at run time.
     Exec(String),
+    /// A MapReduce-layer failure, kept structured so the failing
+    /// job/node/task context (and the error chain) survives to the
+    /// workflow report.
+    Mr(papar_mr::MrError),
 }
 
 impl CoreError {
@@ -35,11 +39,19 @@ impl fmt::Display for CoreError {
             CoreError::Config(m) => write!(f, "configuration error: {m}"),
             CoreError::Plan(m) => write!(f, "planning error: {m}"),
             CoreError::Exec(m) => write!(f, "execution error: {m}"),
+            CoreError::Mr(e) => write!(f, "execution error: {e}"),
         }
     }
 }
 
-impl std::error::Error for CoreError {}
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Mr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<papar_config::ConfigError> for CoreError {
     fn from(e: papar_config::ConfigError) -> Self {
@@ -54,8 +66,10 @@ impl From<papar_record::CodecError> for CoreError {
 }
 
 impl From<papar_mr::MrError> for CoreError {
+    /// Kept structured (not stringified) so `source()` chains down to the
+    /// originating task/codec failure.
     fn from(e: papar_mr::MrError) -> Self {
-        CoreError::Exec(e.to_string())
+        CoreError::Mr(e)
     }
 }
 
@@ -63,7 +77,7 @@ impl From<CoreError> for papar_mr::MrError {
     /// Closures handed to the MapReduce engine must speak its error type;
     /// core errors cross that boundary as messages.
     fn from(e: CoreError) -> papar_mr::MrError {
-        papar_mr::MrError(e.to_string())
+        papar_mr::MrError::msg(e.to_string())
     }
 }
 
@@ -75,7 +89,9 @@ mod tests {
     fn display_variants() {
         assert!(CoreError::plan("x").to_string().contains("planning"));
         assert!(CoreError::exec("x").to_string().contains("execution"));
-        assert!(CoreError::Config("x".into()).to_string().contains("configuration"));
+        assert!(CoreError::Config("x".into())
+            .to_string()
+            .contains("configuration"));
     }
 
     #[test]
@@ -84,7 +100,26 @@ mod tests {
         assert!(c.to_string().contains("missing thing"));
         let c: CoreError = papar_record::CodecError("bad bytes".into()).into();
         assert!(c.to_string().contains("bad bytes"));
-        let c: CoreError = papar_mr::MrError("shuffle broke".into()).into();
+        let c: CoreError = papar_mr::MrError::msg("shuffle broke").into();
         assert!(c.to_string().contains("shuffle broke"));
+    }
+
+    #[test]
+    fn mr_errors_stay_structured_with_sources() {
+        use std::error::Error;
+        let mr = papar_mr::MrError::TaskAborted {
+            job: "distr".into(),
+            node: 1,
+            phase: papar_mr::TaskPhase::Map,
+            attempts: 3,
+            source: Box::new(papar_mr::MrError::msg("mapper exploded")),
+        };
+        let c: CoreError = mr.clone().into();
+        assert_eq!(c, CoreError::Mr(mr));
+        // The chain: CoreError -> TaskAborted -> underlying cause.
+        let s1 = c.source().expect("core error exposes the mr source");
+        assert!(s1.to_string().contains("aborted after 3"));
+        let s2 = s1.source().expect("task abort exposes its cause");
+        assert!(s2.to_string().contains("mapper exploded"));
     }
 }

@@ -3,9 +3,10 @@
 //! one following the order defined in the workflow configuration file").
 
 use papar_mr::engine::{FnMapper, FnReducer, HashPartitioner, MapInput};
+use papar_mr::fault::RecoveryAction;
 use papar_mr::sampler::{self, RangePartitioner};
-use papar_mr::stats::JobStats;
-use papar_mr::{Cluster, Entry, MapReduceJob, Partitioner};
+use papar_mr::stats::{JobStats, RecoveryStats};
+use papar_mr::{Cluster, Entry, MapReduceJob, Partitioner, TaskPhase};
 use papar_record::batch::{Batch, Dataset};
 use papar_record::packed::PackedRecord;
 use papar_record::{Record, Value};
@@ -61,6 +62,9 @@ pub struct WorkflowReport {
     pub jobs: Vec<JobStats>,
     /// Time spent in the pre-job sampling passes.
     pub sample_time: Duration,
+    /// Every injected fault and recovery action, in order (empty on a
+    /// fault-free run without replication).
+    pub recovery_events: Vec<RecoveryAction>,
 }
 
 impl WorkflowReport {
@@ -73,6 +77,20 @@ impl WorkflowReport {
     /// Total bytes shuffled between distinct nodes.
     pub fn total_shuffled_bytes(&self) -> u64 {
         self.jobs.iter().map(|j| j.exchange.remote_bytes).sum()
+    }
+
+    /// Workflow-wide recovery accounting (every job's merged).
+    pub fn total_recovery(&self) -> RecoveryStats {
+        let mut total = RecoveryStats::default();
+        for j in &self.jobs {
+            total.merge(&j.recovery);
+        }
+        total
+    }
+
+    /// Number of faults that fired across the run.
+    pub fn faults_injected(&self) -> u32 {
+        self.jobs.iter().map(|j| j.recovery.faults_injected).sum()
     }
 }
 
@@ -167,6 +185,7 @@ impl WorkflowRunner {
             };
             report.jobs.push(stats);
         }
+        report.recovery_events = cluster.drain_events();
         Ok(report)
     }
 
@@ -198,12 +217,18 @@ impl WorkflowRunner {
             for name in &job.inputs {
                 if let Some(frags) = cluster.node(node).get(name) {
                     for f in frags {
-                        sample_keys(&f.data.batch, key_idx, self.options.sample_stride, &mut sample)?;
+                        sample_keys(
+                            &f.data.batch,
+                            key_idx,
+                            self.options.sample_stride,
+                            &mut sample,
+                        )?;
                     }
                 }
             }
             per_node.push(sample);
-            if self.options.sampling == SamplingMode::FirstFragmentOnly && !per_node[node].is_empty()
+            if self.options.sampling == SamplingMode::FirstFragmentOnly
+                && !per_node[node].is_empty()
             {
                 break 'nodes;
             }
@@ -225,10 +250,12 @@ impl WorkflowRunner {
         });
         let addons = addons.to_vec();
         let out_format = job.outputs[0].1.format;
-        let reducer = FnReducer(move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
-            reduce_ordered(pairs, &addons, key_idx, out_format, output_format)
-                .map_err(papar_mr::MrError::from)
-        });
+        let reducer = FnReducer(
+            move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
+                reduce_ordered(pairs, &addons, key_idx, out_format, output_format)
+                    .map_err(papar_mr::MrError::from)
+            },
+        );
         let mr_job = MapReduceJob {
             name: job.id.clone(),
             inputs: job.inputs.clone(),
@@ -264,10 +291,12 @@ impl WorkflowRunner {
         });
         let addons = addons.to_vec();
         let out_format = job.outputs[0].1.format;
-        let reducer = FnReducer(move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
-            reduce_ordered(pairs, &addons, key_idx, out_format, output_format)
-                .map_err(papar_mr::MrError::from)
-        });
+        let reducer = FnReducer(
+            move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
+                reduce_ordered(pairs, &addons, key_idx, out_format, output_format)
+                    .map_err(papar_mr::MrError::from)
+            },
+        );
         let mr_job = MapReduceJob {
             name: job.id.clone(),
             inputs: job.inputs.clone(),
@@ -297,6 +326,10 @@ impl WorkflowRunner {
         policy: &SplitPolicy,
     ) -> Result<JobStats> {
         let n = cluster.num_nodes();
+        // Split counts as a workflow job for fault schedules, even though
+        // it never enters the MapReduce engine.
+        let job_idx = cluster.next_job_index();
+        let retry = cluster.retry_policy();
         let mut stats = JobStats {
             name: job.id.clone(),
             map_time_by_node: vec![Duration::ZERO; n],
@@ -304,42 +337,82 @@ impl WorkflowRunner {
             ..Default::default()
         };
         for node in 0..n {
-            let t0 = Instant::now();
-            // Route local entries.
-            let mut routed: Vec<Vec<Entry>> = (0..policy.arity()).map(|_| Vec::new()).collect();
-            for name in &job.inputs {
-                let frags: Vec<std::sync::Arc<Dataset>> = cluster
-                    .node(node)
-                    .get(name)
-                    .map(|fs| fs.into_iter().map(|f| std::sync::Arc::clone(&f.data)).collect())
-                    .unwrap_or_default();
-                for frag in frags {
-                    stats.records_in += frag.batch.record_count() as u64;
-                    for entry in batch_entries(frag.batch.clone()) {
-                        let key = entry_key(&entry, key_idx)?;
-                        let dest = policy.route(&key).ok_or_else(|| {
-                            CoreError::exec(format!(
-                                "split key {key} matches no condition of job '{}'",
-                                job.id
-                            ))
-                        })?;
-                        routed[dest].push(entry);
+            let mut attempt = 1u32;
+            loop {
+                let t0 = Instant::now();
+                let mut records_in = 0u64;
+                // Route local entries.
+                let mut routed: Vec<Vec<Entry>> = (0..policy.arity()).map(|_| Vec::new()).collect();
+                for name in &job.inputs {
+                    let frags: Vec<std::sync::Arc<Dataset>> = cluster
+                        .node(node)
+                        .get(name)
+                        .map(|fs| {
+                            fs.into_iter()
+                                .map(|f| std::sync::Arc::clone(&f.data))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    for frag in frags {
+                        records_in += frag.batch.record_count() as u64;
+                        for entry in batch_entries(frag.batch.clone()) {
+                            let key = entry_key(&entry, key_idx)?;
+                            let dest = policy.route(&key).ok_or_else(|| {
+                                CoreError::exec(format!(
+                                    "split key {key} matches no condition of job '{}'",
+                                    job.id
+                                ))
+                            })?;
+                            routed[dest].push(entry);
+                        }
                     }
                 }
+                // Buffer the per-output batches; nothing commits unless
+                // the task survives its crash boundary.
+                let mut outputs = Vec::with_capacity(job.outputs.len());
+                let mut records_out = 0u64;
+                for (dest, entries) in routed.into_iter().enumerate() {
+                    let (out_name, out_meta) = &job.outputs[dest];
+                    let batch = entries_to_batch(entries, out_meta.format, key_idx)?;
+                    records_out += batch.record_count() as u64;
+                    outputs.push((
+                        out_name.clone(),
+                        Dataset::new(out_meta.schema.clone(), batch),
+                    ));
+                }
+                let elapsed = t0.elapsed();
+                stats.map_time_by_node[node] += elapsed;
+                if cluster.take_crash_fault(job_idx, &job.id, TaskPhase::Map, node)? {
+                    cluster.note_lost_compute(elapsed);
+                    if attempt >= retry.max_attempts {
+                        return Err(papar_mr::MrError::TaskAborted {
+                            job: job.id.clone(),
+                            node,
+                            phase: TaskPhase::Map,
+                            attempts: attempt,
+                            source: Box::new(papar_mr::MrError::msg("injected node crash")),
+                        }
+                        .into());
+                    }
+                    let backoff = retry.backoff_for(attempt);
+                    stats.map_time_by_node[node] += backoff;
+                    cluster.note_retry(&job.id, node, TaskPhase::Map, attempt + 1, backoff);
+                    attempt += 1;
+                    continue;
+                }
+                stats.records_in += records_in;
+                stats.records_out += records_out;
+                for (out_name, ds) in outputs {
+                    cluster.put_fragment(node, &out_name, node as u32, ds);
+                }
+                break;
             }
-            // Apply per-output format ops and store locally.
-            for (dest, entries) in routed.into_iter().enumerate() {
-                let (out_name, out_meta) = &job.outputs[dest];
-                let batch = entries_to_batch(entries, out_meta.format, key_idx)?;
-                stats.records_out += batch.record_count() as u64;
-                cluster.node_mut(node).put(
-                    out_name,
-                    node as u32,
-                    Dataset::new(out_meta.schema.clone(), batch),
-                );
-            }
-            stats.map_time_by_node[node] = t0.elapsed();
         }
+        // Split bypasses the MapReduce engine, so it charges its own
+        // replication (checkpoint) traffic here.
+        let recovery = cluster.take_recovery();
+        let net = *cluster.net();
+        stats.absorb_recovery(recovery, &net);
         Ok(stats)
     }
 
@@ -396,8 +469,7 @@ impl WorkflowRunner {
                 let base = *offsets
                     .get(&(mi.name.clone(), mi.ordinal))
                     .expect("offsets cover every fragment");
-                for (local, entry) in batch_entries(mi.data.batch.clone()).into_iter().enumerate()
-                {
+                for (local, entry) in batch_entries(mi.data.batch.clone()).into_iter().enumerate() {
                     let g = base as usize + local;
                     let part = match policy {
                         DistrPolicy::Cyclic | DistrPolicy::Block => {
@@ -426,36 +498,38 @@ impl WorkflowRunner {
             Ok(out)
         });
         let out_format = job.outputs[0].1.format;
-        let reducer = FnReducer(move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
-            let entries: Vec<Entry> = pairs.into_iter().map(|(_, e)| e).collect();
-            let mut batch = match out_format {
-                Format::Flat => {
-                    let mut records = Vec::new();
-                    for e in entries {
-                        match e {
-                            Entry::Rec(r) => records.push(r),
-                            Entry::Packed(p) => records.extend(p.records),
+        let reducer = FnReducer(
+            move |_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
+                let entries: Vec<Entry> = pairs.into_iter().map(|(_, e)| e).collect();
+                let mut batch = match out_format {
+                    Format::Flat => {
+                        let mut records = Vec::new();
+                        for e in entries {
+                            match e {
+                                Entry::Rec(r) => records.push(r),
+                                Entry::Packed(p) => records.extend(p.records),
+                            }
                         }
+                        Batch::Flat(records)
                     }
-                    Batch::Flat(records)
+                    Format::Packed => Batch::Packed(
+                        entries
+                            .into_iter()
+                            .map(|e| match e {
+                                Entry::Packed(p) => Ok(p),
+                                Entry::Rec(_) => Err(papar_mr::MrError::msg(
+                                    "distribute cannot keep flat entries in a packed output",
+                                )),
+                            })
+                            .collect::<papar_mr::Result<Vec<_>>>()?,
+                    ),
+                };
+                if let Some(proj) = &projection {
+                    batch = project_batch(batch, proj);
                 }
-                Format::Packed => Batch::Packed(
-                    entries
-                        .into_iter()
-                        .map(|e| match e {
-                            Entry::Packed(p) => Ok(p),
-                            Entry::Rec(_) => Err(papar_mr::MrError(
-                                "distribute cannot keep flat entries in a packed output".into(),
-                            )),
-                        })
-                        .collect::<papar_mr::Result<Vec<_>>>()?,
-                ),
-            };
-            if let Some(proj) = &projection {
-                batch = project_batch(batch, proj);
-            }
-            Ok(batch)
-        });
+                Ok(batch)
+            },
+        );
         let mr_job = MapReduceJob {
             name: job.id.clone(),
             inputs: job.inputs.clone(),
@@ -485,7 +559,9 @@ impl WorkflowRunner {
             .registry
             .custom(op_name)
             .ok_or_else(|| {
-                CoreError::exec(format!("custom operator '{op_name}' vanished from registry"))
+                CoreError::exec(format!(
+                    "custom operator '{op_name}' vanished from registry"
+                ))
             })?
             .clone();
         let ctx = CustomJobCtx {
@@ -496,6 +572,9 @@ impl WorkflowRunner {
             input_schema: job.input_meta.schema.clone(),
             num_reducers: self.reducers_for(job, cluster),
         };
+        // Custom jobs also occupy a fault-schedule slot; whether they
+        // check for crashes is up to the operator implementation.
+        let _ = cluster.next_job_index();
         op.run(cluster, &ctx)
     }
 
@@ -565,9 +644,10 @@ fn sample_keys(batch: &Batch, key_idx: usize, stride: usize, out: &mut Vec<Value
         }
         Batch::Packed(groups) => {
             for g in groups.iter().step_by(stride) {
-                let first = g.records.first().ok_or_else(|| {
-                    CoreError::exec("packed group with no members")
-                })?;
+                let first = g
+                    .records
+                    .first()
+                    .ok_or_else(|| CoreError::exec("packed group with no members"))?;
                 out.push(first.require(key_idx).map_err(CoreError::from)?.clone());
             }
         }
@@ -586,9 +666,10 @@ fn emit_keyed(batch: &Batch, key_idx: usize, out: &mut Vec<(Value, Entry)>) -> R
         }
         Batch::Packed(groups) => {
             for g in groups {
-                let first = g.records.first().ok_or_else(|| {
-                    CoreError::exec("packed group with no members")
-                })?;
+                let first = g
+                    .records
+                    .first()
+                    .ok_or_else(|| CoreError::exec("packed group with no members"))?;
                 let key = first.require(key_idx).map_err(CoreError::from)?.clone();
                 out.push((key, Entry::Packed(g.clone())));
             }

@@ -49,7 +49,9 @@ impl AddOnKind {
             "min" => Ok(AddOnKind::Min),
             "mean" => Ok(AddOnKind::Mean),
             "sum" => Ok(AddOnKind::Sum),
-            other => Err(CoreError::plan(format!("unknown add-on operator '{other}'"))),
+            other => Err(CoreError::plan(format!(
+                "unknown add-on operator '{other}'"
+            ))),
         }
     }
 
@@ -108,9 +110,9 @@ impl AddOnKind {
             AddOnKind::Mean => {
                 let mut sum = 0.0;
                 for v in values() {
-                    sum += v?.as_f64().ok_or_else(|| {
-                        CoreError::exec("mean add-on over a non-numeric field")
-                    })?;
+                    sum += v?
+                        .as_f64()
+                        .ok_or_else(|| CoreError::exec("mean add-on over a non-numeric field"))?;
                 }
                 Ok(Value::Double(sum / group.len() as f64))
             }
@@ -121,9 +123,11 @@ impl AddOnKind {
                     let mut sum = 0i64;
                     for v in values() {
                         sum = sum
-                            .checked_add(v?.as_i64().ok_or_else(|| {
-                                CoreError::exec("sum add-on over mixed types")
-                            })?)
+                            .checked_add(
+                                v?.as_i64().ok_or_else(|| {
+                                    CoreError::exec("sum add-on over mixed types")
+                                })?,
+                            )
                             .ok_or_else(|| CoreError::exec("sum add-on overflowed i64"))?;
                     }
                     Ok(Value::Long(sum))
@@ -183,7 +187,9 @@ impl FormatOp {
             "orig" => Ok(FormatOp::Orig),
             "pack" => Ok(FormatOp::Pack),
             "unpack" => Ok(FormatOp::Unpack),
-            other => Err(CoreError::plan(format!("unknown format operator '{other}'"))),
+            other => Err(CoreError::plan(format!(
+                "unknown format operator '{other}'"
+            ))),
         }
     }
 }
@@ -265,9 +271,7 @@ impl OperatorRegistry {
             )));
         }
         if self.customs.insert(id.to_string(), op).is_some() {
-            return Err(CoreError::plan(format!(
-                "operator '{id}' registered twice"
-            )));
+            return Err(CoreError::plan(format!("operator '{id}' registered twice")));
         }
         if let Some(reg) = registration {
             self.registrations.insert(id.to_string(), reg);
@@ -304,10 +308,7 @@ mod tests {
 
     #[test]
     fn count_counts_group_members() {
-        assert_eq!(
-            AddOnKind::Count.apply(&group(), 0).unwrap(),
-            Value::Long(3)
-        );
+        assert_eq!(AddOnKind::Count.apply(&group(), 0).unwrap(), Value::Long(3));
     }
 
     #[test]

@@ -286,15 +286,15 @@ impl Binder<'_> {
     fn resolve_value(&self, raw: &str) -> Result<String> {
         varref::substitute(raw, |r| match r {
             VarRef::Literal(s) => Ok(s.clone()),
-            VarRef::Arg(name) => self
-                .args
-                .get(name)
-                .cloned()
-                .ok_or_else(|| CoreError::plan(format!("unknown argument '${name}'")).into_config()),
+            VarRef::Arg(name) => self.args.get(name).cloned().ok_or_else(|| {
+                CoreError::plan(format!("unknown argument '${name}'")).into_config()
+            }),
             VarRef::JobParam { job, param } => {
                 let key = (job.clone(), param.clone());
                 let fuzzy = |p: &str| -> Option<String> {
-                    self.resolved_params.get(&(job.clone(), p.to_string())).cloned()
+                    self.resolved_params
+                        .get(&(job.clone(), p.to_string()))
+                        .cloned()
                 };
                 self.resolved_params
                     .get(&key)
@@ -317,16 +317,18 @@ impl Binder<'_> {
             }
             VarRef::JobAttr { job, attr } => {
                 let attrs = self.job_attrs.get(job).ok_or_else(|| {
-                    CoreError::plan(format!("reference '${job}.${attr}': no earlier job '{job}'"))
-                        .into_config()
+                    CoreError::plan(format!(
+                        "reference '${job}.${attr}': no earlier job '{job}'"
+                    ))
+                    .into_config()
                 })?;
                 if attrs.iter().any(|a| a == attr) {
                     Ok(attr.clone())
                 } else {
-                    Err(CoreError::plan(format!(
-                        "job '{job}' does not add an attribute '{attr}'"
-                    ))
-                    .into_config())
+                    Err(
+                        CoreError::plan(format!("job '{job}' does not add an attribute '{attr}'"))
+                            .into_config(),
+                    )
                 }
             }
         })
@@ -410,7 +412,11 @@ impl Binder<'_> {
         inputs.iter().map(|n| self.dataset_meta(n)).collect()
     }
 
-    fn bind_addons(&self, op: &OperatorDef, schema: &Schema) -> Result<(Vec<BoundAddOn>, Arc<Schema>)> {
+    fn bind_addons(
+        &self,
+        op: &OperatorDef,
+        schema: &Schema,
+    ) -> Result<(Vec<BoundAddOn>, Arc<Schema>)> {
         let mut bound = Vec::new();
         let mut out_schema = Arc::new(schema.clone());
         for a in &op.addons {
@@ -492,7 +498,10 @@ impl Binder<'_> {
             }
         };
         let (addons, out_schema) = self.bind_addons(op, &input_meta.schema)?;
-        let output_format = match op.param_fuzzy("outputPath").and_then(|p| p.format.as_deref()) {
+        let output_format = match op
+            .param_fuzzy("outputPath")
+            .and_then(|p| p.format.as_deref())
+        {
             Some(f) => FormatOp::parse(f)?,
             None => FormatOp::Orig,
         };
@@ -505,8 +514,10 @@ impl Binder<'_> {
                 Format::Flat => None,
             },
         };
-        self.job_attrs
-            .insert(op.id.clone(), addons.iter().map(|a| a.attr.clone()).collect());
+        self.job_attrs.insert(
+            op.id.clone(),
+            addons.iter().map(|a| a.attr.clone()).collect(),
+        );
         let input_metas = self.input_metas(&inputs)?;
         self.push_job(JobPlan {
             id: op.id.clone(),
@@ -541,7 +552,10 @@ impl Binder<'_> {
             .require(&key_name)
             .map_err(|e| CoreError::plan(e.to_string()))?;
         let (addons, out_schema) = self.bind_addons(op, &input_meta.schema)?;
-        let output_format = match op.param_fuzzy("outputPath").and_then(|p| p.format.as_deref()) {
+        let output_format = match op
+            .param_fuzzy("outputPath")
+            .and_then(|p| p.format.as_deref())
+        {
             Some(f) => FormatOp::parse(f)?,
             None => FormatOp::Orig,
         };
@@ -554,8 +568,10 @@ impl Binder<'_> {
                 Format::Flat => None,
             },
         };
-        self.job_attrs
-            .insert(op.id.clone(), addons.iter().map(|a| a.attr.clone()).collect());
+        self.job_attrs.insert(
+            op.id.clone(),
+            addons.iter().map(|a| a.attr.clone()).collect(),
+        );
         let input_metas = self.input_metas(&inputs)?;
         self.push_job(JobPlan {
             id: op.id.clone(),
@@ -695,7 +711,11 @@ impl Binder<'_> {
         let out_schema = final_schema
             .clone()
             .unwrap_or_else(|| input_meta.schema.clone());
-        let out_format = if is_last { Format::Flat } else { input_meta.format };
+        let out_format = if is_last {
+            Format::Flat
+        } else {
+            input_meta.format
+        };
         let input_metas = self.input_metas(&inputs)?;
         self.push_job(JobPlan {
             id: op.id.clone(),

@@ -114,7 +114,10 @@ impl StridePermutation {
                 }
             }
         }
-        Ok(out.into_iter().map(|v| v.expect("permutation is total")).collect())
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("permutation is total"))
+            .collect())
     }
 
     /// Apply via the closed-form index map — O(n), the execution path.
@@ -136,7 +139,10 @@ impl StridePermutation {
             };
             out[d] = Some(item.clone());
         }
-        Ok(out.into_iter().map(|v| v.expect("permutation is total")).collect())
+        Ok(out
+            .into_iter()
+            .map(|v| v.expect("permutation is total"))
+            .collect())
     }
 }
 
@@ -165,7 +171,9 @@ impl DistrPolicy {
             "roundRobin" | "cyclic" => Ok(DistrPolicy::Cyclic),
             "block" => Ok(DistrPolicy::Block),
             "graphVertexCut" => Ok(DistrPolicy::GraphVertexCut),
-            other => Err(CoreError::plan(format!("unknown distribution policy '{other}'"))),
+            other => Err(CoreError::plan(format!(
+                "unknown distribution policy '{other}'"
+            ))),
         }
     }
 
@@ -195,7 +203,9 @@ impl DistrPolicy {
                     // base == 0 only when total < parts, and then every
                     // index is below `boundary`; the checked_div fallback
                     // keeps clippy and the invariant visible.
-                    (g - boundary).checked_div(base).map_or(parts - 1, |q| extra + q)
+                    (g - boundary)
+                        .checked_div(base)
+                        .map_or(parts - 1, |q| extra + q)
                 }
             }
             DistrPolicy::GraphVertexCut => {
@@ -281,13 +291,13 @@ impl SplitPolicy {
                     "split policy must be a list of {{op, value}} groups, got '{s}'"
                 )));
             }
-            let end = rest
-                .find('}')
-                .ok_or_else(|| CoreError::plan(format!("unterminated '{{' in split policy '{s}'")))?;
+            let end = rest.find('}').ok_or_else(|| {
+                CoreError::plan(format!("unterminated '{{' in split policy '{s}'"))
+            })?;
             let body = &rest[1..end];
-            let (op_s, val_s) = body
-                .split_once(',')
-                .ok_or_else(|| CoreError::plan(format!("split condition '{{{body}}}' needs 'op, value'")))?;
+            let (op_s, val_s) = body.split_once(',').ok_or_else(|| {
+                CoreError::plan(format!("split condition '{{{body}}}' needs 'op, value'"))
+            })?;
             let op = match op_s.trim() {
                 ">=" => SplitOp::Ge,
                 ">" => SplitOp::Gt,
@@ -448,7 +458,10 @@ mod tests {
 
     #[test]
     fn policy_parsing() {
-        assert_eq!(DistrPolicy::parse("roundRobin").unwrap(), DistrPolicy::Cyclic);
+        assert_eq!(
+            DistrPolicy::parse("roundRobin").unwrap(),
+            DistrPolicy::Cyclic
+        );
         assert_eq!(DistrPolicy::parse("cyclic").unwrap(), DistrPolicy::Cyclic);
         assert_eq!(DistrPolicy::parse("block").unwrap(), DistrPolicy::Block);
         assert_eq!(

@@ -130,7 +130,11 @@ fn blast_plan_structure_matches_figure8() {
     assert_eq!(plan.jobs[0].output(), "/user/sort_output");
     assert_eq!(plan.jobs[0].num_reducers, Some(3));
     match &plan.jobs[0].kind {
-        JobKind::Sort { key_idx, descending, .. } => {
+        JobKind::Sort {
+            key_idx,
+            descending,
+            ..
+        } => {
             assert_eq!(*key_idx, 1); // seq_size
             assert!(!descending);
         }
@@ -285,7 +289,9 @@ fn hybrid_plan_structure_matches_figure10() {
 
     // Group: packs by vertex_b, adds indegree.
     match &plan.jobs[0].kind {
-        JobKind::Group { key_idx, addons, .. } => {
+        JobKind::Group {
+            key_idx, addons, ..
+        } => {
             assert_eq!(*key_idx, 1);
             assert_eq!(addons.len(), 1);
             assert_eq!(addons[0].attr, "indegree");
@@ -442,10 +448,7 @@ fn unbound_and_extraneous_arguments_are_rejected() {
     let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
     // num_partitions missing.
     let e = planner
-        .bind(&args(&[
-            ("input_path", "/a"),
-            ("output_path", "/b"),
-        ]))
+        .bind(&args(&[("input_path", "/a"), ("output_path", "/b")]))
         .unwrap_err();
     assert!(e.to_string().contains("num_partitions"), "{e}");
     // Unknown launch argument.

@@ -2,12 +2,13 @@
 //! exchange primitive.
 
 use papar_record::batch::{Batch, Dataset};
-use papar_record::Schema;
+use papar_record::{wire, Schema};
 use std::sync::Arc;
 
-use crate::stats::{ExchangeStats, NetModel};
+use crate::fault::{ExchangeFaultKind, Fault, FaultPlan, RecoveryAction, RetryPolicy};
+use crate::stats::{ExchangeStats, NetModel, RecoveryStats};
 use crate::store::DataStore;
-use crate::{MrError, Result};
+use crate::{MrError, Result, TaskPhase};
 
 /// `N` simulated compute nodes with private storage and a modeled
 /// interconnect.
@@ -15,25 +16,118 @@ use crate::{MrError, Result};
 /// Node tasks execute sequentially under a virtual clock (see the crate
 /// docs); the cluster's job is data placement, the exchange primitive, and
 /// accounting.
+///
+/// A cluster can also be configured for chaos: a replication factor (each
+/// materialized fragment gets `r` replicas on the following nodes), a
+/// [`FaultPlan`] of scheduled failures, and a [`RetryPolicy`] governing how
+/// failed tasks re-execute. Recovery costs accumulate in an internal
+/// [`RecoveryStats`] drained into the next job's stats, and every injected
+/// fault plus the action taken is appended to an event log (see
+/// [`Cluster::drain_events`]).
 pub struct Cluster {
     nodes: Vec<DataStore>,
     net: NetModel,
+    /// Replicas kept per fragment beyond the primary.
+    replication: usize,
+    retry: RetryPolicy,
+    fault_plan: Option<FaultPlan>,
+    /// Jobs launched so far; fault schedules address jobs by this index.
+    jobs_run: usize,
+    /// Recovery accounting since the last drain (scatter-time replication
+    /// lands on the first job that runs afterwards).
+    pending_recovery: RecoveryStats,
+    events: Vec<RecoveryAction>,
 }
 
 impl Cluster {
     /// A cluster of `num_nodes` nodes with the default (InfiniBand) network
     /// model.
+    ///
+    /// Panics when `num_nodes` is zero; use [`Cluster::try_new`] to get an
+    /// error instead.
     pub fn new(num_nodes: usize) -> Self {
         Self::with_net(num_nodes, NetModel::default())
     }
 
     /// A cluster with an explicit network model.
+    ///
+    /// Panics when `num_nodes` is zero; use [`Cluster::try_with_net`] to
+    /// get an error instead.
     pub fn with_net(num_nodes: usize, net: NetModel) -> Self {
-        assert!(num_nodes > 0, "a cluster needs at least one node");
-        Cluster {
+        Self::try_with_net(num_nodes, net).expect("a cluster needs at least one node")
+    }
+
+    /// Fallible constructor with the default network model.
+    pub fn try_new(num_nodes: usize) -> Result<Self> {
+        Self::try_with_net(num_nodes, NetModel::default())
+    }
+
+    /// Fallible constructor with an explicit network model; rejects
+    /// zero-node clusters instead of panicking, so callers validating
+    /// external input (e.g. a CLI `--nodes` flag) can report the error.
+    pub fn try_with_net(num_nodes: usize, net: NetModel) -> Result<Self> {
+        if num_nodes == 0 {
+            return Err(MrError::msg("a cluster needs at least one node"));
+        }
+        Ok(Cluster {
             nodes: (0..num_nodes).map(|_| DataStore::new()).collect(),
             net,
-        }
+            replication: 0,
+            retry: RetryPolicy::default(),
+            fault_plan: None,
+            jobs_run: 0,
+            pending_recovery: RecoveryStats::default(),
+            events: Vec::new(),
+        })
+    }
+
+    /// Keep `r` replicas of every materialized fragment on the `r` nodes
+    /// after its primary (wrapping). `r = 0` (the default) disables
+    /// checkpointing: a node crash then loses data unrecoverably.
+    pub fn with_replication(mut self, r: usize) -> Self {
+        self.replication = r;
+        self
+    }
+
+    /// Install a fault schedule for this run.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Override the task retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The configured replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// The task retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The installed fault schedule, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
+    }
+
+    /// Take the recovery log accumulated so far (injected faults and the
+    /// recovery actions they triggered, in order).
+    pub fn drain_events(&mut self) -> Vec<RecoveryAction> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Drain the recovery accounting accumulated since the last drain.
+    /// [`Cluster::run_job`] calls this at every job boundary; runners with
+    /// jobs that bypass the engine (map-only local jobs) drain it
+    /// themselves.
+    pub fn take_recovery(&mut self) -> RecoveryStats {
+        std::mem::take(&mut self.pending_recovery)
     }
 
     /// Number of simulated nodes.
@@ -67,12 +161,18 @@ impl Cluster {
         match dataset.batch {
             Batch::Flat(records) => {
                 for (i, chunk) in split_evenly(records, n).into_iter().enumerate() {
-                    self.nodes[i].put(name, i as u32, Dataset::new(schema.clone(), Batch::Flat(chunk)));
+                    self.put_fragment(
+                        i,
+                        name,
+                        i as u32,
+                        Dataset::new(schema.clone(), Batch::Flat(chunk)),
+                    );
                 }
             }
             Batch::Packed(groups) => {
                 for (i, chunk) in split_evenly(groups, n).into_iter().enumerate() {
-                    self.nodes[i].put(
+                    self.put_fragment(
+                        i,
                         name,
                         i as u32,
                         Dataset::new(schema.clone(), Batch::Packed(chunk)),
@@ -89,7 +189,38 @@ impl Cluster {
     pub fn scatter_fragments(&mut self, name: &str, fragments: Vec<Dataset>) {
         let n = self.num_nodes();
         for (i, frag) in fragments.into_iter().enumerate() {
-            self.nodes[i % n].put(name, i as u32, frag);
+            self.put_fragment(i % n, name, i as u32, frag);
+        }
+    }
+
+    /// Materialize a fragment on `node` and replicate it per the cluster's
+    /// replication factor: copy `i` lands on node `(node + i) % N`, and each
+    /// copy's wire size is charged as checkpoint traffic. This is how job
+    /// outputs, scattered inputs and map-only job outputs enter a store.
+    pub fn put_fragment(&mut self, node: usize, name: &str, ordinal: u32, data: Dataset) {
+        let arc = Arc::new(data);
+        self.nodes[node].put_arc(name, ordinal, Arc::clone(&arc));
+        self.replicate_fragment(node, name, ordinal, &arc);
+    }
+
+    /// Place the replicas of an already-stored fragment.
+    fn replicate_fragment(
+        &mut self,
+        primary: usize,
+        name: &str,
+        ordinal: u32,
+        data: &Arc<Dataset>,
+    ) {
+        let n = self.num_nodes();
+        if self.replication == 0 || n < 2 {
+            return;
+        }
+        let bytes = fragment_bytes(data);
+        for i in 1..=self.replication.min(n - 1) {
+            let target = (primary + i) % n;
+            self.nodes[target].put_replica(name, ordinal, Arc::clone(data));
+            self.pending_recovery.replication_bytes += bytes;
+            self.pending_recovery.replication_messages += 1;
         }
     }
 
@@ -108,7 +239,9 @@ impl Cluster {
             }
         }
         if !found {
-            return Err(MrError(format!("dataset '{name}' not found on any node")));
+            return Err(MrError::msg(format!(
+                "dataset '{name}' not found on any node"
+            )));
         }
         frags.sort_by_key(|(ord, _)| *ord);
         Ok(frags.into_iter().map(|(_, d)| d).collect())
@@ -120,15 +253,13 @@ impl Cluster {
         let schema: Arc<Schema> = frags
             .first()
             .map(|d| d.schema.clone())
-            .ok_or_else(|| MrError(format!("dataset '{name}' has no fragments")))?;
+            .ok_or_else(|| MrError::msg(format!("dataset '{name}' has no fragments")))?;
         // Preserve the format: concatenating packed fragments keeps groups.
-        let all_packed = frags
-            .iter()
-            .all(|d| matches!(d.batch, Batch::Packed(_)));
+        let all_packed = frags.iter().all(|d| matches!(d.batch, Batch::Packed(_)));
         if all_packed {
             let mut groups = Vec::new();
             for f in frags {
-                groups.extend(f.batch.into_packed().map_err(MrError::from_codec)?);
+                groups.extend(f.batch.into_packed().map_err(MrError::from)?);
             }
             Ok(Dataset::new(schema, Batch::Packed(groups)))
         } else {
@@ -142,7 +273,11 @@ impl Cluster {
 
     /// Drop a dataset everywhere; returns how many nodes held it.
     pub fn drop_dataset(&mut self, name: &str) -> usize {
-        self.nodes.iter_mut().map(|n| n.remove(name)).filter(|&r| r).count()
+        self.nodes
+            .iter_mut()
+            .map(|n| n.remove(name))
+            .filter(|&r| r)
+            .count()
     }
 
     /// All-to-all exchange of byte buffers: `outboxes[from][to]` is the
@@ -153,7 +288,7 @@ impl Cluster {
     pub fn exchange(&self, outboxes: Vec<Vec<Vec<u8>>>) -> Result<(Inboxes, ExchangeStats)> {
         let n = self.num_nodes();
         if outboxes.len() != n || outboxes.iter().any(|row| row.len() != n) {
-            return Err(MrError(format!(
+            return Err(MrError::msg(format!(
                 "exchange wants an {n}x{n} outbox matrix, got {}x{:?}",
                 outboxes.len(),
                 outboxes.first().map(Vec::len)
@@ -180,16 +315,242 @@ impl Cluster {
         }
         Ok((inboxes, stats))
     }
+
+    // ---- Fault injection and recovery (used by `run_job` and by
+    // map-only jobs that bypass the engine: split and custom operators
+    // must also reserve a job index so fault schedules address jobs by
+    // workflow position). ----
+
+    /// Reserve the next job index (what fault schedules address).
+    pub fn next_job_index(&mut self) -> usize {
+        let idx = self.jobs_run;
+        self.jobs_run += 1;
+        idx
+    }
+
+    /// The compute slowdown of `node` under the installed fault plan.
+    pub fn straggler_factor(&self, node: usize) -> f64 {
+        self.fault_plan
+            .as_ref()
+            .map(|p| p.straggler_factor(node))
+            .unwrap_or(1.0)
+    }
+
+    /// Check for (and consume) a crash scheduled at this task boundary. On
+    /// a hit the node loses its entire store and is immediately restored
+    /// from replicas, with the traffic charged; returns `Ok(true)` so the
+    /// caller re-executes the task. Without a live replica for some lost
+    /// primary fragment the crash is unrecoverable ([`MrError::DataLoss`]).
+    pub fn take_crash_fault(
+        &mut self,
+        job_idx: usize,
+        job_name: &str,
+        phase: TaskPhase,
+        node: usize,
+    ) -> Result<bool> {
+        let fired = match self.fault_plan.as_mut() {
+            Some(plan) => plan.take_crash(job_idx, phase, node),
+            None => false,
+        };
+        if !fired {
+            return Ok(false);
+        }
+        self.pending_recovery.faults_injected += 1;
+        self.events.push(RecoveryAction::FaultInjected {
+            job: job_name.to_string(),
+            fault: Fault::NodeCrash {
+                node,
+                job: job_idx,
+                phase,
+            },
+        });
+        self.crash_and_restore(job_name, node)?;
+        Ok(true)
+    }
+
+    /// Record a retry (backoff already charged to the phase by the caller).
+    pub fn note_retry(
+        &mut self,
+        job_name: &str,
+        node: usize,
+        phase: TaskPhase,
+        attempt: u32,
+        backoff: std::time::Duration,
+    ) {
+        self.pending_recovery.tasks_retried += 1;
+        self.pending_recovery.backoff_time += backoff;
+        self.events.push(RecoveryAction::TaskRetried {
+            job: job_name.to_string(),
+            node,
+            phase,
+            attempt,
+            backoff,
+        });
+    }
+
+    /// Record compute time whose results were lost to a crash.
+    pub fn note_lost_compute(&mut self, elapsed: std::time::Duration) {
+        self.pending_recovery.reexec_task_time += elapsed;
+    }
+
+    /// Record a crashed reducer's inbox being re-fetched from the mappers.
+    pub(crate) fn note_inbox_refetch(
+        &mut self,
+        job_name: &str,
+        node: usize,
+        bytes: u64,
+        messages: u64,
+    ) {
+        self.pending_recovery.retransmit_bytes += bytes;
+        self.pending_recovery.retransmit_messages += messages;
+        self.events.push(RecoveryAction::InboxRefetched {
+            job: job_name.to_string(),
+            node,
+            bytes,
+            messages,
+        });
+    }
+
+    /// Wipe a crashed node and re-fetch everything it held from replicas
+    /// (primaries from other nodes' replica areas, its replica holdings
+    /// from their surviving primaries).
+    fn crash_and_restore(&mut self, job_name: &str, node: usize) -> Result<()> {
+        let lost_primaries = self.nodes[node].fragment_ids();
+        let lost_replicas = self.nodes[node].replica_ids();
+        self.nodes[node].wipe();
+
+        let mut fragments = 0usize;
+        let mut total_bytes = 0u64;
+        for (name, ordinal) in lost_primaries {
+            let source = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != node)
+                .find_map(|(_, other)| other.replica(&name, ordinal));
+            let arc = source.ok_or_else(|| MrError::DataLoss {
+                dataset: name.clone(),
+                node,
+                detail: format!(
+                    "fragment {ordinal} has no replica; run with a replication factor >= 1"
+                ),
+            })?;
+            let bytes = fragment_bytes(&arc);
+            self.nodes[node].put_arc(&name, ordinal, arc);
+            self.pending_recovery.restore_bytes += bytes;
+            self.pending_recovery.restore_messages += 1;
+            fragments += 1;
+            total_bytes += bytes;
+        }
+        // Re-establish the node's replica holdings so a later crash of a
+        // *different* node still finds its copies. A replica whose primary
+        // is gone too cannot be rebuilt, but that only happens when the
+        // primary's own crash already failed.
+        for (name, ordinal) in lost_replicas {
+            let source = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != node)
+                .find_map(|(_, other)| other.primary(&name, ordinal));
+            if let Some(arc) = source {
+                let bytes = fragment_bytes(&arc);
+                self.nodes[node].put_replica(&name, ordinal, arc);
+                self.pending_recovery.restore_bytes += bytes;
+                self.pending_recovery.restore_messages += 1;
+                fragments += 1;
+                total_bytes += bytes;
+            }
+        }
+        self.events.push(RecoveryAction::FragmentsRestored {
+            job: job_name.to_string(),
+            node,
+            fragments,
+            bytes: total_bytes,
+        });
+        Ok(())
+    }
+
+    /// [`Cluster::exchange`] plus injection of this job's scheduled
+    /// drop/corrupt faults. Each faulted transfer is checked the way a real
+    /// receiver would notice it — a checksum mismatch on a corrupted copy, a
+    /// timeout on a dropped one — then the sender retransmits its (held)
+    /// buffer, so receivers always end up with pristine bytes and only the
+    /// accounting changes. Faults addressing empty or local transfers are
+    /// no-ops.
+    pub(crate) fn exchange_with_faults(
+        &mut self,
+        job_idx: usize,
+        job_name: &str,
+        outboxes: Vec<Vec<Vec<u8>>>,
+    ) -> Result<(Inboxes, ExchangeStats)> {
+        let fired = match self.fault_plan.as_mut() {
+            Some(plan) => plan.take_exchange_faults(job_idx),
+            None => Vec::new(),
+        };
+        let (inboxes, stats) = self.exchange(outboxes)?;
+        for (from, to, kind) in fired {
+            if from == to || to >= inboxes.len() {
+                continue;
+            }
+            let Some(buf) = inboxes[to]
+                .iter()
+                .find(|(sender, _)| *sender == from)
+                .map(|(_, b)| b)
+            else {
+                continue;
+            };
+            self.pending_recovery.faults_injected += 1;
+            self.events.push(RecoveryAction::FaultInjected {
+                job: job_name.to_string(),
+                fault: match kind {
+                    ExchangeFaultKind::Drop => Fault::ExchangeDrop {
+                        from,
+                        to,
+                        job: job_idx,
+                    },
+                    ExchangeFaultKind::Corrupt => Fault::ExchangeCorrupt {
+                        from,
+                        to,
+                        job: job_idx,
+                    },
+                },
+            });
+            if kind == ExchangeFaultKind::Corrupt {
+                // The receiver really verifies: flip a payload byte and
+                // check the sender's checksum exposes it.
+                let sent_sum = wire::checksum(buf);
+                let mut damaged = buf.clone();
+                let mid = damaged.len() / 2;
+                damaged[mid] ^= 0xFF;
+                if wire::checksum(&damaged) == sent_sum {
+                    return Err(MrError::msg(
+                        "transfer checksum failed to expose injected corruption",
+                    ));
+                }
+            }
+            // Drop: the receiver times out on the missing message. Either
+            // way the sender retransmits the held buffer.
+            self.pending_recovery.retransmit_bytes += buf.len() as u64;
+            self.pending_recovery.retransmit_messages += 1;
+            self.events.push(RecoveryAction::Retransmitted {
+                job: job_name.to_string(),
+                from,
+                to,
+                bytes: buf.len() as u64,
+            });
+        }
+        Ok((inboxes, stats))
+    }
+}
+
+/// Wire size of a fragment — what replication and restore transfers cost.
+fn fragment_bytes(data: &Dataset) -> u64 {
+    wire::encoded_size(&data.batch, &data.schema).unwrap_or(0) as u64
 }
 
 /// Per-receiver `(sender, buffer)` lists produced by [`Cluster::exchange`].
 pub type Inboxes = Vec<Vec<(usize, Vec<u8>)>>;
-
-impl MrError {
-    fn from_codec(e: papar_record::CodecError) -> Self {
-        MrError(e.to_string())
-    }
-}
 
 /// Split a vector into `n` contiguous chunks of near-equal length (the
 /// earlier chunks take the remainder, like HDFS block assignment).

@@ -29,7 +29,7 @@ use std::time::{Duration, Instant};
 
 use crate::cluster::Cluster;
 use crate::stats::JobStats;
-use crate::{MrError, Result};
+use crate::{MrError, Result, TaskPhase};
 
 /// One shuffled unit: either a flat record or a whole packed group (the
 /// hybrid-cut shuffles packed low-degree groups as single entries).
@@ -234,7 +234,7 @@ fn decode_entry(r: &mut Reader<'_>, schema: &Schema, compress_key: Option<usize>
         }
         ENTRY_PACKED_CSC => {
             let key_idx = compress_key.ok_or_else(|| {
-                MrError("received CSC-compressed entry but job has no compress_key".into())
+                MrError::msg("received CSC-compressed entry but job has no compress_key")
             })?;
             let key = wire::decode_value(r)?;
             let count = r.read_u32()? as usize;
@@ -266,7 +266,7 @@ fn decode_entry(r: &mut Reader<'_>, schema: &Schema, compress_key: Option<usize>
             }
             Ok(Entry::Packed(PackedRecord { key, records }))
         }
-        other => Err(MrError(format!("unknown entry tag {other}"))),
+        other => Err(MrError::msg(format!("unknown entry tag {other}"))),
     }
 }
 
@@ -285,11 +285,25 @@ impl Cluster {
     /// The output dataset is written fragment-per-reducer with the reducer
     /// id as ordinal; collect it with [`Cluster::collect`] to obtain the
     /// partitions in partition order.
+    /// When a fault plan is installed, the run is *chaos-aware*: scheduled
+    /// node crashes fire at task boundaries (the task's work and the node's
+    /// whole store are lost; the store is restored from replicas and the
+    /// task re-executes under the retry policy, with backoff and the lost
+    /// compute charged to the virtual clock), scheduled drop/corrupt faults
+    /// hit the shuffle (detected by timeout/checksum, then retransmitted),
+    /// and stragglers scale a node's measured compute time. Recovery never
+    /// changes the output: recovered runs are byte-identical to fault-free
+    /// ones.
     pub fn run_job(&mut self, job: &MapReduceJob<'_>) -> Result<JobStats> {
         if job.num_reducers == 0 {
-            return Err(MrError(format!("job '{}' has zero reducers", job.name)));
+            return Err(MrError::msg(format!(
+                "job '{}' has zero reducers",
+                job.name
+            )));
         }
+        let job_idx = self.next_job_index();
         let n = self.num_nodes();
+        let retry = self.retry_policy();
         let mut stats = JobStats {
             name: job.name.clone(),
             map_time_by_node: vec![Duration::ZERO; n],
@@ -298,138 +312,239 @@ impl Cluster {
         };
 
         // ---- Map phase (each node timed individually). ----
+        // Successful-attempt compute per node, kept apart from retry
+        // charges: a reduce-side crash re-runs the node's map task to
+        // regenerate its self-send data, at this cost.
+        let mut map_compute: Vec<Duration> = vec![Duration::ZERO; n];
         let mut outboxes: Vec<Vec<Vec<u8>>> = (0..n).map(|_| vec![Vec::new(); n]).collect();
-        #[allow(clippy::needless_range_loop)] // node indexes both stores and outboxes
         for node in 0..n {
-            let t0 = Instant::now();
-            let mut inputs: Vec<MapInput> = Vec::new();
-            for name in &job.inputs {
-                if let Some(frags) = self.node(node).get(name) {
-                    for f in frags {
-                        stats.records_in += f.data.batch.record_count() as u64;
-                        inputs.push(MapInput {
-                            name: name.clone(),
-                            ordinal: f.ordinal,
-                            data: Arc::clone(&f.data),
-                        });
-                    }
-                }
-            }
-            let ctx = TaskCtx {
-                node,
-                num_nodes: n,
-                num_reducers: job.num_reducers,
-                reducer: None,
-            };
-            let pairs = job.mapper.map(&ctx, &inputs)?;
-            stats.pairs_shuffled += pairs.len() as u64;
-            for (seq, (key, entry)) in pairs.into_iter().enumerate() {
-                let reducer = job.partitioner.reducer_for(&key, job.num_reducers);
-                if reducer >= job.num_reducers {
-                    return Err(MrError(format!(
-                        "partitioner returned reducer {reducer} >= {}",
-                        job.num_reducers
-                    )));
-                }
-                let dest = reducer % n;
-                let buf = &mut outboxes[node][dest];
-                buf.extend_from_slice(&(reducer as u32).to_le_bytes());
-                buf.extend_from_slice(&(seq as u32).to_le_bytes());
-                wire::encode_value(&key, buf);
-                encode_entry(&entry, &job.map_output_schema, job.compress_key, buf)?;
-            }
-            stats.map_time_by_node[node] = t0.elapsed();
-        }
-
-        // ---- Shuffle. ----
-        let (inboxes, exchange) = self.exchange(outboxes)?;
-        stats.comm_time = exchange.comm_time(self.net());
-        stats.exchange = exchange;
-
-        // ---- Reduce phase (each node timed individually). ----
-        for (node, inbox) in inboxes.into_iter().enumerate() {
-            let t0 = Instant::now();
-            let mut pairs: Vec<ShuffledPair> = Vec::new();
-            for (from, buf) in inbox {
-                let mut r = Reader::new(&buf);
-                while r.remaining() > 0 {
-                    let reducer = r.read_u32().map_err(MrError::from)?;
-                    let seq = r.read_u32().map_err(MrError::from)?;
-                    let key = wire::decode_value(&mut r)?;
-                    let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
-                    pairs.push(ShuffledPair {
-                        reducer,
-                        mapper: from as u32,
-                        seq,
-                        key,
-                        entry,
-                    });
-                }
-            }
-            // Group pairs per owned reducer.
-            pairs.sort_by(|a, b| {
-                a.reducer
-                    .cmp(&b.reducer)
-                    .then_with(|| {
-                        if job.sort_by_key {
-                            let ord = a.key.cmp(&b.key);
-                            if job.descending {
-                                ord.reverse()
-                            } else {
-                                ord
-                            }
-                        } else {
-                            std::cmp::Ordering::Equal
+            let mut attempt: u32 = 1;
+            loop {
+                let t0 = Instant::now();
+                let mut inputs: Vec<MapInput> = Vec::new();
+                let mut records_in: u64 = 0;
+                for name in &job.inputs {
+                    if let Some(frags) = self.node(node).get(name) {
+                        for f in frags {
+                            records_in += f.data.batch.record_count() as u64;
+                            inputs.push(MapInput {
+                                name: name.clone(),
+                                ordinal: f.ordinal,
+                                data: Arc::clone(&f.data),
+                            });
                         }
-                    })
-                    .then_with(|| a.mapper.cmp(&b.mapper))
-                    .then_with(|| a.seq.cmp(&b.seq))
-            });
-            let mut handled: Vec<bool> = vec![false; job.num_reducers];
-            let mut iter = pairs.into_iter().peekable();
-            while let Some(first) = iter.next() {
-                let rid = first.reducer;
-                let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
-                while iter.peek().is_some_and(|p| p.reducer == rid) {
-                    let p = iter.next().expect("peeked");
-                    group.push((p.key, p.entry));
+                    }
                 }
                 let ctx = TaskCtx {
                     node,
                     num_nodes: n,
                     num_reducers: job.num_reducers,
-                    reducer: Some(rid as usize),
+                    reducer: None,
                 };
-                let batch = job.reducer.reduce(&ctx, group)?;
-                stats.records_out += batch.record_count() as u64;
-                handled[rid as usize] = true;
-                self.node_mut(node).put(
-                    &job.output,
-                    rid,
-                    Dataset::new(job.output_schema.clone(), batch),
-                );
+                let pairs = job.mapper.map(&ctx, &inputs)?;
+                let pair_count = pairs.len() as u64;
+                let mut row: Vec<Vec<u8>> = vec![Vec::new(); n];
+                for (seq, (key, entry)) in pairs.into_iter().enumerate() {
+                    let reducer = job.partitioner.reducer_for(&key, job.num_reducers);
+                    if reducer >= job.num_reducers {
+                        return Err(MrError::msg(format!(
+                            "partitioner returned reducer {reducer} >= {}",
+                            job.num_reducers
+                        )));
+                    }
+                    let buf = &mut row[reducer % n];
+                    buf.extend_from_slice(&(reducer as u32).to_le_bytes());
+                    buf.extend_from_slice(&(seq as u32).to_le_bytes());
+                    wire::encode_value(&key, buf);
+                    encode_entry(&entry, &job.map_output_schema, job.compress_key, buf)?;
+                }
+                let elapsed = scale_compute(t0.elapsed(), self.straggler_factor(node));
+                stats.map_time_by_node[node] += elapsed;
+
+                if self.take_crash_fault(job_idx, &job.name, TaskPhase::Map, node)? {
+                    // The node died before committing its map output: the
+                    // attempt's compute is lost (charged above, and counted
+                    // as re-execution overhead). `take_crash_fault` already
+                    // restored the node's inputs from replicas.
+                    self.note_lost_compute(elapsed);
+                    if attempt >= retry.max_attempts {
+                        return Err(MrError::TaskAborted {
+                            job: job.name.clone(),
+                            node,
+                            phase: TaskPhase::Map,
+                            attempts: attempt,
+                            source: Box::new(MrError::msg("injected node crash")),
+                        });
+                    }
+                    let backoff = retry.backoff_for(attempt);
+                    stats.map_time_by_node[node] += backoff;
+                    self.note_retry(&job.name, node, TaskPhase::Map, attempt + 1, backoff);
+                    attempt += 1;
+                    continue;
+                }
+
+                map_compute[node] = elapsed;
+                stats.records_in += records_in;
+                stats.pairs_shuffled += pair_count;
+                outboxes[node] = row;
+                break;
             }
-            // Reducers that received nothing still own an (empty) output
-            // fragment, so a distribute job always materializes every
-            // partition.
-            for rid in (node..job.num_reducers).step_by(n) {
-                if !handled[rid] {
+        }
+
+        // ---- Shuffle. ----
+        let (inboxes, exchange) = self.exchange_with_faults(job_idx, &job.name, outboxes)?;
+        stats.comm_time = exchange.comm_time(self.net());
+        stats.exchange = exchange;
+
+        // ---- Reduce phase (each node timed individually). ----
+        for (node, inbox) in inboxes.into_iter().enumerate() {
+            let mut attempt: u32 = 1;
+            loop {
+                let t0 = Instant::now();
+                let mut pairs: Vec<ShuffledPair> = Vec::new();
+                for (from, buf) in &inbox {
+                    let mut r = Reader::new(buf);
+                    while r.remaining() > 0 {
+                        let reducer = r.read_u32().map_err(MrError::from)?;
+                        let seq = r.read_u32().map_err(MrError::from)?;
+                        let key = wire::decode_value(&mut r)?;
+                        let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
+                        pairs.push(ShuffledPair {
+                            reducer,
+                            mapper: *from as u32,
+                            seq,
+                            key,
+                            entry,
+                        });
+                    }
+                }
+                // Group pairs per owned reducer.
+                pairs.sort_by(|a, b| {
+                    a.reducer
+                        .cmp(&b.reducer)
+                        .then_with(|| {
+                            if job.sort_by_key {
+                                let ord = a.key.cmp(&b.key);
+                                if job.descending {
+                                    ord.reverse()
+                                } else {
+                                    ord
+                                }
+                            } else {
+                                std::cmp::Ordering::Equal
+                            }
+                        })
+                        .then_with(|| a.mapper.cmp(&b.mapper))
+                        .then_with(|| a.seq.cmp(&b.seq))
+                });
+                // Outputs are buffered and only committed if the task
+                // survives its boundary — a crashed attempt leaves nothing.
+                let mut outputs: Vec<(u32, Batch)> = Vec::new();
+                let mut records_out: u64 = 0;
+                let mut handled: Vec<bool> = vec![false; job.num_reducers];
+                let mut iter = pairs.into_iter().peekable();
+                while let Some(first) = iter.next() {
+                    let rid = first.reducer;
+                    let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
+                    while iter.peek().is_some_and(|p| p.reducer == rid) {
+                        let p = iter.next().expect("peeked");
+                        group.push((p.key, p.entry));
+                    }
                     let ctx = TaskCtx {
                         node,
                         num_nodes: n,
                         num_reducers: job.num_reducers,
-                        reducer: Some(rid),
+                        reducer: Some(rid as usize),
                     };
-                    let batch = job.reducer.reduce(&ctx, Vec::new())?;
-                    self.node_mut(node).put(
+                    let batch = job.reducer.reduce(&ctx, group)?;
+                    records_out += batch.record_count() as u64;
+                    handled[rid as usize] = true;
+                    outputs.push((rid, batch));
+                }
+                // Reducers that received nothing still own an (empty) output
+                // fragment, so a distribute job always materializes every
+                // partition.
+                for rid in (node..job.num_reducers).step_by(n) {
+                    if !handled[rid] {
+                        let ctx = TaskCtx {
+                            node,
+                            num_nodes: n,
+                            num_reducers: job.num_reducers,
+                            reducer: Some(rid),
+                        };
+                        let batch = job.reducer.reduce(&ctx, Vec::new())?;
+                        outputs.push((rid as u32, batch));
+                    }
+                }
+                let elapsed = scale_compute(t0.elapsed(), self.straggler_factor(node));
+                stats.reduce_time_by_node[node] += elapsed;
+
+                if self.take_crash_fault(job_idx, &job.name, TaskPhase::Reduce, node)? {
+                    // Crash mid-shuffle: the reduce attempt's work and the
+                    // node's in-memory inbox are gone. Remote mappers held
+                    // their send buffers and retransmit them; the node's own
+                    // map output is regenerated by re-running its map task
+                    // (same deterministic bytes, so the retry below reuses
+                    // `inbox` while the clock pays for the re-fetch).
+                    self.note_lost_compute(elapsed);
+                    let (rbytes, rmsgs) = inbox
+                        .iter()
+                        .filter(|(from, _)| *from != node)
+                        .fold((0u64, 0u64), |(b, m), (_, buf)| {
+                            (b + buf.len() as u64, m + 1)
+                        });
+                    if rmsgs > 0 {
+                        self.note_inbox_refetch(&job.name, node, rbytes, rmsgs);
+                    }
+                    if inbox.iter().any(|(from, _)| *from == node) {
+                        // Re-running the local map task costs its compute.
+                        stats.reduce_time_by_node[node] += map_compute[node];
+                        self.note_lost_compute(map_compute[node]);
+                    }
+                    if attempt >= retry.max_attempts {
+                        return Err(MrError::TaskAborted {
+                            job: job.name.clone(),
+                            node,
+                            phase: TaskPhase::Reduce,
+                            attempts: attempt,
+                            source: Box::new(MrError::msg("injected node crash")),
+                        });
+                    }
+                    let backoff = retry.backoff_for(attempt);
+                    stats.reduce_time_by_node[node] += backoff;
+                    self.note_retry(&job.name, node, TaskPhase::Reduce, attempt + 1, backoff);
+                    attempt += 1;
+                    continue;
+                }
+
+                stats.records_out += records_out;
+                for (rid, batch) in outputs {
+                    self.put_fragment(
+                        node,
                         &job.output,
-                        rid as u32,
+                        rid,
                         Dataset::new(job.output_schema.clone(), batch),
                     );
                 }
+                break;
             }
-            stats.reduce_time_by_node[node] = t0.elapsed();
         }
+
+        // Recovery traffic (replication, restores, retransmits) joins the
+        // job's modeled communication time; compute-side recovery is already
+        // inside the per-node phase times.
+        let recovery = self.take_recovery();
+        let net = *self.net();
+        stats.absorb_recovery(recovery, &net);
         Ok(stats)
+    }
+}
+
+/// Apply a straggler's slowdown to a measured compute time.
+fn scale_compute(elapsed: Duration, factor: f64) -> Duration {
+    if factor > 1.0 {
+        elapsed.mul_f64(factor)
+    } else {
+        elapsed
     }
 }

@@ -20,6 +20,11 @@
 //!   job's simulated makespan is `max(map) + comm + max(reduce)` (BSP
 //!   barriers, like MapReduce), with communication time from a configurable
 //!   [`stats::NetModel`].
+//! * [`fault`] — seeded deterministic fault injection (node crashes,
+//!   dropped/corrupted transfers, stragglers) and task-level recovery:
+//!   failed tasks re-execute under a [`fault::RetryPolicy`], lost fragments
+//!   are re-fetched from replicas, and every recovered run produces
+//!   partitions byte-identical to the fault-free run.
 //!
 //! ## Why a virtual clock
 //!
@@ -32,32 +37,139 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod sampler;
 pub mod stats;
 pub mod store;
 
 pub use cluster::Cluster;
 pub use engine::{Entry, MapInput, MapReduceJob, Mapper, Partitioner, Reducer, TaskCtx};
+pub use fault::{ChaosSpec, Fault, FaultPlan, RecoveryAction, RetryPolicy};
 pub use sampler::RangePartitioner;
-pub use stats::{JobStats, NetModel};
+pub use stats::{JobStats, NetModel, RecoveryStats};
 
-/// Error type for cluster operations.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct MrError(pub String);
+/// The phase of a MapReduce task, used in fault injection and error
+/// context.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskPhase {
+    Map,
+    Reduce,
+}
 
-impl std::fmt::Display for MrError {
+impl std::fmt::Display for TaskPhase {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "mapreduce error: {}", self.0)
+        match self {
+            TaskPhase::Map => write!(f, "map"),
+            TaskPhase::Reduce => write!(f, "reduce"),
+        }
     }
 }
 
-impl std::error::Error for MrError {}
+/// Error type for cluster operations. Structured variants keep the
+/// failing job/node/task context so the exec layer can report *which*
+/// task died instead of a flattened message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MrError {
+    /// Free-form engine or cluster error.
+    Msg(String),
+    /// Wire/codec failure; the codec error is retained as the
+    /// [`std::error::Error::source`].
+    Codec(papar_record::CodecError),
+    /// A task kept failing until its retry budget was exhausted; the last
+    /// attempt's error is retained as the source.
+    TaskAborted {
+        job: String,
+        node: usize,
+        phase: TaskPhase,
+        attempts: u32,
+        source: Box<MrError>,
+    },
+    /// A dataset fragment was lost (node crash) and no live replica could
+    /// restore it.
+    DataLoss {
+        dataset: String,
+        node: usize,
+        detail: String,
+    },
+}
+
+impl MrError {
+    /// Free-form error constructor (the pre-enum `MrError(msg)` shape).
+    pub fn msg(m: impl Into<String>) -> Self {
+        MrError::Msg(m.into())
+    }
+}
+
+impl std::fmt::Display for MrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MrError::Msg(m) => write!(f, "mapreduce error: {m}"),
+            MrError::Codec(e) => write!(f, "mapreduce error: {e}"),
+            MrError::TaskAborted {
+                job,
+                node,
+                phase,
+                attempts,
+                source,
+            } => write!(
+                f,
+                "job '{job}': {phase} task on node {node} aborted after {attempts} attempt(s): {source}"
+            ),
+            MrError::DataLoss {
+                dataset,
+                node,
+                detail,
+            } => write!(
+                f,
+                "dataset '{dataset}' lost on node {node} with no live replica: {detail}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrError::Codec(e) => Some(e),
+            MrError::TaskAborted { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<papar_record::CodecError> for MrError {
     fn from(e: papar_record::CodecError) -> Self {
-        MrError(e.to_string())
+        MrError::Codec(e)
     }
 }
 
 /// Result alias for cluster operations.
 pub type Result<T> = std::result::Result<T, MrError>;
+
+#[cfg(test)]
+mod error_tests {
+    use super::{MrError, TaskPhase};
+    use std::error::Error;
+
+    #[test]
+    fn source_chains_through_task_aborted() {
+        let codec = papar_record::CodecError("truncated frame".into());
+        let e = MrError::TaskAborted {
+            job: "sort".into(),
+            node: 3,
+            phase: TaskPhase::Reduce,
+            attempts: 2,
+            source: Box::new(MrError::Codec(codec.clone())),
+        };
+        assert!(e.to_string().contains("reduce task on node 3"));
+        let src = e.source().expect("task abort chains its cause");
+        assert!(src.to_string().contains("truncated frame"));
+        let inner = src.source().expect("codec error is the root cause");
+        assert_eq!(inner.to_string(), codec.to_string());
+    }
+
+    #[test]
+    fn msg_display_matches_legacy_format() {
+        assert_eq!(MrError::msg("boom").to_string(), "mapreduce error: boom");
+    }
+}

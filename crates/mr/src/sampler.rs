@@ -34,10 +34,7 @@ pub fn local_sample(keys: &[Value], stride: usize) -> Vec<Value> {
 /// first reducer open below and the last open above. Duplicate boundary
 /// values are allowed (heavily skewed keys); lookup uses the first matching
 /// range so behaviour stays deterministic.
-pub fn boundaries_from_samples(
-    per_node: &[Vec<Value>],
-    num_reducers: usize,
-) -> Result<Vec<Value>> {
+pub fn boundaries_from_samples(per_node: &[Vec<Value>], num_reducers: usize) -> Result<Vec<Value>> {
     let mut all: Vec<Value> = per_node.iter().flatten().cloned().collect();
     if num_reducers <= 1 || all.is_empty() {
         return Ok(Vec::new());

@@ -45,9 +45,17 @@ impl NetModel {
     }
 
     /// Time to deliver `messages` messages totalling `bytes` bytes.
+    ///
+    /// Saturates instead of panicking: byte counts near `u64::MAX` (or a
+    /// degenerate zero-bandwidth model) yield `Duration::MAX` rather than
+    /// tripping `Duration::from_secs_f64`'s overflow panic.
     pub fn transfer_time(&self, messages: u64, bytes: u64) -> Duration {
         let secs = self.latency_s * messages as f64 + bytes as f64 / self.bytes_per_s;
-        Duration::from_secs_f64(secs)
+        if !secs.is_finite() || secs >= Duration::MAX.as_secs_f64() {
+            Duration::MAX
+        } else {
+            Duration::from_secs_f64(secs)
+        }
     }
 }
 
@@ -94,6 +102,73 @@ impl ExchangeStats {
     }
 }
 
+/// Recovery-side accounting of one job: everything the cluster spent
+/// surviving injected faults, on top of the fault-free work. All of it is
+/// *also* charged to the regular phase/communication times (the virtual
+/// clock pays for recovery), so these fields answer "how much of the
+/// makespan was overhead" without changing how `sim_time` composes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Faults that fired during the job.
+    pub faults_injected: u32,
+    /// Task executions lost to crashes (each implies one re-execution).
+    pub tasks_retried: u32,
+    /// Compute time of task executions whose results were lost and had to
+    /// be redone (the extra compute caused by crashes).
+    pub reexec_task_time: Duration,
+    /// Virtual time spent in retry backoff waits.
+    pub backoff_time: Duration,
+    /// Bytes moved to place fragment replicas (checkpoint cost).
+    pub replication_bytes: u64,
+    /// Replica placement transfers.
+    pub replication_messages: u64,
+    /// Bytes re-fetched from replicas to restore a crashed node's store.
+    pub restore_bytes: u64,
+    /// Restore transfers.
+    pub restore_messages: u64,
+    /// Bytes resent after dropped/corrupted transfers or reducer crashes.
+    pub retransmit_bytes: u64,
+    /// Retransmitted transfers.
+    pub retransmit_messages: u64,
+    /// Modeled time of all recovery traffic (replication + restore +
+    /// retransmit) under the job's network model; already folded into the
+    /// job's `comm_time`.
+    pub comm_time: Duration,
+}
+
+impl RecoveryStats {
+    /// True when the job saw no fault and did no recovery work.
+    pub fn is_zero(&self) -> bool {
+        *self == RecoveryStats::default()
+    }
+
+    /// All recovery-traffic bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.replication_bytes + self.restore_bytes + self.retransmit_bytes
+    }
+
+    /// All recovery-traffic transfers.
+    pub fn total_messages(&self) -> u64 {
+        self.replication_messages + self.restore_messages + self.retransmit_messages
+    }
+
+    /// Fold another job's recovery accounting into this one (workflow-level
+    /// totals).
+    pub fn merge(&mut self, other: &RecoveryStats) {
+        self.faults_injected += other.faults_injected;
+        self.tasks_retried += other.tasks_retried;
+        self.reexec_task_time += other.reexec_task_time;
+        self.backoff_time += other.backoff_time;
+        self.replication_bytes += other.replication_bytes;
+        self.replication_messages += other.replication_messages;
+        self.restore_bytes += other.restore_bytes;
+        self.restore_messages += other.restore_messages;
+        self.retransmit_bytes += other.retransmit_bytes;
+        self.retransmit_messages += other.retransmit_messages;
+        self.comm_time += other.comm_time;
+    }
+}
+
 /// Timing and volume summary of one MapReduce job under the virtual clock.
 #[derive(Debug, Clone, Default)]
 pub struct JobStats {
@@ -113,12 +188,19 @@ pub struct JobStats {
     pub pairs_shuffled: u64,
     /// Records in the reduce output.
     pub records_out: u64,
+    /// Fault-recovery accounting (all zero on a fault-free run without
+    /// replication).
+    pub recovery: RecoveryStats,
 }
 
 impl JobStats {
     /// Critical-path map time (the slowest node).
     pub fn map_time(&self) -> Duration {
-        self.map_time_by_node.iter().max().copied().unwrap_or_default()
+        self.map_time_by_node
+            .iter()
+            .max()
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Critical-path reduce time (the slowest node).
@@ -134,6 +216,19 @@ impl JobStats {
     /// MapReduce round — `max(map) + comm + max(reduce)`.
     pub fn sim_time(&self) -> Duration {
         self.map_time() + self.comm_time + self.reduce_time()
+    }
+
+    /// Attach the recovery accounting accumulated while the job ran and
+    /// charge its traffic to the modeled communication time. Compute-side
+    /// recovery (re-execution, backoff) is already inside the per-node phase
+    /// times; this adds the wire side so `sim_time` pays for everything.
+    pub fn absorb_recovery(&mut self, mut recovery: RecoveryStats, net: &NetModel) {
+        if !recovery.is_zero() {
+            let t = net.transfer_time(recovery.total_messages(), recovery.total_bytes());
+            recovery.comm_time = t;
+            self.comm_time += t;
+        }
+        self.recovery = recovery;
     }
 }
 
@@ -199,6 +294,86 @@ mod tests {
         };
         assert_eq!(st.map_time(), Duration::from_millis(9));
         assert_eq!(st.sim_time(), Duration::from_millis(15));
+    }
+
+    #[test]
+    fn transfer_time_zero_volume_is_zero() {
+        for net in [
+            NetModel::infiniband_qdr(),
+            NetModel::ethernet_10g(),
+            NetModel::instant(),
+        ] {
+            assert_eq!(net.transfer_time(0, 0), Duration::ZERO);
+        }
+        // Zero bytes still pay per-message latency.
+        let t = NetModel {
+            latency_s: 1e-3,
+            bytes_per_s: 1e6,
+        }
+        .transfer_time(5, 0);
+        assert!((t.as_secs_f64() - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_time_saturates_instead_of_panicking() {
+        // u64::MAX bytes over a slow link would overflow Duration.
+        let slow = NetModel {
+            latency_s: 0.0,
+            bytes_per_s: 1.0,
+        };
+        assert_eq!(slow.transfer_time(0, u64::MAX), Duration::MAX);
+        assert_eq!(slow.transfer_time(u64::MAX, u64::MAX), Duration::MAX);
+        // A degenerate zero-bandwidth model divides by zero (inf or NaN).
+        let dead = NetModel {
+            latency_s: 0.0,
+            bytes_per_s: 0.0,
+        };
+        assert_eq!(dead.transfer_time(0, 1), Duration::MAX);
+        assert_eq!(dead.transfer_time(0, 0), Duration::MAX); // 0/0 = NaN
+                                                             // The instant network stays free even for huge volumes.
+        assert_eq!(
+            NetModel::instant().transfer_time(u64::MAX, u64::MAX),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn recovery_stats_merge_and_charge() {
+        let mut a = RecoveryStats {
+            faults_injected: 1,
+            tasks_retried: 1,
+            reexec_task_time: Duration::from_millis(5),
+            restore_bytes: 100,
+            restore_messages: 2,
+            ..Default::default()
+        };
+        assert!(!a.is_zero());
+        let b = RecoveryStats {
+            retransmit_bytes: 50,
+            retransmit_messages: 1,
+            backoff_time: Duration::from_millis(10),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.faults_injected, 1);
+        assert_eq!(a.total_bytes(), 150);
+        assert_eq!(a.total_messages(), 3);
+        assert_eq!(a.backoff_time, Duration::from_millis(10));
+
+        let mut st = JobStats::default();
+        let net = NetModel {
+            latency_s: 0.0,
+            bytes_per_s: 1000.0,
+        };
+        st.absorb_recovery(a.clone(), &net);
+        // 150 bytes at 1000 B/s -> 0.15 s of recovery traffic on the clock.
+        assert!((st.comm_time.as_secs_f64() - 0.15).abs() < 1e-12);
+        assert_eq!(st.recovery.comm_time, st.comm_time);
+
+        let mut clean = JobStats::default();
+        clean.absorb_recovery(RecoveryStats::default(), &net);
+        assert_eq!(clean.comm_time, Duration::ZERO);
+        assert!(clean.recovery.is_zero());
     }
 
     #[test]

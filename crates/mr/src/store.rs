@@ -28,9 +28,16 @@ pub struct Fragment {
 }
 
 /// The named datasets held by one node.
+///
+/// Besides the primary fragments a node owns, the store has a separate
+/// *replica* area: copies of fragments whose primary lives on another node,
+/// placed there by the cluster's replication policy. Replicas never feed
+/// map tasks or collects — they exist purely so a crashed node's primaries
+/// can be re-fetched instead of lost.
 #[derive(Debug, Default)]
 pub struct DataStore {
     data: HashMap<String, Vec<Fragment>>,
+    replicas: HashMap<String, Vec<Fragment>>,
 }
 
 impl DataStore {
@@ -41,13 +48,76 @@ impl DataStore {
 
     /// Append a fragment to a dataset (created on first use).
     pub fn put(&mut self, name: &str, ordinal: u32, data: Dataset) {
+        self.put_arc(name, ordinal, Arc::new(data));
+    }
+
+    /// Like [`DataStore::put`] for data already behind an `Arc` (replica
+    /// restores share the surviving copy's storage).
+    pub fn put_arc(&mut self, name: &str, ordinal: u32, data: Arc<Dataset>) {
         self.data
             .entry(name.to_string())
             .or_default()
-            .push(Fragment {
-                ordinal,
-                data: Arc::new(data),
-            });
+            .push(Fragment { ordinal, data });
+    }
+
+    /// Stash a replica of another node's fragment.
+    pub fn put_replica(&mut self, name: &str, ordinal: u32, data: Arc<Dataset>) {
+        self.replicas
+            .entry(name.to_string())
+            .or_default()
+            .push(Fragment { ordinal, data });
+    }
+
+    /// Look up a replica by identity.
+    pub fn replica(&self, name: &str, ordinal: u32) -> Option<Arc<Dataset>> {
+        self.replicas
+            .get(name)?
+            .iter()
+            .find(|f| f.ordinal == ordinal)
+            .map(|f| Arc::clone(&f.data))
+    }
+
+    /// Look up a primary fragment by identity.
+    pub fn primary(&self, name: &str, ordinal: u32) -> Option<Arc<Dataset>> {
+        self.data
+            .get(name)?
+            .iter()
+            .find(|f| f.ordinal == ordinal)
+            .map(|f| Arc::clone(&f.data))
+    }
+
+    /// Identities `(name, ordinal)` of every primary fragment.
+    pub fn fragment_ids(&self) -> Vec<(String, u32)> {
+        let mut ids: Vec<(String, u32)> = self
+            .data
+            .iter()
+            .flat_map(|(name, frags)| frags.iter().map(move |f| (name.clone(), f.ordinal)))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Identities of every replica held for other nodes.
+    pub fn replica_ids(&self) -> Vec<(String, u32)> {
+        let mut ids: Vec<(String, u32)> = self
+            .replicas
+            .iter()
+            .flat_map(|(name, frags)| frags.iter().map(move |f| (name.clone(), f.ordinal)))
+            .collect();
+        ids.sort();
+        ids
+    }
+
+    /// Number of replica fragments held.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.values().map(Vec::len).sum()
+    }
+
+    /// Simulate a node crash: every primary fragment and every replica is
+    /// lost at once.
+    pub fn wipe(&mut self) {
+        self.data.clear();
+        self.replicas.clear();
     }
 
     /// The local fragments of a dataset, in ordinal order.
@@ -62,7 +132,7 @@ impl DataStore {
     /// Like [`DataStore::get`] but with an error naming the dataset.
     pub fn require(&self, name: &str) -> Result<Vec<&Fragment>> {
         self.get(name)
-            .ok_or_else(|| MrError(format!("dataset '{name}' not found on this node")))
+            .ok_or_else(|| MrError::msg(format!("dataset '{name}' not found on this node")))
     }
 
     /// True when the node holds (possibly empty) fragments for `name`.
@@ -70,9 +140,12 @@ impl DataStore {
         self.data.contains_key(name)
     }
 
-    /// Remove a dataset, returning whether it existed.
+    /// Remove a dataset — primary fragments and any replicas held for other
+    /// nodes — returning whether a primary existed here.
     pub fn remove(&mut self, name: &str) -> bool {
-        self.data.remove(name).is_some()
+        let had = self.data.remove(name).is_some();
+        self.replicas.remove(name);
+        had
     }
 
     /// Names of all stored datasets (unordered).
@@ -92,8 +165,8 @@ impl DataStore {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use papar_record::{rec, Batch, Schema};
     use papar_config::input::FieldType;
+    use papar_record::{rec, Batch, Schema};
     use std::sync::Arc;
 
     fn ds(vals: &[i32]) -> Dataset {
@@ -130,6 +203,34 @@ mod tests {
         assert!(store.remove("x"));
         assert!(!store.contains("x"));
         assert!(!store.remove("x"));
+    }
+
+    #[test]
+    fn replicas_live_apart_from_primaries() {
+        let mut store = DataStore::new();
+        store.put("x", 0, ds(&[1, 2]));
+        store.put_replica("x", 1, Arc::new(ds(&[3])));
+        // Replicas never show up in reads, counts or names.
+        assert_eq!(store.get("x").unwrap().len(), 1);
+        assert_eq!(store.record_count("x"), 2);
+        assert_eq!(store.replica_count(), 1);
+        assert_eq!(store.replica("x", 1).unwrap().batch.record_count(), 1);
+        assert!(store.replica("x", 0).is_none());
+        assert_eq!(store.primary("x", 0).unwrap().batch.record_count(), 2);
+        assert!(store.primary("x", 1).is_none());
+        assert_eq!(store.fragment_ids(), vec![("x".to_string(), 0)]);
+        assert_eq!(store.replica_ids(), vec![("x".to_string(), 1)]);
+    }
+
+    #[test]
+    fn wipe_loses_everything() {
+        let mut store = DataStore::new();
+        store.put("x", 0, ds(&[1]));
+        store.put_replica("y", 3, Arc::new(ds(&[2])));
+        store.wipe();
+        assert!(!store.contains("x"));
+        assert_eq!(store.replica_count(), 0);
+        assert!(store.fragment_ids().is_empty());
     }
 
     #[test]

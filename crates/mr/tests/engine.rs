@@ -43,8 +43,8 @@ fn collect_ints(cluster: &Cluster, name: &str) -> Vec<Vec<i32>> {
 
 /// The identity mapper: emit each record keyed by its first field.
 #[allow(clippy::type_complexity)]
-fn key_by_first() -> FnMapper<impl Fn(&papar_mr::TaskCtx, &[MapInput]) -> papar_mr::Result<Vec<(Value, Entry)>>>
-{
+fn key_by_first(
+) -> FnMapper<impl Fn(&papar_mr::TaskCtx, &[MapInput]) -> papar_mr::Result<Vec<(Value, Entry)>>> {
     FnMapper(|_ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
         let mut out = Vec::new();
         for MapInput { data: ds, .. } in inputs {
@@ -59,8 +59,8 @@ fn key_by_first() -> FnMapper<impl Fn(&papar_mr::TaskCtx, &[MapInput]) -> papar_
 
 /// The pass-through reducer: strip keys, keep entries in delivered order.
 #[allow(clippy::type_complexity)]
-fn strip_keys() -> FnReducer<impl Fn(&papar_mr::TaskCtx, Vec<(Value, Entry)>) -> papar_mr::Result<Batch>>
-{
+fn strip_keys(
+) -> FnReducer<impl Fn(&papar_mr::TaskCtx, Vec<(Value, Entry)>) -> papar_mr::Result<Batch>> {
     FnReducer(|_ctx: &papar_mr::TaskCtx, pairs: Vec<(Value, Entry)>| {
         let mut records = Vec::new();
         for (_, e) in pairs {
@@ -107,13 +107,18 @@ fn range_sorted_job_produces_globally_sorted_output() {
     let concat: Vec<i32> = parts.concat();
     let mut expect = vals.clone();
     expect.sort();
-    assert_eq!(concat, expect, "concatenated reducer outputs must be sorted");
+    assert_eq!(
+        concat, expect,
+        "concatenated reducer outputs must be sorted"
+    );
 }
 
 #[test]
 fn identity_partitioner_routes_to_named_reducer() {
     let mut cluster = Cluster::new(2);
-    cluster.scatter("in", int_dataset(&[5, 6, 7, 8, 9])).unwrap();
+    cluster
+        .scatter("in", int_dataset(&[5, 6, 7, 8, 9]))
+        .unwrap();
 
     // Key = target partition (v % 3), like a distribute job's reduce-key.
     let mapper = FnMapper(|_: &papar_mr::TaskCtx, inputs: &[MapInput]| {
@@ -187,12 +192,12 @@ fn hash_grouping_collects_equal_keys_on_one_reducer() {
     // Every key's 10 copies must land in exactly one fragment.
     let parts = collect_ints(&cluster, "grouped");
     for key in 0..9 {
-        let holders = parts
-            .iter()
-            .filter(|p| p.contains(&key))
-            .count();
+        let holders = parts.iter().filter(|p| p.contains(&key)).count();
         assert_eq!(holders, 1, "key {key} split across reducers");
-        let total: usize = parts.iter().map(|p| p.iter().filter(|&&v| v == key).count()).sum();
+        let total: usize = parts
+            .iter()
+            .map(|p| p.iter().filter(|&&v| v == key).count())
+            .sum();
         assert_eq!(total, 10);
     }
 }
@@ -238,7 +243,7 @@ fn packed_entries_survive_shuffle_with_and_without_compression() {
             partitioner: &HashPartitioner,
             reducer: &reducer,
             sort_by_key: true,
-        descending: false,
+            descending: false,
             compress_key: compress,
         };
         cluster.run_job(&job).unwrap();
@@ -298,7 +303,7 @@ fn compression_reduces_shuffled_bytes_on_redundant_groups() {
             partitioner: &HashPartitioner,
             reducer: &reducer,
             sort_by_key: true,
-        descending: false,
+            descending: false,
             compress_key: compress,
         };
         let stats = cluster.run_job(&job).unwrap();
@@ -333,7 +338,7 @@ fn results_are_deterministic_across_runs_and_node_counts_content() {
             partitioner: &part,
             reducer: &reducer,
             sort_by_key: true,
-        descending: false,
+            descending: false,
             compress_key: None,
         };
         cluster.run_job(&job).unwrap();
@@ -341,7 +346,10 @@ fn results_are_deterministic_across_runs_and_node_counts_content() {
     };
     let a = run(3);
     let b = run(3);
-    assert_eq!(a, b, "same cluster size must reproduce identical partitions");
+    assert_eq!(
+        a, b,
+        "same cluster size must reproduce identical partitions"
+    );
     // Different node counts keep the same *sorted content* per reducer
     // because the range partitioner fixes reducer ranges.
     let c = run(5);

@@ -57,8 +57,7 @@ impl BaselineRun {
     /// node (sorting is memory-bound).
     pub fn modeled_time(&self, threads: usize, efficiency: f64) -> Duration {
         let eff_threads = 1.0 + (threads.max(1) as f64 - 1.0) * efficiency.clamp(0.0, 1.0);
-        Duration::from_secs_f64(self.sort_time.as_secs_f64() / eff_threads)
-            + self.serial_time
+        Duration::from_secs_f64(self.sort_time.as_secs_f64() / eff_threads) + self.serial_time
     }
 
     /// Measured single-thread wall time.
@@ -114,8 +113,12 @@ fn qsort_by(entries: &mut [IndexEntry], cmp: fn(&IndexEntry, &IndexEntry) -> std
     ) -> std::cmp::Ordering {
         cmp(&a.0, &b.0).then(a.1.cmp(&b.1))
     }
-    let mut tagged: Vec<(IndexEntry, usize)> =
-        entries.iter().copied().enumerate().map(|(i, e)| (e, i)).collect();
+    let mut tagged: Vec<(IndexEntry, usize)> = entries
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(i, e)| (e, i))
+        .collect();
     inner(&mut tagged, cmp);
     for (slot, (e, _)) in entries.iter_mut().zip(tagged) {
         *slot = e;
@@ -215,12 +218,7 @@ mod tests {
     fn figure1_worked_example() {
         // Paper Figure 1: four entries sorted by seq_size then dealt to two
         // partitions round-robin.
-        let index = vec![
-            entry(0, 94),
-            entry(94, 100),
-            entry(194, 99),
-            entry(293, 91),
-        ];
+        let index = vec![entry(0, 94), entry(94, 100), entry(194, 99), entry(293, 91)];
         let run = partition(&index, 2, BaselinePolicy::Cyclic);
         // Sorted: 91, 94, 99, 100 -> P0 gets {91, 99}, P1 gets {94, 100}.
         assert_eq!(

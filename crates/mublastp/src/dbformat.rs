@@ -43,7 +43,12 @@ impl IndexEntry {
     /// View as a PaPar record (`{seq_start, seq_size, desc_start,
     /// desc_size}`).
     pub fn to_record(self) -> Record {
-        rec![self.seq_start, self.seq_size, self.desc_start, self.desc_size]
+        rec![
+            self.seq_start,
+            self.seq_size,
+            self.desc_start,
+            self.desc_size
+        ]
     }
 
     /// Parse from a PaPar record.
@@ -52,7 +57,12 @@ impl IndexEntry {
             r.value(i)
                 .and_then(|v| v.as_i64())
                 .map(|v| v as i32)
-                .ok_or_else(|| DbError(format!("record {} is not an index entry", r.display_tuple())))
+                .ok_or_else(|| {
+                    DbError(format!(
+                        "record {} is not an index entry",
+                        r.display_tuple()
+                    ))
+                })
         };
         Ok(IndexEntry {
             seq_start: get(0)?,
@@ -302,7 +312,8 @@ mod tests {
         // Codec reads fixed-width records; slice off the payloads first
         // (PaPar consumes the index region of the file).
         let index_end = HEADER_LEN + db.len() * 16;
-        let records = papar_record::codec::binary::read(&cfg, &schema, &bytes[..index_end]).unwrap();
+        let records =
+            papar_record::codec::binary::read(&cfg, &schema, &bytes[..index_end]).unwrap();
         assert_eq!(records, db.index_records());
     }
 

@@ -144,11 +144,11 @@ impl DbSpec {
             };
             let seq_start = sequences.len() as i32;
             for _ in 0..len {
-                sequences.push(AMINO_ACIDS[rng.gen_range(0..20)]);
+                sequences.push(AMINO_ACIDS[rng.gen_range(0..20usize)]);
             }
             // Descriptions mirror real FASTA deflines (accession, source
             // organism, free text): 60-160 bytes.
-            let pad = rng.gen_range(0..100);
+            let pad = rng.gen_range(0..100usize);
             let desc = format!(
                 "synth|{:010}|Ref protein {i} [Synthetica papariensis] {:width$}",
                 self.seed ^ i as u64,
@@ -221,7 +221,11 @@ mod tests {
         // Correlation of neighbouring log-lengths should be clearly
         // positive with drift enabled and near zero without.
         let corr = |db: &BlastDb| -> f64 {
-            let logs: Vec<f64> = db.index.iter().map(|e| f64::from(e.seq_size).ln()).collect();
+            let logs: Vec<f64> = db
+                .index
+                .iter()
+                .map(|e| f64::from(e.seq_size).ln())
+                .collect();
             let n = logs.len() - 1;
             let xs = &logs[..n];
             let ys = &logs[1..];

@@ -104,7 +104,11 @@ impl CustomOperator for RecalcOperator {
                 let frags: Vec<(u32, std::sync::Arc<Dataset>)> = cluster
                     .node(node)
                     .get(input)
-                    .map(|fs| fs.into_iter().map(|f| (f.ordinal, std::sync::Arc::clone(&f.data))).collect())
+                    .map(|fs| {
+                        fs.into_iter()
+                            .map(|f| (f.ordinal, std::sync::Arc::clone(&f.data)))
+                            .collect()
+                    })
                     .unwrap_or_default();
                 for (ordinal, frag) in frags {
                     stats.records_in += frag.batch.record_count() as u64;
@@ -126,10 +130,15 @@ impl CustomOperator for RecalcOperator {
                 }
             }
             for (ordinal, ds) in outputs {
-                cluster.node_mut(node).put(&ctx.output, ordinal, ds);
+                // Replicated like every materialized fragment, so node
+                // crashes after this job stay recoverable.
+                cluster.put_fragment(node, &ctx.output, ordinal, ds);
             }
             stats.map_time_by_node[node] = t0.elapsed();
         }
+        let recovery = cluster.take_recovery();
+        let net = *cluster.net();
+        stats.absorb_recovery(recovery, &net);
         Ok(stats)
     }
 }
@@ -174,8 +183,7 @@ mod tests {
         assert_eq!(sub.len(), part.len());
         // Payload content must match the source sequences.
         for (i, e) in part.iter().enumerate() {
-            let original =
-                &db.sequences[e.seq_start as usize..(e.seq_start + e.seq_size) as usize];
+            let original = &db.sequences[e.seq_start as usize..(e.seq_start + e.seq_size) as usize];
             assert_eq!(sub.sequence(i), original);
         }
     }

@@ -133,7 +133,13 @@ impl SearchCostModel {
         // experiments use 100 queries so the double loop is fine.
         subject_lengths
             .iter()
-            .map(|&s| batch.lengths.iter().map(|&q| self.pair_cost(q, s)).sum::<f64>())
+            .map(|&s| {
+                batch
+                    .lengths
+                    .iter()
+                    .map(|&q| self.pair_cost(q, s))
+                    .sum::<f64>()
+            })
             .sum()
     }
 

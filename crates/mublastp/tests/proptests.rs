@@ -18,9 +18,9 @@ fn db_strategy() -> impl Strategy<Value = BlastDb> {
         let mut descriptions = Vec::new();
         for (i, (sl, dl)) in sizes.iter().enumerate() {
             let seq_start = sequences.len() as i32;
-            sequences.extend(std::iter::repeat(b'A' + (i % 20) as u8).take(*sl as usize));
+            sequences.extend(std::iter::repeat_n(b'A' + (i % 20) as u8, *sl as usize));
             let desc_start = descriptions.len() as i32;
-            descriptions.extend(std::iter::repeat(b'd').take(*dl as usize));
+            descriptions.extend(std::iter::repeat_n(b'd', *dl as usize));
             index.push(IndexEntry {
                 seq_start,
                 seq_size: *sl as i32,
@@ -28,7 +28,11 @@ fn db_strategy() -> impl Strategy<Value = BlastDb> {
                 desc_size: *dl as i32,
             });
         }
-        BlastDb { index, sequences, descriptions }
+        BlastDb {
+            index,
+            sequences,
+            descriptions,
+        }
     })
 }
 

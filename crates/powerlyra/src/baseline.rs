@@ -78,8 +78,7 @@ impl PowerLyraRun {
     pub fn modeled_time(&self, nodes: usize) -> Duration {
         let nodes = nodes.max(1);
         let eff = 1.0 + (nodes as f64 - 1.0) * PARALLEL_EFFICIENCY;
-        let compute =
-            Duration::from_secs_f64(self.compute_time.as_secs_f64() / (eff * NUMA_BOOST));
+        let compute = Duration::from_secs_f64(self.compute_time.as_secs_f64() / (eff * NUMA_BOOST));
         let net = NetModel::ethernet_10g();
         let total_edges = self.assignment.total_edges() as u64;
         let cross = total_edges * BYTES_PER_EDGE * (nodes as u64 - 1) / nodes as u64;

@@ -24,17 +24,14 @@ use crate::{GraphError, Result};
 /// Chung–Lu style directed power-law graph: in-degree weights follow
 /// `w_i ∝ (i+1)^(-1/(alpha-1))`; out-endpoints are near-uniform. The
 /// result has approximately `num_edges` edges and a heavy in-degree tail.
-pub fn chung_lu(
-    num_vertices: usize,
-    num_edges: usize,
-    alpha: f64,
-    seed: u64,
-) -> Result<Graph> {
+pub fn chung_lu(num_vertices: usize, num_edges: usize, alpha: f64, seed: u64) -> Result<Graph> {
     if num_vertices == 0 {
         return Graph::from_edges(0, &[]);
     }
     if alpha <= 1.0 {
-        return Err(GraphError(format!("power-law exponent must exceed 1, got {alpha}")));
+        return Err(GraphError(format!(
+            "power-law exponent must exceed 1, got {alpha}"
+        )));
     }
     let mut rng = StdRng::seed_from_u64(seed);
     let gamma = 1.0 / (alpha - 1.0);
@@ -62,12 +59,7 @@ pub fn chung_lu(
 
 /// R-MAT generator (Chakrabarti et al.): recursively biased quadrant
 /// choices produce both skew and community clustering.
-pub fn rmat(
-    scale: u32,
-    num_edges: usize,
-    probs: (f64, f64, f64, f64),
-    seed: u64,
-) -> Result<Graph> {
+pub fn rmat(scale: u32, num_edges: usize, probs: (f64, f64, f64, f64), seed: u64) -> Result<Graph> {
     let (a, b, c, d) = probs;
     if (a + b + c + d - 1.0).abs() > 1e-9 {
         return Err(GraphError("R-MAT probabilities must sum to 1".into()));
@@ -116,7 +108,12 @@ pub mod presets {
 
     /// soc-Pokec-like: avg degree ~18.8, moderate skew.
     pub fn pokec_like(scale: usize, seed: u64) -> Result<Graph> {
-        chung_lu(1_632_803 / scale.max(1), 30_622_564 / scale.max(1), 2.4, seed)
+        chung_lu(
+            1_632_803 / scale.max(1),
+            30_622_564 / scale.max(1),
+            2.4,
+            seed,
+        )
     }
 
     /// soc-LiveJournal-like: avg degree ~14.2, skewed *and* clustered —
@@ -125,7 +122,12 @@ pub mod presets {
     pub fn livejournal_like(scale: usize, seed: u64) -> Result<Graph> {
         let target_v = 4_847_571 / scale.max(1);
         let sc = (target_v as f64).log2().ceil() as u32;
-        rmat(sc, 68_993_773 / scale.max(1), (0.57, 0.19, 0.19, 0.05), seed)
+        rmat(
+            sc,
+            68_993_773 / scale.max(1),
+            (0.57, 0.19, 0.19, 0.05),
+            seed,
+        )
     }
 }
 
@@ -189,7 +191,9 @@ mod tests {
     #[test]
     fn chung_lu_produces_in_degree_skew() {
         let g = chung_lu(5000, 40_000, 2.0, 11).unwrap();
-        let mut degs: Vec<usize> = (0..g.num_vertices() as u32).map(|v| g.in_degree(v)).collect();
+        let mut degs: Vec<usize> = (0..g.num_vertices() as u32)
+            .map(|v| g.in_degree(v))
+            .collect();
         degs.sort_unstable_by(|a, b| b.cmp(a));
         let avg = 40_000.0 / 5000.0;
         assert!(

@@ -210,7 +210,10 @@ mod tests {
         let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
         let r = reference_pagerank(&g, 50);
         for v in &r {
-            assert!((v - 0.25).abs() < 1e-12, "cycle ranks must be uniform: {r:?}");
+            assert!(
+                (v - 0.25).abs() < 1e-12,
+                "cycle ranks must be uniform: {r:?}"
+            );
         }
         assert!((r.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }

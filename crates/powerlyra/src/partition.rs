@@ -131,11 +131,7 @@ impl PartitionAssignment {
         self.replicas
             .iter()
             .enumerate()
-            .map(|(v, list)| {
-                list.iter()
-                    .filter(|&&p| p != self.master[v])
-                    .count()
-            })
+            .map(|(v, list)| list.iter().filter(|&&p| p != self.master[v]).count())
             .sum()
     }
 
@@ -176,7 +172,9 @@ impl PartitionAssignment {
         mine.sort_unstable();
         theirs.sort_unstable();
         if mine != theirs {
-            return Err(GraphError("assignment edges differ from graph edges".into()));
+            return Err(GraphError(
+                "assignment edges differ from graph edges".into(),
+            ));
         }
         Ok(())
     }
@@ -318,10 +316,7 @@ mod tests {
         let g = gen::chung_lu(500, 10_000, 1.9, 23).unwrap();
         let e = edge_cut(&g, 8).unwrap().edge_imbalance();
         let h = hybrid_cut(&g, 8, 50).unwrap().edge_imbalance();
-        assert!(
-            e > h,
-            "edge-cut imbalance {e} should exceed hybrid-cut {h}"
-        );
+        assert!(e > h, "edge-cut imbalance {e} should exceed hybrid-cut {h}");
     }
 
     #[test]

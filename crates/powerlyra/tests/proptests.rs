@@ -8,13 +8,17 @@ use powerlyra::partition::{edge_cut, hybrid_cut, vertex_cut};
 use proptest::prelude::*;
 
 fn graph_strategy() -> impl Strategy<Value = Graph> {
-    (2usize..60, prop::collection::vec((0u32..60, 0u32..60), 0..200)).prop_map(|(nv, edges)| {
-        let edges: Vec<(u32, u32)> = edges
-            .into_iter()
-            .map(|(s, d)| (s % nv as u32, d % nv as u32))
-            .collect();
-        Graph::from_edges(nv, &edges).unwrap()
-    })
+    (
+        2usize..60,
+        prop::collection::vec((0u32..60, 0u32..60), 0..200),
+    )
+        .prop_map(|(nv, edges)| {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(s, d)| (s % nv as u32, d % nv as u32))
+                .collect();
+            Graph::from_edges(nv, &edges).unwrap()
+        })
 }
 
 proptest! {

@@ -160,10 +160,7 @@ impl Dataset {
         };
         match &self.batch {
             Batch::Flat(v) => v.iter().try_for_each(check),
-            Batch::Packed(v) => v
-                .iter()
-                .flat_map(|p| p.records.iter())
-                .try_for_each(check),
+            Batch::Packed(v) => v.iter().flat_map(|p| p.records.iter()).try_for_each(check),
         }
     }
 }

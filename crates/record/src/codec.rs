@@ -144,7 +144,10 @@ pub mod text {
     /// not complete a record is an error.
     pub fn read(cfg: &InputConfig, schema: &Schema, data: &str) -> Result<Vec<Record>> {
         if cfg.format != InputFormat::Text {
-            return Err(CodecError(format!("input '{}' is not a text input", cfg.id)));
+            return Err(CodecError(format!(
+                "input '{}' is not a text input",
+                cfg.id
+            )));
         }
         let delims = delimiter_plan(cfg, schema.len())?;
         let mut out = Vec::new();

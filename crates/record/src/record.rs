@@ -132,10 +132,7 @@ mod tests {
 
     #[test]
     fn conformance() {
-        let schema = Schema::new(vec![
-            ("a", FieldType::Integer),
-            ("b", FieldType::Str),
-        ]);
+        let schema = Schema::new(vec![("a", FieldType::Integer), ("b", FieldType::Str)]);
         assert!(rec![1, "x"].conforms_to(&schema));
         assert!(!rec![1, 2].conforms_to(&schema));
         assert!(!rec![1].conforms_to(&schema));

@@ -93,6 +93,40 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
     buf.extend_from_slice(&v.to_le_bytes());
 }
 
+/// FNV-1a 64-bit checksum of a byte slice — the integrity tag shuffle
+/// transfers carry so in-flight corruption is detected instead of decoded
+/// into garbage. FNV is not cryptographic; it only needs to catch bit flips.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Wrap a payload in a checksummed frame: `[len u32][fnv1a u64][payload]`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    put_u32(out, payload.len() as u32);
+    out.extend_from_slice(&checksum(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// Decode one frame, verifying its checksum; errors on truncation or a
+/// checksum mismatch (i.e. corruption anywhere in the payload).
+pub fn decode_frame<'a>(r: &mut Reader<'a>) -> Result<&'a [u8]> {
+    let len = r.u32()? as usize;
+    let expect = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+    let payload = r.take(len)?;
+    let got = checksum(payload);
+    if got != expect {
+        return Err(CodecError(format!(
+            "frame checksum mismatch: stored {expect:#018x}, computed {got:#018x}"
+        )));
+    }
+    Ok(payload)
+}
+
 /// Encode one value according to its declared field type (schema-driven).
 pub fn encode_field(v: &Value, ty: FieldType, buf: &mut Vec<u8>) -> Result<()> {
     match (ty, v) {
@@ -345,5 +379,61 @@ mod tests {
         let b = Batch::Flat(vec![rec![1, 2, 3, 4], rec![5, 6, 7, 8]]);
         // 1 tag + 4 count + 2 * 16 payload.
         assert_eq!(encoded_size(&b, &schema).unwrap(), 1 + 4 + 32);
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        assert_eq!(checksum(b""), 0xCBF2_9CE4_8422_2325, "FNV-1a offset basis");
+        assert_eq!(checksum(b"papar"), checksum(b"papar"));
+        assert_ne!(checksum(b"papar"), checksum(b"parap"), "order matters");
+        // Every single-byte flip of a small payload must change the sum.
+        let payload = b"shuffle bytes".to_vec();
+        let clean = checksum(&payload);
+        for i in 0..payload.len() {
+            let mut bad = payload.clone();
+            bad[i] ^= 0xFF;
+            assert_ne!(checksum(&bad), clean, "flip at {i} went unnoticed");
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption_detection() {
+        let payload = b"the quick brown fragment".to_vec();
+        let mut framed = Vec::new();
+        encode_frame(&payload, &mut framed);
+        assert_eq!(framed.len(), 4 + 8 + payload.len());
+        let back = decode_frame(&mut Reader::new(&framed)).unwrap();
+        assert_eq!(back, &payload[..]);
+
+        // An empty payload frames fine too.
+        let mut empty = Vec::new();
+        encode_frame(&[], &mut empty);
+        assert_eq!(
+            decode_frame(&mut Reader::new(&empty)).unwrap(),
+            &[] as &[u8]
+        );
+
+        // Flipping any payload byte must be detected.
+        for i in 12..framed.len() {
+            let mut bad = framed.clone();
+            bad[i] ^= 0x01;
+            let err = decode_frame(&mut Reader::new(&bad)).unwrap_err();
+            assert!(err.to_string().contains("checksum mismatch"), "{err}");
+        }
+        // Truncation errors out instead of panicking.
+        for cut in 0..framed.len() {
+            assert!(decode_frame(&mut Reader::new(&framed[..cut])).is_err());
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let mut buf = Vec::new();
+        encode_frame(b"one", &mut buf);
+        encode_frame(b"two!", &mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(decode_frame(&mut r).unwrap(), b"one");
+        assert_eq!(decode_frame(&mut r).unwrap(), b"two!");
+        assert_eq!(r.remaining(), 0);
     }
 }

@@ -1,7 +1,6 @@
 //! Property tests for the record model: total-order laws for `Value`,
 //! codec round-trips, and pack/compress invariants.
 
-use papar_config::input::FieldType;
 use papar_record::codec;
 use papar_record::{rec, Record, Schema, Value};
 use proptest::prelude::*;
@@ -10,7 +9,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i32>().prop_map(Value::Int),
         any::<i64>().prop_map(Value::Long),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Double),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Double),
         "[ -~]{0,16}".prop_map(Value::Str),
     ]
 }

@@ -76,8 +76,7 @@ where
             let a = &runs[heads[i].run][heads[i].pos];
             let b = &runs[heads[best].run][heads[best].pos];
             let ord = cmp(a, b);
-            if ord == Ordering::Less || (ord == Ordering::Equal && heads[i].run < heads[best].run)
-            {
+            if ord == Ordering::Less || (ord == Ordering::Equal && heads[i].run < heads[best].run) {
                 best = i;
             }
         }
@@ -106,10 +105,7 @@ pub fn kway_merge_ord<T: Ord + Clone>(runs: &[Vec<T>]) -> Vec<T> {
         fn cmp(&self, other: &Self) -> Ordering {
             // Reverse for min-heap behaviour; tie-break on run index for
             // stability.
-            other
-                .0
-                .cmp(&self.0)
-                .then_with(|| other.1.cmp(&self.1))
+            other.0.cmp(&self.0).then_with(|| other.1.cmp(&self.1))
         }
     }
     let total: usize = runs.iter().map(Vec::len).sum();

@@ -90,7 +90,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input_cfg = InputConfig::parse_str(BLAST_INPUT_CFG)?;
     let schema = Arc::new(Schema::from_input_config(&input_cfg));
     let index_end = HEADER_LEN + db.len() * 16;
-    let records = papar::record::codec::binary::read(&input_cfg, &schema, &file_bytes[..index_end])?;
+    let records =
+        papar::record::codec::binary::read(&input_cfg, &schema, &file_bytes[..index_end])?;
 
     // Register the user-defined operator and plan the workflow.
     let registration = OperatorRegistration::parse_str(RECALC_REGISTRATION)?;
@@ -110,8 +111,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run on the simulated cluster.
     let runner = WorkflowRunner::new(plan);
     let mut cluster = Cluster::new(nodes);
-    runner.scatter_input(&mut cluster, "/db/env_nr",
-                         Dataset::new(schema, Batch::Flat(records)))?;
+    runner.scatter_input(
+        &mut cluster,
+        "/db/env_nr",
+        Dataset::new(schema, Batch::Flat(records)),
+    )?;
     let report = runner.run(&mut cluster)?;
     println!("\nPaPar partitioning on {nodes} nodes:");
     for job in &report.jobs {

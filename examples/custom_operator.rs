@@ -154,7 +154,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rec!["euler", 89], // duplicate
         rec!["hilbert", 60],
     ];
-    runner.scatter_input(&mut cluster, "/in", Dataset::new(schema, Batch::Flat(records)))?;
+    runner.scatter_input(
+        &mut cluster,
+        "/in",
+        Dataset::new(schema, Batch::Flat(records)),
+    )?;
     let report = runner.run(&mut cluster)?;
     println!(
         "dedup job: {} records in, {} out",
@@ -163,8 +167,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let parts = cluster.collect(&runner.plan().output_path)?;
     for (i, p) in parts.iter().enumerate() {
-        let rows: Vec<String> = p.batch.clone().flatten().iter()
-            .map(|r| r.display_tuple()).collect();
+        let rows: Vec<String> = p
+            .batch
+            .clone()
+            .flatten()
+            .iter()
+            .map(|r| r.display_tuple())
+            .collect();
         println!("partition {i}: {}", rows.join(" "));
     }
     Ok(())

@@ -89,13 +89,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let input_cfg = InputConfig::parse_str(EDGE_INPUT_CFG)?;
     let text = gen::to_snap_text(&graph);
     let records = papar::record::codec::text::read(&input_cfg, &schema, &text)?;
-    runner.scatter_input(&mut cluster, "/g/edges", Dataset::new(schema, Batch::Flat(records)))?;
+    runner.scatter_input(
+        &mut cluster,
+        "/g/edges",
+        Dataset::new(schema, Batch::Flat(records)),
+    )?;
     let report = runner.run(&mut cluster)?;
     println!("\nPaPar hybrid-cut on 8 nodes:");
     for job in &report.jobs {
         println!(
             "  job '{:6}' {:>9} pairs shuffled, {:>10} bytes, {:?} simulated",
-            job.name, job.pairs_shuffled, job.exchange.remote_bytes, job.sim_time()
+            job.name,
+            job.pairs_shuffled,
+            job.exchange.remote_bytes,
+            job.sim_time()
         );
     }
 

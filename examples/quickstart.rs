@@ -56,8 +56,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     args.insert("output_path".to_string(), "/data/partitions".to_string());
     args.insert("num_partitions".to_string(), "3".to_string());
     let plan = planner.bind(&args)?;
-    println!("planned {} jobs: {:?}", plan.jobs.len(),
-             plan.jobs.iter().map(|j| j.id.as_str()).collect::<Vec<_>>());
+    println!(
+        "planned {} jobs: {:?}",
+        plan.jobs.len(),
+        plan.jobs.iter().map(|j| j.id.as_str()).collect::<Vec<_>>()
+    );
 
     // 2. Stand up a simulated 4-node cluster and scatter the input.
     let runner = WorkflowRunner::new(plan);
@@ -73,24 +76,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rec!["gus", 33],
         rec!["hal", 78],
     ];
-    runner.scatter_input(&mut cluster, "/data/events",
-                         Dataset::new(schema, Batch::Flat(records)))?;
+    runner.scatter_input(
+        &mut cluster,
+        "/data/events",
+        Dataset::new(schema, Batch::Flat(records)),
+    )?;
 
     // 3. Run the workflow: jobs launch one by one, exactly as configured.
     let report = runner.run(&mut cluster)?;
     for job in &report.jobs {
         println!(
             "job '{}': {} records in, {} out, {} bytes shuffled, {:?} simulated",
-            job.name, job.records_in, job.records_out,
-            job.exchange.remote_bytes, job.sim_time()
+            job.name,
+            job.records_in,
+            job.records_out,
+            job.exchange.remote_bytes,
+            job.sim_time()
         );
     }
 
     // 4. Collect the partitions (reducer order = partition order).
     let parts = cluster.collect(&runner.plan().output_path)?;
     for (i, p) in parts.iter().enumerate() {
-        let rows: Vec<String> = p.batch.clone().flatten().iter()
-            .map(|r| r.display_tuple()).collect();
+        let rows: Vec<String> = p
+            .batch
+            .clone()
+            .flatten()
+            .iter()
+            .map(|r| r.display_tuple())
+            .collect();
         println!("partition {i}: {}", rows.join(" "));
     }
     Ok(())

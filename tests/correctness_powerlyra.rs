@@ -92,10 +92,13 @@ fn papar_hybrid_partitions(
     // through the Figure 5 codec — the same path a real file would take.
     let text = gen::to_snap_text(graph);
     let input_cfg = papar_config::InputConfig::parse_str(EDGE_INPUT_CFG).unwrap();
-    let records =
-        papar::record::codec::text::read(&input_cfg, &schema, &text).unwrap();
+    let records = papar::record::codec::text::read(&input_cfg, &schema, &text).unwrap();
     runner
-        .scatter_input(&mut cluster, "/g/in", Dataset::new(schema, Batch::Flat(records)))
+        .scatter_input(
+            &mut cluster,
+            "/g/in",
+            Dataset::new(schema, Batch::Flat(records)),
+        )
         .unwrap();
     runner.run(&mut cluster).unwrap();
 

@@ -86,8 +86,7 @@ fn binary_codec_rejects_truncation_everywhere() {
 
 #[test]
 fn nonexistent_key_field_fails_at_bind_not_run() {
-    let planner =
-        Planner::from_xml(&sort_workflow("no_such_field"), &[BLAST_INPUT_CFG]).unwrap();
+    let planner = Planner::from_xml(&sort_workflow("no_such_field"), &[BLAST_INPUT_CFG]).unwrap();
     let e = planner
         .bind(&args(&[
             ("input_path", "/in"),
@@ -133,7 +132,11 @@ fn empty_input_produces_empty_partitions() {
     let mut cluster = Cluster::new(3);
     let schema = runner.plan().external_inputs[0].1.schema.clone();
     runner
-        .scatter_input(&mut cluster, "/in", Dataset::new(schema, Batch::Flat(vec![])))
+        .scatter_input(
+            &mut cluster,
+            "/in",
+            Dataset::new(schema, Batch::Flat(vec![])),
+        )
         .unwrap();
     let report = runner.run(&mut cluster).unwrap();
     assert_eq!(report.jobs.len(), 2);
@@ -170,7 +173,11 @@ fn scattering_wrong_schema_or_name_is_rejected() {
         papar_config::input::FieldType::Integer,
     )]));
     let e2 = runner
-        .scatter_input(&mut cluster, "/in", Dataset::new(bad_schema, Batch::Flat(vec![])))
+        .scatter_input(
+            &mut cluster,
+            "/in",
+            Dataset::new(bad_schema, Batch::Flat(vec![])),
+        )
         .unwrap_err();
     assert!(e2.to_string().contains("schema"), "{e2}");
 }
@@ -217,9 +224,7 @@ fn workflow_overwriting_a_dataset_is_rejected() {
   </operators>
 </workflow>"#;
     let planner = Planner::from_xml(wf, &[BLAST_INPUT_CFG]).unwrap();
-    let e = planner
-        .bind(&args(&[("input_path", "/in")]))
-        .unwrap_err();
+    let e = planner.bind(&args(&[("input_path", "/in")])).unwrap_err();
     assert!(e.to_string().contains("already exists"), "{e}");
 }
 
@@ -273,7 +278,10 @@ fn more_nodes_than_records_still_works() {
         .scatter_input(
             &mut cluster,
             "/in",
-            Dataset::new(schema, Batch::Flat(vec![rec![0, 9, 0, 1], rec![16, 3, 1, 1]])),
+            Dataset::new(
+                schema,
+                Batch::Flat(vec![rec![0, 9, 0, 1], rec![16, 3, 1, 1]]),
+            ),
         )
         .unwrap();
     runner.run(&mut cluster).unwrap();

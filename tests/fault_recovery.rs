@@ -1,0 +1,354 @@
+//! Fault injection and recovery: the headline invariant is that for any
+//! seeded fault plan the workflow completes and the final partitions are
+//! byte-identical to the fault-free run, with the recovery work charged to
+//! the virtual clock.
+
+use mublastp::dbgen::DbSpec;
+use papar::core::exec::WorkflowRunner;
+use papar::core::plan::Planner;
+use papar::mr::{ChaosSpec, Cluster, Fault, FaultPlan, RetryPolicy};
+use papar::record::batch::{Batch, Dataset};
+use papar::record::wire;
+use papar_mr::TaskPhase;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::time::Duration;
+
+const BLAST_INPUT_CFG: &str = r#"
+<input id="blast_db" name="n">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+const EDGE_INPUT_CFG: &str = r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+/// The muBLASTP sort + distribute workflow (two jobs; the distribute job
+/// is index 1).
+const SORT_WORKFLOW: &str = r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/tmp/sorted"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+/// The PowerLyra hybrid-cut workflow (three jobs).
+const HYBRID_WORKFLOW: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Run the blast workflow on `cluster`, returning (report, partitions as
+/// wire bytes) — the byte-identity comparison works on the encoded form.
+fn run_blast(
+    cluster: &mut Cluster,
+    records: usize,
+) -> papar::core::Result<(papar::core::exec::WorkflowReport, Vec<Vec<u8>>)> {
+    let planner = Planner::from_xml(SORT_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap();
+    let runner = WorkflowRunner::new(plan);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let db = DbSpec::env_nr_scaled(records, 7).generate();
+    runner.scatter_input(
+        cluster,
+        "/in",
+        Dataset::new(schema, Batch::Flat(db.index_records())),
+    )?;
+    let report = runner.run(cluster)?;
+    Ok((report, partition_bytes(cluster, "/out")))
+}
+
+/// Run the hybrid-cut workflow on `cluster`.
+fn run_hybrid(
+    cluster: &mut Cluster,
+) -> papar::core::Result<(papar::core::exec::WorkflowReport, Vec<Vec<u8>>)> {
+    let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_file", "/g/in"),
+            ("output_path", "/g/out"),
+            ("num_partitions", "4"),
+            ("threshold", "10"),
+        ]))
+        .unwrap();
+    let runner = WorkflowRunner::new(plan);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let graph = powerlyra::gen::chung_lu(120, 900, 2.1, 11).unwrap();
+    let cfg = papar_config::InputConfig::parse_str(EDGE_INPUT_CFG).unwrap();
+    let text = powerlyra::gen::to_snap_text(&graph);
+    let records = papar::record::codec::text::read(&cfg, &schema, &text).unwrap();
+    runner.scatter_input(cluster, "/g/in", Dataset::new(schema, Batch::Flat(records)))?;
+    let report = runner.run(cluster)?;
+    Ok((report, partition_bytes(cluster, "/g/out")))
+}
+
+/// Collect a dataset's partitions as encoded wire bytes.
+fn partition_bytes(cluster: &Cluster, name: &str) -> Vec<Vec<u8>> {
+    cluster
+        .collect(name)
+        .unwrap()
+        .into_iter()
+        .map(|d| {
+            let mut buf = Vec::new();
+            wire::encode_batch(&d.batch, &d.schema, &mut buf).unwrap();
+            buf
+        })
+        .collect()
+}
+
+fn chaos_cluster(nodes: usize, plan: FaultPlan) -> Cluster {
+    Cluster::try_new(nodes)
+        .unwrap()
+        .with_replication(1)
+        .with_fault_plan(plan)
+        .with_retry(RetryPolicy::default())
+}
+
+/// The acceptance scenario: a node crashes mid-shuffle (reduce side of the
+/// multi-job workflow's second job). The workflow must complete, the
+/// partitions must be byte-identical to the fault-free run, and the clock
+/// must show nonzero re-executed task time.
+#[test]
+fn node_crash_mid_shuffle_recovers_byte_identically() {
+    let (_, baseline) = run_blast(&mut Cluster::new(3), 300).unwrap();
+    let plan = FaultPlan::new(vec![Fault::NodeCrash {
+        node: 1,
+        job: 1,
+        phase: TaskPhase::Reduce,
+    }]);
+    let mut cluster = chaos_cluster(3, plan);
+    let (report, recovered) = run_blast(&mut cluster, 300).unwrap();
+    assert_eq!(
+        recovered, baseline,
+        "recovered partitions must be byte-identical"
+    );
+    assert_eq!(report.faults_injected(), 1);
+    let rec = report.total_recovery();
+    assert!(
+        rec.reexec_task_time > Duration::ZERO,
+        "a crash after compute must charge re-executed task time: {rec:?}"
+    );
+    assert!(rec.tasks_retried >= 1);
+    assert!(
+        !report.recovery_events.is_empty(),
+        "the report must log the recovery"
+    );
+}
+
+#[test]
+fn map_crash_and_exchange_faults_recover_byte_identically() {
+    let (_, baseline) = run_blast(&mut Cluster::new(3), 200).unwrap();
+    let plan = FaultPlan::new(vec![
+        Fault::NodeCrash {
+            node: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+        },
+        Fault::ExchangeDrop {
+            from: 0,
+            to: 1,
+            job: 0,
+        },
+        Fault::ExchangeCorrupt {
+            from: 2,
+            to: 0,
+            job: 1,
+        },
+    ]);
+    let mut cluster = chaos_cluster(3, plan);
+    let (report, recovered) = run_blast(&mut cluster, 200).unwrap();
+    assert_eq!(recovered, baseline);
+    let rec = report.total_recovery();
+    assert!(
+        rec.retransmit_bytes > 0,
+        "dropped/corrupt transfers must retransmit: {rec:?}"
+    );
+}
+
+#[test]
+fn stragglers_slow_the_clock_but_never_change_output() {
+    let (base_report, baseline) = run_blast(&mut Cluster::new(3), 200).unwrap();
+    let plan = FaultPlan::new(vec![Fault::Straggler {
+        node: 2,
+        slowdown: 50.0,
+    }]);
+    let mut cluster = chaos_cluster(3, plan);
+    let (report, recovered) = run_blast(&mut cluster, 200).unwrap();
+    assert_eq!(recovered, baseline);
+    // A 50x slowdown on one node dominates real-time jitter.
+    assert!(
+        report.total_sim_time() > base_report.total_sim_time(),
+        "straggler must stretch the simulated makespan ({:?} vs {:?})",
+        report.total_sim_time(),
+        base_report.total_sim_time()
+    );
+}
+
+#[test]
+fn powerlyra_workflow_recovers_byte_identically() {
+    let (_, baseline) = run_hybrid(&mut Cluster::new(4)).unwrap();
+    let plan = FaultPlan::new(vec![
+        Fault::NodeCrash {
+            node: 2,
+            job: 2,
+            phase: TaskPhase::Reduce,
+        },
+        Fault::ExchangeDrop {
+            from: 1,
+            to: 3,
+            job: 0,
+        },
+    ]);
+    let mut cluster = chaos_cluster(4, plan);
+    let (report, recovered) = run_hybrid(&mut cluster).unwrap();
+    assert_eq!(recovered, baseline);
+    assert_eq!(report.faults_injected(), 2);
+    assert!(report.total_recovery().reexec_task_time > Duration::ZERO);
+}
+
+#[test]
+fn crash_without_replication_is_data_loss_not_silent_corruption() {
+    let plan = FaultPlan::new(vec![Fault::NodeCrash {
+        node: 1,
+        job: 1,
+        phase: TaskPhase::Map,
+    }]);
+    let mut cluster = Cluster::try_new(3)
+        .unwrap()
+        .with_fault_plan(plan)
+        .with_retry(RetryPolicy::default());
+    let e = run_blast(&mut cluster, 100).unwrap_err();
+    let msg = e.to_string();
+    assert!(
+        msg.contains("replication"),
+        "error must point at the fix: {msg}"
+    );
+}
+
+#[test]
+fn crash_that_exhausts_retries_aborts_with_context() {
+    // One crash per allowed attempt: the task can never commit.
+    let crashes: Vec<Fault> = (0..3)
+        .map(|_| Fault::NodeCrash {
+            node: 0,
+            job: 0,
+            phase: TaskPhase::Map,
+        })
+        .collect();
+    let mut cluster = Cluster::try_new(3)
+        .unwrap()
+        .with_replication(1)
+        .with_fault_plan(FaultPlan::new(crashes))
+        .with_retry(RetryPolicy {
+            max_attempts: 3,
+            ..Default::default()
+        });
+    let e = run_blast(&mut cluster, 100).unwrap_err();
+    let msg = e.to_string();
+    assert!(
+        msg.contains("3 attempt"),
+        "abort must report the attempt count: {msg}"
+    );
+}
+
+#[test]
+fn same_fault_seed_realizes_the_same_schedule() {
+    let spec = ChaosSpec::parse("crash=2,drop=1,corrupt=1,straggler=1").unwrap();
+    let a = spec.realize(99, 4, 2);
+    let b = spec.realize(99, 4, 2);
+    assert_eq!(a, b, "same seed must give an identical fault plan");
+    assert_ne!(a, spec.realize(100, 4, 2), "different seeds should differ");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// For any fault seed, the seeded chaos run recovers to partitions
+    /// byte-identical to the fault-free run, and reruns with the same seed
+    /// reproduce the same recovery accounting (deterministic schedule).
+    #[test]
+    fn any_seed_recovers_byte_identically(seed in any::<u64>()) {
+        let (_, baseline) = run_blast(&mut Cluster::new(3), 150).unwrap();
+        let spec = ChaosSpec::parse("crash=1,drop=1,corrupt=1").unwrap();
+        let run = |seed: u64| {
+            let mut cluster = chaos_cluster(3, spec.realize(seed, 3, 2));
+            run_blast(&mut cluster, 150).unwrap()
+        };
+        let (report_a, out_a) = run(seed);
+        prop_assert_eq!(&out_a, &baseline, "seed {} diverged from fault-free", seed);
+        let (report_b, out_b) = run(seed);
+        prop_assert_eq!(&out_a, &out_b);
+        prop_assert_eq!(report_a.faults_injected(), report_b.faults_injected());
+        prop_assert_eq!(report_a.total_recovery().total_bytes(),
+                        report_b.total_recovery().total_bytes());
+    }
+}

@@ -45,7 +45,10 @@ fn figure1_sort_and_cyclic_distribution() {
 #[test]
 fn figure6a_cyclic_permutation() {
     let l = StridePermutation::new(4, 2).unwrap();
-    assert_eq!(l.apply(&["x0", "x1", "x2", "x3"]).unwrap(), ["x0", "x2", "x1", "x3"]);
+    assert_eq!(
+        l.apply(&["x0", "x1", "x2", "x3"]).unwrap(),
+        ["x0", "x2", "x1", "x3"]
+    );
     // As a matrix-vector product, identically.
     assert_eq!(
         l.apply_matrix(&["x0", "x1", "x2", "x3"]).unwrap(),
@@ -87,8 +90,8 @@ fn figure9_l3_4_mapper_routing() {
 /// {1: {2,1,4},{3,1,4},{4,1,4},{5,1,4}} for in-vertex 1.
 #[test]
 fn figure11_group_count_pack_trace() {
-    use papar::record::batch::Batch;
     use papar::core::operator::{AddOnKind, BoundAddOn};
+    use papar::record::batch::Batch;
 
     // In-vertex 1's group after the shuffle.
     let mut group = vec![
@@ -109,7 +112,11 @@ fn figure11_group_count_pack_trace() {
         vec!["{2, 1, 4}", "{3, 1, 4}", "{4, 1, 4}", "{5, 1, 4}"]
     );
     // Step 3: pack produces one packed record keyed by the in-vertex.
-    let packed = Batch::Flat(group).pack_by(1).unwrap().into_packed().unwrap();
+    let packed = Batch::Flat(group)
+        .pack_by(1)
+        .unwrap()
+        .into_packed()
+        .unwrap();
     assert_eq!(packed.len(), 1);
     assert_eq!(packed[0].key, Value::Str("1".into()));
     assert_eq!(packed[0].records.len(), 4);
@@ -124,8 +131,8 @@ fn section3d_csc_compression_example() {
     use papar::record::batch::Batch;
     use papar::record::compress;
     use papar::record::wire::Reader;
-    use papar_config::input::FieldType;
     use papar::record::Schema;
+    use papar_config::input::FieldType;
 
     let schema = Schema::new(vec![
         ("vertex_a", FieldType::Str),
@@ -167,7 +174,16 @@ fn section3d_csc_compression_example() {
 fn table1_operator_surface() {
     use papar::core::operator::{AddOnKind, FormatOp};
     // Basic operators are planned by name (both spellings).
-    for name in ["Sort", "sort", "Group", "group", "Split", "split", "Distribute", "distribute"] {
+    for name in [
+        "Sort",
+        "sort",
+        "Group",
+        "group",
+        "Split",
+        "split",
+        "Distribute",
+        "distribute",
+    ] {
         assert!(
             papar::core::operator::OperatorRegistry::is_builtin(name),
             "{name} missing from the basic operator set"
@@ -175,11 +191,26 @@ fn table1_operator_surface() {
     }
     // Add-ons.
     let g = vec![rec![3, 10], rec![3, 20]];
-    assert_eq!(AddOnKind::parse("count").unwrap().apply(&g, 0).unwrap(), Value::Long(2));
-    assert_eq!(AddOnKind::parse("max").unwrap().apply(&g, 1).unwrap(), Value::Int(20));
-    assert_eq!(AddOnKind::parse("min").unwrap().apply(&g, 1).unwrap(), Value::Int(10));
-    assert_eq!(AddOnKind::parse("mean").unwrap().apply(&g, 1).unwrap(), Value::Double(15.0));
-    assert_eq!(AddOnKind::parse("sum").unwrap().apply(&g, 1).unwrap(), Value::Long(30));
+    assert_eq!(
+        AddOnKind::parse("count").unwrap().apply(&g, 0).unwrap(),
+        Value::Long(2)
+    );
+    assert_eq!(
+        AddOnKind::parse("max").unwrap().apply(&g, 1).unwrap(),
+        Value::Int(20)
+    );
+    assert_eq!(
+        AddOnKind::parse("min").unwrap().apply(&g, 1).unwrap(),
+        Value::Int(10)
+    );
+    assert_eq!(
+        AddOnKind::parse("mean").unwrap().apply(&g, 1).unwrap(),
+        Value::Double(15.0)
+    );
+    assert_eq!(
+        AddOnKind::parse("sum").unwrap().apply(&g, 1).unwrap(),
+        Value::Long(30)
+    );
     // Format operators.
     assert_eq!(FormatOp::parse("orig").unwrap(), FormatOp::Orig);
     assert_eq!(FormatOp::parse("pack").unwrap(), FormatOp::Pack);

@@ -36,7 +36,11 @@ fn run_workflow(wf: &str, records: Vec<Record>, nodes: usize) -> (WorkflowRunner
     let mut cluster = Cluster::new(nodes);
     let schema = runner.plan().external_inputs[0].1.schema.clone();
     runner
-        .scatter_input(&mut cluster, "/in", Dataset::new(schema, Batch::Flat(records)))
+        .scatter_input(
+            &mut cluster,
+            "/in",
+            Dataset::new(schema, Batch::Flat(records)),
+        )
         .unwrap();
     runner.run(&mut cluster).unwrap();
     (runner, cluster)
@@ -69,7 +73,9 @@ fn descending_sort_flag_reverses_global_order() {
     </operator>
   </operators>
 </workflow>"#;
-    let records: Vec<Record> = (0..40).map(|i| rec![format!("p{i}"), (i * 7) % 23]).collect();
+    let records: Vec<Record> = (0..40)
+        .map(|i| rec![format!("p{i}"), (i * 7) % 23])
+        .collect();
     let (runner, cluster) = run_workflow(wf, records, 3);
     let all: Vec<i64> = cluster
         .collect(&runner.plan().output_path)
@@ -171,7 +177,9 @@ fn block_distribution_after_sort_yields_contiguous_ranges() {
     </operator>
   </operators>
 </workflow>"#;
-    let records: Vec<Record> = (0..32).map(|i| rec![format!("p{i}"), (i * 13) % 97]).collect();
+    let records: Vec<Record> = (0..32)
+        .map(|i| rec![format!("p{i}"), (i * 13) % 97])
+        .collect();
     let (runner, cluster) = run_workflow(wf, records, 3);
     let parts = cluster.collect(&runner.plan().output_path).unwrap();
     assert_eq!(parts.len(), 4);

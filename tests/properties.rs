@@ -16,7 +16,9 @@ fn value_strategy() -> impl Strategy<Value = Value> {
     prop_oneof![
         any::<i32>().prop_map(Value::Int),
         any::<i64>().prop_map(Value::Long),
-        any::<f64>().prop_filter("finite", |f| f.is_finite()).prop_map(Value::Double),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Double),
         "[a-z0-9]{0,12}".prop_map(Value::Str),
     ]
 }
