@@ -1,0 +1,33 @@
+//! Every workflow document the benchmark harness drives must be clean
+//! under `papar check`: the benchmarks measure the partitioner, not
+//! diagnostic recovery, so an error here means a benchmark is silently
+//! exercising a broken configuration. Warnings are tolerated — the paper's
+//! own Figure 8 carries the W004 determinism lint by design.
+
+use papar_bench::workflows::{
+    blast_workflow, BLAST_INPUT_CFG, EDGE_INPUT_CFG, EDGE_INPUT_CFG_NUMERIC, HYBRID_WORKFLOW,
+};
+use papar_check::{check_sources, CheckContext};
+
+#[track_caller]
+fn assert_no_errors(workflow: &str, inputs: &[(&str, &str)]) {
+    let analysis = check_sources(workflow, inputs, &CheckContext::default());
+    assert!(
+        !analysis.has_errors(),
+        "bench workflow has check errors:\n{}",
+        papar_check::render_text(&analysis.diagnostics)
+    );
+}
+
+#[test]
+fn blast_workflows_have_no_check_errors() {
+    for policy in ["roundRobin", "block"] {
+        assert_no_errors(&blast_workflow(policy), &[("blast_db", BLAST_INPUT_CFG)]);
+    }
+}
+
+#[test]
+fn hybrid_workflow_has_no_check_errors() {
+    assert_no_errors(HYBRID_WORKFLOW, &[("graph_edge", EDGE_INPUT_CFG)]);
+    assert_no_errors(HYBRID_WORKFLOW, &[("graph_edge", EDGE_INPUT_CFG_NUMERIC)]);
+}

@@ -96,6 +96,9 @@ pub struct RunSummary {
     pub recovery: papar_mr::RecoveryStats,
     /// Rendered fault/recovery log lines, in order.
     pub recovery_log: Vec<String>,
+    /// Warning-severity diagnostics from the pre-run static analysis
+    /// (error-severity ones refuse the run instead).
+    pub check_warnings: Vec<String>,
 }
 
 /// CLI error: a message for the user (exit code 1).
@@ -144,8 +147,41 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     let records = read_data_file(&input_cfg, &schema, &spec.data, spec.records)?;
     let records_in = records.len();
 
+    // Static analysis gate: refuse to start the cluster while any
+    // error-severity diagnostic stands. Warnings ride along on the summary.
+    let ctx = papar_check::CheckContext {
+        args: args.clone(),
+        nodes: Some(spec.nodes),
+        replication: Some(spec.replication),
+        records: Some(records_in),
+        ..Default::default()
+    };
+    let analysis = papar_check::analyze(&workflow, std::slice::from_ref(&input_cfg), &ctx);
+    if analysis.has_errors() {
+        let rendered: String = analysis
+            .errors()
+            .iter()
+            .map(|d| format!("  {d}\n"))
+            .collect();
+        return Err(fail(format!(
+            "{} rejected by static analysis:\n{rendered}(`papar check` re-runs \
+             this analysis standalone)",
+            spec.workflow.display()
+        )));
+    }
+    let check_warnings: Vec<String> = analysis.diagnostics.iter().map(|d| d.to_string()).collect();
+
     let planner = Planner::new(workflow, vec![input_cfg.clone()]);
     let plan = planner.bind(&args).map_err(|e| fail(e.to_string()))?;
+    // The analyzer and the planner infer the same metadata independently;
+    // a divergence (P099) is a framework bug and also refuses the run.
+    let divergences = papar_check::verify_plan(&analysis, &plan);
+    if !divergences.is_empty() {
+        return Err(fail(format!(
+            "plan-invariant verification failed:\n{}",
+            papar_check::render_text(&divergences)
+        )));
+    }
     if plan.external_inputs.len() != 1 {
         return Err(fail(format!(
             "the workflow expects {} external inputs; the CLI provides exactly one (--data)",
@@ -222,6 +258,7 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             .iter()
             .map(|e| e.to_string())
             .collect(),
+        check_warnings,
     })
 }
 
@@ -273,6 +310,168 @@ fn read_data_file(
         }
     }
 }
+
+/// Everything `papar check` needs.
+#[derive(Debug, Clone, Default)]
+pub struct CheckSpec {
+    /// Path to the Workflow configuration document.
+    pub workflow: PathBuf,
+    /// Paths to InputData configuration documents (any number, including
+    /// zero — unresolvable formats are then diagnosed).
+    pub input_configs: Vec<PathBuf>,
+    /// Cluster size, when known (enables partition-count checks).
+    pub nodes: Option<usize>,
+    /// Replication factor, when known.
+    pub replication: Option<usize>,
+    /// Input record count, when known (enables `L_m^{km}` divisibility).
+    pub records: Option<usize>,
+    /// Launch arguments; the analysis is symbolic for any left unbound.
+    pub args: HashMap<String, String>,
+    /// Emit machine-readable JSON instead of one-per-line text.
+    pub json: bool,
+}
+
+/// What `papar check` found, rendered and counted.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Rendered diagnostics (text or JSON per the spec).
+    pub output: String,
+    /// Error-severity count (non-zero → exit code 1).
+    pub errors: usize,
+    /// Warning-severity count.
+    pub warnings: usize,
+}
+
+/// Run the static analyzer over configuration documents on disk.
+pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CliError> {
+    let workflow_xml = std::fs::read_to_string(&spec.workflow)
+        .map_err(|e| fail(format!("cannot read {}: {e}", spec.workflow.display())))?;
+    let mut input_texts: Vec<(String, String)> = Vec::new();
+    for p in &spec.input_configs {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| fail(format!("cannot read {}: {e}", p.display())))?;
+        let label = p
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        input_texts.push((label, text));
+    }
+    let ctx = papar_check::CheckContext {
+        args: spec.args.clone(),
+        nodes: spec.nodes,
+        replication: spec.replication,
+        records: spec.records,
+        ..Default::default()
+    };
+    let inputs: Vec<(&str, &str)> = input_texts
+        .iter()
+        .map(|(l, t)| (l.as_str(), t.as_str()))
+        .collect();
+    let mut analysis = papar_check::check_sources(&workflow_xml, &inputs, &ctx);
+
+    // Cross-check the inference against the compiled plan whenever the
+    // documents are clean enough to bind with the given arguments.
+    if !analysis.has_errors() {
+        if let Ok(wf) = WorkflowConfig::parse_str(&workflow_xml) {
+            let cfgs: Vec<InputConfig> = input_texts
+                .iter()
+                .filter_map(|(_, t)| InputConfig::parse_str(t).ok())
+                .collect();
+            if let Ok(plan) = Planner::new(wf, cfgs).bind(&spec.args) {
+                let divergences = papar_check::verify_plan(&analysis, &plan);
+                analysis.diagnostics.extend(divergences);
+            }
+        }
+    }
+
+    let errors = analysis.errors().len();
+    let warnings = analysis.diagnostics.len() - errors;
+    let output = if spec.json {
+        papar_check::json::to_json(&analysis.diagnostics)
+    } else {
+        let mut out = papar_check::render_text(&analysis.diagnostics);
+        out.push_str(&format!(
+            "{}: {errors} error(s), {warnings} warning(s)",
+            spec.workflow.display()
+        ));
+        out
+    };
+    Ok(CheckReport {
+        output,
+        errors,
+        warnings,
+    })
+}
+
+/// Parse `papar check` arguments into a [`CheckSpec`].
+pub fn parse_check_args<I: Iterator<Item = String>>(mut argv: I) -> Result<CheckSpec, CliError> {
+    let mut spec = CheckSpec::default();
+    let need = |flag: &str, it: &mut I| -> Result<String, CliError> {
+        it.next()
+            .ok_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    let parse_usize = |flag: &str, v: String| -> Result<usize, CliError> {
+        v.parse()
+            .map_err(|_| fail(format!("{flag} wants a non-negative integer, got '{v}'")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--workflow" => spec.workflow = need("--workflow", &mut argv)?.into(),
+            "--input-config" => spec
+                .input_configs
+                .push(need("--input-config", &mut argv)?.into()),
+            "--nodes" => {
+                spec.nodes = Some(parse_usize("--nodes", need("--nodes", &mut argv)?)?);
+            }
+            "--replication" => {
+                spec.replication = Some(parse_usize(
+                    "--replication",
+                    need("--replication", &mut argv)?,
+                )?);
+            }
+            "--records" => {
+                spec.records = Some(parse_usize("--records", need("--records", &mut argv)?)?);
+            }
+            "--arg" => {
+                let kv = need("--arg", &mut argv)?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
+                spec.args.insert(k.to_string(), v.to_string());
+            }
+            "--format" => {
+                let v = need("--format", &mut argv)?;
+                spec.json = match v.as_str() {
+                    "json" => true,
+                    "text" => false,
+                    other => {
+                        return Err(fail(format!(
+                            "--format wants 'text' or 'json', got '{other}'"
+                        )))
+                    }
+                };
+            }
+            "-h" | "--help" => return Err(fail(CHECK_USAGE)),
+            other => return Err(fail(format!("unknown flag '{other}'\n{CHECK_USAGE}"))),
+        }
+    }
+    if spec.workflow.as_os_str().is_empty() {
+        return Err(fail(format!("--workflow is required\n{CHECK_USAGE}")));
+    }
+    Ok(spec)
+}
+
+/// Usage text for `papar check`.
+pub const CHECK_USAGE: &str = "\
+usage: papar check --workflow <xml> [--input-config <xml>]...
+                   [--nodes N] [--replication N] [--records N]
+                   [--arg key=value]... [--format text|json]
+
+Statically analyzes the workflow without reading any data: dataflow over
+$variable references, schema inference through every operator, distribution
+legality, and determinism lints. Arguments left unbound are analyzed
+symbolically. Exit code 0 when clean or warnings only, 1 when any
+error-severity diagnostic is found, 2 on usage errors.";
 
 /// Parse command-line arguments into a [`RunSpec`].
 pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, CliError> {
@@ -362,9 +561,10 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
 
 /// Usage text.
 pub const USAGE: &str = "\
-usage: papar --input-config <xml> --workflow <xml> --data <file> --out <dir>
+usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
+       papar check --workflow <xml> [options]   (see `papar check --help`)
 
 Runs the PaPar partitioning workflow described by the two configuration
 documents over the data file, on an N-node simulated cluster, and writes
@@ -475,6 +675,79 @@ mod tests {
         assert!(parse(&[]).is_err());
         let e = parse(&["--input-config", "a", "--workflow", "b", "--data", "c"]).unwrap_err();
         assert!(e.to_string().contains("--out"), "{e}");
+    }
+
+    #[test]
+    fn parse_check_args_happy_path() {
+        let spec = parse_check_args(
+            [
+                "--workflow",
+                "wf.xml",
+                "--input-config",
+                "a.xml",
+                "--input-config",
+                "b.xml",
+                "--nodes",
+                "8",
+                "--arg",
+                "num_partitions=16",
+                "--format",
+                "json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(spec.workflow, PathBuf::from("wf.xml"));
+        assert_eq!(spec.input_configs.len(), 2);
+        assert_eq!(spec.nodes, Some(8));
+        assert!(spec.replication.is_none());
+        assert_eq!(spec.args["num_partitions"], "16");
+        assert!(spec.json);
+    }
+
+    #[test]
+    fn parse_check_args_rejects_bad_input() {
+        let parse = |v: &[&str]| parse_check_args(v.iter().map(|s| s.to_string()));
+        // --workflow is the only required flag.
+        let e = parse(&[]).unwrap_err();
+        assert!(e.to_string().contains("--workflow"), "{e}");
+        assert!(parse(&["--workflow", "w", "--format", "yaml"]).is_err());
+        assert!(parse(&["--workflow", "w", "--nodes", "x"]).is_err());
+        assert!(parse(&["--workflow", "w", "--arg", "noequals"]).is_err());
+        assert!(parse(&["--workflow", "w", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_check_reports_errors_without_reading_data() {
+        let dir = std::env::temp_dir().join(format!("papar-check-cli-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wf = dir.join("wf.xml");
+        std::fs::write(
+            &wf,
+            r#"<workflow id="w" name="n">
+  <operators>
+    <operator id="s" operator="Sort">
+      <param name="inputPath" type="String" value="$missing"/>
+      <param name="outputPath" type="String" value="/out"/>
+      <param name="key" type="KeyId" value="k"/>
+    </operator>
+  </operators>
+</workflow>"#,
+        )
+        .unwrap();
+        let spec = CheckSpec {
+            workflow: wf,
+            ..Default::default()
+        };
+        let report = run_check(&spec).unwrap();
+        assert!(report.errors > 0);
+        assert!(report.output.contains("P001"), "{}", report.output);
+        // JSON mode round-trips through the parser.
+        let json_spec = CheckSpec { json: true, ..spec };
+        let report = run_check(&json_spec).unwrap();
+        assert!(papar_check::json::from_json(&report.output).is_ok());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

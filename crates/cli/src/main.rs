@@ -1,7 +1,47 @@
-//! `papar` binary: thin shell around [`papar_cli::run`].
+//! `papar` binary: thin shell around [`papar_cli::run`] and
+//! [`papar_cli::run_check`].
+//!
+//! `papar check ...` analyzes configurations without touching data;
+//! `papar run ...` (or bare `papar ...`, kept for compatibility) executes
+//! the workflow, refusing to start when the same analysis finds errors.
 
 fn main() {
-    let spec = match papar_cli::parse_args(std::env::args().skip(1)) {
+    let mut argv = std::env::args().skip(1).peekable();
+    match argv.peek().map(String::as_str) {
+        Some("check") => {
+            argv.next();
+            check_main(argv);
+        }
+        Some("run") => {
+            argv.next();
+            run_main(argv);
+        }
+        _ => run_main(argv),
+    }
+}
+
+fn check_main(argv: impl Iterator<Item = String>) {
+    let spec = match papar_cli::parse_check_args(argv) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match papar_cli::run_check(&spec) {
+        Ok(report) => {
+            println!("{}", report.output);
+            std::process::exit(if report.errors > 0 { 1 } else { 0 });
+        }
+        Err(e) => {
+            eprintln!("papar: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn run_main(argv: impl Iterator<Item = String>) {
+    let spec = match papar_cli::parse_args(argv) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -10,6 +50,9 @@ fn main() {
     };
     match papar_cli::run(&spec) {
         Ok(summary) => {
+            for w in &summary.check_warnings {
+                eprintln!("papar: {w}");
+            }
             println!("read {} records", summary.records_in);
             for (id, time, bytes) in &summary.jobs {
                 println!("job '{id}': {time:?} simulated, {bytes} bytes shuffled");

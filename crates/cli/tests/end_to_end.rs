@@ -169,6 +169,38 @@ fn rejects_wrong_argument_names() {
 }
 
 #[test]
+fn run_refuses_workflows_with_check_errors() {
+    let dir = temp_dir("checkgate");
+    let input_cfg = dir.join("in.xml");
+    let workflow = dir.join("wf.xml");
+    let data = dir.join("d.db");
+    std::fs::write(&input_cfg, INPUT_CFG).unwrap();
+    // The sort key is not a field of the blast_db schema: an error the
+    // planner would also catch, but the check gate reports it first, with
+    // a source span, before the cluster is even created.
+    std::fs::write(&workflow, WORKFLOW.replace("seq_size", "seq_sie")).unwrap();
+    std::fs::write(&data, DbSpec::env_nr_scaled(10, 1).generate().to_bytes()).unwrap();
+    let mut args = HashMap::new();
+    args.insert("num_partitions".to_string(), "2".to_string());
+    let spec = RunSpec {
+        input_config: input_cfg,
+        workflow,
+        data,
+        out_dir: dir.join("parts"),
+        nodes: 2,
+        args,
+        records: Some(10),
+        ..Default::default()
+    };
+    let e = run(&spec).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains("static analysis"), "{msg}");
+    assert!(msg.contains("P006"), "{msg}");
+    assert!(msg.contains("seq_sie"), "{msg}");
+    std::fs::remove_dir_all(dir).ok();
+}
+
+#[test]
 fn text_workflow_writes_text_partitions() {
     let dir = temp_dir("text");
     let input_cfg = dir.join("edges.xml");

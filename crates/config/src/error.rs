@@ -20,6 +20,16 @@ pub enum ConfigError {
     /// The document parsed as XML but is not a valid configuration of the
     /// expected kind (missing element, bad attribute value, ...).
     Schema(String),
+    /// A schema-level error carrying the source position of the offending
+    /// element or attribute (1-based line/column; 0 = unknown).
+    SchemaAt {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// 1-based line of the offending element or attribute.
+        line: usize,
+        /// 1-based column of the offending element or attribute.
+        col: usize,
+    },
     /// A `$variable` reference is syntactically malformed.
     BadVarRef(String),
 }
@@ -28,6 +38,29 @@ impl ConfigError {
     /// Convenience constructor for schema-level errors.
     pub fn schema(msg: impl Into<String>) -> Self {
         ConfigError::Schema(msg.into())
+    }
+
+    /// Schema-level error pinned to a source span.
+    pub fn schema_at(msg: impl Into<String>, span: crate::xml::Span) -> Self {
+        if span.is_known() {
+            ConfigError::SchemaAt {
+                message: msg.into(),
+                line: span.line,
+                col: span.col,
+            }
+        } else {
+            ConfigError::Schema(msg.into())
+        }
+    }
+
+    /// The source span this error points at, if it carries one.
+    pub fn span(&self) -> Option<crate::xml::Span> {
+        match self {
+            ConfigError::Xml { line, col, .. } | ConfigError::SchemaAt { line, col, .. } => {
+                Some(crate::xml::Span::new(*line, *col))
+            }
+            ConfigError::Schema(_) | ConfigError::BadVarRef(_) => None,
+        }
     }
 }
 
@@ -38,6 +71,9 @@ impl fmt::Display for ConfigError {
                 write!(f, "XML error at {line}:{col}: {message}")
             }
             ConfigError::Schema(m) => write!(f, "configuration error: {m}"),
+            ConfigError::SchemaAt { message, line, col } => {
+                write!(f, "configuration error at {line}:{col}: {message}")
+            }
             ConfigError::BadVarRef(m) => write!(f, "bad variable reference: {m}"),
         }
     }
@@ -57,6 +93,21 @@ mod tests {
             col: 7,
         };
         assert_eq!(e.to_string(), "XML error at 3:7: unexpected end of input");
+    }
+
+    #[test]
+    fn spanned_schema_errors() {
+        use crate::xml::Span;
+        let e = ConfigError::schema_at("duplicate field 'a'", Span::new(4, 9));
+        assert_eq!(
+            e.to_string(),
+            "configuration error at 4:9: duplicate field 'a'"
+        );
+        assert_eq!(e.span(), Some(Span::new(4, 9)));
+        // Unknown spans degrade to the plain variant.
+        let e = ConfigError::schema_at("x", Span::UNKNOWN);
+        assert_eq!(e, ConfigError::schema("x"));
+        assert_eq!(e.span(), None);
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! `<element>`; the flattened field list is what codecs consume.
 
 use crate::error::{ConfigError, Result};
-use crate::xml::{self, Element};
+use crate::xml::{self, Element, Span};
 
 /// How the bytes of the input file are organized.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,12 +76,34 @@ impl FieldType {
 }
 
 /// One named, typed field of a record.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct FieldDef {
     /// Field name, the handle used as a key in workflow configurations.
     pub name: String,
     /// Primitive type.
     pub ty: FieldType,
+    /// Position of the declaring `<value>` element ([`Span::UNKNOWN`] for
+    /// programmatically-built fields).
+    pub span: Span,
+}
+
+impl FieldDef {
+    /// A field without a source position.
+    pub fn new(name: impl Into<String>, ty: FieldType) -> Self {
+        FieldDef {
+            name: name.into(),
+            ty,
+            span: Span::UNKNOWN,
+        }
+    }
+}
+
+impl PartialEq for FieldDef {
+    /// Content equality; spans are ignored so schemas built from code and
+    /// schemas parsed from documents compare equal.
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.ty == other.ty
+    }
 }
 
 /// One item of an `<element>` description, in document order.
@@ -97,7 +119,10 @@ pub enum ElementItem {
 }
 
 /// A parsed InputData configuration (one `<input>` document).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the root [`Span`] (content equality), matching the
+/// convention of the other spanned types.
+#[derive(Debug, Clone, Eq)]
 pub struct InputConfig {
     /// Document id (`<input id=..>`), referenced by workflow `format=` attrs.
     pub id: String,
@@ -109,6 +134,18 @@ pub struct InputConfig {
     pub start_position: u64,
     /// The record layout, in document order.
     pub element: Vec<ElementItem>,
+    /// Position of the `<input>` root element.
+    pub span: Span,
+}
+
+impl PartialEq for InputConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.name == other.name
+            && self.format == other.format
+            && self.start_position == other.start_position
+            && self.element == other.element
+    }
 }
 
 impl InputConfig {
@@ -117,68 +154,93 @@ impl InputConfig {
         Self::from_element(&xml::parse(doc)?)
     }
 
+    /// Parse from XML text without semantic validation (see
+    /// [`InputConfig::from_element_unchecked`]).
+    pub fn parse_str_unchecked(doc: &str) -> Result<Self> {
+        Self::from_element_unchecked(&xml::parse(doc)?)
+    }
+
     /// Build from an already-parsed XML element.
     pub fn from_element(el: &Element) -> Result<Self> {
+        let cfg = Self::from_element_unchecked(el)?;
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Build from an already-parsed XML element *without* running semantic
+    /// validation. `papar check` uses this to report validation problems as
+    /// structured diagnostics instead of stopping at the first one.
+    pub fn from_element_unchecked(el: &Element) -> Result<Self> {
         if el.name != "input" {
-            return Err(ConfigError::schema(format!(
-                "expected <input> root, found <{}>",
-                el.name
-            )));
+            return Err(ConfigError::schema_at(
+                format!("expected <input> root, found <{}>", el.name),
+                el.span,
+            ));
         }
         let id = el.req_attr("id")?.to_string();
         let name = el.attr("name").unwrap_or("").to_string();
         let format = InputFormat::parse(el.req_child("input_format")?.trimmed_text())?;
         let start_position = match el.child("start_position") {
             Some(sp) => sp.trimmed_text().parse::<u64>().map_err(|_| {
-                ConfigError::schema(format!(
-                    "start_position '{}' is not a non-negative integer",
-                    sp.trimmed_text()
-                ))
+                ConfigError::schema_at(
+                    format!(
+                        "start_position '{}' is not a non-negative integer",
+                        sp.trimmed_text()
+                    ),
+                    sp.span,
+                )
             })?,
             None => 0,
         };
         let element = parse_element_items(el.req_child("element")?)?;
-        let cfg = InputConfig {
+        Ok(InputConfig {
             id,
             name,
             format,
             start_position,
             element,
-        };
-        cfg.validate()?;
-        Ok(cfg)
+            span: el.span,
+        })
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Semantic validation: duplicate fields, format/type compatibility.
+    pub fn validate(&self) -> Result<()> {
         let fields = self.fields();
         if fields.is_empty() {
-            return Err(ConfigError::schema("element defines no fields"));
+            return Err(ConfigError::schema_at(
+                "element defines no fields",
+                self.span,
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for f in &fields {
             if !seen.insert(f.name.as_str()) {
-                return Err(ConfigError::schema(format!(
-                    "duplicate field name '{}'",
-                    f.name
-                )));
+                return Err(ConfigError::schema_at(
+                    format!("duplicate field name '{}'", f.name),
+                    f.span,
+                ));
             }
         }
         match self.format {
             InputFormat::Binary => {
                 for f in &fields {
                     if f.ty.binary_width().is_none() {
-                        return Err(ConfigError::schema(format!(
-                            "field '{}' has type String, which is not valid in a binary input",
-                            f.name
-                        )));
+                        return Err(ConfigError::schema_at(
+                            format!(
+                                "field '{}' has type String, which is not valid in a binary input",
+                                f.name
+                            ),
+                            f.span,
+                        ));
                     }
                 }
             }
             InputFormat::Text => {
                 let has_delim = any_delimiter(&self.element);
                 if !has_delim && fields.len() > 1 {
-                    return Err(ConfigError::schema(
+                    return Err(ConfigError::schema_at(
                         "text input with multiple fields needs <delimiter> separators",
+                        self.span,
                     ));
                 }
             }
@@ -252,8 +314,15 @@ fn parse_element_items(el: &Element) -> Result<Vec<ElementItem>> {
         match child.name.as_str() {
             "value" => {
                 let name = child.req_attr("name")?.to_string();
-                let ty = FieldType::parse(child.req_attr("type")?)?;
-                items.push(ElementItem::Field(FieldDef { name, ty }));
+                let ty = FieldType::parse(child.req_attr("type")?).map_err(|e| match e {
+                    ConfigError::Schema(m) => ConfigError::schema_at(m, child.attr_span("type")),
+                    other => other,
+                })?;
+                items.push(ElementItem::Field(FieldDef {
+                    name,
+                    ty,
+                    span: child.span,
+                }));
             }
             "delimiter" => {
                 let raw = child.req_attr("value")?;

@@ -109,7 +109,8 @@ impl VarRef {
 ///
 /// `lookup` receives the parsed reference and returns its replacement text;
 /// returning an `Err` aborts the substitution. Text outside references is
-/// copied verbatim, so policy expressions like `{>=, $threshold}` work.
+/// copied verbatim, so policy expressions like `{>=, $threshold}` work. A
+/// doubled `$$` escapes to a literal `$` without invoking `lookup`.
 pub fn substitute<F>(s: &str, mut lookup: F) -> Result<String>
 where
     F: FnMut(&VarRef) -> Result<String>,
@@ -121,6 +122,12 @@ where
         if bytes[i] != b'$' {
             out.push(bytes[i] as char);
             i += 1;
+            continue;
+        }
+        // `$$` escapes a literal dollar sign.
+        if i + 1 < bytes.len() && bytes[i + 1] == b'$' {
+            out.push('$');
+            i += 2;
             continue;
         }
         // Greedily take the longest `$job.$attr` / `$job.param` / `$name`.
@@ -244,5 +251,42 @@ mod tests {
     #[test]
     fn substitute_bare_dollar_errors() {
         assert!(substitute("cost: $5", |_| Ok(String::new())).is_err());
+    }
+
+    #[test]
+    fn substitute_doubled_dollar_escapes() {
+        // `$$` produces a literal `$` and never reaches the lookup.
+        let out = substitute("cost: $$5", |r| panic!("unexpected ref {r:?}")).unwrap();
+        assert_eq!(out, "cost: $5");
+        // An escape directly followed by a real reference.
+        let out = substitute("$$$price", |r| match r {
+            VarRef::Arg(a) => Ok(format!("[{a}]")),
+            _ => panic!(),
+        })
+        .unwrap();
+        assert_eq!(out, "$[price]");
+        // Only escapes, no references at all.
+        assert_eq!(substitute("$$$$", |_| unreachable!()).unwrap(), "$$");
+    }
+
+    #[test]
+    fn substitute_unknown_variable_propagates_error() {
+        let e = substitute("a/$missing/b", |r| match r {
+            VarRef::Arg(a) => Err(ConfigError::schema(format!("unbound argument '${a}'"))),
+            _ => panic!(),
+        })
+        .unwrap_err();
+        assert!(e.to_string().contains("unbound argument '$missing'"));
+    }
+
+    #[test]
+    fn substitute_reference_adjacent_to_text() {
+        // Identifier chars extend the reference; punctuation terminates it.
+        let out = substitute("pre$a-mid-$b_tail/end", |r| match r {
+            VarRef::Arg(a) => Ok(format!("<{a}>")),
+            _ => panic!(),
+        })
+        .unwrap();
+        assert_eq!(out, "pre<a>-mid-<b_tail>/end");
     }
 }

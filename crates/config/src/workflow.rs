@@ -10,10 +10,13 @@
 //! operators (`count`, `max`, `min`, `mean`, `sum`).
 
 use crate::error::{ConfigError, Result};
-use crate::xml::{self, Element};
+use crate::xml::{self, Element, Span};
 
 /// A declared workflow argument (`<param>` inside `<arguments>`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`Span`] (content equality), as for every other
+/// spanned configuration type.
+#[derive(Debug, Clone, Eq)]
 pub struct ArgDef {
     /// Argument name (referenced as `$name`).
     pub name: String,
@@ -25,10 +28,23 @@ pub struct ArgDef {
     pub format: Option<String>,
     /// Optional default value baked into the configuration.
     pub value: Option<String>,
+    /// Position of the declaring `<param>` element.
+    pub span: Span,
+}
+
+impl PartialEq for ArgDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.ty == other.ty
+            && self.format == other.format
+            && self.value == other.value
+    }
 }
 
 /// A parameter of one operator (`<param>` inside `<operator>`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the spans (content equality).
+#[derive(Debug, Clone, Eq)]
 pub struct ParamDef {
     /// Parameter name (`inputPath`, `key`, `policy`, ...).
     pub name: String,
@@ -40,10 +56,26 @@ pub struct ParamDef {
     /// Output-format annotation (`format="pack"` or, for path lists,
     /// `format="unpack,orig"`).
     pub format: Option<String>,
+    /// Position of the declaring `<param>` element.
+    pub span: Span,
+    /// Position of the `value="..."` attribute (falls back to the element
+    /// position when absent). Diagnostics about `$` references point here.
+    pub value_span: Span,
+}
+
+impl PartialEq for ParamDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.ty == other.ty
+            && self.value == other.value
+            && self.format == other.format
+    }
 }
 
 /// An add-on operator attached to a basic operator (`<addon>`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the [`Span`] (content equality).
+#[derive(Debug, Clone, Eq)]
 pub struct AddOnDef {
     /// Add-on operator name: `count`, `max`, `min`, `mean` or `sum`.
     pub operator: String,
@@ -51,10 +83,20 @@ pub struct AddOnDef {
     pub key: String,
     /// The name of the attribute the add-on appends to each record.
     pub attr: String,
+    /// Position of the declaring `<addon>` element.
+    pub span: Span,
+}
+
+impl PartialEq for AddOnDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.operator == other.operator && self.key == other.key && self.attr == other.attr
+    }
 }
 
 /// One job of the workflow (`<operator>`).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the spans (content equality).
+#[derive(Debug, Clone, Eq)]
 pub struct OperatorDef {
     /// Job id, referenced by later jobs as `$id.param`.
     pub id: String,
@@ -67,6 +109,21 @@ pub struct OperatorDef {
     pub params: Vec<ParamDef>,
     /// Attached add-on operators.
     pub addons: Vec<AddOnDef>,
+    /// Position of the declaring `<operator>` element.
+    pub span: Span,
+    /// Position of the `id="..."` attribute (duplicate-id diagnostics point
+    /// at the second occurrence).
+    pub id_span: Span,
+}
+
+impl PartialEq for OperatorDef {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.operator == other.operator
+            && self.num_reducers == other.num_reducers
+            && self.params == other.params
+            && self.addons == other.addons
+    }
 }
 
 impl OperatorDef {
@@ -101,7 +158,9 @@ impl OperatorDef {
 }
 
 /// A parsed workflow document.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Equality ignores the root [`Span`] (content equality).
+#[derive(Debug, Clone, Eq)]
 pub struct WorkflowConfig {
     /// Workflow id.
     pub id: String,
@@ -111,6 +170,17 @@ pub struct WorkflowConfig {
     pub arguments: Vec<ArgDef>,
     /// Jobs in launch order.
     pub operators: Vec<OperatorDef>,
+    /// Position of the `<workflow>` root element.
+    pub span: Span,
+}
+
+impl PartialEq for WorkflowConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+            && self.name == other.name
+            && self.arguments == other.arguments
+            && self.operators == other.operators
+    }
 }
 
 impl WorkflowConfig {
@@ -119,13 +189,28 @@ impl WorkflowConfig {
         Self::from_element(&xml::parse(doc)?)
     }
 
+    /// Parse from XML text without semantic validation (see
+    /// [`WorkflowConfig::from_element_unchecked`]).
+    pub fn parse_str_unchecked(doc: &str) -> Result<Self> {
+        Self::from_element_unchecked(&xml::parse(doc)?)
+    }
+
     /// Build from an already-parsed XML element.
     pub fn from_element(el: &Element) -> Result<Self> {
+        let wf = Self::from_element_unchecked(el)?;
+        wf.validate()?;
+        Ok(wf)
+    }
+
+    /// Build from an already-parsed XML element *without* running semantic
+    /// validation. `papar check` uses this to report duplicate ids and empty
+    /// workflows as structured diagnostics instead of parse failures.
+    pub fn from_element_unchecked(el: &Element) -> Result<Self> {
         if el.name != "workflow" {
-            return Err(ConfigError::schema(format!(
-                "expected <workflow> root, found <{}>",
-                el.name
-            )));
+            return Err(ConfigError::schema_at(
+                format!("expected <workflow> root, found <{}>", el.name),
+                el.span,
+            ));
         }
         let id = el.req_attr("id")?.to_string();
         let name = el.attr("name").unwrap_or("").to_string();
@@ -138,6 +223,7 @@ impl WorkflowConfig {
                     ty: p.req_attr("type")?.to_string(),
                     format: p.attr("format").map(str::to_string),
                     value: p.attr("value").map(str::to_string),
+                    span: p.span,
                 });
             }
         }
@@ -154,16 +240,20 @@ impl WorkflowConfig {
                         ty: c.req_attr("type")?.to_string(),
                         value: c.attr("value").map(str::to_string),
                         format: c.attr("format").map(str::to_string),
+                        span: c.span,
+                        value_span: c.attr_span("value"),
                     }),
                     "addon" => addons.push(AddOnDef {
                         operator: c.req_attr("operator")?.to_string(),
                         key: c.req_attr("key")?.to_string(),
                         attr: c.req_attr("attr")?.to_string(),
+                        span: c.span,
                     }),
                     other => {
-                        return Err(ConfigError::schema(format!(
-                            "unexpected <{other}> inside <operator>"
-                        )))
+                        return Err(ConfigError::schema_at(
+                            format!("unexpected <{other}> inside <operator>"),
+                            c.span,
+                        ))
                     }
                 }
             }
@@ -173,39 +263,44 @@ impl WorkflowConfig {
                 num_reducers: o.attr("num_reducers").map(str::to_string),
                 params,
                 addons,
+                span: o.span,
+                id_span: o.attr_span("id"),
             });
         }
 
-        let wf = WorkflowConfig {
+        Ok(WorkflowConfig {
             id,
             name,
             arguments,
             operators,
-        };
-        wf.validate()?;
-        Ok(wf)
+            span: el.span,
+        })
     }
 
-    fn validate(&self) -> Result<()> {
+    /// Semantic validation: non-empty, unique argument names and job ids.
+    pub fn validate(&self) -> Result<()> {
         if self.operators.is_empty() {
-            return Err(ConfigError::schema("workflow declares no operators"));
+            return Err(ConfigError::schema_at(
+                "workflow declares no operators",
+                self.span,
+            ));
         }
         let mut seen = std::collections::HashSet::new();
         for a in &self.arguments {
             if !seen.insert(a.name.as_str()) {
-                return Err(ConfigError::schema(format!(
-                    "duplicate argument '{}'",
-                    a.name
-                )));
+                return Err(ConfigError::schema_at(
+                    format!("duplicate argument '{}'", a.name),
+                    a.span,
+                ));
             }
         }
         let mut ids = std::collections::HashSet::new();
         for o in &self.operators {
             if !ids.insert(o.id.as_str()) {
-                return Err(ConfigError::schema(format!(
-                    "duplicate operator id '{}'",
-                    o.id
-                )));
+                return Err(ConfigError::schema_at(
+                    format!("duplicate operator id '{}'", o.id),
+                    o.id_span,
+                ));
             }
         }
         Ok(())

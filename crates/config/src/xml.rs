@@ -18,22 +18,97 @@
 //! schema has no use for them.
 
 use crate::error::{ConfigError, Result};
+use std::fmt;
+
+/// A 1-based line/column source position inside a configuration document.
+///
+/// Spans point at the *start* of the thing they describe: an element's span
+/// is the position of its `<`, an attribute's span is the position of its
+/// name. Programmatically-built trees carry [`Span::UNKNOWN`] (line 0),
+/// which formats as `?:?`.
+///
+/// Spans are deliberately excluded from `PartialEq` on the types that carry
+/// them — two documents with the same content are equal regardless of
+/// where that content sits, which keeps serialization round-trip tests
+/// honest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line (0 = unknown).
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+}
+
+impl Span {
+    /// The span of programmatically-built nodes.
+    pub const UNKNOWN: Span = Span { line: 0, col: 0 };
+
+    /// A known position.
+    pub fn new(line: usize, col: usize) -> Self {
+        Span { line, col }
+    }
+
+    /// True when this span points at a real document position.
+    pub fn is_known(&self) -> bool {
+        self.line != 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_known() {
+            write!(f, "{}:{}", self.line, self.col)
+        } else {
+            write!(f, "?:?")
+        }
+    }
+}
+
+/// One attribute of an element, with the source position of its name.
+#[derive(Debug, Clone, Eq)]
+pub struct Attr {
+    /// Attribute name.
+    pub name: String,
+    /// Decoded attribute value.
+    pub value: String,
+    /// Position of the attribute name in the document.
+    pub span: Span,
+}
+
+impl PartialEq for Attr {
+    /// Content equality; spans are ignored (see [`Span`]).
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.value == other.value
+    }
+}
 
 /// A parsed XML element.
 ///
 /// Text content is accumulated in [`Element::text`] with surrounding
 /// whitespace preserved; use [`Element::trimmed_text`] for the common case.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Eq)]
 pub struct Element {
     /// Tag name.
     pub name: String,
     /// Attributes in document order. Duplicate names are rejected at parse
     /// time, so linear lookup is unambiguous.
-    pub attrs: Vec<(String, String)>,
+    pub attrs: Vec<Attr>,
     /// Child elements in document order.
     pub children: Vec<Element>,
     /// Concatenated character data directly inside this element.
     pub text: String,
+    /// Position of this element's `<` in the document.
+    pub span: Span,
+}
+
+impl PartialEq for Element {
+    /// Content equality; spans are ignored (see [`Span`]).
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.attrs == other.attrs
+            && self.children == other.children
+            && self.text == other.text
+    }
 }
 
 impl Element {
@@ -44,15 +119,35 @@ impl Element {
             attrs: Vec::new(),
             children: Vec::new(),
             text: String::new(),
+            span: Span::UNKNOWN,
         }
+    }
+
+    /// Append an attribute (for programmatically-built trees).
+    pub fn push_attr(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        self.attrs.push(Attr {
+            name: name.into(),
+            value: value.into(),
+            span: Span::UNKNOWN,
+        });
     }
 
     /// Look up an attribute by name.
     pub fn attr(&self, name: &str) -> Option<&str> {
         self.attrs
             .iter()
-            .find(|(k, _)| k == name)
-            .map(|(_, v)| v.as_str())
+            .find(|a| a.name == name)
+            .map(|a| a.value.as_str())
+    }
+
+    /// Position of the named attribute, falling back to the element's own
+    /// span when the attribute is absent.
+    pub fn attr_span(&self, name: &str) -> Span {
+        self.attrs
+            .iter()
+            .find(|a| a.name == name)
+            .map(|a| a.span)
+            .unwrap_or(self.span)
     }
 
     /// Look up an attribute, raising a schema error naming the element when
@@ -104,11 +199,11 @@ impl Element {
     fn write_xml(&self, out: &mut String) {
         out.push('<');
         out.push_str(&self.name);
-        for (k, v) in &self.attrs {
+        for a in &self.attrs {
             out.push(' ');
-            out.push_str(k);
+            out.push_str(&a.name);
             out.push_str("=\"");
-            escape_into(v, out);
+            escape_into(&a.value, out);
             out.push('"');
         }
         if self.children.is_empty() && self.text.is_empty() {
@@ -170,11 +265,20 @@ impl<'a> Parser<'a> {
     }
 
     fn err(&self, msg: impl Into<String>) -> ConfigError {
+        self.err_at(self.here(), msg)
+    }
+
+    fn err_at(&self, span: Span, msg: impl Into<String>) -> ConfigError {
         ConfigError::Xml {
             message: msg.into(),
-            line: self.line,
-            col: self.col,
+            line: span.line,
+            col: span.col,
         }
+    }
+
+    /// The current position as a span.
+    fn here(&self) -> Span {
+        Span::new(self.line, self.col)
     }
 
     fn at_end(&self) -> bool {
@@ -360,9 +464,11 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_element(&mut self) -> Result<Element> {
+        let start = self.here();
         self.eat(b'<')?;
         let name = self.parse_name()?;
         let mut el = Element::new(name);
+        el.span = start;
         loop {
             self.skip_ws();
             match self.peek() {
@@ -376,17 +482,25 @@ impl<'a> Parser<'a> {
                     break;
                 }
                 Some(b) if Self::is_name_start(b) => {
+                    let aspan = self.here();
                     let aname = self.parse_name()?;
                     self.skip_ws();
                     self.eat(b'=')?;
                     self.skip_ws();
                     let aval = self.parse_attr_value()?;
                     if el.attr(&aname).is_some() {
-                        return Err(
-                            self.err(format!("duplicate attribute '{aname}' on <{}>", el.name))
-                        );
+                        // Report at the *second* occurrence's name, not at
+                        // the parser's current position after the value.
+                        return Err(self.err_at(
+                            aspan,
+                            format!("duplicate attribute '{aname}' on <{}>", el.name),
+                        ));
                     }
-                    el.attrs.push((aname, aval));
+                    el.attrs.push(Attr {
+                        name: aname,
+                        value: aval,
+                        span: aspan,
+                    });
                 }
                 Some(b) => return Err(self.err(format!("unexpected '{}' in start tag", b as char))),
                 None => return Err(self.err("unterminated start tag")),
@@ -547,5 +661,36 @@ mod tests {
         let el = parse("<a/>").unwrap();
         assert!(el.req_attr("id").is_err());
         assert!(el.req_child("element").is_err());
+    }
+
+    #[test]
+    fn element_and_attribute_spans_are_tracked() {
+        let el = parse("<a>\n  <b x=\"1\" yy=\"2\"/>\n</a>").unwrap();
+        assert_eq!(el.span, Span::new(1, 1));
+        let b = el.child("b").unwrap();
+        assert_eq!(b.span, Span::new(2, 3));
+        assert_eq!(b.attr_span("x"), Span::new(2, 6));
+        assert_eq!(b.attr_span("yy"), Span::new(2, 12));
+        // Missing attribute falls back to the element's span.
+        assert_eq!(b.attr_span("zz"), b.span);
+    }
+
+    #[test]
+    fn duplicate_attribute_error_points_at_second_occurrence() {
+        let e = parse("<a>\n  <b x=\"1\" x=\"2\"/>\n</a>").unwrap_err();
+        match e {
+            ConfigError::Xml { line, col, .. } => {
+                assert_eq!((line, col), (2, 12));
+            }
+            other => panic!("expected Xml error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_do_not_affect_equality() {
+        let a = parse("<a x=\"1\"/>").unwrap();
+        let b = parse("\n\n   <a   x=\"1\"/>").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a.span, b.span);
     }
 }

@@ -39,7 +39,7 @@ fn element_strategy() -> impl Strategy<Value = Element> {
             let mut seen = std::collections::HashSet::new();
             for (k, v) in attrs {
                 if seen.insert(k.clone()) {
-                    el.attrs.push((k, v));
+                    el.push_attr(k, v);
                 }
             }
             el.text = text;
@@ -56,7 +56,7 @@ fn element_strategy() -> impl Strategy<Value = Element> {
                 let mut seen = std::collections::HashSet::new();
                 for (k, v) in attrs {
                     if seen.insert(k.clone()) {
-                        el.attrs.push((k, v));
+                        el.push_attr(k, v);
                     }
                 }
                 el.children = children;

@@ -184,9 +184,33 @@ impl WorkflowRunner {
                 }
             };
             report.jobs.push(stats);
+            #[cfg(debug_assertions)]
+            self.verify_job_outputs(cluster, job);
         }
         report.recovery_events = cluster.drain_events();
         Ok(report)
+    }
+
+    /// Debug-mode runtime verifier: after a job commits, assert that every
+    /// record it wrote conforms to the plan's compiled output metadata —
+    /// the same metadata `papar check`'s analyzer cross-checks statically
+    /// via `verify_plan`. Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn verify_job_outputs(&self, cluster: &Cluster, job: &JobPlan) {
+        // Custom operators own their output contract; nothing to assert.
+        if matches!(job.kind, JobKind::Custom { .. }) {
+            return;
+        }
+        for (name, meta) in &job.outputs {
+            for node in 0..cluster.num_nodes() {
+                let Some(frags) = cluster.node(node).get(name) else {
+                    continue;
+                };
+                for f in frags {
+                    verify_batch_conforms(&f.data.batch, meta, &job.id, name);
+                }
+            }
+        }
     }
 
     fn reducers_for(&self, job: &JobPlan, cluster: &Cluster) -> usize {
@@ -772,6 +796,74 @@ fn entries_to_batch(entries: Vec<Entry>, format: Format, key_idx: usize) -> Resu
                 }
             }
             Ok(Batch::Packed(groups))
+        }
+    }
+}
+
+/// Assert every record of a committed batch against the job's declared
+/// output metadata: format, arity, per-field value types, and (for packed
+/// batches) the group key. Integer-family values (`Int`/`Long`) conform to
+/// either integer-family field type because add-ons widen on overflow-prone
+/// aggregates (e.g. `sum` over `integer` produces `Long`).
+#[cfg(debug_assertions)]
+fn verify_batch_conforms(batch: &Batch, meta: &DatasetMeta, job_id: &str, dataset: &str) {
+    use papar_config::input::FieldType;
+
+    let declared_format = match meta.format {
+        Format::Flat => matches!(batch, Batch::Flat(_)),
+        Format::Packed => matches!(batch, Batch::Packed(_)),
+    };
+    debug_assert!(
+        declared_format,
+        "job '{job_id}' dataset '{dataset}': batch format does not match the \
+         declared {:?}",
+        meta.format
+    );
+
+    let fields = meta.schema.fields();
+    let check_record = |r: &Record| {
+        debug_assert_eq!(
+            r.values().len(),
+            fields.len(),
+            "job '{job_id}' dataset '{dataset}': record arity {} does not match \
+             schema arity {}",
+            r.values().len(),
+            fields.len()
+        );
+        for (field, value) in fields.iter().zip(r.values()) {
+            let ok = matches!(
+                (&field.ty, value),
+                (
+                    FieldType::Integer | FieldType::Long,
+                    Value::Int(_) | Value::Long(_)
+                ) | (FieldType::Double, Value::Double(_))
+                    | (FieldType::Str, Value::Str(_))
+            );
+            debug_assert!(
+                ok,
+                "job '{job_id}' dataset '{dataset}': field '{}' declared {:?} but \
+                 holds {value:?}",
+                field.name, field.ty
+            );
+        }
+    };
+    match batch {
+        Batch::Flat(records) => records.iter().for_each(check_record),
+        Batch::Packed(groups) => {
+            for g in groups {
+                g.records.iter().for_each(check_record);
+                if let Some(k) = meta.packed_key {
+                    if let Some(first) = g.records.first() {
+                        debug_assert_eq!(
+                            first.values().get(k),
+                            Some(&g.key),
+                            "job '{job_id}' dataset '{dataset}': packed group key \
+                             {:?} disagrees with member field #{k}",
+                            g.key
+                        );
+                    }
+                }
+            }
         }
     }
 }

@@ -254,7 +254,12 @@ impl Planner {
             .jobs
             .last()
             .map(|j| j.output().to_string())
-            .expect("validated: workflow has operators");
+            .ok_or_else(|| {
+                CoreError::plan(format!(
+                    "workflow '{}' declares no operators",
+                    self.workflow.id
+                ))
+            })?;
         Ok(WorkflowPlan {
             id: self.workflow.id.clone(),
             jobs: binder.jobs,

@@ -22,10 +22,7 @@ impl Schema {
         Schema {
             fields: fields
                 .into_iter()
-                .map(|(name, ty)| FieldDef {
-                    name: name.into(),
-                    ty,
-                })
+                .map(|(name, ty)| FieldDef::new(name, ty))
                 .collect(),
         }
     }
@@ -83,10 +80,7 @@ impl Schema {
             )));
         }
         let mut fields = self.fields.clone();
-        fields.push(FieldDef {
-            name: name.to_string(),
-            ty,
-        });
+        fields.push(FieldDef::new(name, ty));
         Ok(Arc::new(Schema { fields }))
     }
 

@@ -15,12 +15,15 @@
 //! * [`sort`] — ASPaS-style sorting kernels used inside the sort operator.
 //! * [`core`] — the framework itself: operators, stride-permutation
 //!   distribution policies, the workflow planner and the executor.
+//! * [`check`] — the static workflow analyzer behind `papar check`:
+//!   dataflow, schema inference, distribution legality, typed diagnostics.
 //! * [`mublastp`] — the muBLASTP driving application substrate.
 //! * [`powerlyra`] — the PowerLyra driving application substrate.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the full system
 //! inventory and experiment index.
 
+pub use papar_check as check;
 pub use papar_config as config;
 pub use papar_core as core;
 pub use papar_mr as mr;
