@@ -57,6 +57,10 @@ pub struct RunSpec {
     pub replication: usize,
     /// Executions allowed per task before the job aborts.
     pub max_retries: u32,
+    /// OS threads for the engine's node tasks (`None` → `PAPAR_THREADS` or
+    /// the host's available parallelism). Output bytes are identical for
+    /// every value; only wall-clock time changes.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunSpec {
@@ -75,6 +79,7 @@ impl Default for RunSpec {
             // Matches the engine's default retry policy; a derived zero
             // would clamp every task to a single attempt.
             max_retries: 3,
+            threads: None,
         }
     }
 }
@@ -190,7 +195,13 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     }
     let input_name = plan.external_inputs[0].0.clone();
     let num_jobs = plan.jobs.len();
-    let runner = WorkflowRunner::with_options(plan, ExecOptions::default());
+    let runner = WorkflowRunner::with_options(
+        plan,
+        ExecOptions {
+            threads: spec.threads,
+            ..ExecOptions::default()
+        },
+    );
     let mut cluster = Cluster::try_new(spec.nodes)
         .map_err(|e| fail(e.to_string()))?
         .with_replication(spec.replication)
@@ -540,6 +551,16 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                     return Err(fail("--max-retries wants a positive integer, got '0'"));
                 }
             }
+            "--threads" => {
+                let v = need("--threads", &mut argv)?;
+                let t: usize = v
+                    .parse()
+                    .map_err(|_| fail(format!("--threads wants a positive integer, got '{v}'")))?;
+                if t == 0 {
+                    return Err(fail("--threads wants a positive integer, got '0'"));
+                }
+                spec.threads = Some(t);
+            }
             "-h" | "--help" => {
                 return Err(fail(USAGE));
             }
@@ -564,6 +585,7 @@ pub const USAGE: &str = "\
 usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
+             [--threads N]
        papar check --workflow <xml> [options]   (see `papar check --help`)
 
 Runs the PaPar partitioning workflow described by the two configuration
@@ -574,7 +596,11 @@ Fault injection (chaos testing the simulated cluster):
   --faults SPEC      inject faults, e.g. 'crash=1,drop=2,corrupt=1,straggler=1'
   --fault-seed N     seed for fault placement (same seed, same schedule; default 0)
   --replication N    replicas per fragment; crashes need N >= 1 to recover (default 0)
-  --max-retries N    executions allowed per task before aborting (default 3)";
+  --max-retries N    executions allowed per task before aborting (default 3)
+
+Performance:
+  --threads N        OS threads for node tasks; output bytes are identical for
+                     every N (default: PAPAR_THREADS or available parallelism)";
 
 #[cfg(test)]
 mod tests {
@@ -626,6 +652,8 @@ mod tests {
                 "2",
                 "--max-retries",
                 "5",
+                "--threads",
+                "4",
             ]
             .iter()
             .map(|s| s.to_string()),
@@ -635,6 +663,7 @@ mod tests {
         assert_eq!(spec.fault_seed, 99);
         assert_eq!(spec.replication, 2);
         assert_eq!(spec.max_retries, 5);
+        assert_eq!(spec.threads, Some(4));
         // Defaults: fault-free, no replication, 3 attempts.
         let spec = parse_args(
             [
@@ -654,6 +683,8 @@ mod tests {
         assert!(spec.faults.is_none());
         assert_eq!(spec.replication, 0);
         assert_eq!(spec.max_retries, 3);
+        // Default: let the engine pick its thread count.
+        assert!(spec.threads.is_none());
     }
 
     #[test]
@@ -671,6 +702,9 @@ mod tests {
         assert!(parse(&["--replication", "-1"]).is_err());
         let e = parse(&["--max-retries", "0"]).unwrap_err();
         assert!(e.to_string().contains("positive"), "{e}");
+        let e = parse(&["--threads", "0"]).unwrap_err();
+        assert!(e.to_string().contains("positive"), "{e}");
+        assert!(parse(&["--threads", "x"]).is_err());
         // Missing required flags.
         assert!(parse(&[]).is_err());
         let e = parse(&["--input-config", "a", "--workflow", "b", "--data", "c"]).unwrap_err();

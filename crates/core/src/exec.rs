@@ -42,6 +42,10 @@ pub struct ExecOptions {
     pub compression: bool,
     /// Sampling stride (1 in `stride` keys).
     pub sample_stride: usize,
+    /// OS threads the engine may use per phase (`None` keeps the cluster's
+    /// own setting: `PAPAR_THREADS` or the host's available parallelism).
+    /// Output bytes are identical for every value; only wall-clock changes.
+    pub threads: Option<usize>,
 }
 
 impl Default for ExecOptions {
@@ -51,6 +55,7 @@ impl Default for ExecOptions {
             sampling: SamplingMode::Distributed,
             compression: false,
             sample_stride: sampler::DEFAULT_SAMPLE_STRIDE,
+            threads: None,
         }
     }
 }
@@ -149,6 +154,9 @@ impl WorkflowRunner {
     /// fetch the final partitions with
     /// `cluster.collect(&runner.plan().output_path)`.
     pub fn run(&self, cluster: &mut Cluster) -> Result<WorkflowReport> {
+        if let Some(threads) = self.options.threads {
+            cluster.set_threads(threads);
+        }
         let mut report = WorkflowReport::default();
         for job in &self.plan.jobs {
             let stats = match &job.kind {

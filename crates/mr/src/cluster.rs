@@ -13,7 +13,8 @@ use crate::{MrError, Result, TaskPhase};
 /// `N` simulated compute nodes with private storage and a modeled
 /// interconnect.
 ///
-/// Node tasks execute sequentially under a virtual clock (see the crate
+/// Node tasks within a phase execute concurrently on up to
+/// [`Cluster::threads`] OS threads under a virtual clock (see the crate
 /// docs); the cluster's job is data placement, the exchange primitive, and
 /// accounting.
 ///
@@ -37,6 +38,12 @@ pub struct Cluster {
     /// lands on the first job that runs afterwards).
     pending_recovery: RecoveryStats,
     events: Vec<RecoveryAction>,
+    /// OS threads the engine may use per phase (node tasks run concurrently
+    /// up to this budget; leftover threads parallelize reduce-side sorts).
+    threads: usize,
+    /// `hints[from][to]`: the previous map phase's outbox sizes, used to
+    /// pre-size the next phase's shuffle buffers.
+    shuffle_hints: Vec<Vec<usize>>,
 }
 
 impl Cluster {
@@ -78,7 +85,32 @@ impl Cluster {
             jobs_run: 0,
             pending_recovery: RecoveryStats::default(),
             events: Vec::new(),
+            threads: default_threads(),
+            shuffle_hints: Vec::new(),
         })
+    }
+
+    /// Set the engine's OS-thread budget (builder form). See
+    /// [`Cluster::set_threads`].
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Set how many OS threads the engine may use per phase. `1` runs node
+    /// tasks sequentially (the pre-parallel behavior); higher counts run up
+    /// to that many node tasks concurrently and hand leftover threads to
+    /// the reduce-side sort. Output bytes and recovery accounting are
+    /// identical for every value; only wall-clock time changes. Clamped to
+    /// at least 1.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The engine's OS-thread budget (defaults to the `PAPAR_THREADS`
+    /// environment variable, else the host's available parallelism).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// Keep `r` replicas of every materialized fragment on the `r` nodes
@@ -368,6 +400,89 @@ impl Cluster {
         Ok(true)
     }
 
+    /// Pre-draw every crash scheduled for `(job_idx, phase)` as per-node
+    /// counts — the parallel engine consumes faults at the phase barrier so
+    /// worker threads never need `&mut` access to the plan.
+    pub(crate) fn take_phase_crashes(&mut self, job_idx: usize, phase: TaskPhase) -> Vec<u32> {
+        let n = self.num_nodes();
+        match self.fault_plan.as_mut() {
+            Some(plan) => plan.take_crashes(job_idx, phase, n),
+            None => vec![0; n],
+        }
+    }
+
+    /// The previous map phase's outbox sizes (`hints[from][to]`), used to
+    /// pre-size shuffle buffers; empty before the first job.
+    pub(crate) fn shuffle_hints(&self) -> &[Vec<usize>] {
+        &self.shuffle_hints
+    }
+
+    /// Record a map phase's outbox sizes as the pre-sizing hint for the
+    /// next one.
+    pub(crate) fn set_shuffle_hints(&mut self, hints: Vec<Vec<usize>>) {
+        self.shuffle_hints = hints;
+    }
+
+    /// Fold a worker thread's locally-accumulated recovery accounting and
+    /// event log into the cluster's. The engine calls this at the phase
+    /// barrier in node order, so the merged log matches sequential
+    /// execution.
+    pub(crate) fn absorb_worker_recovery(
+        &mut self,
+        recovery: RecoveryStats,
+        events: Vec<RecoveryAction>,
+    ) {
+        self.pending_recovery.merge(&recovery);
+        self.events.extend(events);
+    }
+
+    /// Read-only twin of [`Cluster::crash_and_restore`]: compute what
+    /// restoring `node` from replicas would move, without touching any
+    /// store.
+    ///
+    /// A successful restore puts back exactly the `Arc`s the node already
+    /// holds (primaries from other nodes' replica areas, replica holdings
+    /// from their surviving primaries), so when recovery succeeds the store
+    /// contents afterwards equal the contents before the crash — worker
+    /// threads can therefore simulate the crash against `&self` and only
+    /// the accounting `(fragments, bytes)` needs to reach the barrier.
+    /// Returns [`MrError::DataLoss`] when some primary has no live replica,
+    /// exactly like the mutating version.
+    pub(crate) fn plan_crash_restore(&self, node: usize) -> Result<(usize, u64)> {
+        let mut fragments = 0usize;
+        let mut bytes = 0u64;
+        for (name, ordinal) in self.nodes[node].fragment_ids() {
+            let source = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != node)
+                .find_map(|(_, other)| other.replica(&name, ordinal));
+            let arc = source.ok_or_else(|| MrError::DataLoss {
+                dataset: name.clone(),
+                node,
+                detail: format!(
+                    "fragment {ordinal} has no replica; run with a replication factor >= 1"
+                ),
+            })?;
+            bytes += fragment_bytes(&arc);
+            fragments += 1;
+        }
+        for (name, ordinal) in self.nodes[node].replica_ids() {
+            let source = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != node)
+                .find_map(|(_, other)| other.primary(&name, ordinal));
+            if let Some(arc) = source {
+                bytes += fragment_bytes(&arc);
+                fragments += 1;
+            }
+        }
+        Ok((fragments, bytes))
+    }
+
     /// Record a retry (backoff already charged to the phase by the caller).
     pub fn note_retry(
         &mut self,
@@ -391,24 +506,6 @@ impl Cluster {
     /// Record compute time whose results were lost to a crash.
     pub fn note_lost_compute(&mut self, elapsed: std::time::Duration) {
         self.pending_recovery.reexec_task_time += elapsed;
-    }
-
-    /// Record a crashed reducer's inbox being re-fetched from the mappers.
-    pub(crate) fn note_inbox_refetch(
-        &mut self,
-        job_name: &str,
-        node: usize,
-        bytes: u64,
-        messages: u64,
-    ) {
-        self.pending_recovery.retransmit_bytes += bytes;
-        self.pending_recovery.retransmit_messages += messages;
-        self.events.push(RecoveryAction::InboxRefetched {
-            job: job_name.to_string(),
-            node,
-            bytes,
-            messages,
-        });
     }
 
     /// Wipe a crashed node and re-fetch everything it held from replicas
@@ -547,6 +644,22 @@ impl Cluster {
 /// Wire size of a fragment — what replication and restore transfers cost.
 fn fragment_bytes(data: &Dataset) -> u64 {
     wire::encoded_size(&data.batch, &data.schema).unwrap_or(0) as u64
+}
+
+/// The default engine thread budget: the `PAPAR_THREADS` environment
+/// variable when set to a positive integer (how CI pins both extremes of
+/// the determinism matrix), else the host's available parallelism.
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("PAPAR_THREADS") {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            if t >= 1 {
+                return t;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// Per-receiver `(sender, buffer)` lists produced by [`Cluster::exchange`].

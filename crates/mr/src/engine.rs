@@ -18,17 +18,30 @@
 //! `(mapper, seq)` when key-sorting is off), so results are independent of
 //! arrival order — the property behind the paper's "same partitions"
 //! correctness claim.
+//!
+//! Within a phase, node tasks execute concurrently on scoped OS threads up
+//! to the cluster's [`Cluster::threads`] budget, joining at the existing
+//! BSP barriers (map → shuffle → reduce). Determinism survives threading
+//! because nothing a worker does depends on scheduling: fault decisions are
+//! pre-drawn per `(job, phase, node, attempt)` at the phase barrier,
+//! straggler factors are read up front, every worker only reads `&Cluster`
+//! and writes its own pre-allocated result slot, and all cluster mutation
+//! (stats, recovery log, output commits) happens on the driver thread in
+//! node order after the join.
 
 use papar_record::batch::{Batch, Dataset};
 use papar_record::packed::PackedRecord;
 use papar_record::wire::{self, Reader};
 use papar_record::{Record, Schema, Value};
+use std::cmp::Ordering;
 use std::sync::Arc;
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use crate::cluster::Cluster;
-use crate::stats::JobStats;
+use crate::fault::{Fault, RecoveryAction, RetryPolicy};
+use crate::stats::{JobStats, RecoveryStats};
+use crate::timer::TaskTimer;
 use crate::{MrError, Result, TaskPhase};
 
 /// One shuffled unit: either a flat record or a whole packed group (the
@@ -77,22 +90,26 @@ pub struct MapInput {
 }
 
 /// A map task: local fragments in, `(reduce-key, entry)` pairs out.
-pub trait Mapper {
+///
+/// `Sync` because one task object is shared by all node workers of a phase
+/// (tasks are stateless transforms; per-node state lives in the inputs).
+pub trait Mapper: Sync {
     /// Transform this node's local input fragments into keyed entries.
     /// `inputs` holds the node's fragments in (dataset, ordinal) order;
     /// nodes without local fragments get an empty slice.
     fn map(&self, ctx: &TaskCtx, inputs: &[MapInput]) -> Result<Vec<(Value, Entry)>>;
 }
 
-/// Assignment of reduce keys to reducers.
-pub trait Partitioner {
+/// Assignment of reduce keys to reducers (`Sync`: shared across node
+/// workers, like [`Mapper`]).
+pub trait Partitioner: Sync {
     /// The reducer (in `0..num_reducers`) that handles `key`.
     fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize;
 }
 
 /// A reduce task: a reducer's pairs in deterministic order in, an output
-/// batch out.
-pub trait Reducer {
+/// batch out (`Sync`: shared across node workers, like [`Mapper`]).
+pub trait Reducer: Sync {
     /// Produce the output fragment of one reducer.
     fn reduce(&self, ctx: &TaskCtx, pairs: Vec<(Value, Entry)>) -> Result<Batch>;
 }
@@ -102,7 +119,7 @@ pub struct FnMapper<F>(pub F);
 
 impl<F> Mapper for FnMapper<F>
 where
-    F: Fn(&TaskCtx, &[MapInput]) -> Result<Vec<(Value, Entry)>>,
+    F: Fn(&TaskCtx, &[MapInput]) -> Result<Vec<(Value, Entry)>> + Sync,
 {
     fn map(&self, ctx: &TaskCtx, inputs: &[MapInput]) -> Result<Vec<(Value, Entry)>> {
         (self.0)(ctx, inputs)
@@ -114,7 +131,7 @@ pub struct FnReducer<F>(pub F);
 
 impl<F> Reducer for FnReducer<F>
 where
-    F: Fn(&TaskCtx, Vec<(Value, Entry)>) -> Result<Batch>,
+    F: Fn(&TaskCtx, Vec<(Value, Entry)>) -> Result<Batch> + Sync,
 {
     fn reduce(&self, ctx: &TaskCtx, pairs: Vec<(Value, Entry)>) -> Result<Batch> {
         (self.0)(ctx, pairs)
@@ -270,13 +287,130 @@ fn decode_entry(r: &mut Reader<'_>, schema: &Schema, compress_key: Option<usize>
     }
 }
 
-/// A decoded shuffled pair with its determinism tag.
+/// A decoded shuffled pair with its determinism tag (`Clone` because the
+/// parallel samplesort's run partitioning copies elements).
+#[derive(Clone)]
 struct ShuffledPair {
     reducer: u32,
     mapper: u32,
     seq: u32,
     key: Value,
     entry: Entry,
+}
+
+/// The shuffle's reduce-side order: `(reducer, key?, mapper, seq)`.
+/// `(mapper, seq)` is unique per pair, so this is a *total* order — any
+/// correct sort, stable or not, sequential or parallel, produces the same
+/// permutation. That is what lets the engine use the unstable parallel
+/// samplesort without risking byte-level divergence.
+fn shuffle_cmp(
+    sort_by_key: bool,
+    descending: bool,
+    a: &ShuffledPair,
+    b: &ShuffledPair,
+) -> Ordering {
+    a.reducer
+        .cmp(&b.reducer)
+        .then_with(|| {
+            if sort_by_key {
+                let ord = a.key.cmp(&b.key);
+                if descending {
+                    ord.reverse()
+                } else {
+                    ord
+                }
+            } else {
+                Ordering::Equal
+            }
+        })
+        .then_with(|| a.mapper.cmp(&b.mapper))
+        .then_with(|| a.seq.cmp(&b.seq))
+}
+
+/// Checked narrowing for the shuffle wire format's u32 counters — a mapper
+/// emitting past `u32::MAX` pairs must fail loudly, not wrap.
+fn wire_u32(field: &'static str, value: usize) -> Result<u32> {
+    u32::try_from(value).map_err(|_| MrError::WireOverflow { field, value })
+}
+
+/// Everything a phase worker needs besides `&Cluster`: per-job constants
+/// and the fault state pre-drawn at the phase barrier, so tasks never
+/// touch `&mut Cluster`.
+struct PhaseCtx<'a> {
+    job: &'a MapReduceJob<'a>,
+    job_idx: usize,
+    n: usize,
+    retry: RetryPolicy,
+    /// Pre-drawn crash counts: node `i` crashes on its first `crashes[i]`
+    /// attempts, matching the sequential engine's consumption order.
+    crashes: Vec<u32>,
+    /// Straggler slowdown factor per node (persistent, read up front).
+    stragglers: &'a [f64],
+    /// The whole phase's OS-thread budget.
+    threads: usize,
+}
+
+/// What one node's map task hands back at the barrier.
+struct MapOutcome {
+    /// Outbox row: encoded pairs destined to each node.
+    row: Vec<Vec<u8>>,
+    /// Compute of the successful attempt (what a reduce-side crash
+    /// re-charges to regenerate the node's self-send).
+    compute: Duration,
+    /// Total virtual map time, including retried attempts and backoff.
+    phase_time: Duration,
+    records_in: u64,
+    pairs: u64,
+    /// Locally-accumulated recovery accounting, merged in node order.
+    recovery: RecoveryStats,
+    events: Vec<RecoveryAction>,
+}
+
+/// What one node's reduce task hands back at the barrier.
+struct ReduceOutcome {
+    /// Output batches per owned reducer id; committed by the driver thread
+    /// in node order so replication accounting stays deterministic.
+    outputs: Vec<(u32, Batch)>,
+    phase_time: Duration,
+    records_out: u64,
+    recovery: RecoveryStats,
+    events: Vec<RecoveryAction>,
+}
+
+/// Run `task(node)` for every node, filling a pre-allocated slot per node.
+///
+/// With more than one thread the nodes are split into contiguous chunks,
+/// one scoped worker per chunk, so slot assignment never depends on
+/// completion order; with one thread (or one node) the tasks run inline.
+/// A worker panic propagates to the caller like a sequential panic would.
+fn run_phase<T, F>(n: usize, threads: usize, task: F) -> Vec<Result<T>>
+where
+    T: Send,
+    F: Fn(usize) -> Result<T> + Sync,
+{
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return (0..n).map(&task).collect();
+    }
+    let mut slots: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+    let chunk = n.div_ceil(workers);
+    let scope_result = crossbeam::thread::scope(|s| {
+        for (ci, part) in slots.chunks_mut(chunk).enumerate() {
+            let task = &task;
+            s.spawn(move |_| {
+                for (off, slot) in part.iter_mut().enumerate() {
+                    *slot = Some(task(ci * chunk + off));
+                }
+            });
+        }
+    });
+    if let Err(payload) = scope_result {
+        std::panic::resume_unwind(payload);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("phase worker filled every slot"))
+        .collect()
 }
 
 impl Cluster {
@@ -286,14 +420,13 @@ impl Cluster {
     /// id as ordinal; collect it with [`Cluster::collect`] to obtain the
     /// partitions in partition order.
     /// When a fault plan is installed, the run is *chaos-aware*: scheduled
-    /// node crashes fire at task boundaries (the task's work and the node's
-    /// whole store are lost; the store is restored from replicas and the
-    /// task re-executes under the retry policy, with backoff and the lost
-    /// compute charged to the virtual clock), scheduled drop/corrupt faults
-    /// hit the shuffle (detected by timeout/checksum, then retransmitted),
-    /// and stragglers scale a node's measured compute time. Recovery never
-    /// changes the output: recovered runs are byte-identical to fault-free
-    /// ones.
+    /// node crashes fire at task boundaries (the task's work is lost and
+    /// the task re-executes under the retry policy, with backoff, the lost
+    /// compute and the replica-restore traffic charged to the virtual
+    /// clock), scheduled drop/corrupt faults hit the shuffle (detected by
+    /// timeout/checksum, then retransmitted), and stragglers scale a node's
+    /// measured compute time. Recovery never changes the output: recovered
+    /// runs are byte-identical to fault-free ones, for every thread count.
     pub fn run_job(&mut self, job: &MapReduceJob<'_>) -> Result<JobStats> {
         if job.num_reducers == 0 {
             return Err(MrError::msg(format!(
@@ -303,7 +436,9 @@ impl Cluster {
         }
         let job_idx = self.next_job_index();
         let n = self.num_nodes();
+        let threads = self.threads();
         let retry = self.retry_policy();
+        let stragglers: Vec<f64> = (0..n).map(|i| self.straggler_factor(i)).collect();
         let mut stats = JobStats {
             name: job.name.clone(),
             map_time_by_node: vec![Duration::ZERO; n],
@@ -311,223 +446,103 @@ impl Cluster {
             ..Default::default()
         };
 
-        // ---- Map phase (each node timed individually). ----
+        // ---- Map phase: all node tasks concurrently, each timed
+        // individually, results in per-node slots. ----
+        let map_pc = PhaseCtx {
+            job,
+            job_idx,
+            n,
+            retry,
+            crashes: self.take_phase_crashes(job_idx, TaskPhase::Map),
+            stragglers: &stragglers,
+            threads,
+        };
+        let this: &Cluster = &*self;
+        let map_results = run_phase(n, threads, |node| this.map_task(&map_pc, node));
+
         // Successful-attempt compute per node, kept apart from retry
         // charges: a reduce-side crash re-runs the node's map task to
         // regenerate its self-send data, at this cost.
         let mut map_compute: Vec<Duration> = vec![Duration::ZERO; n];
-        let mut outboxes: Vec<Vec<Vec<u8>>> = (0..n).map(|_| vec![Vec::new(); n]).collect();
-        for node in 0..n {
-            let mut attempt: u32 = 1;
-            loop {
-                let t0 = Instant::now();
-                let mut inputs: Vec<MapInput> = Vec::new();
-                let mut records_in: u64 = 0;
-                for name in &job.inputs {
-                    if let Some(frags) = self.node(node).get(name) {
-                        for f in frags {
-                            records_in += f.data.batch.record_count() as u64;
-                            inputs.push(MapInput {
-                                name: name.clone(),
-                                ordinal: f.ordinal,
-                                data: Arc::clone(&f.data),
-                            });
-                        }
+        let mut outboxes: Vec<Vec<Vec<u8>>> = Vec::with_capacity(n);
+        let mut first_err: Option<MrError> = None;
+        for (node, res) in map_results.into_iter().enumerate() {
+            match res {
+                Ok(o) if first_err.is_none() => {
+                    stats.map_time_by_node[node] += o.phase_time;
+                    map_compute[node] = o.compute;
+                    stats.records_in += o.records_in;
+                    stats.pairs_shuffled += o.pairs;
+                    self.absorb_worker_recovery(o.recovery, o.events);
+                    outboxes.push(o.row);
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
                     }
                 }
-                let ctx = TaskCtx {
-                    node,
-                    num_nodes: n,
-                    num_reducers: job.num_reducers,
-                    reducer: None,
-                };
-                let pairs = job.mapper.map(&ctx, &inputs)?;
-                let pair_count = pairs.len() as u64;
-                let mut row: Vec<Vec<u8>> = vec![Vec::new(); n];
-                for (seq, (key, entry)) in pairs.into_iter().enumerate() {
-                    let reducer = job.partitioner.reducer_for(&key, job.num_reducers);
-                    if reducer >= job.num_reducers {
-                        return Err(MrError::msg(format!(
-                            "partitioner returned reducer {reducer} >= {}",
-                            job.num_reducers
-                        )));
-                    }
-                    let buf = &mut row[reducer % n];
-                    buf.extend_from_slice(&(reducer as u32).to_le_bytes());
-                    buf.extend_from_slice(&(seq as u32).to_le_bytes());
-                    wire::encode_value(&key, buf);
-                    encode_entry(&entry, &job.map_output_schema, job.compress_key, buf)?;
-                }
-                let elapsed = scale_compute(t0.elapsed(), self.straggler_factor(node));
-                stats.map_time_by_node[node] += elapsed;
-
-                if self.take_crash_fault(job_idx, &job.name, TaskPhase::Map, node)? {
-                    // The node died before committing its map output: the
-                    // attempt's compute is lost (charged above, and counted
-                    // as re-execution overhead). `take_crash_fault` already
-                    // restored the node's inputs from replicas.
-                    self.note_lost_compute(elapsed);
-                    if attempt >= retry.max_attempts {
-                        return Err(MrError::TaskAborted {
-                            job: job.name.clone(),
-                            node,
-                            phase: TaskPhase::Map,
-                            attempts: attempt,
-                            source: Box::new(MrError::msg("injected node crash")),
-                        });
-                    }
-                    let backoff = retry.backoff_for(attempt);
-                    stats.map_time_by_node[node] += backoff;
-                    self.note_retry(&job.name, node, TaskPhase::Map, attempt + 1, backoff);
-                    attempt += 1;
-                    continue;
-                }
-
-                map_compute[node] = elapsed;
-                stats.records_in += records_in;
-                stats.pairs_shuffled += pair_count;
-                outboxes[node] = row;
-                break;
             }
         }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+        // Remember the outbox sizes: the next map phase pre-sizes its
+        // shuffle buffers from them instead of growing from empty.
+        self.set_shuffle_hints(
+            outboxes
+                .iter()
+                .map(|row| row.iter().map(Vec::len).collect())
+                .collect(),
+        );
 
         // ---- Shuffle. ----
         let (inboxes, exchange) = self.exchange_with_faults(job_idx, &job.name, outboxes)?;
         stats.comm_time = exchange.comm_time(self.net());
         stats.exchange = exchange;
 
-        // ---- Reduce phase (each node timed individually). ----
-        for (node, inbox) in inboxes.into_iter().enumerate() {
-            let mut attempt: u32 = 1;
-            loop {
-                let t0 = Instant::now();
-                let mut pairs: Vec<ShuffledPair> = Vec::new();
-                for (from, buf) in &inbox {
-                    let mut r = Reader::new(buf);
-                    while r.remaining() > 0 {
-                        let reducer = r.read_u32().map_err(MrError::from)?;
-                        let seq = r.read_u32().map_err(MrError::from)?;
-                        let key = wire::decode_value(&mut r)?;
-                        let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
-                        pairs.push(ShuffledPair {
-                            reducer,
-                            mapper: *from as u32,
-                            seq,
-                            key,
-                            entry,
-                        });
-                    }
-                }
-                // Group pairs per owned reducer.
-                pairs.sort_by(|a, b| {
-                    a.reducer
-                        .cmp(&b.reducer)
-                        .then_with(|| {
-                            if job.sort_by_key {
-                                let ord = a.key.cmp(&b.key);
-                                if job.descending {
-                                    ord.reverse()
-                                } else {
-                                    ord
-                                }
-                            } else {
-                                std::cmp::Ordering::Equal
-                            }
-                        })
-                        .then_with(|| a.mapper.cmp(&b.mapper))
-                        .then_with(|| a.seq.cmp(&b.seq))
-                });
-                // Outputs are buffered and only committed if the task
-                // survives its boundary — a crashed attempt leaves nothing.
-                let mut outputs: Vec<(u32, Batch)> = Vec::new();
-                let mut records_out: u64 = 0;
-                let mut handled: Vec<bool> = vec![false; job.num_reducers];
-                let mut iter = pairs.into_iter().peekable();
-                while let Some(first) = iter.next() {
-                    let rid = first.reducer;
-                    let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
-                    while iter.peek().is_some_and(|p| p.reducer == rid) {
-                        let p = iter.next().expect("peeked");
-                        group.push((p.key, p.entry));
-                    }
-                    let ctx = TaskCtx {
-                        node,
-                        num_nodes: n,
-                        num_reducers: job.num_reducers,
-                        reducer: Some(rid as usize),
-                    };
-                    let batch = job.reducer.reduce(&ctx, group)?;
-                    records_out += batch.record_count() as u64;
-                    handled[rid as usize] = true;
-                    outputs.push((rid, batch));
-                }
-                // Reducers that received nothing still own an (empty) output
-                // fragment, so a distribute job always materializes every
-                // partition.
-                for rid in (node..job.num_reducers).step_by(n) {
-                    if !handled[rid] {
-                        let ctx = TaskCtx {
-                            node,
-                            num_nodes: n,
-                            num_reducers: job.num_reducers,
-                            reducer: Some(rid),
-                        };
-                        let batch = job.reducer.reduce(&ctx, Vec::new())?;
-                        outputs.push((rid as u32, batch));
-                    }
-                }
-                let elapsed = scale_compute(t0.elapsed(), self.straggler_factor(node));
-                stats.reduce_time_by_node[node] += elapsed;
+        // ---- Reduce phase: same slot discipline; outputs commit on the
+        // driver thread at the barrier, in node order. ----
+        let reduce_pc = PhaseCtx {
+            job,
+            job_idx,
+            n,
+            retry,
+            crashes: self.take_phase_crashes(job_idx, TaskPhase::Reduce),
+            stragglers: &stragglers,
+            threads,
+        };
+        let this: &Cluster = &*self;
+        let reduce_results = run_phase(n, threads, |node| {
+            this.reduce_task(&reduce_pc, node, &inboxes[node], map_compute[node])
+        });
 
-                if self.take_crash_fault(job_idx, &job.name, TaskPhase::Reduce, node)? {
-                    // Crash mid-shuffle: the reduce attempt's work and the
-                    // node's in-memory inbox are gone. Remote mappers held
-                    // their send buffers and retransmit them; the node's own
-                    // map output is regenerated by re-running its map task
-                    // (same deterministic bytes, so the retry below reuses
-                    // `inbox` while the clock pays for the re-fetch).
-                    self.note_lost_compute(elapsed);
-                    let (rbytes, rmsgs) = inbox
-                        .iter()
-                        .filter(|(from, _)| *from != node)
-                        .fold((0u64, 0u64), |(b, m), (_, buf)| {
-                            (b + buf.len() as u64, m + 1)
-                        });
-                    if rmsgs > 0 {
-                        self.note_inbox_refetch(&job.name, node, rbytes, rmsgs);
-                    }
-                    if inbox.iter().any(|(from, _)| *from == node) {
-                        // Re-running the local map task costs its compute.
-                        stats.reduce_time_by_node[node] += map_compute[node];
-                        self.note_lost_compute(map_compute[node]);
-                    }
-                    if attempt >= retry.max_attempts {
-                        return Err(MrError::TaskAborted {
-                            job: job.name.clone(),
+        let mut first_err: Option<MrError> = None;
+        for (node, res) in reduce_results.into_iter().enumerate() {
+            match res {
+                Ok(o) if first_err.is_none() => {
+                    stats.reduce_time_by_node[node] += o.phase_time;
+                    stats.records_out += o.records_out;
+                    self.absorb_worker_recovery(o.recovery, o.events);
+                    for (rid, batch) in o.outputs {
+                        self.put_fragment(
                             node,
-                            phase: TaskPhase::Reduce,
-                            attempts: attempt,
-                            source: Box::new(MrError::msg("injected node crash")),
-                        });
+                            &job.output,
+                            rid,
+                            Dataset::new(job.output_schema.clone(), batch),
+                        );
                     }
-                    let backoff = retry.backoff_for(attempt);
-                    stats.reduce_time_by_node[node] += backoff;
-                    self.note_retry(&job.name, node, TaskPhase::Reduce, attempt + 1, backoff);
-                    attempt += 1;
-                    continue;
                 }
-
-                stats.records_out += records_out;
-                for (rid, batch) in outputs {
-                    self.put_fragment(
-                        node,
-                        &job.output,
-                        rid,
-                        Dataset::new(job.output_schema.clone(), batch),
-                    );
+                Ok(_) => {}
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
                 }
-                break;
             }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
         }
 
         // Recovery traffic (replication, restores, retransmits) joins the
@@ -537,6 +552,304 @@ impl Cluster {
         let net = *self.net();
         stats.absorb_recovery(recovery, &net);
         Ok(stats)
+    }
+
+    /// One node's map task: read local fragments, map, partition and encode
+    /// into the outbox row, retrying under pre-drawn crash faults. Runs on
+    /// a worker thread with only `&self`.
+    fn map_task(&self, pc: &PhaseCtx<'_>, node: usize) -> Result<MapOutcome> {
+        let job = pc.job;
+        let hints = self.shuffle_hints().get(node);
+        let mut out = MapOutcome {
+            row: (0..pc.n)
+                .map(|to| Vec::with_capacity(hints.and_then(|h| h.get(to)).copied().unwrap_or(0)))
+                .collect(),
+            compute: Duration::ZERO,
+            phase_time: Duration::ZERO,
+            records_in: 0,
+            pairs: 0,
+            recovery: RecoveryStats::default(),
+            events: Vec::new(),
+        };
+        let mut crashes_left = pc.crashes[node];
+        let mut attempt: u32 = 1;
+        loop {
+            let t0 = TaskTimer::start();
+            // Retries reuse the row buffers (cleared, capacity kept).
+            for buf in &mut out.row {
+                buf.clear();
+            }
+            let mut inputs: Vec<MapInput> = Vec::new();
+            let mut records_in: u64 = 0;
+            for name in &job.inputs {
+                if let Some(frags) = self.node(node).get(name) {
+                    for f in frags {
+                        records_in += f.data.batch.record_count() as u64;
+                        inputs.push(MapInput {
+                            name: name.clone(),
+                            ordinal: f.ordinal,
+                            data: Arc::clone(&f.data),
+                        });
+                    }
+                }
+            }
+            let ctx = TaskCtx {
+                node,
+                num_nodes: pc.n,
+                num_reducers: job.num_reducers,
+                reducer: None,
+            };
+            let pairs = job.mapper.map(&ctx, &inputs)?;
+            let pair_count = pairs.len() as u64;
+            for (seq, (key, entry)) in pairs.into_iter().enumerate() {
+                let reducer = job.partitioner.reducer_for(&key, job.num_reducers);
+                if reducer >= job.num_reducers {
+                    return Err(MrError::msg(format!(
+                        "partitioner returned reducer {reducer} >= {}",
+                        job.num_reducers
+                    )));
+                }
+                let buf = &mut out.row[reducer % pc.n];
+                buf.extend_from_slice(&wire_u32("reducer", reducer)?.to_le_bytes());
+                buf.extend_from_slice(&wire_u32("seq", seq)?.to_le_bytes());
+                wire::encode_value(&key, buf);
+                encode_entry(&entry, &job.map_output_schema, job.compress_key, buf)?;
+            }
+            let elapsed = scale_compute(t0.elapsed(), pc.stragglers[node]);
+            out.phase_time += elapsed;
+
+            if crashes_left > 0 {
+                // The node died before committing its map output: the
+                // attempt's compute is lost (charged above, and counted as
+                // re-execution overhead). The replica restore is simulated
+                // read-only — it would put back the very `Arc`s the store
+                // holds — so only its accounting reaches the barrier.
+                crashes_left -= 1;
+                self.simulate_crash(pc, TaskPhase::Map, node, &mut out.recovery, &mut out.events)?;
+                out.recovery.reexec_task_time += elapsed;
+                if attempt >= pc.retry.max_attempts {
+                    return Err(MrError::TaskAborted {
+                        job: job.name.clone(),
+                        node,
+                        phase: TaskPhase::Map,
+                        attempts: attempt,
+                        source: Box::new(MrError::msg("injected node crash")),
+                    });
+                }
+                let backoff = pc.retry.backoff_for(attempt);
+                out.phase_time += backoff;
+                out.recovery.tasks_retried += 1;
+                out.recovery.backoff_time += backoff;
+                out.events.push(RecoveryAction::TaskRetried {
+                    job: job.name.clone(),
+                    node,
+                    phase: TaskPhase::Map,
+                    attempt: attempt + 1,
+                    backoff,
+                });
+                attempt += 1;
+                continue;
+            }
+
+            out.compute = elapsed;
+            out.records_in = records_in;
+            out.pairs = pair_count;
+            return Ok(out);
+        }
+    }
+
+    /// One node's reduce task: decode its inbox, sort, reduce per owned
+    /// reducer id, retrying under pre-drawn crash faults. Runs on a worker
+    /// thread with only `&self`; outputs are committed by the driver.
+    fn reduce_task(
+        &self,
+        pc: &PhaseCtx<'_>,
+        node: usize,
+        inbox: &[(usize, Vec<u8>)],
+        map_compute: Duration,
+    ) -> Result<ReduceOutcome> {
+        let job = pc.job;
+        let mut out = ReduceOutcome {
+            outputs: Vec::new(),
+            phase_time: Duration::ZERO,
+            records_out: 0,
+            recovery: RecoveryStats::default(),
+            events: Vec::new(),
+        };
+        // Threads left over beyond one per node parallelize this node's
+        // sort — the node's core budget, like papar-sort's contract wants.
+        let sort_threads = (pc.threads / pc.n).max(1);
+        let mut crashes_left = pc.crashes[node];
+        let mut attempt: u32 = 1;
+        // The decode vector survives retry attempts (cleared, capacity
+        // kept), so a crashed attempt's re-decode does not reallocate.
+        let mut pairs: Vec<ShuffledPair> = Vec::new();
+        loop {
+            let t0 = TaskTimer::start();
+            pairs.clear();
+            for (from, buf) in inbox {
+                let mut r = Reader::new(buf);
+                while r.remaining() > 0 {
+                    let reducer = r.read_u32().map_err(MrError::from)?;
+                    let seq = r.read_u32().map_err(MrError::from)?;
+                    let key = wire::decode_value(&mut r)?;
+                    let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
+                    pairs.push(ShuffledPair {
+                        reducer,
+                        mapper: *from as u32,
+                        seq,
+                        key,
+                        entry,
+                    });
+                }
+            }
+            // Group pairs per owned reducer. `shuffle_cmp` is a total
+            // order, so the unstable parallel samplesort is deterministic.
+            papar_sort::parallel::par_sort_unstable_by(&mut pairs, sort_threads, |a, b| {
+                shuffle_cmp(job.sort_by_key, job.descending, a, b) == Ordering::Less
+            });
+            // Outputs are buffered and only committed if the task survives
+            // its boundary — a crashed attempt leaves nothing.
+            let mut outputs: Vec<(u32, Batch)> = Vec::new();
+            let mut records_out: u64 = 0;
+            let mut handled: Vec<bool> = vec![false; job.num_reducers];
+            let mut iter = pairs.drain(..).peekable();
+            while let Some(first) = iter.next() {
+                let rid = first.reducer;
+                let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
+                while iter.peek().is_some_and(|p| p.reducer == rid) {
+                    let p = iter.next().expect("peeked");
+                    group.push((p.key, p.entry));
+                }
+                let ctx = TaskCtx {
+                    node,
+                    num_nodes: pc.n,
+                    num_reducers: job.num_reducers,
+                    reducer: Some(rid as usize),
+                };
+                let batch = job.reducer.reduce(&ctx, group)?;
+                records_out += batch.record_count() as u64;
+                handled[rid as usize] = true;
+                outputs.push((rid, batch));
+            }
+            drop(iter);
+            // Reducers that received nothing still own an (empty) output
+            // fragment, so a distribute job always materializes every
+            // partition.
+            for rid in (node..job.num_reducers).step_by(pc.n) {
+                if !handled[rid] {
+                    let ctx = TaskCtx {
+                        node,
+                        num_nodes: pc.n,
+                        num_reducers: job.num_reducers,
+                        reducer: Some(rid),
+                    };
+                    let batch = job.reducer.reduce(&ctx, Vec::new())?;
+                    outputs.push((rid as u32, batch));
+                }
+            }
+            let elapsed = scale_compute(t0.elapsed(), pc.stragglers[node]);
+            out.phase_time += elapsed;
+
+            if crashes_left > 0 {
+                // Crash mid-shuffle: the reduce attempt's work and the
+                // node's in-memory inbox are gone. Remote mappers held
+                // their send buffers and retransmit them; the node's own
+                // map output is regenerated by re-running its map task
+                // (same deterministic bytes, so the retry below reuses
+                // `inbox` while the clock pays for the re-fetch).
+                crashes_left -= 1;
+                self.simulate_crash(
+                    pc,
+                    TaskPhase::Reduce,
+                    node,
+                    &mut out.recovery,
+                    &mut out.events,
+                )?;
+                out.recovery.reexec_task_time += elapsed;
+                let (rbytes, rmsgs) = inbox
+                    .iter()
+                    .filter(|(from, _)| *from != node)
+                    .fold((0u64, 0u64), |(b, m), (_, buf)| {
+                        (b + buf.len() as u64, m + 1)
+                    });
+                if rmsgs > 0 {
+                    out.recovery.retransmit_bytes += rbytes;
+                    out.recovery.retransmit_messages += rmsgs;
+                    out.events.push(RecoveryAction::InboxRefetched {
+                        job: job.name.clone(),
+                        node,
+                        bytes: rbytes,
+                        messages: rmsgs,
+                    });
+                }
+                if inbox.iter().any(|(from, _)| *from == node) {
+                    // Re-running the local map task costs its compute.
+                    out.phase_time += map_compute;
+                    out.recovery.reexec_task_time += map_compute;
+                }
+                if attempt >= pc.retry.max_attempts {
+                    return Err(MrError::TaskAborted {
+                        job: job.name.clone(),
+                        node,
+                        phase: TaskPhase::Reduce,
+                        attempts: attempt,
+                        source: Box::new(MrError::msg("injected node crash")),
+                    });
+                }
+                let backoff = pc.retry.backoff_for(attempt);
+                out.phase_time += backoff;
+                out.recovery.tasks_retried += 1;
+                out.recovery.backoff_time += backoff;
+                out.events.push(RecoveryAction::TaskRetried {
+                    job: job.name.clone(),
+                    node,
+                    phase: TaskPhase::Reduce,
+                    attempt: attempt + 1,
+                    backoff,
+                });
+                attempt += 1;
+                continue;
+            }
+
+            out.records_out = records_out;
+            out.outputs = outputs;
+            return Ok(out);
+        }
+    }
+
+    /// Simulate a node crash at a task boundary without mutating a store:
+    /// account the fault and the replica restore into the worker's local
+    /// recovery delta and event log, or fail with [`MrError::DataLoss`]
+    /// when a fragment is unrecoverable — exactly like the mutating
+    /// sequential path did (see [`Cluster::plan_crash_restore`]).
+    fn simulate_crash(
+        &self,
+        pc: &PhaseCtx<'_>,
+        phase: TaskPhase,
+        node: usize,
+        recovery: &mut RecoveryStats,
+        events: &mut Vec<RecoveryAction>,
+    ) -> Result<()> {
+        recovery.faults_injected += 1;
+        events.push(RecoveryAction::FaultInjected {
+            job: pc.job.name.clone(),
+            fault: Fault::NodeCrash {
+                node,
+                job: pc.job_idx,
+                phase,
+            },
+        });
+        let (fragments, bytes) = self.plan_crash_restore(node)?;
+        recovery.restore_bytes += bytes;
+        recovery.restore_messages += fragments as u64;
+        events.push(RecoveryAction::FragmentsRestored {
+            job: pc.job.name.clone(),
+            node,
+            fragments,
+            bytes,
+        });
+        Ok(())
     }
 }
 

@@ -145,6 +145,30 @@ impl FaultPlan {
         }
     }
 
+    /// Drain every crash scheduled for `(job, phase)` into per-node counts.
+    ///
+    /// The parallel engine pre-draws crashes at the phase barrier so worker
+    /// threads never touch the shared plan: a node with count `c` crashes on
+    /// its first `c` attempts, which is exactly the order the sequential
+    /// engine consumed matching faults via [`FaultPlan::take_crash`]. Crashes
+    /// addressing nodes outside `0..num_nodes` stay pending (they could
+    /// never fire in this phase).
+    pub fn take_crashes(&mut self, job: usize, phase: TaskPhase, num_nodes: usize) -> Vec<u32> {
+        let mut counts = vec![0u32; num_nodes];
+        self.pending.retain(|f| match f {
+            Fault::NodeCrash {
+                node,
+                job: j,
+                phase: p,
+            } if *j == job && *p == phase && *node < num_nodes => {
+                counts[*node] += 1;
+                false
+            }
+            _ => true,
+        });
+        counts
+    }
+
     /// Consume every pending exchange fault of job `job`, in schedule order.
     pub fn take_exchange_faults(&mut self, job: usize) -> Vec<(usize, usize, ExchangeFaultKind)> {
         let mut fired = Vec::new();
@@ -523,6 +547,43 @@ mod tests {
         assert!(plan.take_crash(0, TaskPhase::Map, 1));
         assert!(!plan.take_crash(0, TaskPhase::Map, 1), "one-shot");
         assert!(plan.is_empty());
+    }
+
+    #[test]
+    fn take_crashes_counts_per_node_and_leaves_the_rest() {
+        let mut plan = FaultPlan::new(vec![
+            Fault::NodeCrash {
+                node: 1,
+                job: 0,
+                phase: TaskPhase::Map,
+            },
+            Fault::NodeCrash {
+                node: 1,
+                job: 0,
+                phase: TaskPhase::Map,
+            },
+            Fault::NodeCrash {
+                node: 0,
+                job: 0,
+                phase: TaskPhase::Reduce,
+            },
+            Fault::NodeCrash {
+                node: 2,
+                job: 1,
+                phase: TaskPhase::Map,
+            },
+            // Addresses a node the cluster does not have: must stay pending.
+            Fault::NodeCrash {
+                node: 9,
+                job: 0,
+                phase: TaskPhase::Map,
+            },
+        ]);
+        assert_eq!(plan.take_crashes(0, TaskPhase::Map, 3), vec![0, 2, 0]);
+        assert_eq!(plan.take_crashes(0, TaskPhase::Map, 3), vec![0, 0, 0]);
+        assert_eq!(plan.take_crashes(0, TaskPhase::Reduce, 3), vec![1, 0, 0]);
+        assert_eq!(plan.take_crashes(1, TaskPhase::Map, 3), vec![0, 0, 1]);
+        assert_eq!(plan.pending().len(), 1, "out-of-range crash stays");
     }
 
     #[test]

@@ -26,14 +26,23 @@
 //!   are re-fetched from replicas, and every recovered run produces
 //!   partitions byte-identical to the fault-free run.
 //!
-//! ## Why a virtual clock
+//! ## Threads and the virtual clock
 //!
-//! Running node tasks on real threads would make per-node times meaningless
-//! whenever the host has fewer cores than simulated nodes (a 16-node
-//! strong-scaling sweep on a laptop). Sequential execution with per-node
-//! timing is deterministic, noise-free, and preserves exactly what the
-//! paper's scalability figures measure: the critical-path node time plus
-//! communication volume.
+//! Node tasks within a phase run concurrently on scoped OS threads (the
+//! [`cluster::Cluster::with_threads`] knob, default
+//! `std::thread::available_parallelism()` or the `PAPAR_THREADS` env var),
+//! joining at the BSP barriers, so wall-clock time tracks per-node work
+//! instead of total work. The *virtual* clock is unchanged: each node is
+//! still charged its own measured compute time and the makespan still
+//! composes as `max(map) + comm + max(reduce)`. Output bytes, fault
+//! schedules and recovery byte/message accounting are identical for every
+//! thread count — faults are pre-drawn per `(job, phase, node, attempt)` at
+//! the phase barrier and per-node results land in pre-allocated slots. Task
+//! compute is measured on the per-thread CPU clock (see [`mod@self`]'s
+//! private `timer` module), so charged durations exclude scheduler
+//! out-time and stay close to the dedicated-node times the makespan model
+//! assumes even when threads exceed physical cores; residual cache and
+//! memory-bandwidth contention remains as measurement noise.
 
 pub mod cluster;
 pub mod engine;
@@ -41,6 +50,7 @@ pub mod fault;
 pub mod sampler;
 pub mod stats;
 pub mod store;
+mod timer;
 
 pub use cluster::Cluster;
 pub use engine::{Entry, MapInput, MapReduceJob, Mapper, Partitioner, Reducer, TaskCtx};
@@ -91,6 +101,15 @@ pub enum MrError {
         node: usize,
         detail: String,
     },
+    /// A shuffle wire-format counter (`reducer` or `seq`) exceeded the
+    /// format's 32-bit range. Before this variant the encoder truncated
+    /// silently, corrupting shuffles past 2^32 pairs per mapper.
+    WireOverflow {
+        /// Which counter overflowed.
+        field: &'static str,
+        /// The offending value.
+        value: usize,
+    },
 }
 
 impl MrError {
@@ -122,6 +141,10 @@ impl std::fmt::Display for MrError {
             } => write!(
                 f,
                 "dataset '{dataset}' lost on node {node} with no live replica: {detail}"
+            ),
+            MrError::WireOverflow { field, value } => write!(
+                f,
+                "shuffle {field} {value} exceeds the wire format's u32 range"
             ),
         }
     }

@@ -1,0 +1,103 @@
+//! Per-task compute timing for worker threads.
+//!
+//! A task's charged compute must approximate what a *dedicated* cluster
+//! node would spend, but worker threads share the host's cores and can be
+//! oversubscribed (`threads > cores`). Wall clocks count the time a
+//! thread spends scheduled out, so under contention they inflate per-task
+//! compute — and with it the simulated makespan — by an amount that
+//! depends on the thread count, which the virtual clock must not.
+//!
+//! On Linux the timer therefore reads `CLOCK_THREAD_CPUTIME_ID`, the
+//! kernel's per-thread CPU counter: time on-CPU only, nanosecond
+//! resolution, unaffected by how many sibling tasks run concurrently.
+//! Elsewhere it falls back to a wall [`Instant`], which is exact whenever
+//! the engine runs one task at a time.
+
+use std::time::Duration;
+#[cfg(not(target_os = "linux"))]
+use std::time::Instant;
+
+/// Stopwatch over the current thread's CPU time (Linux) or wall time
+/// (fallback). Not meaningful across threads: start and read it on the
+/// same thread.
+pub(crate) struct TaskTimer {
+    #[cfg(target_os = "linux")]
+    start: Duration,
+    #[cfg(not(target_os = "linux"))]
+    start: Instant,
+}
+
+impl TaskTimer {
+    pub(crate) fn start() -> Self {
+        TaskTimer {
+            #[cfg(target_os = "linux")]
+            start: thread_cpu_now(),
+            #[cfg(not(target_os = "linux"))]
+            start: Instant::now(),
+        }
+    }
+
+    pub(crate) fn elapsed(&self) -> Duration {
+        #[cfg(target_os = "linux")]
+        {
+            thread_cpu_now().saturating_sub(self.start)
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.start.elapsed()
+        }
+    }
+}
+
+/// The calling thread's cumulative CPU time.
+#[cfg(target_os = "linux")]
+fn thread_cpu_now() -> Duration {
+    use std::ffi::{c_int, c_long};
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: c_long,
+        tv_nsec: c_long,
+    }
+    const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
+    extern "C" {
+        fn clock_gettime(clockid: c_int, tp: *mut Timespec) -> c_int;
+    }
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable Timespec matching the C layout,
+    // and the thread CPU clock always exists for the calling thread.
+    let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    debug_assert_eq!(rc, 0, "clock_gettime(CLOCK_THREAD_CPUTIME_ID) failed");
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_timer_advances_with_work_but_not_with_sleep() {
+        let t = TaskTimer::start();
+        let mut x = 1u64;
+        for i in 0..2_000_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let busy = t.elapsed();
+        assert!(busy > Duration::ZERO, "spinning must accrue time");
+
+        #[cfg(target_os = "linux")]
+        {
+            let t = TaskTimer::start();
+            std::thread::sleep(Duration::from_millis(30));
+            let slept = t.elapsed();
+            assert!(
+                slept < Duration::from_millis(25),
+                "sleeping must not accrue CPU time, got {slept:?}"
+            );
+        }
+    }
+}

@@ -545,6 +545,57 @@ fn reducers_outnumbering_nodes_still_produce_all_fragments() {
 }
 
 #[test]
+fn per_node_stats_land_in_their_slots_regardless_of_completion_order() {
+    // Node 0's mapper does by far the most compute, so with one thread
+    // per node it finishes *last*; its time must still land in slot 0 of
+    // `map_time_by_node`, not wherever the joining order put it. The
+    // load is a CPU spin (not a sleep) because task compute is charged
+    // from the per-thread CPU clock.
+    let mut cluster = Cluster::new(3).with_threads(3);
+    let vals: Vec<i32> = (0..30).collect();
+    cluster.scatter("in", int_dataset(&vals)).unwrap();
+    let spin_iters = [40_000_000u64, 4_000_000, 50_000];
+    let mapper = FnMapper(move |ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+        let mut x = 1u64;
+        for i in 0..spin_iters[ctx.node] {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(x);
+        let mut out = Vec::new();
+        for MapInput { data: ds, .. } in inputs {
+            for r in ds.batch.clone().flatten() {
+                let key = r.value(0).unwrap().clone();
+                out.push((key, Entry::Rec(r)));
+            }
+        }
+        Ok(out)
+    });
+    let reducer = strip_keys();
+    let job = MapReduceJob {
+        name: "slots".into(),
+        inputs: vec!["in".into()],
+        output: "out".into(),
+        num_reducers: 3,
+        map_output_schema: int_schema(),
+        output_schema: int_schema(),
+        mapper: &mapper,
+        partitioner: &HashPartitioner,
+        reducer: &reducer,
+        sort_by_key: true,
+        descending: false,
+        compress_key: None,
+    };
+    let stats = cluster.run_job(&job).unwrap();
+    assert_eq!(stats.map_time_by_node.len(), 3);
+    let t = &stats.map_time_by_node;
+    assert!(
+        t[0] > t[1] && t[1] > t[2],
+        "per-node times must follow the injected sleeps, got {t:?}"
+    );
+    assert_eq!(stats.records_in, 30);
+}
+
+#[test]
 fn record_type_is_reexported() {
     // Compile-time check that the public surface exposes what operators
     // need without reaching into private modules.

@@ -189,11 +189,17 @@ where
         let b = splitters.partition_point(|s| less(s, &item));
         parts[b].push(item);
     }
+    // The calling thread sorts the first bucket itself while the helpers
+    // run: no spawned thread sits idle waiting for it, and the caller's
+    // CPU time reflects its 1/threads share of the work (which is what
+    // the simulated cluster's per-task compute accounting samples).
+    let (first, rest) = parts.split_at_mut(1);
     crossbeam::thread::scope(|s| {
-        for part in &mut parts {
+        for part in rest.iter_mut() {
             let less = &less;
             s.spawn(move |_| quicksort_by(part, less));
         }
+        quicksort_by(&mut first[0], &less);
     })
     .expect("sort worker panicked");
     for part in parts {
