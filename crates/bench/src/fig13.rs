@@ -13,7 +13,7 @@ use std::time::Duration;
 
 use crate::datasets::{databases, Scale};
 use crate::measure;
-use crate::report::{fmt_dur, fmt_ratio, Table};
+use crate::report::{fmt_dur, fmt_ratio, phase_breakdown, Table};
 use crate::workflows::run_blast;
 
 /// Threads the paper's baseline node has (two 8-core Xeon E5-2670).
@@ -112,6 +112,23 @@ pub fn run_a(scale: &Scale) -> Table {
         ]);
     }
     t.note("paper reports 8.6x (env_nr) and 20.2x (nr) at full dataset scale; expect PaPar ahead on both, more on nr");
+    // One representative run with the trace layer on: where the 16-node
+    // time actually goes, phase by phase.
+    if let Some((_, db)) = databases(scale).into_iter().next() {
+        let run = run_blast(
+            &db,
+            "roundRobin",
+            32,
+            16,
+            ExecOptions {
+                trace: true,
+                ..ExecOptions::default()
+            },
+        );
+        if let Some(trace) = &run.report.trace {
+            t.note(phase_breakdown(trace));
+        }
+    }
     t
 }
 

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use crate::datasets::{graphs, scaled_threshold, Scale};
 use crate::measure;
-use crate::report::{fmt_dur, fmt_ratio, Table};
+use crate::report::{fmt_dur, fmt_ratio, phase_breakdown, Table};
 use crate::workflows::run_hybrid;
 
 fn papar_time(graph: &powerlyra::Graph, threshold: usize, nodes: usize) -> Duration {
@@ -95,6 +95,23 @@ pub fn run_a(scale: &Scale) -> Table {
         ]);
     }
     t.note("paper: PowerLyra faster on Google and Pokec; PaPar 1.2x faster on LiveJournal");
+    // One traced representative run: the group/split/distribute pipeline's
+    // per-phase composition.
+    if let Some((_, graph)) = graphs(scale).into_iter().next() {
+        let run = run_hybrid(
+            &graph,
+            16,
+            scaled_threshold(scale),
+            16,
+            ExecOptions {
+                trace: true,
+                ..ExecOptions::default()
+            },
+        );
+        if let Some(trace) = &run.report.trace {
+            t.note(phase_breakdown(trace));
+        }
+    }
     t
 }
 

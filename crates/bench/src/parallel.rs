@@ -93,6 +93,77 @@ pub fn rows(scale: &Scale) -> Vec<Row> {
     out
 }
 
+/// The observability layer's wall-clock cost, measured both ways.
+#[derive(Debug, Clone)]
+pub struct TraceOverhead {
+    /// Best-of-runs wall time with the default no-op sink.
+    pub noop: Duration,
+    /// Best-of-runs wall time with a live collector.
+    pub traced: Duration,
+    /// The traced run's machine-readable span summary.
+    pub summary: String,
+}
+
+impl TraceOverhead {
+    /// traced / noop (1.0 = tracing is free).
+    pub fn ratio(&self) -> f64 {
+        if self.noop.as_secs_f64() > 0.0 {
+            self.traced.as_secs_f64() / self.noop.as_secs_f64()
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Measure the disabled-path cost of the trace layer on the Figure 8
+/// workflow: with tracing off the engine talks to a no-op sink, and that
+/// run must not be slower than the traced one beyond noise — the
+/// assertion in [`run`] fails the bench if the "free when disabled"
+/// contract regresses.
+pub fn trace_overhead(scale: &Scale) -> TraceOverhead {
+    let sequences = (scale.env_nr_sequences / 2).max(1000);
+    let db = mublastp::dbgen::DbSpec::env_nr_scaled(sequences, 7171).generate();
+    let best = |trace: bool| {
+        (0..measure::RUNS)
+            .map(|_| {
+                let options = ExecOptions {
+                    threads: Some(1),
+                    trace,
+                    ..ExecOptions::default()
+                };
+                let t0 = Instant::now();
+                std::hint::black_box(run_blast(&db, "roundRobin", PARTITIONS, NODES, options));
+                t0.elapsed()
+            })
+            .min()
+            .unwrap_or_default()
+    };
+    let noop = best(false);
+    let traced = best(true);
+    let run = run_blast(
+        &db,
+        "roundRobin",
+        PARTITIONS,
+        NODES,
+        ExecOptions {
+            threads: Some(1),
+            trace: true,
+            ..ExecOptions::default()
+        },
+    );
+    let summary = run
+        .report
+        .trace
+        .as_ref()
+        .map(papar_trace::summary_json)
+        .unwrap_or_else(|| "null".to_string());
+    TraceOverhead {
+        noop,
+        traced,
+        summary,
+    }
+}
+
 /// Host core count, as the engine's default thread count would see it.
 pub fn host_cores() -> usize {
     std::thread::available_parallelism()
@@ -101,7 +172,7 @@ pub fn host_cores() -> usize {
 }
 
 /// Serialize the rows as the `BENCH_parallel.json` document.
-pub fn to_json(rows: &[Row], scale: &Scale) -> String {
+pub fn to_json(rows: &[Row], scale: &Scale, overhead: &TraceOverhead) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"experiment\": \"thread-scaling\",\n");
     s.push_str("  \"workflow\": \"blast_partition (fig. 8, roundRobin)\",\n");
@@ -124,7 +195,15 @@ pub fn to_json(rows: &[Row], scale: &Scale) -> String {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    s.push_str("  ]\n}\n");
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"trace_overhead\": {{\"noop_ms\": {:.3}, \"traced_ms\": {:.3}, \"ratio\": {:.3}}},\n",
+        overhead.noop.as_secs_f64() * 1e3,
+        overhead.traced.as_secs_f64() * 1e3,
+        overhead.ratio(),
+    ));
+    s.push_str(&format!("  \"trace\": {}\n", overhead.summary));
+    s.push_str("}\n");
     s
 }
 
@@ -149,7 +228,26 @@ pub fn run(scale: &Scale) -> Table {
          speedup beyond {cores} threads is not expected here",
         measure::RUNS
     ));
-    match std::fs::write(JSON_PATH, to_json(&rs, scale)) {
+    let overhead = trace_overhead(scale);
+    // The "free when disabled" contract: the no-op-sink run must not be
+    // slower than the traced run beyond measurement noise. A generous
+    // factor plus an absolute slack keeps quick runs on busy hosts from
+    // flaking while still catching a disabled path that started doing
+    // real work.
+    assert!(
+        overhead.noop <= overhead.traced.mul_f64(1.5) + Duration::from_millis(2),
+        "no-op trace sink regressed: off {:?} vs on {:?}",
+        overhead.noop,
+        overhead.traced,
+    );
+    t.note(format!(
+        "trace layer: off {:.2} ms vs on {:.2} ms (best of {}; tracing costs {:.1}%)",
+        overhead.noop.as_secs_f64() * 1e3,
+        overhead.traced.as_secs_f64() * 1e3,
+        measure::RUNS,
+        (overhead.ratio() - 1.0) * 100.0,
+    ));
+    match std::fs::write(JSON_PATH, to_json(&rs, scale, &overhead)) {
         Ok(()) => t.note(format!("machine-readable results written to {JSON_PATH}")),
         Err(e) => t.note(format!("could not write {JSON_PATH}: {e}")),
     }
@@ -174,10 +272,24 @@ mod tests {
     #[test]
     fn json_document_is_well_formed_enough() {
         let rs = rows(&Scale::quick());
-        let json = to_json(&rs, &Scale::quick());
+        let overhead = trace_overhead(&Scale::quick());
+        let json = to_json(&rs, &Scale::quick(), &overhead);
         assert!(json.contains("\"thread-scaling\""));
         assert!(json.contains("\"host_cores\""));
         assert_eq!(json.matches("\"threads\":").count(), THREAD_COUNTS.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        // The embedded span summary covers both workflow jobs.
+        assert!(json.contains("\"trace_overhead\""));
+        assert!(json.contains("\"total_virt_ns\""));
+        assert!(json.contains("\"sort\""));
+        assert!(json.contains("\"distr\""));
+    }
+
+    #[test]
+    fn noop_sink_runs_carry_no_trace() {
+        let overhead = trace_overhead(&Scale::quick());
+        assert!(overhead.traced > Duration::ZERO);
+        assert!(overhead.noop > Duration::ZERO);
+        assert!(overhead.summary.contains("\"jobs\""));
     }
 }

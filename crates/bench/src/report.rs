@@ -114,6 +114,41 @@ pub fn fmt_ratio(r: f64) -> String {
     format!("{r:.2}")
 }
 
+/// One-line per-phase time composition of a traced run, for table notes —
+/// the same decomposition the paper discusses around Figure 13 (sort
+/// dominated by compute, distribute by the shuffle).
+pub fn phase_breakdown(trace: &papar_trace::WorkflowTrace) -> String {
+    use papar_trace::PhaseKind;
+    let total = trace.total_virt().as_secs_f64();
+    let mut line = String::from("traced run:");
+    for kind in [
+        PhaseKind::Sample,
+        PhaseKind::Map,
+        PhaseKind::Shuffle,
+        PhaseKind::Reduce,
+    ] {
+        let t: f64 = trace
+            .jobs
+            .iter()
+            .flat_map(|j| &j.phases)
+            .filter(|p| p.kind == kind)
+            .map(|p| p.virt.as_secs_f64())
+            .sum();
+        let pct = if total > 0.0 { 100.0 * t / total } else { 0.0 };
+        line.push_str(&format!(" {} {pct:.1}%", kind.name()));
+    }
+    if let Some(imb) = trace
+        .jobs
+        .iter()
+        .filter_map(|j| j.skew.as_ref())
+        .map(papar_trace::SkewHistogram::imbalance)
+        .reduce(f64::max)
+    {
+        line.push_str(&format!("; worst reducer imbalance {imb:.2}x the mean"));
+    }
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

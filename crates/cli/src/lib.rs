@@ -61,6 +61,11 @@ pub struct RunSpec {
     /// the host's available parallelism). Output bytes are identical for
     /// every value; only wall-clock time changes.
     pub threads: Option<usize>,
+    /// Print a per-phase virtual-time breakdown after the run.
+    pub profile: bool,
+    /// Write a Chrome trace-event JSON file of the run's span tree
+    /// (loadable in chrome://tracing or Perfetto).
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RunSpec {
@@ -80,6 +85,8 @@ impl Default for RunSpec {
             // would clamp every task to a single attempt.
             max_retries: 3,
             threads: None,
+            profile: false,
+            trace_out: None,
         }
     }
 }
@@ -104,6 +111,10 @@ pub struct RunSummary {
     /// Warning-severity diagnostics from the pre-run static analysis
     /// (error-severity ones refuse the run instead).
     pub check_warnings: Vec<String>,
+    /// Rendered per-phase breakdown table (present with `--profile`).
+    pub profile: Option<String>,
+    /// The Chrome trace-event file written (present with `--trace`).
+    pub trace_file: Option<PathBuf>,
 }
 
 /// CLI error: a message for the user (exit code 1).
@@ -199,6 +210,7 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         plan,
         ExecOptions {
             threads: spec.threads,
+            trace: spec.profile || spec.trace_out.is_some(),
             ..ExecOptions::default()
         },
     );
@@ -221,6 +233,21 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         )
         .map_err(|e| fail(e.to_string()))?;
     let report = runner.run(&mut cluster).map_err(|e| fail(e.to_string()))?;
+
+    // Render/export the span tree before the partitions are written, so a
+    // disk-full failure below still leaves the trace on disk for debugging.
+    let mut profile = None;
+    let mut trace_file = None;
+    if let Some(trace) = &report.trace {
+        if spec.profile {
+            profile = Some(papar_trace::render_profile(trace));
+        }
+        if let Some(path) = &spec.trace_out {
+            std::fs::write(path, papar_trace::to_chrome_json(trace))
+                .map_err(|e| fail(format!("cannot write {}: {e}", path.display())))?;
+            trace_file = Some(path.clone());
+        }
+    }
 
     // Write each output partition in the input's on-disk format.
     std::fs::create_dir_all(&spec.out_dir)
@@ -270,6 +297,8 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             .map(|e| e.to_string())
             .collect(),
         check_warnings,
+        profile,
+        trace_file,
     })
 }
 
@@ -561,6 +590,8 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                 }
                 spec.threads = Some(t);
             }
+            "--profile" => spec.profile = true,
+            "--trace" => spec.trace_out = Some(need("--trace", &mut argv)?.into()),
             "-h" | "--help" => {
                 return Err(fail(USAGE));
             }
@@ -585,7 +616,7 @@ pub const USAGE: &str = "\
 usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
-             [--threads N]
+             [--threads N] [--profile] [--trace <file>]
        papar check --workflow <xml> [options]   (see `papar check --help`)
 
 Runs the PaPar partitioning workflow described by the two configuration
@@ -600,7 +631,13 @@ Fault injection (chaos testing the simulated cluster):
 
 Performance:
   --threads N        OS threads for node tasks; output bytes are identical for
-                     every N (default: PAPAR_THREADS or available parallelism)";
+                     every N (default: PAPAR_THREADS or available parallelism)
+
+Observability:
+  --profile          print a per-phase virtual-time breakdown (paper Fig. 13 style)
+  --trace FILE       write a Chrome trace-event JSON span tree; open it in
+                     chrome://tracing or https://ui.perfetto.dev. The file is
+                     byte-identical for every --threads value.";
 
 #[cfg(test)]
 mod tests {
@@ -664,6 +701,9 @@ mod tests {
         assert_eq!(spec.replication, 2);
         assert_eq!(spec.max_retries, 5);
         assert_eq!(spec.threads, Some(4));
+        // Defaults: no profiling, no trace export.
+        assert!(!spec.profile);
+        assert!(spec.trace_out.is_none());
         // Defaults: fault-free, no replication, 3 attempts.
         let spec = parse_args(
             [
@@ -685,6 +725,33 @@ mod tests {
         assert_eq!(spec.max_retries, 3);
         // Default: let the engine pick its thread count.
         assert!(spec.threads.is_none());
+    }
+
+    #[test]
+    fn parse_args_observability_flags() {
+        let spec = parse_args(
+            [
+                "--input-config",
+                "a",
+                "--workflow",
+                "b",
+                "--data",
+                "c",
+                "--out",
+                "d",
+                "--profile",
+                "--trace",
+                "trace.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(spec.profile);
+        assert_eq!(spec.trace_out, Some(PathBuf::from("trace.json")));
+        // --trace requires a path.
+        let e = parse_args(["--trace"].iter().map(|s| s.to_string())).unwrap_err();
+        assert!(e.to_string().contains("needs a value"), "{e}");
     }
 
     #[test]

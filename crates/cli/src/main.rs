@@ -71,6 +71,15 @@ fn run_main(argv: impl Iterator<Item = String>) {
                     println!("  {line}");
                 }
             }
+            if let Some(profile) = &summary.profile {
+                println!("{profile}");
+            }
+            if let Some(path) = &summary.trace_file {
+                println!(
+                    "trace written to {} (open in chrome://tracing or Perfetto)",
+                    path.display()
+                );
+            }
             println!("wrote {} partitions:", summary.files.len());
             for f in &summary.files {
                 println!("  {}", f.display());

@@ -261,3 +261,72 @@ fn text_workflow_writes_text_partitions() {
     assert_eq!(p1, "2\t3\n4\t1\n");
     std::fs::remove_dir_all(dir).ok();
 }
+
+#[test]
+fn trace_export_is_valid_and_identical_across_thread_counts() {
+    let dir = temp_dir("trace");
+    let input_cfg = dir.join("blast_db.xml");
+    let workflow = dir.join("wf.xml");
+    let data = dir.join("env_nr.db");
+    std::fs::write(&input_cfg, INPUT_CFG).unwrap();
+    std::fs::write(&workflow, WORKFLOW).unwrap();
+    let db = DbSpec::env_nr_scaled(300, 7).generate();
+    std::fs::write(&data, db.to_bytes()).unwrap();
+
+    let mut args = HashMap::new();
+    args.insert("num_partitions".to_string(), "4".to_string());
+    let base = RunSpec {
+        input_config: input_cfg,
+        workflow,
+        data,
+        out_dir: dir.join("p1"),
+        nodes: 3,
+        args,
+        records: Some(db.len()),
+        profile: true,
+        trace_out: Some(dir.join("t1.json")),
+        threads: Some(1),
+        // Inject faults so the recovery counters appear in the trace too.
+        faults: Some("crash=1,drop=1".to_string()),
+        fault_seed: 11,
+        replication: 1,
+        ..Default::default()
+    };
+    let s1 = run(&base).unwrap();
+    let s4 = run(&RunSpec {
+        out_dir: dir.join("p4"),
+        trace_out: Some(dir.join("t4.json")),
+        threads: Some(4),
+        ..base.clone()
+    })
+    .unwrap();
+
+    // The profile table is present and reports the workflow total.
+    let profile = s1.profile.as_deref().expect("--profile must render");
+    for needle in ["sort", "distr", "map", "shuffle", "reduce", "total"] {
+        assert!(
+            profile.contains(needle),
+            "profile missing {needle}:\n{profile}"
+        );
+    }
+
+    // The Chrome export is structurally sane JSON...
+    let t1 = std::fs::read_to_string(s1.trace_file.as_ref().unwrap()).unwrap();
+    assert!(t1.starts_with("{\"traceEvents\":["));
+    assert!(t1.trim_end().ends_with('}'));
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"ph\":\"M\"",
+        "\"cat\":\"job\"",
+        "\"cat\":\"phase\"",
+        "\"cat\":\"task\"",
+        "\"skew_records\"",
+        "\"crashes\"",
+    ] {
+        assert!(t1.contains(needle), "trace missing {needle}");
+    }
+    // ...and byte-identical regardless of how many OS threads ran it.
+    let t4 = std::fs::read_to_string(s4.trace_file.as_ref().unwrap()).unwrap();
+    assert_eq!(t1, t4, "trace export must not depend on --threads");
+    std::fs::remove_dir_all(dir).ok();
+}

@@ -5,11 +5,14 @@
 use papar_mr::engine::{FnMapper, FnReducer, HashPartitioner, MapInput};
 use papar_mr::fault::RecoveryAction;
 use papar_mr::sampler::{self, RangePartitioner};
-use papar_mr::stats::{JobStats, RecoveryStats};
+use papar_mr::stats::{job_trace_from_stats, JobStats, RecoveryStats};
 use papar_mr::{Cluster, Entry, MapReduceJob, Partitioner, TaskPhase};
 use papar_record::batch::{Batch, Dataset};
 use papar_record::packed::PackedRecord;
 use papar_record::{Record, Value};
+use papar_trace::{
+    duration_ns, Collector, Counters, JobTrace, PhaseKind, PhaseTrace, TaskTrace, WorkflowTrace,
+};
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
@@ -46,6 +49,10 @@ pub struct ExecOptions {
     /// own setting: `PAPAR_THREADS` or the host's available parallelism).
     /// Output bytes are identical for every value; only wall-clock changes.
     pub threads: Option<usize>,
+    /// Collect a [`WorkflowTrace`] (spans, counters, skew histograms) while
+    /// running. Off by default: the engine then talks to a no-op sink and
+    /// pays nothing for observability.
+    pub trace: bool,
 }
 
 impl Default for ExecOptions {
@@ -56,6 +63,7 @@ impl Default for ExecOptions {
             compression: false,
             sample_stride: sampler::DEFAULT_SAMPLE_STRIDE,
             threads: None,
+            trace: false,
         }
     }
 }
@@ -70,6 +78,9 @@ pub struct WorkflowReport {
     /// Every injected fault and recovery action, in order (empty on a
     /// fault-free run without replication).
     pub recovery_events: Vec<RecoveryAction>,
+    /// The workflow's span tree, when [`ExecOptions::trace`] was set (or a
+    /// tracer was installed on the cluster directly).
+    pub trace: Option<WorkflowTrace>,
 }
 
 impl WorkflowReport {
@@ -157,6 +168,9 @@ impl WorkflowRunner {
         if let Some(threads) = self.options.threads {
             cluster.set_threads(threads);
         }
+        if self.options.trace && !cluster.tracing() {
+            cluster.set_tracer(Box::new(Collector::new()));
+        }
         let mut report = WorkflowReport::default();
         for job in &self.plan.jobs {
             let stats = match &job.kind {
@@ -196,6 +210,7 @@ impl WorkflowRunner {
             self.verify_job_outputs(cluster, job);
         }
         report.recovery_events = cluster.drain_events();
+        report.trace = cluster.take_trace();
         Ok(report)
     }
 
@@ -266,7 +281,24 @@ impl WorkflowRunner {
             }
         }
         let range = RangePartitioner::from_samples(&per_node, num_reducers)?;
-        *sample_time += t0.elapsed();
+        let sample_elapsed = t0.elapsed();
+        *sample_time += sample_elapsed;
+        if cluster.tracing() {
+            // The pre-job sampling pass is a phase of its own: the
+            // collector attaches it to the sort job it precedes.
+            let sampled: u64 = per_node.iter().map(|s| s.len() as u64).sum();
+            let det_ns = cluster.cost_model().compute_ns(sampled, 0, 0);
+            let counters = Counters {
+                records_in: sampled,
+                ..Counters::default()
+            };
+            cluster.record_sample_trace(PhaseTrace::solo(
+                PhaseKind::Sample,
+                sample_elapsed,
+                det_ns,
+                counters,
+            ));
+        }
 
         let partitioner = SortPartitioner {
             range,
@@ -362,6 +394,9 @@ impl WorkflowRunner {
         // it never enters the MapReduce engine.
         let job_idx = cluster.next_job_index();
         let retry = cluster.retry_policy();
+        let tracing = cluster.tracing();
+        let cost = cluster.cost_model();
+        let mut tasks: Vec<TaskTrace> = Vec::new();
         let mut stats = JobStats {
             name: job.id.clone(),
             map_time_by_node: vec![Duration::ZERO; n],
@@ -370,7 +405,10 @@ impl WorkflowRunner {
         };
         for node in 0..n {
             let mut attempt = 1u32;
-            loop {
+            let mut cpu = Duration::ZERO;
+            let mut backoff_total = Duration::ZERO;
+            let mut crashes = 0u64;
+            let (node_in, node_out) = loop {
                 let t0 = Instant::now();
                 let mut records_in = 0u64;
                 // Route local entries.
@@ -413,9 +451,11 @@ impl WorkflowRunner {
                     ));
                 }
                 let elapsed = t0.elapsed();
+                cpu += elapsed;
                 stats.map_time_by_node[node] += elapsed;
                 if cluster.take_crash_fault(job_idx, &job.id, TaskPhase::Map, node)? {
                     cluster.note_lost_compute(elapsed);
+                    crashes += 1;
                     if attempt >= retry.max_attempts {
                         return Err(papar_mr::MrError::TaskAborted {
                             job: job.id.clone(),
@@ -428,6 +468,7 @@ impl WorkflowRunner {
                     }
                     let backoff = retry.backoff_for(attempt);
                     stats.map_time_by_node[node] += backoff;
+                    backoff_total += backoff;
                     cluster.note_retry(&job.id, node, TaskPhase::Map, attempt + 1, backoff);
                     attempt += 1;
                     continue;
@@ -437,7 +478,27 @@ impl WorkflowRunner {
                 for (out_name, ds) in outputs {
                     cluster.put_fragment(node, &out_name, node as u32, ds);
                 }
-                break;
+                break (records_in, records_out);
+            };
+            if tracing {
+                let counters = Counters {
+                    records_in: node_in,
+                    records_out: node_out,
+                    retries: (attempt - 1) as u64,
+                    crashes,
+                    backoff_ns: duration_ns(backoff_total),
+                    ..Counters::default()
+                };
+                let det_ns = (attempt as u64)
+                    .saturating_mul(cost.compute_ns(node_in, 0, 0))
+                    .saturating_add(counters.backoff_ns);
+                tasks.push(TaskTrace {
+                    node,
+                    virt: stats.map_time_by_node[node],
+                    cpu,
+                    det_ns,
+                    counters,
+                });
             }
         }
         // Split bypasses the MapReduce engine, so it charges its own
@@ -445,6 +506,32 @@ impl WorkflowRunner {
         let recovery = cluster.take_recovery();
         let net = *cluster.net();
         stats.absorb_recovery(recovery, &net);
+        if tracing {
+            // Map-only: the barrier over per-node tasks *is* the makespan,
+            // plus a shuffle span when replication moved bytes.
+            let mut phases = vec![PhaseTrace::barrier(PhaseKind::Map, tasks)];
+            let rec = &stats.recovery;
+            if stats.comm_time > Duration::ZERO || rec.replication_bytes > 0 {
+                let counters = Counters {
+                    replication_bytes: rec.replication_bytes,
+                    messages: rec.replication_messages,
+                    ..Counters::default()
+                };
+                let det_ns =
+                    duration_ns(net.transfer_time(rec.replication_messages, rec.replication_bytes));
+                phases.push(PhaseTrace::solo(
+                    PhaseKind::Shuffle,
+                    stats.comm_time,
+                    det_ns,
+                    counters,
+                ));
+            }
+            cluster.record_job_trace(JobTrace {
+                name: job.id.clone(),
+                phases,
+                skew: None,
+            });
+        }
         Ok(stats)
     }
 
@@ -607,7 +694,17 @@ impl WorkflowRunner {
         // Custom jobs also occupy a fault-schedule slot; whether they
         // check for crashes is up to the operator implementation.
         let _ = cluster.next_job_index();
-        op.run(cluster, &ctx)
+        let stats = op.run(cluster, &ctx)?;
+        // The bundled custom operators run outside the MapReduce engine,
+        // so nothing traced them; derive a coarse per-phase trace from the
+        // stats they report. (An operator that drives `run_job` itself is
+        // traced by the engine and must not be re-derived here.)
+        if cluster.tracing() {
+            let net = *cluster.net();
+            let cost = cluster.cost_model();
+            cluster.record_job_trace(job_trace_from_stats(&stats, &net, &cost));
+        }
+        Ok(stats)
     }
 
     /// The wire-compression key for a job: enabled only when the option is
@@ -635,9 +732,9 @@ impl WorkflowRunner {
 struct EmbeddedOrderPartitioner;
 
 impl Partitioner for EmbeddedOrderPartitioner {
-    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> papar_mr::Result<usize> {
         let k = key.as_i64().unwrap_or(0).max(0) as usize;
-        k % num_reducers
+        Ok(k % num_reducers)
     }
 }
 
@@ -651,14 +748,14 @@ struct SortPartitioner {
 }
 
 impl Partitioner for SortPartitioner {
-    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> papar_mr::Result<usize> {
         debug_assert_eq!(num_reducers, self.num_reducers);
-        let r = self.range.reducer_for(key, num_reducers);
-        if self.descending {
+        let r = self.range.reducer_for(key, num_reducers)?;
+        Ok(if self.descending {
             num_reducers - 1 - r
         } else {
             r
-        }
+        })
     }
 }
 

@@ -3,6 +3,7 @@
 
 use papar_record::batch::{Batch, Dataset};
 use papar_record::{wire, Schema};
+use papar_trace::{CostModel, JobTrace, NoopSink, PhaseTrace, TraceSink, WorkflowTrace};
 use std::sync::Arc;
 
 use crate::fault::{ExchangeFaultKind, Fault, FaultPlan, RecoveryAction, RetryPolicy};
@@ -44,6 +45,12 @@ pub struct Cluster {
     /// `hints[from][to]`: the previous map phase's outbox sizes, used to
     /// pre-size the next phase's shuffle buffers.
     shuffle_hints: Vec<Vec<usize>>,
+    /// Where the engine reports spans. Defaults to the disabled
+    /// [`NoopSink`]; `Send + Sync` because phase workers share
+    /// `&Cluster`, though all sink calls happen on the driver thread.
+    tracer: Box<dyn TraceSink>,
+    /// Cost model behind the trace's deterministic clock.
+    cost: CostModel,
 }
 
 impl Cluster {
@@ -87,7 +94,53 @@ impl Cluster {
             events: Vec::new(),
             threads: default_threads(),
             shuffle_hints: Vec::new(),
+            tracer: Box::new(NoopSink),
+            cost: CostModel::default(),
         })
+    }
+
+    /// Install a trace sink (builder form). See [`Cluster::set_tracer`].
+    pub fn with_tracer(mut self, tracer: Box<dyn TraceSink>) -> Self {
+        self.set_tracer(tracer);
+        self
+    }
+
+    /// Install a trace sink. The engine reports one [`JobTrace`] per
+    /// finished job to it; install a [`papar_trace::Collector`] and
+    /// call [`Cluster::take_trace`] afterwards to obtain the assembled
+    /// [`WorkflowTrace`]. The default [`NoopSink`] reports itself
+    /// disabled, which makes the engine skip all trace bookkeeping.
+    pub fn set_tracer(&mut self, tracer: Box<dyn TraceSink>) {
+        self.tracer = tracer;
+    }
+
+    /// Whether the installed sink wants trace records.
+    pub fn tracing(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// Finish the installed sink and take its assembled trace (`None`
+    /// for non-collecting sinks).
+    pub fn take_trace(&mut self) -> Option<WorkflowTrace> {
+        self.tracer.finish()
+    }
+
+    /// The cost model behind the trace's deterministic clock.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost
+    }
+
+    /// Report a finished job's trace to the installed sink. Called by
+    /// the engine at the job boundary; runners with jobs that bypass
+    /// the engine (map-only split, custom operators) report their own.
+    pub fn record_job_trace(&mut self, job: JobTrace) {
+        self.tracer.record_job(job);
+    }
+
+    /// Report a pre-job sampling pass to the installed sink; it becomes
+    /// the `sample` phase of the next recorded job.
+    pub fn record_sample_trace(&mut self, sample: PhaseTrace) {
+        self.tracer.record_sample(sample);
     }
 
     /// Set the engine's OS-thread budget (builder form). See

@@ -33,6 +33,9 @@ use papar_record::batch::{Batch, Dataset};
 use papar_record::packed::PackedRecord;
 use papar_record::wire::{self, Reader};
 use papar_record::{Record, Schema, Value};
+use papar_trace::{
+    duration_ns, CostModel, Counters, JobTrace, PhaseKind, PhaseTrace, SkewHistogram, TaskTrace,
+};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -40,7 +43,7 @@ use std::time::Duration;
 
 use crate::cluster::Cluster;
 use crate::fault::{Fault, RecoveryAction, RetryPolicy};
-use crate::stats::{JobStats, RecoveryStats};
+use crate::stats::{JobStats, NetModel, RecoveryStats};
 use crate::timer::TaskTimer;
 use crate::{MrError, Result, TaskPhase};
 
@@ -103,8 +106,11 @@ pub trait Mapper: Sync {
 /// Assignment of reduce keys to reducers (`Sync`: shared across node
 /// workers, like [`Mapper`]).
 pub trait Partitioner: Sync {
-    /// The reducer (in `0..num_reducers`) that handles `key`.
-    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize;
+    /// The reducer (in `0..num_reducers`) that handles `key`, or
+    /// [`MrError::PartitionOutOfRange`] when the key maps outside the
+    /// job's reducer range (a buggy or mis-bound policy must fail
+    /// loudly, not silently skew the last reducer).
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> Result<usize>;
 }
 
 /// A reduce task: a reducer's pairs in deterministic order in, an output
@@ -142,19 +148,24 @@ where
 pub struct HashPartitioner;
 
 impl Partitioner for HashPartitioner {
-    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
-        (key.stable_hash() % num_reducers as u64) as usize
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> Result<usize> {
+        Ok((key.stable_hash() % num_reducers as u64) as usize)
     }
 }
 
 /// Identity partitioner: the key *is* the reducer id (distribute jobs set
 /// the temporary reduce-key to the target partition, paper Figure 9 step 4).
+/// A key outside `0..num_reducers` is a policy bug and errors; it used to
+/// be silently clamped onto the edge reducers, skewing the output.
 pub struct IdentityPartitioner;
 
 impl Partitioner for IdentityPartitioner {
-    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
-        let id = key.as_i64().unwrap_or(0).max(0) as usize;
-        id.min(num_reducers.saturating_sub(1))
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> Result<usize> {
+        let id = key.as_i64().unwrap_or(0);
+        if id < 0 || id as u64 >= num_reducers as u64 {
+            return Err(MrError::PartitionOutOfRange { id, num_reducers });
+        }
+        Ok(id as usize)
     }
 }
 
@@ -348,6 +359,13 @@ struct PhaseCtx<'a> {
     stragglers: &'a [f64],
     /// The whole phase's OS-thread budget.
     threads: usize,
+    /// Whether the cluster's trace sink wants task spans; when false
+    /// the tasks skip all trace bookkeeping.
+    tracing: bool,
+    /// Cost model behind the trace's deterministic clock.
+    cost: CostModel,
+    /// Network model, for modeling recovery traffic on that clock.
+    net: NetModel,
 }
 
 /// What one node's map task hands back at the barrier.
@@ -364,6 +382,10 @@ struct MapOutcome {
     /// Locally-accumulated recovery accounting, merged in node order.
     recovery: RecoveryStats,
     events: Vec<RecoveryAction>,
+    /// The task's span, when tracing.
+    trace: Option<TaskTrace>,
+    /// Per-reducer records/bytes this mapper routed, when tracing.
+    skew: Option<SkewHistogram>,
 }
 
 /// What one node's reduce task hands back at the barrier.
@@ -375,6 +397,8 @@ struct ReduceOutcome {
     records_out: u64,
     recovery: RecoveryStats,
     events: Vec<RecoveryAction>,
+    /// The task's span, when tracing.
+    trace: Option<TaskTrace>,
 }
 
 /// Run `task(node)` for every node, filling a pre-allocated slot per node.
@@ -438,6 +462,9 @@ impl Cluster {
         let n = self.num_nodes();
         let threads = self.threads();
         let retry = self.retry_policy();
+        let tracing = self.tracing();
+        let cost = self.cost_model();
+        let net_model = *self.net();
         let stragglers: Vec<f64> = (0..n).map(|i| self.straggler_factor(i)).collect();
         let mut stats = JobStats {
             name: job.name.clone(),
@@ -456,6 +483,9 @@ impl Cluster {
             crashes: self.take_phase_crashes(job_idx, TaskPhase::Map),
             stragglers: &stragglers,
             threads,
+            tracing,
+            cost,
+            net: net_model,
         };
         let this: &Cluster = &*self;
         let map_results = run_phase(n, threads, |node| this.map_task(&map_pc, node));
@@ -465,6 +495,8 @@ impl Cluster {
         // regenerate its self-send data, at this cost.
         let mut map_compute: Vec<Duration> = vec![Duration::ZERO; n];
         let mut outboxes: Vec<Vec<Vec<u8>>> = Vec::with_capacity(n);
+        let mut map_tasks: Vec<TaskTrace> = Vec::new();
+        let mut job_skew: Option<SkewHistogram> = None;
         let mut first_err: Option<MrError> = None;
         for (node, res) in map_results.into_iter().enumerate() {
             match res {
@@ -474,6 +506,15 @@ impl Cluster {
                     stats.records_in += o.records_in;
                     stats.pairs_shuffled += o.pairs;
                     self.absorb_worker_recovery(o.recovery, o.events);
+                    if let Some(t) = o.trace {
+                        map_tasks.push(t);
+                    }
+                    if let Some(s) = o.skew {
+                        match job_skew.as_mut() {
+                            Some(merged) => merged.merge(&s),
+                            None => job_skew = Some(s),
+                        }
+                    }
                     outboxes.push(o.row);
                 }
                 Ok(_) => {}
@@ -511,12 +552,16 @@ impl Cluster {
             crashes: self.take_phase_crashes(job_idx, TaskPhase::Reduce),
             stragglers: &stragglers,
             threads,
+            tracing,
+            cost,
+            net: net_model,
         };
         let this: &Cluster = &*self;
         let reduce_results = run_phase(n, threads, |node| {
             this.reduce_task(&reduce_pc, node, &inboxes[node], map_compute[node])
         });
 
+        let mut reduce_tasks: Vec<TaskTrace> = Vec::new();
         let mut first_err: Option<MrError> = None;
         for (node, res) in reduce_results.into_iter().enumerate() {
             match res {
@@ -524,6 +569,9 @@ impl Cluster {
                     stats.reduce_time_by_node[node] += o.phase_time;
                     stats.records_out += o.records_out;
                     self.absorb_worker_recovery(o.recovery, o.events);
+                    if let Some(t) = o.trace {
+                        reduce_tasks.push(t);
+                    }
                     for (rid, batch) in o.outputs {
                         self.put_fragment(
                             node,
@@ -551,6 +599,14 @@ impl Cluster {
         let recovery = self.take_recovery();
         let net = *self.net();
         stats.absorb_recovery(recovery, &net);
+
+        if tracing {
+            // Emitted only now, after recovery absorption, so the
+            // shuffle span's virtual time is the *final* comm time and
+            // the three phases sum exactly to the job's makespan.
+            let trace = job_trace(&stats, &net_model, map_tasks, reduce_tasks, job_skew);
+            self.record_job_trace(trace);
+        }
         Ok(stats)
     }
 
@@ -570,14 +626,22 @@ impl Cluster {
             pairs: 0,
             recovery: RecoveryStats::default(),
             events: Vec::new(),
+            trace: None,
+            skew: None,
         };
         let mut crashes_left = pc.crashes[node];
         let mut attempt: u32 = 1;
+        // Raw (unscaled) on-CPU time across attempts, for the trace.
+        let mut cpu = Duration::ZERO;
+        let mut skew = pc.tracing.then(|| SkewHistogram::new(job.num_reducers));
         loop {
             let t0 = TaskTimer::start();
             // Retries reuse the row buffers (cleared, capacity kept).
             for buf in &mut out.row {
                 buf.clear();
+            }
+            if let Some(sk) = skew.as_mut() {
+                sk.reset();
             }
             let mut inputs: Vec<MapInput> = Vec::new();
             let mut records_in: u64 = 0;
@@ -602,20 +666,29 @@ impl Cluster {
             let pairs = job.mapper.map(&ctx, &inputs)?;
             let pair_count = pairs.len() as u64;
             for (seq, (key, entry)) in pairs.into_iter().enumerate() {
-                let reducer = job.partitioner.reducer_for(&key, job.num_reducers);
+                let reducer = job.partitioner.reducer_for(&key, job.num_reducers)?;
                 if reducer >= job.num_reducers {
-                    return Err(MrError::msg(format!(
-                        "partitioner returned reducer {reducer} >= {}",
-                        job.num_reducers
-                    )));
+                    // Defensive re-check for third-party partitioners
+                    // that return in-band instead of erroring.
+                    return Err(MrError::PartitionOutOfRange {
+                        id: reducer as i64,
+                        num_reducers: job.num_reducers,
+                    });
                 }
                 let buf = &mut out.row[reducer % pc.n];
+                let len_before = buf.len();
                 buf.extend_from_slice(&wire_u32("reducer", reducer)?.to_le_bytes());
                 buf.extend_from_slice(&wire_u32("seq", seq)?.to_le_bytes());
                 wire::encode_value(&key, buf);
                 encode_entry(&entry, &job.map_output_schema, job.compress_key, buf)?;
+                if let Some(sk) = skew.as_mut() {
+                    sk.records[reducer] += entry.record_count() as u64;
+                    sk.bytes[reducer] += (buf.len() - len_before) as u64;
+                }
             }
-            let elapsed = scale_compute(t0.elapsed(), pc.stragglers[node]);
+            let raw = t0.elapsed();
+            cpu += raw;
+            let elapsed = scale_compute(raw, pc.stragglers[node]);
             out.phase_time += elapsed;
 
             if crashes_left > 0 {
@@ -654,6 +727,27 @@ impl Cluster {
             out.compute = elapsed;
             out.records_in = records_in;
             out.pairs = pair_count;
+            if pc.tracing {
+                let encoded: u64 = out.row.iter().map(|b| b.len() as u64).sum();
+                let counters = Counters {
+                    records_in,
+                    pairs: pair_count,
+                    retries: out.recovery.tasks_retried as u64,
+                    crashes: out.recovery.faults_injected as u64,
+                    restore_bytes: out.recovery.restore_bytes,
+                    restore_messages: out.recovery.restore_messages,
+                    backoff_ns: duration_ns(out.recovery.backoff_time),
+                    ..Counters::default()
+                };
+                out.trace = Some(TaskTrace {
+                    node,
+                    virt: out.phase_time,
+                    cpu,
+                    det_ns: task_det_ns(pc, attempt, records_in, pair_count, encoded, &counters),
+                    counters,
+                });
+                out.skew = skew.take();
+            }
             return Ok(out);
         }
     }
@@ -675,12 +769,15 @@ impl Cluster {
             records_out: 0,
             recovery: RecoveryStats::default(),
             events: Vec::new(),
+            trace: None,
         };
         // Threads left over beyond one per node parallelize this node's
         // sort — the node's core budget, like papar-sort's contract wants.
         let sort_threads = (pc.threads / pc.n).max(1);
         let mut crashes_left = pc.crashes[node];
         let mut attempt: u32 = 1;
+        // Raw (unscaled) on-CPU time across attempts, for the trace.
+        let mut cpu = Duration::ZERO;
         // The decode vector survives retry attempts (cleared, capacity
         // kept), so a crashed attempt's re-decode does not reallocate.
         let mut pairs: Vec<ShuffledPair> = Vec::new();
@@ -708,6 +805,7 @@ impl Cluster {
             papar_sort::parallel::par_sort_unstable_by(&mut pairs, sort_threads, |a, b| {
                 shuffle_cmp(job.sort_by_key, job.descending, a, b) == Ordering::Less
             });
+            let pair_count = pairs.len() as u64;
             // Outputs are buffered and only committed if the task survives
             // its boundary — a crashed attempt leaves nothing.
             let mut outputs: Vec<(u32, Batch)> = Vec::new();
@@ -748,7 +846,9 @@ impl Cluster {
                     outputs.push((rid as u32, batch));
                 }
             }
-            let elapsed = scale_compute(t0.elapsed(), pc.stragglers[node]);
+            let raw = t0.elapsed();
+            cpu += raw;
+            let elapsed = scale_compute(raw, pc.stragglers[node]);
             out.phase_time += elapsed;
 
             if crashes_left > 0 {
@@ -814,6 +914,35 @@ impl Cluster {
 
             out.records_out = records_out;
             out.outputs = outputs;
+            if pc.tracing {
+                let inbox_bytes: u64 = inbox.iter().map(|(_, b)| b.len() as u64).sum();
+                let counters = Counters {
+                    records_out,
+                    pairs: pair_count,
+                    retries: out.recovery.tasks_retried as u64,
+                    crashes: out.recovery.faults_injected as u64,
+                    restore_bytes: out.recovery.restore_bytes,
+                    restore_messages: out.recovery.restore_messages,
+                    retransmit_bytes: out.recovery.retransmit_bytes,
+                    retransmit_messages: out.recovery.retransmit_messages,
+                    backoff_ns: duration_ns(out.recovery.backoff_time),
+                    ..Counters::default()
+                };
+                out.trace = Some(TaskTrace {
+                    node,
+                    virt: out.phase_time,
+                    cpu,
+                    det_ns: task_det_ns(
+                        pc,
+                        attempt,
+                        records_out,
+                        pair_count,
+                        inbox_bytes,
+                        &counters,
+                    ),
+                    counters,
+                });
+            }
             return Ok(out);
         }
     }
@@ -859,5 +988,80 @@ fn scale_compute(elapsed: Duration, factor: f64) -> Duration {
         elapsed.mul_f64(factor)
     } else {
         elapsed
+    }
+}
+
+/// A task's duration on the trace's deterministic clock: every executed
+/// attempt pays the modeled compute for the task's work counters, plus
+/// the (deterministic) backoff waits and the modeled time of the task's
+/// replica-restore and retransmission traffic.
+fn task_det_ns(
+    pc: &PhaseCtx<'_>,
+    attempts: u32,
+    records: u64,
+    pairs: u64,
+    bytes: u64,
+    c: &Counters,
+) -> u64 {
+    u64::from(attempts)
+        .saturating_mul(pc.cost.compute_ns(records, pairs, bytes))
+        .saturating_add(c.backoff_ns)
+        .saturating_add(duration_ns(
+            pc.net.transfer_time(c.restore_messages, c.restore_bytes),
+        ))
+        .saturating_add(duration_ns(
+            pc.net
+                .transfer_time(c.retransmit_messages, c.retransmit_bytes),
+        ))
+}
+
+/// Assemble a finished engine job's trace. The map/reduce phases close
+/// over their per-node task spans (barrier semantics: slowest task's
+/// time); the shuffle phase carries the exchange volume plus the
+/// *exchange-level* share of the job's recovery traffic — the job total
+/// minus what the reduce tasks already booked as inbox re-fetches, so
+/// counters sum without double-counting up the span tree.
+fn job_trace(
+    stats: &JobStats,
+    net: &NetModel,
+    map_tasks: Vec<TaskTrace>,
+    reduce_tasks: Vec<TaskTrace>,
+    skew: Option<SkewHistogram>,
+) -> JobTrace {
+    let rec = &stats.recovery;
+    let task_retrans_bytes: u64 = reduce_tasks
+        .iter()
+        .map(|t| t.counters.retransmit_bytes)
+        .sum();
+    let task_retrans_msgs: u64 = reduce_tasks
+        .iter()
+        .map(|t| t.counters.retransmit_messages)
+        .sum();
+    let ex_retrans_bytes = rec.retransmit_bytes.saturating_sub(task_retrans_bytes);
+    let ex_retrans_msgs = rec.retransmit_messages.saturating_sub(task_retrans_msgs);
+    let counters = Counters {
+        shuffle_bytes: stats.exchange.remote_bytes,
+        messages: stats.exchange.remote_messages,
+        frames_checksummed: stats.exchange.remote_messages + rec.retransmit_messages,
+        retransmit_bytes: ex_retrans_bytes,
+        retransmit_messages: ex_retrans_msgs,
+        replication_bytes: rec.replication_bytes,
+        ..Counters::default()
+    };
+    let det = duration_ns(stats.exchange.comm_time(net))
+        .saturating_add(duration_ns(
+            net.transfer_time(ex_retrans_msgs, ex_retrans_bytes),
+        ))
+        .saturating_add(duration_ns(
+            net.transfer_time(rec.replication_messages, rec.replication_bytes),
+        ));
+    JobTrace {
+        name: stats.name.clone(),
+        phases: vec![
+            PhaseTrace::barrier(PhaseKind::Map, map_tasks),
+            PhaseTrace::solo(PhaseKind::Shuffle, stats.comm_time, det, counters),
+            PhaseTrace::barrier(PhaseKind::Reduce, reduce_tasks),
+        ],
+        skew,
     }
 }

@@ -110,6 +110,18 @@ pub enum MrError {
         /// The offending value.
         value: usize,
     },
+    /// A partitioner assigned a key to a reducer outside
+    /// `0..num_reducers`. Before this variant the engine silently
+    /// clamped the id to the last reducer, so a buggy distribute policy
+    /// skewed the output instead of failing.
+    PartitionOutOfRange {
+        /// The out-of-range reducer id the partitioner produced (as the
+        /// raw key value for identity-style partitioners, so negative
+        /// ids report faithfully).
+        id: i64,
+        /// The job's reducer count.
+        num_reducers: usize,
+    },
 }
 
 impl MrError {
@@ -145,6 +157,10 @@ impl std::fmt::Display for MrError {
             MrError::WireOverflow { field, value } => write!(
                 f,
                 "shuffle {field} {value} exceeds the wire format's u32 range"
+            ),
+            MrError::PartitionOutOfRange { id, num_reducers } => write!(
+                f,
+                "partitioner assigned reducer {id}, outside 0..{num_reducers}"
             ),
         }
     }

@@ -74,10 +74,20 @@ impl RangePartitioner {
 }
 
 impl Partitioner for RangePartitioner {
-    fn reducer_for(&self, key: &Value, num_reducers: usize) -> usize {
-        // First range whose boundary exceeds the key.
+    fn reducer_for(&self, key: &Value, num_reducers: usize) -> Result<usize> {
+        // First range whose boundary exceeds the key. With the right
+        // number of boundaries (`num_reducers - 1`) this is always in
+        // range; boundaries built for a *different* reducer count used
+        // to be silently clamped onto the last reducer, mis-routing
+        // keys instead of surfacing the mismatch.
         let r = self.boundaries.partition_point(|b| b <= key);
-        r.min(num_reducers.saturating_sub(1))
+        if r >= num_reducers {
+            return Err(crate::MrError::PartitionOutOfRange {
+                id: r as i64,
+                num_reducers,
+            });
+        }
+        Ok(r)
     }
 }
 
@@ -115,12 +125,28 @@ mod tests {
     #[test]
     fn range_partitioner_routes_monotonically() {
         let p = RangePartitioner::new(ints(&[10, 20]));
-        assert_eq!(p.reducer_for(&Value::Int(-5), 3), 0);
-        assert_eq!(p.reducer_for(&Value::Int(9), 3), 0);
-        assert_eq!(p.reducer_for(&Value::Int(10), 3), 1);
-        assert_eq!(p.reducer_for(&Value::Int(19), 3), 1);
-        assert_eq!(p.reducer_for(&Value::Int(20), 3), 2);
-        assert_eq!(p.reducer_for(&Value::Int(1000), 3), 2);
+        assert_eq!(p.reducer_for(&Value::Int(-5), 3).unwrap(), 0);
+        assert_eq!(p.reducer_for(&Value::Int(9), 3).unwrap(), 0);
+        assert_eq!(p.reducer_for(&Value::Int(10), 3).unwrap(), 1);
+        assert_eq!(p.reducer_for(&Value::Int(19), 3).unwrap(), 1);
+        assert_eq!(p.reducer_for(&Value::Int(20), 3).unwrap(), 2);
+        assert_eq!(p.reducer_for(&Value::Int(1000), 3).unwrap(), 2);
+    }
+
+    #[test]
+    fn mismatched_boundaries_error_instead_of_clamping() {
+        // Three boundaries imply four reducers; asking for two must
+        // surface the mismatch for high keys, not pile them onto the
+        // last reducer.
+        let p = RangePartitioner::new(ints(&[10, 20, 30]));
+        assert_eq!(p.reducer_for(&Value::Int(5), 2).unwrap(), 0);
+        assert!(matches!(
+            p.reducer_for(&Value::Int(25), 2),
+            Err(crate::MrError::PartitionOutOfRange {
+                id: 2,
+                num_reducers: 2
+            })
+        ));
     }
 
     #[test]
@@ -138,7 +164,7 @@ mod tests {
         let p = RangePartitioner::from_samples(&[keys.clone()], 4).unwrap();
         let mut counts = [0usize; 4];
         for k in &keys {
-            counts[p.reducer_for(k, 4)] += 1;
+            counts[p.reducer_for(k, 4).unwrap()] += 1;
         }
         let max = *counts.iter().max().unwrap();
         assert!(
@@ -150,8 +176,8 @@ mod tests {
     #[test]
     fn duplicate_boundaries_stay_deterministic() {
         let p = RangePartitioner::new(ints(&[7, 7, 7]));
-        assert_eq!(p.reducer_for(&Value::Int(6), 4), 0);
-        assert_eq!(p.reducer_for(&Value::Int(7), 4), 3);
+        assert_eq!(p.reducer_for(&Value::Int(6), 4).unwrap(), 0);
+        assert_eq!(p.reducer_for(&Value::Int(7), 4).unwrap(), 3);
     }
 
     #[test]

@@ -383,8 +383,10 @@ fn zero_reducers_is_an_error() {
 fn out_of_range_partitioner_is_rejected() {
     struct Bad;
     impl papar_mr::Partitioner for Bad {
-        fn reducer_for(&self, _: &Value, n: usize) -> usize {
-            n + 5
+        fn reducer_for(&self, _: &Value, n: usize) -> papar_mr::Result<usize> {
+            // Returns in-band instead of erroring — the engine's
+            // defensive check must still reject it.
+            Ok(n + 5)
         }
     }
     let mut cluster = Cluster::new(2);
@@ -600,4 +602,154 @@ fn record_type_is_reexported() {
     // Compile-time check that the public surface exposes what operators
     // need without reaching into private modules.
     let _: Record = rec![1];
+}
+
+#[test]
+fn distribute_key_out_of_range_errors_instead_of_skewing() {
+    // A distribute-style job whose policy emits partition id
+    // `num_reducers` must fail with a typed error; the engine used to
+    // clamp it onto the last reducer and silently skew the output.
+    let mut cluster = Cluster::new(2);
+    cluster.scatter("in", int_dataset(&[1, 2, 3, 4])).unwrap();
+    let mapper = FnMapper(|_: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+        let mut out = Vec::new();
+        for MapInput { data: ds, .. } in inputs {
+            for r in ds.batch.clone().flatten() {
+                // Policy bug under test: one-past-the-end partition id.
+                out.push((Value::Int(3), Entry::Rec(r)));
+            }
+        }
+        Ok(out)
+    });
+    let reducer = strip_keys();
+    let job = MapReduceJob {
+        name: "distribute".into(),
+        inputs: vec!["in".into()],
+        output: "out".into(),
+        num_reducers: 3,
+        map_output_schema: int_schema(),
+        output_schema: int_schema(),
+        mapper: &mapper,
+        partitioner: &IdentityPartitioner,
+        reducer: &reducer,
+        sort_by_key: false,
+        descending: false,
+        compress_key: None,
+    };
+    let err = cluster.run_job(&job).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            papar_mr::MrError::PartitionOutOfRange {
+                id: 3,
+                num_reducers: 3
+            }
+        ),
+        "expected PartitionOutOfRange, got {err:?}"
+    );
+}
+
+#[test]
+fn distribute_negative_key_errors_instead_of_clamping() {
+    let mut cluster = Cluster::new(2);
+    cluster.scatter("in", int_dataset(&[1, 2])).unwrap();
+    let mapper = FnMapper(|_: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+        let mut out = Vec::new();
+        for MapInput { data: ds, .. } in inputs {
+            for r in ds.batch.clone().flatten() {
+                out.push((Value::Int(-1), Entry::Rec(r)));
+            }
+        }
+        Ok(out)
+    });
+    let reducer = strip_keys();
+    let job = MapReduceJob {
+        name: "distribute-neg".into(),
+        inputs: vec!["in".into()],
+        output: "out".into(),
+        num_reducers: 3,
+        map_output_schema: int_schema(),
+        output_schema: int_schema(),
+        mapper: &mapper,
+        partitioner: &IdentityPartitioner,
+        reducer: &reducer,
+        sort_by_key: false,
+        descending: false,
+        compress_key: None,
+    };
+    let err = cluster.run_job(&job).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            papar_mr::MrError::PartitionOutOfRange {
+                id: -1,
+                num_reducers: 3
+            }
+        ),
+        "expected PartitionOutOfRange, got {err:?}"
+    );
+}
+
+#[test]
+fn collector_trace_covers_phases_tasks_and_skew() {
+    use papar_trace::{Collector, PhaseKind};
+
+    let mut cluster = Cluster::new(4).with_tracer(Box::new(Collector::new()));
+    let vals: Vec<i32> = (0..120).map(|i| (i * 13) % 120).collect();
+    cluster.scatter("in", int_dataset(&vals)).unwrap();
+    let mapper = key_by_first();
+    let reducer = strip_keys();
+    let job = MapReduceJob {
+        name: "traced-sort".into(),
+        inputs: vec!["in".into()],
+        output: "out".into(),
+        num_reducers: 3,
+        map_output_schema: int_schema(),
+        output_schema: int_schema(),
+        mapper: &mapper,
+        partitioner: &HashPartitioner,
+        reducer: &reducer,
+        sort_by_key: true,
+        descending: false,
+        compress_key: None,
+    };
+    let stats = cluster.run_job(&job).unwrap();
+    let trace = cluster.take_trace().expect("collector must yield a trace");
+
+    assert_eq!(trace.jobs.len(), 1);
+    let jt = &trace.jobs[0];
+    assert_eq!(jt.name, "traced-sort");
+    let kinds: Vec<PhaseKind> = jt.phases.iter().map(|p| p.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![PhaseKind::Map, PhaseKind::Shuffle, PhaseKind::Reduce]
+    );
+    // The per-phase virtual times must sum exactly to the makespan the
+    // stats report (map barrier + comm + reduce barrier).
+    assert_eq!(jt.virt(), stats.sim_time());
+
+    // One task span per node in both compute phases, in slot order.
+    let map = &jt.phases[0];
+    let reduce = &jt.phases[2];
+    assert_eq!(map.tasks.len(), 4);
+    assert_eq!(reduce.tasks.len(), 4);
+    for (i, t) in map.tasks.iter().enumerate() {
+        assert_eq!(t.node, i);
+    }
+    assert_eq!(map.counters.records_in, 120);
+    assert_eq!(map.counters.pairs, 120);
+    assert_eq!(reduce.counters.records_out, 120);
+
+    // Skew histogram: one bucket per reducer, records summing to the
+    // shuffled pair count.
+    let skew = jt.skew.as_ref().expect("traced job must carry skew");
+    assert_eq!(skew.records.len(), 3);
+    assert_eq!(skew.records.iter().sum::<u64>(), 120);
+    assert!(skew.bytes.iter().sum::<u64>() > 0);
+
+    // The Chrome export is non-trivial and mentions every phase.
+    let json = papar_trace::to_chrome_json(&trace);
+    for needle in ["traced-sort", "\"map\"", "\"shuffle\"", "\"reduce\""] {
+        assert!(json.contains(needle), "chrome json missing {needle}");
+    }
 }

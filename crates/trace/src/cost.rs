@@ -1,0 +1,80 @@
+//! The deterministic cost model behind the trace's modeled clock.
+//!
+//! Measured task times vary run to run (and with the thread count), so a
+//! trace stamped with them could never be byte-identical. The exported
+//! trace therefore uses a *modeled* clock: compute time is a fixed
+//! linear function of deterministic work counters (records touched,
+//! pairs moved, bytes encoded or decoded), and communication time comes
+//! from the cluster's α–β network model applied to deterministic byte
+//! and message counts. Same workflow, same input, same fault plan ⇒ same
+//! counters ⇒ same modeled timeline, at any thread count.
+
+use std::time::Duration;
+
+/// Fixed per-unit compute costs, in modeled nanoseconds.
+///
+/// The defaults are round numbers in the right order of magnitude for
+/// the engine's per-record work on current hardware; they only shape
+/// the exported timeline's proportions and need no calibration for the
+/// determinism guarantee to hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Cost of touching one input/output record.
+    pub ns_per_record: u64,
+    /// Cost of emitting, shuffling, or decoding one key-value pair.
+    pub ns_per_pair: u64,
+    /// Cost of encoding or decoding one byte.
+    pub ns_per_byte: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            ns_per_record: 120,
+            ns_per_pair: 40,
+            ns_per_byte: 1,
+        }
+    }
+}
+
+impl CostModel {
+    /// Modeled compute nanoseconds for a task that touched `records`
+    /// records, moved `pairs` pairs, and processed `bytes` bytes.
+    /// Saturates instead of wrapping on adversarial counts.
+    pub fn compute_ns(&self, records: u64, pairs: u64, bytes: u64) -> u64 {
+        records
+            .saturating_mul(self.ns_per_record)
+            .saturating_add(pairs.saturating_mul(self.ns_per_pair))
+            .saturating_add(bytes.saturating_mul(self.ns_per_byte))
+    }
+}
+
+/// A [`Duration`] as saturating `u64` nanoseconds (deterministic inputs
+/// like backoffs and modeled transfer times fit comfortably; a
+/// saturated `Duration::MAX` clamps to `u64::MAX`).
+pub fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_is_linear_and_saturating() {
+        let m = CostModel {
+            ns_per_record: 10,
+            ns_per_pair: 3,
+            ns_per_byte: 1,
+        };
+        assert_eq!(m.compute_ns(0, 0, 0), 0);
+        assert_eq!(m.compute_ns(2, 4, 8), 20 + 12 + 8);
+        assert_eq!(m.compute_ns(u64::MAX, 1, 1), u64::MAX);
+    }
+
+    #[test]
+    fn duration_ns_clamps_max() {
+        assert_eq!(duration_ns(Duration::from_nanos(1234)), 1234);
+        assert_eq!(duration_ns(Duration::MAX), u64::MAX);
+    }
+}

@@ -1,0 +1,258 @@
+//! Human and machine renderings of a workflow trace.
+//!
+//! [`render_profile`] prints the per-phase *virtual-time* breakdown the
+//! paper's Figure 13 stacked bars show — measured times, summing
+//! exactly to the reported makespan. [`summary_json`] is the compact
+//! machine-readable form the bench crate embeds in its `BENCH_*.json`
+//! reports.
+
+use std::time::Duration;
+
+use crate::{JobTrace, PhaseKind, WorkflowTrace};
+
+/// Render the per-phase virtual-time breakdown as a fixed-width table.
+/// Phase rows within a job sum to the job's makespan and the total row
+/// equals the workflow's reported makespan.
+pub fn render_profile(trace: &WorkflowTrace) -> String {
+    let total = trace.total_virt();
+    let mut out = String::new();
+    out.push_str("workflow profile (virtual time; phases sum to the makespan)\n");
+    out.push_str(&format!(
+        "{:<24} {:<8} {:>12} {:>7} {:>12} {:>12} {:>14}\n",
+        "job", "phase", "time", "%", "cpu", "records", "bytes moved"
+    ));
+    out.push_str(&format!(
+        "{}\n",
+        "-".repeat(24 + 1 + 8 + 1 + 12 + 1 + 7 + 1 + 12 + 1 + 12 + 1 + 14)
+    ));
+    for job in &trace.jobs {
+        for phase in &job.phases {
+            let c = &phase.counters;
+            let records = match phase.kind {
+                PhaseKind::Sample | PhaseKind::Map => c.records_in,
+                PhaseKind::Shuffle => c.pairs,
+                PhaseKind::Reduce => c.records_out,
+            };
+            let bytes =
+                c.shuffle_bytes + c.restore_bytes + c.retransmit_bytes + c.replication_bytes;
+            out.push_str(&format!(
+                "{:<24} {:<8} {:>12} {:>6.1}% {:>12} {:>12} {:>14}\n",
+                truncate(&job.name, 24),
+                phase.kind.name(),
+                fmt_dur(phase.virt),
+                percent(phase.virt, total),
+                fmt_dur(phase.cpu),
+                records,
+                bytes,
+            ));
+        }
+        if let Some(skew) = &job.skew {
+            out.push_str(&format!(
+                "{:<24} └ skew: imbalance {:.2} over {} reducers\n",
+                "",
+                skew.imbalance(),
+                skew.records.len()
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "{:<24} {:<8} {:>12} {:>6.1}%\n",
+        "total",
+        "",
+        fmt_dur(total),
+        100.0 * f64::from(u8::from(total > Duration::ZERO))
+    ));
+    let c = trace.counters();
+    if c.crashes > 0 || c.retries > 0 {
+        out.push_str(&format!(
+            "faults: {} injected, {} task retries, {} backoff, {} B restored, {} B retransmitted\n",
+            c.crashes,
+            c.retries,
+            fmt_dur(Duration::from_nanos(c.backoff_ns)),
+            c.restore_bytes,
+            c.retransmit_bytes,
+        ));
+    }
+    out
+}
+
+/// Compact (single-line) machine-readable summary of a trace, suitable
+/// for embedding in a larger JSON report. Integer fields only; skew
+/// imbalance is reported in thousandths.
+pub fn summary_json(trace: &WorkflowTrace) -> String {
+    let mut s = String::from("{");
+    s.push_str(&format!(
+        "\"total_virt_ns\":{},\"total_det_ns\":{},\"jobs\":[",
+        trace.total_virt().as_nanos(),
+        trace.total_det_ns()
+    ));
+    for (i, job) in trace.jobs.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        push_job(&mut s, job);
+    }
+    s.push_str("]}");
+    s
+}
+
+fn push_job(s: &mut String, job: &JobTrace) {
+    s.push_str(&format!(
+        "{{\"name\":\"{}\",\"virt_ns\":{},\"det_ns\":{}",
+        esc(&job.name),
+        job.virt().as_nanos(),
+        job.det_ns()
+    ));
+    if let Some(skew) = &job.skew {
+        s.push_str(&format!(
+            ",\"reducers\":{},\"skew_imbalance_milli\":{}",
+            skew.records.len(),
+            (skew.imbalance() * 1000.0).round() as u64
+        ));
+    }
+    s.push_str(",\"phases\":[");
+    for (i, p) in job.phases.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let c = &p.counters;
+        s.push_str(&format!(
+            "{{\"kind\":\"{}\",\"virt_ns\":{},\"det_ns\":{},\"cpu_ns\":{},\"tasks\":{},\
+             \"records_in\":{},\"records_out\":{},\"pairs\":{},\"shuffle_bytes\":{},\
+             \"retries\":{},\"crashes\":{},\"restore_bytes\":{},\"retransmit_bytes\":{},\
+             \"replication_bytes\":{}}}",
+            p.kind.name(),
+            p.virt.as_nanos(),
+            p.det_ns,
+            p.cpu.as_nanos(),
+            p.tasks.len(),
+            c.records_in,
+            c.records_out,
+            c.pairs,
+            c.shuffle_bytes,
+            c.retries,
+            c.crashes,
+            c.restore_bytes,
+            c.retransmit_bytes,
+            c.replication_bytes,
+        ));
+    }
+    s.push_str("]}");
+}
+
+fn percent(part: Duration, total: Duration) -> f64 {
+    if total.is_zero() {
+        0.0
+    } else {
+        100.0 * part.as_secs_f64() / total.as_secs_f64()
+    }
+}
+
+fn truncate(s: &str, width: usize) -> String {
+    if s.chars().count() <= width {
+        s.to_string()
+    } else {
+        let cut: String = s.chars().take(width.saturating_sub(1)).collect();
+        format!("{cut}…")
+    }
+}
+
+/// Adaptive duration formatting: µs below a millisecond, ms below a
+/// second, seconds above.
+fn fmt_dur(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn esc(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for ch in raw.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Counters, PhaseTrace, SkewHistogram, TaskTrace};
+
+    fn trace() -> WorkflowTrace {
+        WorkflowTrace {
+            jobs: vec![JobTrace {
+                name: "blast.sort".to_string(),
+                phases: vec![
+                    PhaseTrace::barrier(
+                        PhaseKind::Map,
+                        vec![TaskTrace {
+                            node: 0,
+                            virt: Duration::from_millis(6),
+                            cpu: Duration::from_millis(5),
+                            det_ns: 6_000_000,
+                            counters: Counters {
+                                records_in: 100,
+                                pairs: 100,
+                                ..Counters::default()
+                            },
+                        }],
+                    ),
+                    PhaseTrace::solo(
+                        PhaseKind::Shuffle,
+                        Duration::from_millis(4),
+                        4_000_000,
+                        Counters {
+                            pairs: 100,
+                            shuffle_bytes: 4096,
+                            ..Counters::default()
+                        },
+                    ),
+                ],
+                skew: Some(SkewHistogram {
+                    records: vec![60, 40],
+                    bytes: vec![600, 400],
+                }),
+            }],
+        }
+    }
+
+    #[test]
+    fn profile_total_matches_makespan() {
+        let t = trace();
+        let rendered = render_profile(&t);
+        assert!(rendered.contains("blast.sort"));
+        assert!(rendered.contains("map"));
+        assert!(rendered.contains("shuffle"));
+        assert!(rendered.contains("10.000 ms")); // 6 + 4, the makespan
+        assert!(rendered.contains("100.0%"));
+        assert!(rendered.contains("skew: imbalance 1.20"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_dividing_by_zero() {
+        let rendered = render_profile(&WorkflowTrace::default());
+        assert!(rendered.contains("total"));
+        assert!(rendered.contains("0.0%"));
+    }
+
+    #[test]
+    fn summary_json_is_balanced_and_integer_only() {
+        let json = summary_json(&trace());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"total_virt_ns\":10000000"));
+        assert!(json.contains("\"skew_imbalance_milli\":1200"));
+        assert!(json.contains("\"kind\":\"map\""));
+        assert!(json.contains("\"shuffle_bytes\":4096"));
+        assert!(!json.contains('\n'));
+    }
+}

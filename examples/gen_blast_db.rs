@@ -1,0 +1,28 @@
+//! Generate a synthetic muBLASTP database file on disk, for driving the
+//! `papar` binary against `examples/configs/blast_partition.xml` (CI uses
+//! this to exercise `papar run --trace` on a real file).
+//!
+//! ```sh
+//! cargo run --release --example gen_blast_db -- out.db [num_sequences] [seed]
+//! ```
+
+use mublastp::dbgen::DbSpec;
+
+fn main() {
+    let mut argv = std::env::args().skip(1);
+    let Some(path) = argv.next() else {
+        eprintln!("usage: gen_blast_db <out.db> [num_sequences] [seed]");
+        std::process::exit(2);
+    };
+    let sequences: usize = argv
+        .next()
+        .map(|v| v.parse().expect("num_sequences must be an integer"))
+        .unwrap_or(500);
+    let seed: u64 = argv
+        .next()
+        .map(|v| v.parse().expect("seed must be an integer"))
+        .unwrap_or(7);
+    let db = DbSpec::env_nr_scaled(sequences, seed).generate();
+    std::fs::write(&path, db.to_bytes()).expect("write database file");
+    println!("wrote {path}: {} sequences (seed {seed})", db.len());
+}

@@ -17,6 +17,8 @@
 //!   distribution policies, the workflow planner and the executor.
 //! * [`check`] — the static workflow analyzer behind `papar check`:
 //!   dataflow, schema inference, distribution legality, typed diagnostics.
+//! * [`trace`] — the observability layer: workflow span trees, counters,
+//!   skew histograms, Chrome trace-event export and profile rendering.
 //! * [`mublastp`] — the muBLASTP driving application substrate.
 //! * [`powerlyra`] — the PowerLyra driving application substrate.
 //!
@@ -29,6 +31,7 @@ pub use papar_core as core;
 pub use papar_mr as mr;
 pub use papar_record as record;
 pub use papar_sort as sort;
+pub use papar_trace as trace;
 
 pub use mublastp;
 pub use powerlyra;

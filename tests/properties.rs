@@ -157,7 +157,7 @@ proptest! {
         }
         let part = RangePartitioner::new(bounds);
         for &k in &keys {
-            let r = part.reducer_for(&Value::Int(k), reducers);
+            let r = part.reducer_for(&Value::Int(k), reducers).unwrap();
             prop_assert!(r < reducers);
         }
         // Routing respects key order.
@@ -165,7 +165,7 @@ proptest! {
         sorted.sort_unstable();
         let mut prev = 0;
         for k in sorted {
-            let r = part.reducer_for(&Value::Int(k), reducers);
+            let r = part.reducer_for(&Value::Int(k), reducers).unwrap();
             prop_assert!(r >= prev);
             prev = r;
         }
