@@ -77,10 +77,13 @@ pub fn sampling(scale: &Scale) -> Table {
             a.insert("output_path".to_string(), "/out".to_string());
             a.insert("num_partitions".to_string(), "16".to_string());
             let plan = planner.bind(&a).unwrap();
+            // Fusion would stream the sorted intermediate straight into the
+            // distribute; this ablation inspects it, so keep it materialized.
             let runner = WorkflowRunner::with_options(
                 plan,
                 ExecOptions {
                     sampling: mode,
+                    fuse: false,
                     ..ExecOptions::default()
                 },
             );

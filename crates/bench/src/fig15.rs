@@ -111,6 +111,28 @@ pub fn run_a(scale: &Scale) -> Table {
         if let Some(trace) = &run.report.trace {
             t.note(phase_breakdown(trace));
         }
+        // The same run with fusion disabled: what the group→split rewrite
+        // saves by streaming the packed groups (full ablation: `fusion`).
+        let unfused = run_hybrid(
+            &graph,
+            16,
+            scaled_threshold(scale),
+            16,
+            ExecOptions {
+                fuse: false,
+                ..ExecOptions::default()
+            },
+        );
+        let shuffled = |r: &papar_core::exec::WorkflowReport| {
+            r.jobs.iter().map(|j| j.exchange.remote_bytes).sum::<u64>()
+        };
+        t.note(format!(
+            "job fusion: {} B shuffled in {} MR job(s) vs {} B in {} with --no-fuse",
+            shuffled(&run.report),
+            run.report.jobs.len(),
+            shuffled(&unfused.report),
+            unfused.report.jobs.len(),
+        ));
     }
     t
 }

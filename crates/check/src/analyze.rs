@@ -136,6 +136,7 @@ pub fn analyze(wf: &WorkflowConfig, inputs: &[InputConfig], ctx: &CheckContext) 
         a.defined_jobs.insert(op.id.clone());
     }
     a.check_dead_outputs();
+    a.check_fusible_intermediates();
     a.check_unused_arguments();
     Analysis {
         diagnostics: a.diags,
@@ -161,6 +162,9 @@ struct KnownDataset {
     /// Where the producer declared it (for dead-output warnings).
     span: Span,
     consumed: bool,
+    /// Indices of the jobs that consume it, in document order (the
+    /// single-consumption analysis the fusion pass and `W006` share).
+    consumers: Vec<usize>,
     /// Produced by a Sort job (for the determinism lint).
     sorted: bool,
 }
@@ -538,6 +542,7 @@ impl<'a> Analyzer<'a> {
             producer: None,
             span: Span::UNKNOWN,
             consumed: false,
+            consumers: Vec::new(),
             sorted: false,
         });
         Some(meta)
@@ -551,7 +556,7 @@ impl<'a> Analyzer<'a> {
         if self.dataset_index(&path.text).is_some() || self.path_formats.contains_key(&path.text) {
             self.dataset_meta(&path.text);
             if let Some(i) = self.dataset_index(&path.text) {
-                self.datasets[i].consumed = true;
+                self.mark_consumed(i);
             }
             return Some(vec![path.text.clone()]);
         }
@@ -574,10 +579,19 @@ impl<'a> Analyzer<'a> {
         }
         let mut names = Vec::new();
         for i in matches {
-            self.datasets[i].consumed = true;
+            self.mark_consumed(i);
             names.push(self.datasets[i].name.clone());
         }
         Some(names)
+    }
+
+    /// Record that the operator currently being analyzed reads dataset `i`.
+    fn mark_consumed(&mut self, i: usize) {
+        self.datasets[i].consumed = true;
+        let op = self.current_op;
+        if self.datasets[i].consumers.last() != Some(&op) {
+            self.datasets[i].consumers.push(op);
+        }
     }
 
     /// Register one job output, checking for duplicate dataset names.
@@ -598,6 +612,7 @@ impl<'a> Analyzer<'a> {
             producer: Some(self.current_op),
             span,
             consumed: false,
+            consumers: Vec::new(),
             sorted,
         });
     }
@@ -1131,6 +1146,64 @@ impl<'a> Analyzer<'a> {
                 Code::W001,
                 span,
                 format!("output '{name}' of job '{producer}' is never consumed"),
+            );
+        }
+    }
+
+    /// `W006`: an intermediate with exactly one consumer — the job right
+    /// after its producer — where the pair matches a fusion rewrite
+    /// (Sort→Distribute routed by index, or Group→Split). The physical
+    /// planner streams such datasets instead of writing them; this is the
+    /// same single-consumption analysis `lower()` gates on, run on the
+    /// symbolic side.
+    fn check_fusible_intermediates(&mut self) {
+        let mut found: Vec<(String, String, Span)> = Vec::new();
+        for d in &self.datasets {
+            let Some(p) = d.producer else { continue };
+            if d.consumers != vec![p + 1] {
+                continue;
+            }
+            let Some(consumer) = self.wf.operators.get(p + 1) else {
+                continue;
+            };
+            let producer = &self.wf.operators[p];
+            let fusible = match (producer.operator.as_str(), consumer.operator.as_str()) {
+                ("Sort" | "sort", "Distribute" | "distribute") => {
+                    // The executable rewrite needs a flat sort output and an
+                    // index-routed policy; stay silent when either is
+                    // unknowable symbolically.
+                    let flat = d.meta.as_ref().is_some_and(|m| m.format == Format::Flat);
+                    let policy = self
+                        .resolved_params
+                        .get(&(consumer.id.clone(), "distrPolicy".to_string()))
+                        .or_else(|| {
+                            self.resolved_params
+                                .get(&(consumer.id.clone(), "policy".to_string()))
+                        });
+                    flat && policy.is_some_and(|r| {
+                        r.concrete
+                            && matches!(
+                                DistrPolicy::parse(&r.text),
+                                Ok(DistrPolicy::Cyclic) | Ok(DistrPolicy::Block)
+                            )
+                    })
+                }
+                ("Group" | "group", "Split" | "split") => true,
+                _ => false,
+            };
+            if fusible {
+                found.push((d.name.clone(), consumer.id.clone(), d.span));
+            }
+        }
+        for (name, consumer, span) in found {
+            self.warning(
+                Code::W006,
+                span,
+                format!(
+                    "intermediate '{name}' is consumed only by the next job \
+                     '{consumer}': job fusion streams it instead of writing it \
+                     (--no-fuse keeps it materialized)"
+                ),
             );
         }
     }

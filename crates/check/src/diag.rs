@@ -198,6 +198,11 @@ codes! {
     W004 = "W004",
     /// A declared argument is never referenced.
     W005 = "W005",
+    /// An intermediate dataset has exactly one consumer — the job right
+    /// after its producer — and the pair matches a fusion rewrite, so the
+    /// physical planner streams the dataset instead of writing it to the
+    /// cluster store (`--no-fuse` keeps it materialized).
+    W006 = "W006",
 }
 
 impl fmt::Display for Code {

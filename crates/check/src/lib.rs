@@ -30,4 +30,4 @@ pub mod verify;
 
 pub use analyze::{analyze, check_sources, Analysis, CheckContext, InferredJob};
 pub use diag::{has_errors, render_text, Code, Diagnostic, Severity};
-pub use verify::verify_plan;
+pub use verify::{verify_physical_plan, verify_plan};

@@ -3,9 +3,12 @@
 //! text with [`span_of`] instead of hand-counted columns, so the tests
 //! survive reformatting of the fixtures as long as the needles stay unique.
 
-use papar_check::{analyze, check_sources, json, verify_plan, Analysis, CheckContext, Code};
+use papar_check::{
+    analyze, check_sources, json, verify_physical_plan, verify_plan, Analysis, CheckContext, Code,
+};
 use papar_config::xml::Span;
 use papar_config::{InputConfig, WorkflowConfig};
+use papar_core::physplan::{lower, StageKind};
 use papar_core::plan::{Format, Planner};
 use std::collections::HashMap;
 
@@ -126,13 +129,16 @@ fn assert_diag(a: &Analysis, code: Code, span: Span) {
     );
 }
 
+/// Exactly one diagnostic: the `W006` fusion note at `needle`'s position.
 #[track_caller]
-fn assert_clean(a: &Analysis) {
-    assert!(
-        a.diagnostics.is_empty(),
-        "expected no diagnostics, got:\n{}",
+fn assert_w006_only(a: &Analysis, doc: &str, needle: &str) {
+    assert_eq!(
+        a.diagnostics.len(),
+        1,
+        "{}",
         papar_check::render_text(&a.diagnostics)
     );
+    assert_diag(a, Code::W006, span_of(doc, needle, 0));
 }
 
 /// A minimal one-sort workflow with holes for perturbation.
@@ -740,16 +746,63 @@ fn w003_records_not_divisible_by_partitions() {
 
 #[test]
 fn w004_index_routed_distribute_over_sort_output() {
-    // Figure 8 itself: roundRobin over the sort output. This is the
-    // determinism lint and the ONLY diagnostic on the paper's own example.
+    // Figure 8 itself: roundRobin over the sort output. The determinism
+    // lint fires, along with the fusion note (W006) for the streamed
+    // intermediate — the only diagnostics on the paper's own example.
     let a = check(FIG8);
     assert_eq!(
         a.diagnostics.len(),
-        1,
+        2,
         "{}",
         papar_check::render_text(&a.diagnostics)
     );
     assert_diag(&a, Code::W004, span_of(FIG8, r#"<operator id="distr""#, 0));
+    assert_diag(
+        &a,
+        Code::W006,
+        span_of(FIG8, r#"value="/user/sort_output""#, 0),
+    );
+}
+
+#[test]
+fn w006_fusible_single_consumer_intermediate() {
+    // Figure 8's sort output feeds only the index-routed distribute: the
+    // physical planner streams it, and the lint says so at the producer's
+    // output declaration.
+    let a = check(FIG8);
+    let d = a
+        .diagnostics
+        .iter()
+        .find(|d| d.code == Code::W006)
+        .expect("W006");
+    assert!(d.message.contains("/user/sort_output"), "{}", d.message);
+    assert!(d.message.contains("--no-fuse"), "{}", d.message);
+    // A second consumer of the intermediate defeats streaming: no W006.
+    let two_readers = FIG8.replace(
+        "  </operators>",
+        r#"    <operator id="audit" operator="Distribute">
+      <param name="inputPath" type="String" value="/user/sort_output"/>
+      <param name="outputPath" type="String" value="/audit"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="4"/>
+    </operator>
+  </operators>"#,
+    );
+    let a = check(&two_readers);
+    assert!(
+        a.diagnostics.iter().all(|d| d.code != Code::W006),
+        "{}",
+        papar_check::render_text(&a.diagnostics)
+    );
+    // A value-routed policy (graphVertexCut) cannot fuse with a sort:
+    // the pair keeps both jobs and the lint stays silent.
+    let vertex_cut = FIG8.replace("roundRobin", "graphVertexCut");
+    let a = check(&vertex_cut);
+    assert!(
+        a.diagnostics.iter().all(|d| d.code != Code::W006),
+        "{}",
+        papar_check::render_text(&a.diagnostics)
+    );
 }
 
 #[test]
@@ -781,7 +834,9 @@ fn fig10_analyzes_clean_symbolically() {
         &[("graph_edge.xml", GRAPH_EDGE)],
         &CheckContext::default(),
     );
-    assert_clean(&a);
+    // Error-free; the only note is the fusion lint on the group→split
+    // intermediate.
+    assert_w006_only(&a, FIG10, r#"value="/tmp/group""#);
     // All three jobs inferred, with metadata on every built-in output.
     assert_eq!(a.jobs.len(), 3);
     let group = &a.jobs[0];
@@ -803,7 +858,7 @@ fn fig10_analyzes_clean_with_arguments() {
         ..Default::default()
     };
     let a = check_sources(FIG10, &[("graph_edge.xml", GRAPH_EDGE)], &ctx);
-    assert_clean(&a);
+    assert_w006_only(&a, FIG10, r#"value="/tmp/group""#);
 }
 
 // ---- plan-invariant verification ------------------------------------
@@ -868,6 +923,76 @@ fn p099_on_divergent_inference() {
     let divergences = verify_plan(&analysis, &plan);
     assert!(!divergences.is_empty());
     assert!(divergences.iter().all(|d| d.code == Code::P099));
+}
+
+#[test]
+fn physical_plans_verify_clean_for_the_example_configs() {
+    // Every physical plan the planner can emit for Fig 8 and Fig 10 —
+    // fused and --no-fuse, across cluster shapes — must pass P099.
+    let fig8 = Planner::new(
+        WorkflowConfig::parse_str(FIG8).unwrap(),
+        vec![InputConfig::parse_str(BLAST_DB).unwrap()],
+    )
+    .bind(&fig8_args())
+    .unwrap();
+    let fig10 = Planner::new(
+        WorkflowConfig::parse_str(FIG10).unwrap(),
+        vec![InputConfig::parse_str(GRAPH_EDGE).unwrap()],
+    )
+    .bind(&HashMap::from([
+        ("input_file".to_string(), "/data/edges".to_string()),
+        ("output_path".to_string(), "/data/parts".to_string()),
+        ("num_partitions".to_string(), "4".to_string()),
+        ("threshold".to_string(), "4".to_string()),
+    ]))
+    .unwrap();
+    for plan in [&fig8, &fig10] {
+        for nodes in [1, 3, 4, 8] {
+            for default_reducers in [None, Some(4)] {
+                for fuse in [true, false] {
+                    let phys = lower(plan, nodes, default_reducers, fuse);
+                    assert_eq!(
+                        verify_physical_plan(plan, &phys, nodes, default_reducers),
+                        vec![],
+                        "workflow '{}', {nodes} nodes, reducers {default_reducers:?}, \
+                         fuse={fuse}",
+                        plan.id
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn p099_on_corrupted_physical_plan() {
+    let plan = Planner::new(
+        WorkflowConfig::parse_str(FIG8).unwrap(),
+        vec![InputConfig::parse_str(BLAST_DB).unwrap()],
+    )
+    .bind(&fig8_args())
+    .unwrap();
+    // Drop a stage: the coverage invariant breaks.
+    let mut phys = lower(&plan, 3, None, false);
+    phys.stages.pop();
+    let diags = verify_physical_plan(&plan, &phys, 3, None);
+    assert!(!diags.is_empty());
+    assert!(diags.iter().all(|d| d.code == Code::P099));
+    // Claim the workflow output is streamed: the elision invariant breaks.
+    let mut phys = lower(&plan, 3, None, true);
+    assert!(matches!(
+        phys.stages[0].kind,
+        StageKind::FusedSortDistribute { .. }
+    ));
+    phys.stages[0].elided.push(plan.output_path.clone());
+    let diags = verify_physical_plan(&plan, &phys, 3, None);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.code == Code::P099 && d.message.contains("workflow output")),
+        "{}",
+        papar_check::render_text(&diags)
+    );
 }
 
 // ---- serialization golden --------------------------------------------

@@ -61,6 +61,10 @@ pub struct RunSpec {
     /// the host's available parallelism). Output bytes are identical for
     /// every value; only wall-clock time changes.
     pub threads: Option<usize>,
+    /// Disable physical-plan fusion rewrites (`--no-fuse`): every logical
+    /// job runs as its own MR job. Output bytes are identical either way;
+    /// only job counts and shuffle traffic change.
+    pub no_fuse: bool,
     /// Print a per-phase virtual-time breakdown after the run.
     pub profile: bool,
     /// Write a Chrome trace-event JSON file of the run's span tree
@@ -85,6 +89,7 @@ impl Default for RunSpec {
             // would clamp every task to a single attempt.
             max_retries: 3,
             threads: None,
+            no_fuse: false,
             profile: false,
             trace_out: None,
         }
@@ -198,6 +203,15 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             papar_check::render_text(&divergences)
         )));
     }
+    // The physical plan the runner will execute must pass the same gate.
+    let phys = papar_core::physplan::lower(&plan, spec.nodes, None, !spec.no_fuse);
+    let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes, None);
+    if !divergences.is_empty() {
+        return Err(fail(format!(
+            "physical-plan verification failed:\n{}",
+            papar_check::render_text(&divergences)
+        )));
+    }
     if plan.external_inputs.len() != 1 {
         return Err(fail(format!(
             "the workflow expects {} external inputs; the CLI provides exactly one (--data)",
@@ -211,6 +225,7 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         ExecOptions {
             threads: spec.threads,
             trace: spec.profile || spec.trace_out.is_some(),
+            fuse: !spec.no_fuse,
             ..ExecOptions::default()
         },
     );
@@ -513,6 +528,165 @@ legality, and determinism lints. Arguments left unbound are analyzed
 symbolically. Exit code 0 when clean or warnings only, 1 when any
 error-severity diagnostic is found, 2 on usage errors.";
 
+/// Everything `papar plan` needs.
+#[derive(Debug, Clone)]
+pub struct PlanSpec {
+    /// Path to the Workflow configuration document.
+    pub workflow: PathBuf,
+    /// Paths to InputData configuration documents.
+    pub input_configs: Vec<PathBuf>,
+    /// Cluster size the plan is lowered for (the group→split fusion gate
+    /// depends on it).
+    pub nodes: usize,
+    /// Launch arguments. Conventional path arguments (`input_path`,
+    /// `input_file`, `output_path`) default to placeholders — planning
+    /// never reads data, so any concrete string binds.
+    pub args: HashMap<String, String>,
+    /// Lower with fusion rewrites disabled.
+    pub no_fuse: bool,
+    /// Print the full logical→physical mapping instead of the one-line
+    /// summary.
+    pub explain: bool,
+}
+
+impl Default for PlanSpec {
+    fn default() -> Self {
+        PlanSpec {
+            workflow: PathBuf::new(),
+            input_configs: Vec::new(),
+            nodes: 4,
+            args: HashMap::new(),
+            no_fuse: false,
+            explain: false,
+        }
+    }
+}
+
+/// What `papar plan` computed, rendered and counted.
+#[derive(Debug, Clone)]
+pub struct PlanReport {
+    /// Rendered plan: the full `--explain` mapping, or a one-line summary.
+    pub output: String,
+    /// Logical jobs in the bound workflow plan.
+    pub logical_jobs: usize,
+    /// Physical stages after lowering.
+    pub stages: usize,
+    /// Whether fusion rewrites were enabled.
+    pub fused: bool,
+}
+
+/// Bind a workflow and lower it to a physical plan, without reading data.
+pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
+    let workflow_text = std::fs::read_to_string(&spec.workflow)
+        .map_err(|e| fail(format!("cannot read {}: {e}", spec.workflow.display())))?;
+    let workflow = WorkflowConfig::parse_str(&workflow_text)
+        .map_err(|e| fail(format!("{}: {e}", spec.workflow.display())))?;
+    let mut input_cfgs = Vec::new();
+    for p in &spec.input_configs {
+        let text = std::fs::read_to_string(p)
+            .map_err(|e| fail(format!("cannot read {}: {e}", p.display())))?;
+        input_cfgs.push(
+            InputConfig::parse_str(&text).map_err(|e| fail(format!("{}: {e}", p.display())))?,
+        );
+    }
+
+    // Planning never touches data, so conventional path arguments bind to
+    // placeholders when the user does not care to provide them.
+    let mut args = spec.args.clone();
+    for (name, placeholder) in [
+        ("input_path", "/plan/input"),
+        ("input_file", "/plan/input"),
+        ("output_path", "/plan/output"),
+    ] {
+        if workflow.argument(name).is_some() && !args.contains_key(name) {
+            args.insert(name.to_string(), placeholder.to_string());
+        }
+    }
+
+    let plan = Planner::new(workflow, input_cfgs)
+        .bind(&args)
+        .map_err(|e| fail(e.to_string()))?;
+    let phys = papar_core::physplan::lower(&plan, spec.nodes, None, !spec.no_fuse);
+    let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes, None);
+    if !divergences.is_empty() {
+        return Err(fail(format!(
+            "physical-plan verification failed:\n{}",
+            papar_check::render_text(&divergences)
+        )));
+    }
+    let output = if spec.explain {
+        papar_core::physplan::explain(&plan, &phys)
+    } else {
+        format!(
+            "workflow '{}': {} logical job(s) -> {} physical stage(s) ({})\n\
+             (`papar plan --explain` prints the full logical→physical mapping)",
+            plan.id,
+            plan.jobs.len(),
+            phys.stages.len(),
+            if phys.fused { "fused" } else { "--no-fuse" },
+        )
+    };
+    Ok(PlanReport {
+        output,
+        logical_jobs: plan.jobs.len(),
+        stages: phys.stages.len(),
+        fused: phys.fused,
+    })
+}
+
+/// Parse `papar plan` arguments into a [`PlanSpec`].
+pub fn parse_plan_args<I: Iterator<Item = String>>(mut argv: I) -> Result<PlanSpec, CliError> {
+    let mut spec = PlanSpec::default();
+    let need = |flag: &str, it: &mut I| -> Result<String, CliError> {
+        it.next()
+            .ok_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--workflow" => spec.workflow = need("--workflow", &mut argv)?.into(),
+            "--input-config" => spec
+                .input_configs
+                .push(need("--input-config", &mut argv)?.into()),
+            "--nodes" => {
+                let v = need("--nodes", &mut argv)?;
+                spec.nodes = v
+                    .parse()
+                    .map_err(|_| fail(format!("--nodes wants a positive integer, got '{v}'")))?;
+                if spec.nodes == 0 {
+                    return Err(fail("--nodes wants a positive integer, got '0'"));
+                }
+            }
+            "--arg" => {
+                let kv = need("--arg", &mut argv)?;
+                let (k, v) = kv
+                    .split_once('=')
+                    .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
+                spec.args.insert(k.to_string(), v.to_string());
+            }
+            "--no-fuse" => spec.no_fuse = true,
+            "--explain" => spec.explain = true,
+            "-h" | "--help" => return Err(fail(PLAN_USAGE)),
+            other => return Err(fail(format!("unknown flag '{other}'\n{PLAN_USAGE}"))),
+        }
+    }
+    if spec.workflow.as_os_str().is_empty() {
+        return Err(fail(format!("--workflow is required\n{PLAN_USAGE}")));
+    }
+    Ok(spec)
+}
+
+/// Usage text for `papar plan`.
+pub const PLAN_USAGE: &str = "\
+usage: papar plan --workflow <xml> [--input-config <xml>]...
+                  [--nodes N] [--arg key=value]... [--no-fuse] [--explain]
+
+Binds the workflow and lowers it to the physical plan `papar run` would
+execute, without reading any data. `--explain` prints every logical job and
+every physical stage with its fusion and streaming annotations; `--no-fuse`
+shows the unfused plan. Conventional path arguments (input_path, input_file,
+output_path) default to placeholders. Exit code 0 on success, 1 when binding
+or physical-plan verification fails, 2 on usage errors.";
+
 /// Parse command-line arguments into a [`RunSpec`].
 pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, CliError> {
     let mut spec = RunSpec {
@@ -590,6 +764,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                 }
                 spec.threads = Some(t);
             }
+            "--no-fuse" => spec.no_fuse = true,
             "--profile" => spec.profile = true,
             "--trace" => spec.trace_out = Some(need("--trace", &mut argv)?.into()),
             "-h" | "--help" => {
@@ -616,8 +791,9 @@ pub const USAGE: &str = "\
 usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
-             [--threads N] [--profile] [--trace <file>]
+             [--threads N] [--no-fuse] [--profile] [--trace <file>]
        papar check --workflow <xml> [options]   (see `papar check --help`)
+       papar plan --workflow <xml> [options]    (see `papar plan --help`)
 
 Runs the PaPar partitioning workflow described by the two configuration
 documents over the data file, on an N-node simulated cluster, and writes
@@ -632,6 +808,10 @@ Fault injection (chaos testing the simulated cluster):
 Performance:
   --threads N        OS threads for node tasks; output bytes are identical for
                      every N (default: PAPAR_THREADS or available parallelism)
+  --no-fuse          run every logical job as its own MR job instead of fusing
+                     adjacent sort+distribute / group+split pairs; output bytes
+                     are identical, only job counts and shuffle traffic change
+                     (`papar plan --explain` shows what fusion would do)
 
 Observability:
   --profile          print a per-phase virtual-time breakdown (paper Fig. 13 style)
@@ -776,6 +956,110 @@ mod tests {
         assert!(parse(&[]).is_err());
         let e = parse(&["--input-config", "a", "--workflow", "b", "--data", "c"]).unwrap_err();
         assert!(e.to_string().contains("--out"), "{e}");
+    }
+
+    #[test]
+    fn parse_args_no_fuse_flag() {
+        let base = [
+            "--input-config",
+            "a",
+            "--workflow",
+            "b",
+            "--data",
+            "c",
+            "--out",
+            "d",
+        ];
+        let spec = parse_args(base.iter().map(|s| s.to_string())).unwrap();
+        assert!(!spec.no_fuse, "fusion is on by default");
+        let with = base.iter().chain(&["--no-fuse"]).map(|s| s.to_string());
+        assert!(parse_args(with).unwrap().no_fuse);
+    }
+
+    #[test]
+    fn parse_plan_args_happy_path() {
+        let spec = parse_plan_args(
+            [
+                "--workflow",
+                "wf.xml",
+                "--input-config",
+                "in.xml",
+                "--nodes",
+                "8",
+                "--arg",
+                "num_partitions=16",
+                "--no-fuse",
+                "--explain",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert_eq!(spec.workflow, PathBuf::from("wf.xml"));
+        assert_eq!(spec.input_configs, vec![PathBuf::from("in.xml")]);
+        assert_eq!(spec.nodes, 8);
+        assert_eq!(spec.args["num_partitions"], "16");
+        assert!(spec.no_fuse);
+        assert!(spec.explain);
+        // Defaults.
+        let spec = parse_plan_args(["--workflow", "w"].iter().map(|s| s.to_string())).unwrap();
+        assert_eq!(spec.nodes, 4);
+        assert!(!spec.no_fuse);
+        assert!(!spec.explain);
+    }
+
+    #[test]
+    fn parse_plan_args_rejects_bad_input() {
+        let parse = |v: &[&str]| parse_plan_args(v.iter().map(|s| s.to_string()));
+        let e = parse(&[]).unwrap_err();
+        assert!(e.to_string().contains("--workflow"), "{e}");
+        assert!(parse(&["--workflow", "w", "--nodes", "0"]).is_err());
+        assert!(parse(&["--workflow", "w", "--arg", "noequals"]).is_err());
+        assert!(parse(&["--workflow", "w", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_plan_explains_fusion_on_the_blast_example() {
+        let configs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/configs");
+        let spec = PlanSpec {
+            workflow: format!("{configs}/blast_partition.xml").into(),
+            input_configs: vec![format!("{configs}/blast_db.xml").into()],
+            args: [("num_partitions".to_string(), "8".to_string())]
+                .into_iter()
+                .collect(),
+            explain: true,
+            ..Default::default()
+        };
+        let fused = run_plan(&spec).unwrap();
+        assert_eq!((fused.logical_jobs, fused.stages), (2, 1));
+        assert!(fused.fused);
+        assert!(fused.output.contains("L0+L1"), "{}", fused.output);
+        assert!(
+            fused.output.contains("streams '/user/sort_output'"),
+            "{}",
+            fused.output
+        );
+        let unfused = run_plan(&PlanSpec {
+            no_fuse: true,
+            ..spec.clone()
+        })
+        .unwrap();
+        assert_eq!((unfused.logical_jobs, unfused.stages), (2, 2));
+        assert!(!unfused.fused);
+        assert!(unfused.output.contains("--no-fuse"), "{}", unfused.output);
+        // The one-line summary without --explain still counts stages.
+        let summary = run_plan(&PlanSpec {
+            explain: false,
+            ..spec
+        })
+        .unwrap();
+        assert!(
+            summary
+                .output
+                .contains("2 logical job(s) -> 1 physical stage(s)"),
+            "{}",
+            summary.output
+        );
     }
 
     #[test]

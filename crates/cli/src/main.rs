@@ -1,7 +1,8 @@
-//! `papar` binary: thin shell around [`papar_cli::run`] and
-//! [`papar_cli::run_check`].
+//! `papar` binary: thin shell around [`papar_cli::run`],
+//! [`papar_cli::run_check`], and [`papar_cli::run_plan`].
 //!
 //! `papar check ...` analyzes configurations without touching data;
+//! `papar plan ...` shows the physical plan a run would execute;
 //! `papar run ...` (or bare `papar ...`, kept for compatibility) executes
 //! the workflow, refusing to start when the same analysis finds errors.
 
@@ -12,11 +13,32 @@ fn main() {
             argv.next();
             check_main(argv);
         }
+        Some("plan") => {
+            argv.next();
+            plan_main(argv);
+        }
         Some("run") => {
             argv.next();
             run_main(argv);
         }
         _ => run_main(argv),
+    }
+}
+
+fn plan_main(argv: impl Iterator<Item = String>) {
+    let spec = match papar_cli::parse_plan_args(argv) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match papar_cli::run_plan(&spec) {
+        Ok(report) => println!("{}", report.output),
+        Err(e) => {
+            eprintln!("papar: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -75,7 +75,33 @@ fn partitions_a_real_database_file() {
     let summary = run(&spec).unwrap();
     assert_eq!(summary.records_in, 500);
     assert_eq!(summary.files.len(), 4);
-    assert_eq!(summary.jobs.len(), 2);
+    // The sort and the distribute fuse into one physical MR job.
+    assert_eq!(summary.jobs.len(), 1);
+
+    // --no-fuse runs the two logical jobs separately and must produce
+    // byte-identical partition files with more shuffle traffic.
+    let unfused = run(&RunSpec {
+        out_dir: dir.join("parts_nofuse"),
+        no_fuse: true,
+        ..spec.clone()
+    })
+    .unwrap();
+    assert_eq!(unfused.jobs.len(), 2);
+    let shuffled =
+        |jobs: &[(String, std::time::Duration, u64)]| jobs.iter().map(|(_, _, b)| b).sum::<u64>();
+    assert!(
+        shuffled(&summary.jobs) < shuffled(&unfused.jobs),
+        "fusion must shuffle fewer bytes: {} vs {}",
+        shuffled(&summary.jobs),
+        shuffled(&unfused.jobs)
+    );
+    for (f, u) in summary.files.iter().zip(&unfused.files) {
+        assert_eq!(
+            std::fs::read(f).unwrap(),
+            std::fs::read(u).unwrap(),
+            "fused and unfused partitions must be byte-identical"
+        );
+    }
 
     // The partition files are valid index files that the baseline agrees
     // with.

@@ -19,6 +19,17 @@ pub enum CoreError {
     /// job/node/task context (and the error chain) survives to the
     /// workflow report.
     Mr(papar_mr::MrError),
+    /// A distribute mapper saw a fragment that the driver's global-offset
+    /// pre-pass did not cover — the store changed between the pre-pass and
+    /// the map phase (or a custom operator wrote fragments mid-job).
+    /// Structured so callers can tell which dataset/fragment went missing
+    /// instead of panicking.
+    MissingFragmentOffset {
+        /// Dataset the uncovered fragment belongs to.
+        dataset: String,
+        /// The uncovered fragment's ordinal.
+        ordinal: u32,
+    },
 }
 
 impl CoreError {
@@ -40,6 +51,12 @@ impl fmt::Display for CoreError {
             CoreError::Plan(m) => write!(f, "planning error: {m}"),
             CoreError::Exec(m) => write!(f, "execution error: {m}"),
             CoreError::Mr(e) => write!(f, "execution error: {e}"),
+            CoreError::MissingFragmentOffset { dataset, ordinal } => write!(
+                f,
+                "execution error: no global offset for fragment {ordinal} of \
+                 dataset '{dataset}' (store changed between the offset \
+                 pre-pass and the map phase)"
+            ),
         }
     }
 }
@@ -92,6 +109,12 @@ mod tests {
         assert!(CoreError::Config("x".into())
             .to_string()
             .contains("configuration"));
+        let e = CoreError::MissingFragmentOffset {
+            dataset: "/user/sort_output".into(),
+            ordinal: 3,
+        };
+        assert!(e.to_string().contains("fragment 3"));
+        assert!(e.to_string().contains("/user/sort_output"));
     }
 
     #[test]

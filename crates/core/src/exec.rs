@@ -2,7 +2,7 @@
 //! simulated cluster (paper Section III-D, "the jobs are launched one by
 //! one following the order defined in the workflow configuration file").
 
-use papar_mr::engine::{FnMapper, FnReducer, HashPartitioner, MapInput};
+use papar_mr::engine::{FnMapper, FnReducer, HashPartitioner, MapInput, Reducer};
 use papar_mr::fault::RecoveryAction;
 use papar_mr::sampler::{self, RangePartitioner};
 use papar_mr::stats::{job_trace_from_stats, JobStats, RecoveryStats};
@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::{CoreError, Result};
 use crate::operator::{BoundAddOn, CustomJobCtx, FormatOp};
+use crate::physplan::{lower, PhysicalStage, StageKind};
 use crate::plan::{DatasetMeta, Format, JobKind, JobPlan, WorkflowPlan};
 use crate::policy::{DistrPolicy, SplitPolicy};
 
@@ -53,6 +54,11 @@ pub struct ExecOptions {
     /// running. Off by default: the engine then talks to a no-op sink and
     /// pays nothing for observability.
     pub trace: bool,
+    /// Apply the physical-plan fusion rewrites (sort→distribute,
+    /// group→split, dead-intermediate elimination) before executing. On
+    /// by default; `--no-fuse` clears it. Output bytes are identical
+    /// either way — only job counts and shuffle traffic change.
+    pub fuse: bool,
 }
 
 impl Default for ExecOptions {
@@ -64,6 +70,7 @@ impl Default for ExecOptions {
             sample_stride: sampler::DEFAULT_SAMPLE_STRIDE,
             threads: None,
             trace: false,
+            fuse: true,
         }
     }
 }
@@ -161,9 +168,27 @@ impl WorkflowRunner {
         Ok(())
     }
 
-    /// Execute every job in order. Outputs stay in the cluster's stores;
-    /// fetch the final partitions with
-    /// `cluster.collect(&runner.plan().output_path)`.
+    /// Lower the plan against a cluster: the physical stages [`run`]
+    /// would execute on it, honoring [`ExecOptions::fuse`],
+    /// [`ExecOptions::default_reducers`], and the cluster size (the
+    /// group→split gate depends on the effective reducer count).
+    ///
+    /// [`run`]: WorkflowRunner::run
+    pub fn physical_plan(&self, cluster: &Cluster) -> crate::physplan::PhysicalPlan {
+        lower(
+            &self.plan,
+            cluster.num_nodes(),
+            self.options.default_reducers,
+            self.options.fuse,
+        )
+    }
+
+    /// Execute the plan's physical stages in order. Outputs stay in the
+    /// cluster's stores; fetch the final partitions with
+    /// `cluster.collect(&runner.plan().output_path)`. The report carries
+    /// one [`JobStats`] per *physical* stage — a fused stage is one
+    /// MapReduce job, so fused runs report fewer jobs (its trace span
+    /// records the logical jobs it covers).
     pub fn run(&self, cluster: &mut Cluster) -> Result<WorkflowReport> {
         if let Some(threads) = self.options.threads {
             cluster.set_threads(threads);
@@ -171,53 +196,93 @@ impl WorkflowRunner {
         if self.options.trace && !cluster.tracing() {
             cluster.set_tracer(Box::new(Collector::new()));
         }
-        let mut report = WorkflowReport::default();
+        // A job with no outputs cannot run (`JobPlan::output` would
+        // panic); reject the whole plan with a typed error up front.
         for job in &self.plan.jobs {
-            let stats = match &job.kind {
-                JobKind::Sort {
-                    key_idx,
-                    descending,
-                    addons,
-                    output_format,
-                } => self.run_sort(
-                    cluster,
-                    job,
-                    *key_idx,
-                    *descending,
-                    addons,
-                    *output_format,
-                    &mut report.sample_time,
-                )?,
-                JobKind::Group {
-                    key_idx,
-                    addons,
-                    output_format,
-                } => self.run_group(cluster, job, *key_idx, addons, *output_format)?,
-                JobKind::Split { key_idx, policy } => {
-                    self.run_split(cluster, job, *key_idx, policy)?
+            if job.outputs.is_empty() {
+                return Err(CoreError::plan(format!(
+                    "job '{}' declares no output datasets",
+                    job.id
+                )));
+            }
+        }
+        let phys = self.physical_plan(cluster);
+        let mut report = WorkflowReport::default();
+        for stage in &phys.stages {
+            let stats = match &stage.kind {
+                StageKind::Single(j) => {
+                    self.run_single(cluster, &self.plan.jobs[*j], &mut report.sample_time)?
                 }
-                JobKind::Distribute {
-                    policy,
-                    num_partitions,
-                    final_schema,
-                } => self.run_distribute(cluster, job, *policy, *num_partitions, final_schema)?,
-                JobKind::Custom { op_name, params } => {
-                    self.run_custom(cluster, job, op_name, params)?
+                StageKind::FusedSortDistribute { sort, distribute } => self
+                    .run_fused_sort_distribute(
+                        cluster,
+                        stage,
+                        *sort,
+                        *distribute,
+                        &mut report.sample_time,
+                    )?,
+                StageKind::FusedGroupSplit { group, split } => {
+                    self.run_fused_group_split(cluster, stage, *group, *split)?
                 }
             };
             report.jobs.push(stats);
             #[cfg(debug_assertions)]
-            self.verify_job_outputs(cluster, job);
+            self.verify_stage_outputs(cluster, stage);
         }
         report.recovery_events = cluster.drain_events();
         report.trace = cluster.take_trace();
         Ok(report)
     }
 
-    /// Debug-mode runtime verifier: after a job commits, assert that every
-    /// record it wrote conforms to the plan's compiled output metadata —
-    /// the same metadata `papar check`'s analyzer cross-checks statically
-    /// via `verify_plan`. Compiled out of release builds.
+    /// Execute one unfused logical job.
+    fn run_single(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        sample_time: &mut Duration,
+    ) -> Result<JobStats> {
+        match &job.kind {
+            JobKind::Sort {
+                key_idx,
+                descending,
+                addons,
+                output_format,
+            } => self.run_sort(
+                cluster,
+                job,
+                *key_idx,
+                *descending,
+                addons,
+                *output_format,
+                sample_time,
+            ),
+            JobKind::Group {
+                key_idx,
+                addons,
+                output_format,
+            } => self.run_group(cluster, job, *key_idx, addons, *output_format),
+            JobKind::Split { key_idx, policy } => self.run_split(cluster, job, *key_idx, policy),
+            JobKind::Distribute {
+                policy,
+                num_partitions,
+                final_schema,
+            } => self.run_distribute(cluster, job, *policy, *num_partitions, final_schema),
+            JobKind::Custom { op_name, params } => self.run_custom(cluster, job, op_name, params),
+        }
+    }
+
+    /// Debug-mode runtime verifier: after a stage commits, assert that
+    /// every record it wrote conforms to the plan's compiled output
+    /// metadata — the same metadata `papar check`'s analyzer cross-checks
+    /// statically via `verify_plan`. A fused stage is checked on its
+    /// *final* outputs only; the elided intermediate was never written.
+    /// Compiled out of release builds.
+    #[cfg(debug_assertions)]
+    fn verify_stage_outputs(&self, cluster: &Cluster, stage: &PhysicalStage) {
+        let last = *stage.logical.last().expect("stages cover >= 1 job");
+        self.verify_job_outputs(cluster, &self.plan.jobs[last]);
+    }
+
     #[cfg(debug_assertions)]
     fn verify_job_outputs(&self, cluster: &Cluster, job: &JobPlan) {
         // Custom operators own their output contract; nothing to assert.
@@ -253,6 +318,36 @@ impl WorkflowRunner {
         addons: &[BoundAddOn],
         output_format: FormatOp,
         sample_time: &mut Duration,
+    ) -> Result<JobStats> {
+        let output = job.output().to_string();
+        self.run_sort_into(
+            cluster,
+            job,
+            key_idx,
+            descending,
+            addons,
+            output_format,
+            sample_time,
+            &job.id,
+            &output,
+        )
+    }
+
+    /// The sort job body, parameterized over the engine job's name and
+    /// output dataset so the fused sort→distribute stage can run the same
+    /// sort under the stage's id into a streamed temporary.
+    #[allow(clippy::too_many_arguments)]
+    fn run_sort_into(
+        &self,
+        cluster: &mut Cluster,
+        job: &JobPlan,
+        key_idx: usize,
+        descending: bool,
+        addons: &[BoundAddOn],
+        output_format: FormatOp,
+        sample_time: &mut Duration,
+        job_name: &str,
+        output_name: &str,
     ) -> Result<JobStats> {
         let num_reducers = self.reducers_for(job, cluster);
 
@@ -321,9 +416,9 @@ impl WorkflowRunner {
             },
         );
         let mr_job = MapReduceJob {
-            name: job.id.clone(),
+            name: job_name.to_string(),
             inputs: job.inputs.clone(),
-            output: job.output().to_string(),
+            output: output_name.to_string(),
             num_reducers,
             map_output_schema: job.input_meta.schema.clone(),
             output_schema: job.outputs[0].1.schema.clone(),
@@ -530,6 +625,7 @@ impl WorkflowRunner {
                 name: job.id.clone(),
                 phases,
                 skew: None,
+                covers: Vec::new(),
             });
         }
         Ok(stats)
@@ -565,29 +661,14 @@ impl WorkflowRunner {
         }
 
         // Projection of output records onto the declared output schema.
-        let projection: Option<Vec<usize>> = match final_schema {
-            Some(out) => {
-                let mut idxs = Vec::with_capacity(out.len());
-                for f in out.fields() {
-                    idxs.push(job.input_meta.schema.require(&f.name).map_err(|e| {
-                        CoreError::plan(format!(
-                            "output format field '{}' missing from data: {e}",
-                            f.name
-                        ))
-                    })?);
-                }
-                Some(idxs)
-            }
-            None => None,
-        };
+        let projection = distribute_projection(job, final_schema)?;
 
         let policy_total = total as usize;
         let mapper = FnMapper(move |_ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
             let mut out = Vec::new();
             for mi in inputs {
-                let base = *offsets
-                    .get(&(mi.name.clone(), mi.ordinal))
-                    .expect("offsets cover every fragment");
+                let base = fragment_base(&offsets, &mi.name, mi.ordinal)
+                    .map_err(papar_mr::MrError::from)?;
                 for (local, entry) in batch_entries(mi.data.batch.clone()).into_iter().enumerate() {
                     let g = base as usize + local;
                     let part = match policy {
@@ -707,6 +788,246 @@ impl WorkflowRunner {
         Ok(stats)
     }
 
+    /// The sort→distribute pair as one MapReduce job — the paper's
+    /// `L_m^{km}` stride-permutation composition made executable.
+    ///
+    /// The stage runs the sort verbatim (sampling pass, range
+    /// partitioner, one sort shuffle) but into a streamed temporary
+    /// instead of the materialized sort output. The distribute that
+    /// followed is then pure bookkeeping: its cyclic/block policies route
+    /// by *global index*, and the sorted temp fragments' prefix sums give
+    /// every entry's exact global rank, so the driver assembles the
+    /// partitions directly from the sorted runs — the distribute's whole
+    /// shuffle is gone. The assembly walks entries in exactly the order
+    /// the unfused offsets pre-pass enumerates them and the unfused
+    /// `g * P + part` reduce keys sort them, so the committed bytes are
+    /// identical to the two-job plan. Like the unfused pre-pass, the
+    /// driver-side walk is not charged to the virtual clock.
+    fn run_fused_sort_distribute(
+        &self,
+        cluster: &mut Cluster,
+        stage: &PhysicalStage,
+        sort_idx: usize,
+        dist_idx: usize,
+        sample_time: &mut Duration,
+    ) -> Result<JobStats> {
+        let sjob = &self.plan.jobs[sort_idx];
+        let djob = &self.plan.jobs[dist_idx];
+        let JobKind::Sort {
+            key_idx,
+            descending,
+            addons,
+            output_format,
+        } = &sjob.kind
+        else {
+            return Err(CoreError::plan(format!(
+                "stage '{}' expected a sort job at position {sort_idx}",
+                stage.id
+            )));
+        };
+        let JobKind::Distribute {
+            policy,
+            num_partitions,
+            final_schema,
+        } = &djob.kind
+        else {
+            return Err(CoreError::plan(format!(
+                "stage '{}' expected a distribute job at position {dist_idx}",
+                stage.id
+            )));
+        };
+        // The streamed intermediate: fragment r carries exactly the bytes
+        // unfused sort fragment r would, but under a name no workflow
+        // dataset can collide with, and it never outlives the stage.
+        let temp = format!("__fused:{}", sjob.output());
+        let stats = self.run_sort_into(
+            cluster,
+            sjob,
+            *key_idx,
+            *descending,
+            addons,
+            *output_format,
+            sample_time,
+            &stage.id,
+            &temp,
+        )?;
+        if cluster.tracing() {
+            cluster.annotate_last_job_trace(vec![sjob.id.clone(), djob.id.clone()]);
+        }
+        // Reserve the elided distribute's fault-schedule slot so jobs after
+        // this stage keep the same index with and without fusion. Faults
+        // addressed to the elided slot never fire (there is no task to
+        // crash); recovery transparency keeps the output byte-identical.
+        let _ = cluster.next_job_index();
+        self.assemble_distribute(cluster, djob, &temp, *policy, *num_partitions, final_schema)?;
+        cluster.drop_dataset(&temp);
+        Ok(stats)
+    }
+
+    /// Driver-side half of the fused sort→distribute stage: apply the
+    /// index-routed distribute permutation over the sorted runs.
+    fn assemble_distribute(
+        &self,
+        cluster: &mut Cluster,
+        djob: &JobPlan,
+        temp: &str,
+        policy: DistrPolicy,
+        num_partitions: usize,
+        final_schema: &Option<std::sync::Arc<papar_record::Schema>>,
+    ) -> Result<()> {
+        let projection = distribute_projection(djob, final_schema)?;
+        // Gather the sorted fragments in global (ordinal) order — the
+        // same enumeration the unfused offsets pre-pass performs.
+        let mut frags: Vec<(u32, std::sync::Arc<Dataset>)> = Vec::new();
+        for node in 0..cluster.num_nodes() {
+            if let Some(fs) = cluster.node(node).get(temp) {
+                for f in fs {
+                    frags.push((f.ordinal, std::sync::Arc::clone(&f.data)));
+                }
+            }
+        }
+        frags.sort_by_key(|&(ord, _)| ord);
+        let total: usize = frags.iter().map(|(_, d)| d.batch.entry_count()).sum();
+        // Route every entry by its global rank. Appending in ascending
+        // rank order reproduces the unfused reducer's ascending
+        // `g * P + part` key order within each partition.
+        let mut parts: Vec<Vec<Entry>> = (0..num_partitions).map(|_| Vec::new()).collect();
+        let mut g = 0usize;
+        for (_, ds) in frags {
+            for entry in batch_entries(ds.batch.clone()) {
+                parts[policy.partition_of_index(g, total, num_partitions)].push(entry);
+                g += 1;
+            }
+        }
+        let out_format = djob.outputs[0].1.format;
+        let out_schema = &djob.outputs[0].1.schema;
+        let n = cluster.num_nodes();
+        for (p, entries) in parts.into_iter().enumerate() {
+            let mut batch = match out_format {
+                Format::Flat => {
+                    let mut records = Vec::new();
+                    for e in entries {
+                        match e {
+                            Entry::Rec(r) => records.push(r),
+                            Entry::Packed(pk) => records.extend(pk.records),
+                        }
+                    }
+                    Batch::Flat(records)
+                }
+                Format::Packed => Batch::Packed(
+                    entries
+                        .into_iter()
+                        .map(|e| match e {
+                            Entry::Packed(pk) => Ok(pk),
+                            Entry::Rec(_) => Err(CoreError::exec(
+                                "distribute cannot keep flat entries in a packed output",
+                            )),
+                        })
+                        .collect::<Result<Vec<_>>>()?,
+                ),
+            };
+            if let Some(proj) = &projection {
+                batch = project_batch(batch, proj);
+            }
+            // The unfused distribute's reducer p runs on node p % n and
+            // commits fragment ordinal p; mirror exactly (empty
+            // partitions included, so every partition materializes).
+            cluster.put_fragment(
+                p % n,
+                djob.output(),
+                p as u32,
+                Dataset::new(out_schema.clone(), batch),
+            );
+        }
+        Ok(())
+    }
+
+    /// The group→split pair as one MapReduce job: the split's routing
+    /// predicates run reduce-side, right after the group's add-ons and
+    /// format operator, and the engine commits one fragment per split
+    /// destination through [`Cluster::run_job_multi`]. The grouped
+    /// intermediate is never written. Byte-identity holds because the
+    /// lowering gate pinned the group's reducer count to the cluster
+    /// size: fused reducer `r` sees exactly the pairs unfused group
+    /// fragment `r` held, and commits at the same ordinal on the same
+    /// node the unfused map-only split would.
+    fn run_fused_group_split(
+        &self,
+        cluster: &mut Cluster,
+        stage: &PhysicalStage,
+        group_idx: usize,
+        split_idx: usize,
+    ) -> Result<JobStats> {
+        let gjob = &self.plan.jobs[group_idx];
+        let sjob = &self.plan.jobs[split_idx];
+        let JobKind::Group {
+            key_idx,
+            addons,
+            output_format,
+        } = &gjob.kind
+        else {
+            return Err(CoreError::plan(format!(
+                "stage '{}' expected a group job at position {group_idx}",
+                stage.id
+            )));
+        };
+        let JobKind::Split {
+            key_idx: split_key_idx,
+            policy,
+        } = &sjob.kind
+        else {
+            return Err(CoreError::plan(format!(
+                "stage '{}' expected a split job at position {split_idx}",
+                stage.id
+            )));
+        };
+        let num_reducers = self.reducers_for(gjob, cluster);
+        let group_key = *key_idx;
+        let mapper = FnMapper(move |_ctx: &papar_mr::TaskCtx, inputs: &[MapInput]| {
+            let mut out = Vec::new();
+            for mi in inputs {
+                emit_keyed(&mi.data.batch, group_key, &mut out).map_err(papar_mr::MrError::from)?;
+            }
+            Ok(out)
+        });
+        let reducer = FusedGroupSplitReducer {
+            addons,
+            key_idx: group_key,
+            group_format: gjob.outputs[0].1.format,
+            format_op: *output_format,
+            split_key_idx: *split_key_idx,
+            policy,
+            out_formats: sjob.outputs.iter().map(|(_, m)| m.format).collect(),
+            job_id: &sjob.id,
+        };
+        let extra: Vec<(String, std::sync::Arc<papar_record::Schema>)> = sjob.outputs[1..]
+            .iter()
+            .map(|(name, meta)| (name.clone(), meta.schema.clone()))
+            .collect();
+        let mr_job = MapReduceJob {
+            name: stage.id.clone(),
+            inputs: gjob.inputs.clone(),
+            output: sjob.outputs[0].0.clone(),
+            num_reducers,
+            map_output_schema: gjob.input_meta.schema.clone(),
+            output_schema: sjob.outputs[0].1.schema.clone(),
+            mapper: &mapper,
+            partitioner: &HashPartitioner,
+            reducer: &reducer,
+            sort_by_key: true,
+            descending: false,
+            compress_key: self.compress_key(&gjob.input_meta),
+        };
+        let stats = cluster.run_job_multi(&mr_job, &extra)?;
+        if cluster.tracing() {
+            cluster.annotate_last_job_trace(vec![gjob.id.clone(), sjob.id.clone()]);
+        }
+        // Reserve the elided split's fault-schedule slot (see the fused
+        // sort→distribute path for why).
+        let _ = cluster.next_job_index();
+        Ok(stats)
+    }
+
     /// The wire-compression key for a job: enabled only when the option is
     /// set and the input is packed (flat entries have nothing to factor).
     fn compress_key(&self, input_meta: &DatasetMeta) -> Option<usize> {
@@ -756,6 +1077,112 @@ impl Partitioner for SortPartitioner {
         } else {
             r
         })
+    }
+}
+
+/// Reduce task of the fused group→split stage: the group's reduce logic
+/// (add-ons per key-run, format operator) followed by the split's routing
+/// predicates, emitting one batch per split destination. Driven only
+/// through `reduce_multi` — the stage always runs under
+/// [`Cluster::run_job_multi`].
+struct FusedGroupSplitReducer<'a> {
+    addons: &'a [BoundAddOn],
+    key_idx: usize,
+    group_format: Format,
+    format_op: FormatOp,
+    split_key_idx: usize,
+    policy: &'a SplitPolicy,
+    /// Output format per split destination, in destination order.
+    out_formats: Vec<Format>,
+    /// The split job's id, for error messages matching the unfused path.
+    job_id: &'a str,
+}
+
+impl Reducer for FusedGroupSplitReducer<'_> {
+    fn reduce(
+        &self,
+        _ctx: &papar_mr::TaskCtx,
+        _pairs: Vec<(Value, Entry)>,
+    ) -> papar_mr::Result<Batch> {
+        Err(papar_mr::MrError::msg(
+            "fused group+split reducer is multi-output; drive it via run_job_multi",
+        ))
+    }
+
+    fn reduce_multi(
+        &self,
+        _ctx: &papar_mr::TaskCtx,
+        pairs: Vec<(Value, Entry)>,
+    ) -> papar_mr::Result<Vec<Batch>> {
+        // Exactly what the unfused group reducer committed to the
+        // intermediate dataset...
+        let grouped = reduce_ordered(
+            pairs,
+            self.addons,
+            self.key_idx,
+            self.group_format,
+            self.format_op,
+        )
+        .map_err(papar_mr::MrError::from)?;
+        // ...then exactly what the unfused split did with that fragment.
+        let mut routed: Vec<Vec<Entry>> = (0..self.policy.arity()).map(|_| Vec::new()).collect();
+        for entry in batch_entries(grouped) {
+            let key = entry_key(&entry, self.split_key_idx).map_err(papar_mr::MrError::from)?;
+            let dest = self.policy.route(&key).ok_or_else(|| {
+                papar_mr::MrError::msg(format!(
+                    "split key {key} matches no condition of job '{}'",
+                    self.job_id
+                ))
+            })?;
+            routed[dest].push(entry);
+        }
+        routed
+            .into_iter()
+            .enumerate()
+            .map(|(dest, entries)| {
+                entries_to_batch(entries, self.out_formats[dest], self.split_key_idx)
+                    .map_err(papar_mr::MrError::from)
+            })
+            .collect()
+    }
+}
+
+/// The global-offset base of one fragment, as the distribute driver's
+/// pre-pass recorded it. A miss means the store changed between the
+/// pre-pass and the map phase — a typed error instead of the panic this
+/// lookup used to be.
+fn fragment_base(offsets: &HashMap<(String, u32), u64>, name: &str, ordinal: u32) -> Result<u64> {
+    offsets
+        .get(&(name.to_string(), ordinal))
+        .copied()
+        .ok_or_else(|| CoreError::MissingFragmentOffset {
+            dataset: name.to_string(),
+            ordinal,
+        })
+}
+
+/// Field indices projecting distribute output records onto the declared
+/// output schema (`None`: no output format was declared, records pass
+/// through unchanged). Shared by the unfused distribute job and the fused
+/// stage's driver-side assembly so the two can never diverge.
+fn distribute_projection(
+    job: &JobPlan,
+    final_schema: &Option<std::sync::Arc<papar_record::Schema>>,
+) -> Result<Option<Vec<usize>>> {
+    match final_schema {
+        Some(out) => {
+            let mut idxs = Vec::with_capacity(out.len());
+            for f in out.fields() {
+                idxs.push(job.input_meta.schema.require(&f.name).map_err(|e| {
+                    CoreError::plan(format!(
+                        "output format field '{}' missing from data: {e}",
+                        f.name
+                    ))
+                })?);
+            }
+            Ok(Some(idxs))
+        }
+        None => Ok(None),
     }
 }
 

@@ -17,17 +17,24 @@
 //!   "code generation" step. Distribution policies stay symbolic in the
 //!   plan and become concrete permutations only at run time, exactly the
 //!   decoupling the paper highlights.
-//! * [`exec`] — [`exec::WorkflowRunner`] launches the plan's jobs one by one
-//!   on a [`papar_mr::Cluster`], wiring samplers, add-ons, format
-//!   conversions and the distribution matrices.
+//! * [`physplan`] — the logical plan is lowered to a [`physplan::PhysicalPlan`]
+//!   before execution: adjacent jobs whose distribution steps compose
+//!   (the paper's `L_m^{km}` stride-permutation composition) are fused
+//!   into single MapReduce jobs and the datasets between them are
+//!   streamed instead of materialized, with byte-identical output.
+//! * [`exec`] — [`exec::WorkflowRunner`] lowers the plan and launches its
+//!   physical stages one by one on a [`papar_mr::Cluster`], wiring
+//!   samplers, add-ons, format conversions and the distribution matrices.
 
 pub mod error;
 pub mod exec;
 pub mod operator;
+pub mod physplan;
 pub mod plan;
 pub mod policy;
 
 pub use error::{CoreError, Result};
 pub use exec::{ExecOptions, WorkflowReport, WorkflowRunner};
+pub use physplan::{lower, PhysicalPlan, PhysicalStage, StageKind};
 pub use plan::{Planner, WorkflowPlan};
 pub use policy::{DistrPolicy, SplitPolicy, StridePermutation};

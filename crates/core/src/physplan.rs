@@ -1,0 +1,529 @@
+//! The physical plan: what actually runs on the cluster.
+//!
+//! A [`crate::plan::WorkflowPlan`] is *logical* — one job per workflow
+//! operator, every intermediate dataset materialized in the cluster store.
+//! [`lower`] rewrites it into a [`PhysicalPlan`]: a sequence of stages
+//! where adjacent jobs whose distribution steps compose algebraically
+//! (the paper's stride-permutation composition `L_m^{km}`, Section III)
+//! are *fused* into a single MapReduce job with a single shuffle, and the
+//! dataset between them is streamed instead of written.
+//!
+//! Three rewrite rules, all gated so the fused stage is **byte-identical**
+//! to the unfused pair (see DESIGN.md §11 for the proofs):
+//!
+//! 1. **Sort → Distribute** (`Cyclic`/`Block` policies): the pair runs as
+//!    one sort-shuffled job; the distribute's index-routed permutation is
+//!    applied by the driver over the already-ordered reducer runs, whose
+//!    prefix sums give every entry's exact global rank. One shuffle
+//!    instead of two.
+//! 2. **Group → Split**: the split predicates are applied reduce-side
+//!    inside the group job (split never shuffles, so this removes a whole
+//!    pass over the grouped data, not a shuffle).
+//! 3. **Dead-intermediate elimination**: the dataset between the fused
+//!    jobs is consumed exactly once, by the fused partner — it is never
+//!    committed to the cluster store. Its name lands in
+//!    [`PhysicalStage::elided`] so `papar check`/`papar plan` can report
+//!    it and the P099 verifier can prove the elision safe.
+//!
+//! Fusion changes *performance accounting only* (fewer jobs, fewer
+//! shuffled bytes); every gate below exists to keep the output bytes
+//! unchanged for every thread count and fault plan.
+
+use crate::plan::{Format, JobKind, JobPlan, WorkflowPlan};
+use crate::policy::DistrPolicy;
+
+/// What one physical stage executes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StageKind {
+    /// One logical job, executed as planned (index into
+    /// `WorkflowPlan::jobs`).
+    Single(usize),
+    /// A sort job and the index-routed distribute consuming it, as one
+    /// MapReduce job with the sort's shuffle only.
+    FusedSortDistribute {
+        /// Index of the sort job.
+        sort: usize,
+        /// Index of the distribute job.
+        distribute: usize,
+    },
+    /// A group job and the split consuming it, with the split predicates
+    /// applied reduce-side.
+    FusedGroupSplit {
+        /// Index of the group job.
+        group: usize,
+        /// Index of the split job.
+        split: usize,
+    },
+}
+
+/// One stage of the physical plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalStage {
+    /// Stage id: the covered operator ids joined with `+` (what stats and
+    /// trace spans carry, e.g. `sort+distr`).
+    pub id: String,
+    /// Indices of the logical jobs this stage covers, in launch order.
+    pub logical: Vec<usize>,
+    /// What to run.
+    pub kind: StageKind,
+    /// Intermediate dataset names this stage streams instead of writing
+    /// to the cluster store.
+    pub elided: Vec<String>,
+}
+
+/// The lowered plan: stages in launch order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysicalPlan {
+    /// Stages in launch order. Their `logical` lists partition
+    /// `0..jobs.len()` exactly, in order.
+    pub stages: Vec<PhysicalStage>,
+    /// Whether rewrites were enabled when lowering (false = `--no-fuse`,
+    /// every stage is `Single`).
+    pub fused: bool,
+}
+
+impl PhysicalPlan {
+    /// Every dataset the plan streams (union of the stages' elisions).
+    pub fn elided(&self) -> Vec<&str> {
+        self.stages
+            .iter()
+            .flat_map(|s| s.elided.iter().map(String::as_str))
+            .collect()
+    }
+
+    /// Number of stages that fuse more than one logical job.
+    pub fn fused_stages(&self) -> usize {
+        self.stages.iter().filter(|s| s.logical.len() > 1).count()
+    }
+}
+
+/// How many jobs (plus the workflow output) consume each dataset name.
+/// Prefix-matched inputs were already resolved to concrete names by the
+/// planner, so plain equality is the whole dataflow analysis — the same
+/// single-consumption counting `papar check`'s W006 lint performs on the
+/// symbolic side.
+pub fn consumer_count(plan: &WorkflowPlan, name: &str) -> usize {
+    let by_jobs: usize = plan
+        .jobs
+        .iter()
+        .flat_map(|j| &j.inputs)
+        .filter(|i| i.as_str() == name)
+        .count();
+    // The workflow output is an external consumer: eliding it would lose
+    // the workflow's result.
+    by_jobs + usize::from(plan.output_path == name)
+}
+
+/// The effective reducer count of a job, mirroring the executor's
+/// resolution order (configuration override, option default, one per
+/// node).
+fn reducers_for(job: &JobPlan, num_nodes: usize, default_reducers: Option<usize>) -> usize {
+    job.num_reducers
+        .or(default_reducers)
+        .unwrap_or(num_nodes)
+        .max(1)
+}
+
+/// Can `jobs[i]` (a sort) and `jobs[i+1]` (a distribute) run as one job?
+///
+/// Gates, each required for byte-identity:
+/// * the distribute reads exactly the sort's output, and nothing else
+///   reads it (single consumption — streaming it must not starve anyone);
+/// * the sort output is not the workflow output (it must survive the run);
+/// * the policy routes by *index* (`Cyclic`/`Block`): the driver can then
+///   compute every entry's partition from its global rank, which the
+///   sorted reducer runs' prefix sums give exactly. `GraphVertexCut`
+///   routes by value and never follows a sort in a PaPar workflow;
+/// * the sort output is flat: entries are records, so fragment entry
+///   counts equal record ranks and add-ons don't change the count.
+pub fn sort_distribute_fusible(plan: &WorkflowPlan, i: usize) -> bool {
+    let sort = &plan.jobs[i];
+    let dist = &plan.jobs[i + 1];
+    if !matches!(sort.kind, JobKind::Sort { .. }) {
+        return false;
+    }
+    let JobKind::Distribute { policy, .. } = &dist.kind else {
+        return false;
+    };
+    if !matches!(policy, DistrPolicy::Cyclic | DistrPolicy::Block) {
+        return false;
+    }
+    if sort.outputs.len() != 1 || dist.inputs != vec![sort.output().to_string()] {
+        return false;
+    }
+    sort.outputs[0].1.format == Format::Flat
+        && plan.output_path != sort.output()
+        && consumer_count(plan, sort.output()) == 1
+}
+
+/// Can `jobs[i]` (a group) and `jobs[i+1]` (a split) run as one job?
+///
+/// Gates: single consumption of the group output (as above), and the
+/// group's reducer count must equal the cluster size — unfused split
+/// writes one fragment per *node* (ordinal = node), fused split writes
+/// one per *reducer* (ordinal = reducer id), and the two orderings agree
+/// exactly when reducers and nodes coincide. Workflows that override
+/// `num_reducers` on the group keep the two-job plan.
+pub fn group_split_fusible(
+    plan: &WorkflowPlan,
+    i: usize,
+    num_nodes: usize,
+    default_reducers: Option<usize>,
+) -> bool {
+    let group = &plan.jobs[i];
+    let split = &plan.jobs[i + 1];
+    if !matches!(group.kind, JobKind::Group { .. }) || !matches!(split.kind, JobKind::Split { .. })
+    {
+        return false;
+    }
+    if group.outputs.len() != 1 || split.inputs != vec![group.output().to_string()] {
+        return false;
+    }
+    reducers_for(group, num_nodes, default_reducers) == num_nodes
+        && plan.output_path != group.output()
+        && consumer_count(plan, group.output()) == 1
+}
+
+/// Lower a logical plan to a physical one.
+///
+/// `num_nodes` and `default_reducers` describe the cluster the plan will
+/// run on — the group→split gate depends on the effective reducer count.
+/// With `fuse` false every job becomes its own [`StageKind::Single`]
+/// stage (the `--no-fuse` baseline).
+pub fn lower(
+    plan: &WorkflowPlan,
+    num_nodes: usize,
+    default_reducers: Option<usize>,
+    fuse: bool,
+) -> PhysicalPlan {
+    let mut stages = Vec::new();
+    let mut i = 0;
+    while i < plan.jobs.len() {
+        // A job with no outputs can't anchor a fusion pair (and the
+        // executor rejects it with a typed error before running it).
+        if fuse && i + 1 < plan.jobs.len() && !plan.jobs[i].outputs.is_empty() {
+            if sort_distribute_fusible(plan, i) {
+                stages.push(PhysicalStage {
+                    id: format!("{}+{}", plan.jobs[i].id, plan.jobs[i + 1].id),
+                    logical: vec![i, i + 1],
+                    kind: StageKind::FusedSortDistribute {
+                        sort: i,
+                        distribute: i + 1,
+                    },
+                    elided: vec![plan.jobs[i].output().to_string()],
+                });
+                i += 2;
+                continue;
+            }
+            if group_split_fusible(plan, i, num_nodes, default_reducers) {
+                stages.push(PhysicalStage {
+                    id: format!("{}+{}", plan.jobs[i].id, plan.jobs[i + 1].id),
+                    logical: vec![i, i + 1],
+                    kind: StageKind::FusedGroupSplit {
+                        group: i,
+                        split: i + 1,
+                    },
+                    elided: vec![plan.jobs[i].output().to_string()],
+                });
+                i += 2;
+                continue;
+            }
+        }
+        stages.push(PhysicalStage {
+            id: plan.jobs[i].id.clone(),
+            logical: vec![i],
+            kind: StageKind::Single(i),
+            elided: Vec::new(),
+        });
+        i += 1;
+    }
+    PhysicalPlan {
+        stages,
+        fused: fuse,
+    }
+}
+
+/// Render the logical→physical mapping as `papar plan --explain` prints
+/// it: the logical job list, then every physical stage with its fusion
+/// and elision annotations.
+pub fn explain(plan: &WorkflowPlan, phys: &PhysicalPlan) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "workflow '{}': {} logical job(s)\n",
+        plan.id,
+        plan.jobs.len()
+    ));
+    for (i, job) in plan.jobs.iter().enumerate() {
+        let kind = match &job.kind {
+            JobKind::Sort { .. } => "Sort",
+            JobKind::Group { .. } => "Group",
+            JobKind::Split { .. } => "Split",
+            JobKind::Distribute { .. } => "Distribute",
+            JobKind::Custom { op_name, .. } => op_name.as_str(),
+        };
+        out.push_str(&format!(
+            "  L{i}: {kind} '{}'  {:?} -> {:?}\n",
+            job.id,
+            job.inputs,
+            job.outputs.iter().map(|(n, _)| n).collect::<Vec<_>>(),
+        ));
+    }
+    out.push_str(&format!(
+        "physical plan ({}): {} stage(s)\n",
+        if phys.fused { "fused" } else { "--no-fuse" },
+        phys.stages.len()
+    ));
+    for (s, stage) in phys.stages.iter().enumerate() {
+        let covered = stage
+            .logical
+            .iter()
+            .map(|&j| format!("L{j}"))
+            .collect::<Vec<_>>()
+            .join("+");
+        match &stage.kind {
+            StageKind::Single(_) => {
+                out.push_str(&format!(
+                    "  P{s}: '{}' = {covered} (as planned)\n",
+                    stage.id
+                ));
+            }
+            StageKind::FusedSortDistribute { .. } => {
+                out.push_str(&format!(
+                    "  P{s}: '{}' = {covered} fused: one sort-shuffled job; the \
+                     distribute permutation is applied over the sorted runs' \
+                     prefix sums (one shuffle instead of two)\n",
+                    stage.id
+                ));
+            }
+            StageKind::FusedGroupSplit { .. } => {
+                out.push_str(&format!(
+                    "  P{s}: '{}' = {covered} fused: split predicates applied \
+                     reduce-side inside the group job\n",
+                    stage.id
+                ));
+            }
+        }
+        for name in &stage.elided {
+            out.push_str(&format!(
+                "       streams '{name}' (single consumer; never written to \
+                 the cluster store)\n"
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Planner;
+    use std::collections::HashMap;
+
+    const BLAST_INPUT: &str = r#"
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+    fn blast_workflow(policy: &str) -> String {
+        format!(
+            r#"
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="{policy}"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#
+        )
+    }
+
+    fn bind_blast(policy: &str) -> WorkflowPlan {
+        let planner = Planner::from_xml(&blast_workflow(policy), &[BLAST_INPUT]).unwrap();
+        let args: HashMap<String, String> = [
+            ("input_path", "/db/in"),
+            ("output_path", "/db/out"),
+            ("num_partitions", "4"),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        planner.bind(&args).unwrap()
+    }
+
+    #[test]
+    fn sort_distribute_pair_fuses_into_one_stage() {
+        let plan = bind_blast("roundRobin");
+        let phys = lower(&plan, 3, None, true);
+        assert_eq!(phys.stages.len(), 1);
+        assert_eq!(phys.stages[0].id, "sort+distr");
+        assert_eq!(phys.stages[0].logical, vec![0, 1]);
+        assert_eq!(
+            phys.stages[0].kind,
+            StageKind::FusedSortDistribute {
+                sort: 0,
+                distribute: 1
+            }
+        );
+        assert_eq!(phys.stages[0].elided, vec!["/user/sort_output".to_string()]);
+        assert_eq!(phys.fused_stages(), 1);
+    }
+
+    #[test]
+    fn block_policy_also_fuses_but_vertex_cut_does_not() {
+        let plan = bind_blast("block");
+        assert_eq!(lower(&plan, 3, None, true).stages.len(), 1);
+        let plan = bind_blast("graphVertexCut");
+        let phys = lower(&plan, 3, None, true);
+        assert_eq!(phys.stages.len(), 2);
+        assert!(phys
+            .stages
+            .iter()
+            .all(|s| matches!(s.kind, StageKind::Single(_))));
+    }
+
+    #[test]
+    fn no_fuse_keeps_every_job_its_own_stage() {
+        let plan = bind_blast("roundRobin");
+        let phys = lower(&plan, 3, None, false);
+        assert!(!phys.fused);
+        assert_eq!(phys.stages.len(), 2);
+        assert_eq!(phys.stages[0].kind, StageKind::Single(0));
+        assert_eq!(phys.stages[1].kind, StageKind::Single(1));
+        assert!(phys.elided().is_empty());
+    }
+
+    #[test]
+    fn explain_shows_logical_and_physical_sides() {
+        let plan = bind_blast("roundRobin");
+        let phys = lower(&plan, 3, None, true);
+        let text = explain(&plan, &phys);
+        assert!(text.contains("2 logical job(s)"));
+        assert!(text.contains("L0: Sort 'sort'"));
+        assert!(text.contains("L1: Distribute 'distr'"));
+        assert!(text.contains("P0: 'sort+distr' = L0+L1 fused"));
+        assert!(text.contains("streams '/user/sort_output'"));
+        let unfused = explain(&plan, &lower(&plan, 3, None, false));
+        assert!(unfused.contains("--no-fuse"));
+        assert!(unfused.contains("(as planned)"));
+    }
+
+    const EDGE_INPUT: &str = r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+    const HYBRID_WORKFLOW: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+    fn bind_hybrid() -> WorkflowPlan {
+        let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT]).unwrap();
+        let args: HashMap<String, String> = [
+            ("input_file", "/g/in"),
+            ("output_path", "/g/out"),
+            ("num_partitions", "4"),
+            ("threshold", "10"),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        planner.bind(&args).unwrap()
+    }
+
+    #[test]
+    fn group_split_fuses_and_distribute_stays_single() {
+        let plan = bind_hybrid();
+        let phys = lower(&plan, 4, None, true);
+        assert_eq!(phys.stages.len(), 2);
+        assert_eq!(phys.stages[0].id, "group+split");
+        assert_eq!(
+            phys.stages[0].kind,
+            StageKind::FusedGroupSplit { group: 0, split: 1 }
+        );
+        assert_eq!(phys.stages[0].elided, vec!["/tmp/group".to_string()]);
+        assert_eq!(phys.stages[1].kind, StageKind::Single(2));
+        assert_eq!(phys.stages[1].logical, vec![2]);
+    }
+
+    #[test]
+    fn group_split_gate_requires_reducers_to_match_nodes() {
+        let plan = bind_hybrid();
+        // default_reducers != num_nodes breaks the fragment-ordinal
+        // equivalence, so lowering must keep the two-job plan.
+        let phys = lower(&plan, 4, Some(8), true);
+        assert_eq!(phys.stages.len(), 3);
+        assert!(phys
+            .stages
+            .iter()
+            .all(|s| matches!(s.kind, StageKind::Single(_))));
+    }
+
+    #[test]
+    fn logical_indices_partition_exactly_in_order() {
+        for (plan, nodes) in [(bind_blast("roundRobin"), 3), (bind_hybrid(), 4)] {
+            for fuse in [true, false] {
+                let phys = lower(&plan, nodes, None, fuse);
+                let covered: Vec<usize> = phys
+                    .stages
+                    .iter()
+                    .flat_map(|s| s.logical.iter().copied())
+                    .collect();
+                assert_eq!(covered, (0..plan.jobs.len()).collect::<Vec<_>>());
+            }
+        }
+    }
+}

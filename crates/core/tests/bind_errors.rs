@@ -1,0 +1,182 @@
+//! `Planner::bind` and `WorkflowRunner` error paths reachable from user
+//! configurations must surface as typed [`CoreError`] variants, never as
+//! panics: a CLI user's typo is diagnosed, not a backtrace.
+
+use papar_core::error::CoreError;
+use papar_core::exec::WorkflowRunner;
+use papar_core::plan::Planner;
+use papar_mr::Cluster;
+use std::collections::HashMap;
+
+const BLAST_INPUT_CFG: &str = r#"
+<input id="blast_db" name="n">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+/// A minimal sort→distribute workflow, parameterized so individual tests
+/// can break one thing at a time.
+fn workflow(sort_output: &str, distr_output: &str, partitions_value: &str) -> String {
+    format!(
+        r#"
+<workflow id="w" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="{sort_output}"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="{sort_output}"/>
+      <param name="outputPath" type="String" value="{distr_output}"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="{partitions_value}"/>
+    </operator>
+  </operators>
+</workflow>"#
+    )
+}
+
+fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[test]
+fn unbound_argument_is_a_typed_plan_error() {
+    let wf = workflow("/tmp/sorted", "$output_path", "$num_partitions");
+    let planner = Planner::from_xml(&wf, &[BLAST_INPUT_CFG]).unwrap();
+    // num_partitions declared but never given a value.
+    let e = planner
+        .bind(&args(&[("input_path", "/in"), ("output_path", "/out")]))
+        .unwrap_err();
+    match &e {
+        CoreError::Plan(msg) => {
+            assert!(msg.contains("num_partitions"), "{msg}");
+            assert!(msg.contains("has no value"), "{msg}");
+        }
+        other => panic!("expected CoreError::Plan, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_variable_reference_is_a_typed_error() {
+    // $num_partitons is a typo for the declared $num_partitions.
+    let wf = workflow("/tmp/sorted", "$output_path", "$num_partitons");
+    let planner = Planner::from_xml(&wf, &[BLAST_INPUT_CFG]).unwrap();
+    let e = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap_err();
+    match &e {
+        CoreError::Config(msg) => {
+            assert!(msg.contains("unknown argument '$num_partitons'"), "{msg}");
+        }
+        other => panic!("expected CoreError::Config, got {other:?}"),
+    }
+}
+
+#[test]
+fn undeclared_launch_argument_is_a_typed_plan_error() {
+    let wf = workflow("/tmp/sorted", "$output_path", "$num_partitions");
+    let planner = Planner::from_xml(&wf, &[BLAST_INPUT_CFG]).unwrap();
+    let e = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+            ("bogus", "1"),
+        ]))
+        .unwrap_err();
+    match &e {
+        CoreError::Plan(msg) => {
+            assert!(msg.contains("'bogus'"), "{msg}");
+            assert!(msg.contains("not declared"), "{msg}");
+        }
+        other => panic!("expected CoreError::Plan, got {other:?}"),
+    }
+}
+
+#[test]
+fn duplicate_dataset_name_is_a_typed_plan_error() {
+    // The distribute writes the same dataset the sort already produced.
+    let wf = workflow("/tmp/sorted", "/tmp/sorted", "$num_partitions");
+    let planner = Planner::from_xml(&wf, &[BLAST_INPUT_CFG]).unwrap();
+    let e = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap_err();
+    match &e {
+        CoreError::Plan(msg) => {
+            assert!(msg.contains("'/tmp/sorted'"), "{msg}");
+            assert!(msg.contains("already exists"), "{msg}");
+        }
+        other => panic!("expected CoreError::Plan, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_input_config_is_a_typed_plan_error() {
+    let wf = workflow("/tmp/sorted", "$output_path", "$num_partitions");
+    // The workflow's hdfs arguments name format 'blast_db', but no
+    // InputData document was supplied.
+    let planner = Planner::from_xml(&wf, &[]).unwrap();
+    let e = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap_err();
+    match &e {
+        CoreError::Plan(msg) => {
+            assert!(msg.contains("'blast_db'"), "{msg}");
+            assert!(msg.contains("not supplied"), "{msg}");
+        }
+        other => panic!("expected CoreError::Plan, got {other:?}"),
+    }
+}
+
+#[test]
+fn job_without_outputs_is_rejected_up_front_not_a_panic() {
+    let wf = workflow("/tmp/sorted", "$output_path", "$num_partitions");
+    let planner = Planner::from_xml(&wf, &[BLAST_INPUT_CFG]).unwrap();
+    let mut plan = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap();
+    // Simulate a buggy plan producer (the fields are public for custom
+    // tooling): `run` must reject it before any job launches.
+    plan.jobs[0].outputs.clear();
+    let runner = WorkflowRunner::new(plan);
+    let mut cluster = Cluster::new(2);
+    let e = runner.run(&mut cluster).unwrap_err();
+    match &e {
+        CoreError::Plan(msg) => {
+            assert!(msg.contains("declares no output datasets"), "{msg}");
+        }
+        other => panic!("expected CoreError::Plan, got {other:?}"),
+    }
+}

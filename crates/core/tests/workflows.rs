@@ -169,7 +169,8 @@ fn blast_workflow_reproduces_figure9_partitions() {
         )
         .unwrap();
     let report = runner.run(&mut cluster).unwrap();
-    assert_eq!(report.jobs.len(), 2);
+    // The sort and the distribute fuse into one physical MR job.
+    assert_eq!(report.jobs.len(), 1);
 
     let parts = cluster.collect("/data/parts").unwrap();
     assert_eq!(parts.len(), 3);
@@ -269,6 +270,14 @@ fn figure11_edges() -> Vec<Record> {
 }
 
 fn hybrid_runner(num_partitions: &str, threshold: &str) -> WorkflowRunner {
+    hybrid_runner_with(num_partitions, threshold, ExecOptions::default())
+}
+
+fn hybrid_runner_with(
+    num_partitions: &str,
+    threshold: &str,
+    options: ExecOptions,
+) -> WorkflowRunner {
     let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
     let plan = planner
         .bind(&args(&[
@@ -278,7 +287,7 @@ fn hybrid_runner(num_partitions: &str, threshold: &str) -> WorkflowRunner {
             ("threshold", threshold),
         ]))
         .unwrap();
-    WorkflowRunner::new(plan)
+    WorkflowRunner::with_options(plan, options)
 }
 
 #[test]
@@ -410,7 +419,16 @@ fn hybrid_low_degree_vertices_stay_together_high_degree_spread() {
 
 #[test]
 fn intermediate_datasets_have_expected_shapes() {
-    let runner = hybrid_runner("2", "4");
+    // This test inspects the materialized intermediates, so fusion (which
+    // streams the single-consumer `/tmp/group`) must stay off.
+    let runner = hybrid_runner_with(
+        "2",
+        "4",
+        ExecOptions {
+            fuse: false,
+            ..ExecOptions::default()
+        },
+    );
     let mut cluster = Cluster::new(2);
     let schema = runner.plan().external_inputs[0].1.schema.clone();
     runner
@@ -621,6 +639,9 @@ fn sampling_modes_affect_balance_not_content() {
             plan,
             ExecOptions {
                 sampling: mode,
+                // The sorted intermediate is inspected below, so fusion
+                // must not stream it away.
+                fuse: false,
                 ..ExecOptions::default()
             },
         );

@@ -143,6 +143,15 @@ impl Cluster {
         self.tracer.record_sample(sample);
     }
 
+    /// Annotate the most recently recorded job trace with the logical
+    /// workflow jobs it covers. Fused physical stages call this right
+    /// after the engine records the stage's job, so `--profile` and
+    /// `--trace` can show which operators a single fused span stands
+    /// for.
+    pub fn annotate_last_job_trace(&mut self, covers: Vec<String>) {
+        self.tracer.annotate_last_job(covers);
+    }
+
     /// Set the engine's OS-thread budget (builder form). See
     /// [`Cluster::set_threads`].
     pub fn with_threads(mut self, threads: usize) -> Self {

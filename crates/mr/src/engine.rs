@@ -118,6 +118,16 @@ pub trait Partitioner: Sync {
 pub trait Reducer: Sync {
     /// Produce the output fragment of one reducer.
     fn reduce(&self, ctx: &TaskCtx, pairs: Vec<(Value, Entry)>) -> Result<Batch>;
+
+    /// Produce one fragment per output dataset for jobs launched through
+    /// [`Cluster::run_job_multi`]: slot 0 goes to the job's primary
+    /// output, slot `j + 1` to the j-th extra output. Fused group→split
+    /// stages use this to route grouped entries to the split's
+    /// destination datasets in a single reduce pass; plain reducers keep
+    /// the default single-slot behavior.
+    fn reduce_multi(&self, ctx: &TaskCtx, pairs: Vec<(Value, Entry)>) -> Result<Vec<Batch>> {
+        Ok(vec![self.reduce(ctx, pairs)?])
+    }
 }
 
 /// Blanket adapters so plain closures can serve as map/reduce tasks.
@@ -366,6 +376,9 @@ struct PhaseCtx<'a> {
     cost: CostModel,
     /// Network model, for modeling recovery traffic on that clock.
     net: NetModel,
+    /// Extra output datasets (name, schema) beyond `job.output`, in
+    /// `reduce_multi` slot order; empty for single-output jobs.
+    extra_outputs: &'a [(String, Arc<Schema>)],
 }
 
 /// What one node's map task hands back at the barrier.
@@ -390,9 +403,11 @@ struct MapOutcome {
 
 /// What one node's reduce task hands back at the barrier.
 struct ReduceOutcome {
-    /// Output batches per owned reducer id; committed by the driver thread
-    /// in node order so replication accounting stays deterministic.
-    outputs: Vec<(u32, Batch)>,
+    /// Output batches per owned reducer id, one batch per output slot
+    /// (primary first, then the job's extra outputs); committed by the
+    /// driver thread in node order so replication accounting stays
+    /// deterministic.
+    outputs: Vec<(u32, Vec<Batch>)>,
     phase_time: Duration,
     records_out: u64,
     recovery: RecoveryStats,
@@ -437,6 +452,27 @@ where
         .collect()
 }
 
+/// Invoke the job's reducer and check it produced exactly one batch per
+/// output slot — a mismatch is a reducer bug and must fail the task, not
+/// silently drop or misroute a dataset.
+fn reduce_slots(
+    job: &MapReduceJob<'_>,
+    ctx: &TaskCtx,
+    pairs: Vec<(Value, Entry)>,
+    slots: usize,
+) -> Result<Vec<Batch>> {
+    let batches = job.reducer.reduce_multi(ctx, pairs)?;
+    if batches.len() != slots {
+        return Err(MrError::msg(format!(
+            "job '{}': reducer produced {} batch(es) for {} output slot(s)",
+            job.name,
+            batches.len(),
+            slots
+        )));
+    }
+    Ok(batches)
+}
+
 impl Cluster {
     /// Run one MapReduce job under the virtual clock and return its stats.
     ///
@@ -452,6 +488,20 @@ impl Cluster {
     /// measured compute time. Recovery never changes the output: recovered
     /// runs are byte-identical to fault-free ones, for every thread count.
     pub fn run_job(&mut self, job: &MapReduceJob<'_>) -> Result<JobStats> {
+        self.run_job_multi(job, &[])
+    }
+
+    /// Like [`Cluster::run_job`], but the reducer writes one batch per
+    /// output dataset via [`Reducer::reduce_multi`]: slot 0 commits to
+    /// `job.output` with `job.output_schema`, slot `j + 1` to
+    /// `extra_outputs[j]`. Every output dataset gets one fragment per
+    /// reducer (ordinal = reducer id), exactly like the primary output of
+    /// a plain job.
+    pub fn run_job_multi(
+        &mut self,
+        job: &MapReduceJob<'_>,
+        extra_outputs: &[(String, Arc<Schema>)],
+    ) -> Result<JobStats> {
         if job.num_reducers == 0 {
             return Err(MrError::msg(format!(
                 "job '{}' has zero reducers",
@@ -486,6 +536,7 @@ impl Cluster {
             tracing,
             cost,
             net: net_model,
+            extra_outputs,
         };
         let this: &Cluster = &*self;
         let map_results = run_phase(n, threads, |node| this.map_task(&map_pc, node));
@@ -555,6 +606,7 @@ impl Cluster {
             tracing,
             cost,
             net: net_model,
+            extra_outputs,
         };
         let this: &Cluster = &*self;
         let reduce_results = run_phase(n, threads, |node| {
@@ -572,13 +624,16 @@ impl Cluster {
                     if let Some(t) = o.trace {
                         reduce_tasks.push(t);
                     }
-                    for (rid, batch) in o.outputs {
-                        self.put_fragment(
-                            node,
-                            &job.output,
-                            rid,
-                            Dataset::new(job.output_schema.clone(), batch),
-                        );
+                    for (rid, batches) in o.outputs {
+                        for (slot, batch) in batches.into_iter().enumerate() {
+                            let (name, schema) = if slot == 0 {
+                                (job.output.as_str(), &job.output_schema)
+                            } else {
+                                let (n, s) = &extra_outputs[slot - 1];
+                                (n.as_str(), s)
+                            };
+                            self.put_fragment(node, name, rid, Dataset::new(schema.clone(), batch));
+                        }
                     }
                 }
                 Ok(_) => {}
@@ -808,7 +863,8 @@ impl Cluster {
             let pair_count = pairs.len() as u64;
             // Outputs are buffered and only committed if the task survives
             // its boundary — a crashed attempt leaves nothing.
-            let mut outputs: Vec<(u32, Batch)> = Vec::new();
+            let slots = 1 + pc.extra_outputs.len();
+            let mut outputs: Vec<(u32, Vec<Batch>)> = Vec::new();
             let mut records_out: u64 = 0;
             let mut handled: Vec<bool> = vec![false; job.num_reducers];
             let mut iter = pairs.drain(..).peekable();
@@ -825,10 +881,10 @@ impl Cluster {
                     num_reducers: job.num_reducers,
                     reducer: Some(rid as usize),
                 };
-                let batch = job.reducer.reduce(&ctx, group)?;
-                records_out += batch.record_count() as u64;
+                let batches = reduce_slots(job, &ctx, group, slots)?;
+                records_out += batches.iter().map(|b| b.record_count() as u64).sum::<u64>();
                 handled[rid as usize] = true;
-                outputs.push((rid, batch));
+                outputs.push((rid, batches));
             }
             drop(iter);
             // Reducers that received nothing still own an (empty) output
@@ -842,8 +898,8 @@ impl Cluster {
                         num_reducers: job.num_reducers,
                         reducer: Some(rid),
                     };
-                    let batch = job.reducer.reduce(&ctx, Vec::new())?;
-                    outputs.push((rid as u32, batch));
+                    let batches = reduce_slots(job, &ctx, Vec::new(), slots)?;
+                    outputs.push((rid as u32, batches));
                 }
             }
             let raw = t0.elapsed();
@@ -1063,5 +1119,6 @@ fn job_trace(
             PhaseTrace::barrier(PhaseKind::Reduce, reduce_tasks),
         ],
         skew,
+        covers: Vec::new(),
     }
 }

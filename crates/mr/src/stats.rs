@@ -303,6 +303,7 @@ pub fn job_trace_from_stats(
         name: stats.name.clone(),
         phases: vec![map, shuffle, reduce],
         skew: None,
+        covers: Vec::new(),
     }
 }
 

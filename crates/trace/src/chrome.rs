@@ -83,6 +83,16 @@ fn push_span(s: &mut String, span: &Span) {
         push_u64_array(s, "skew_records", &skew.records);
         push_u64_array(s, "skew_bytes", &skew.bytes);
     }
+    if !span.covers.is_empty() {
+        s.push_str(",\"covers\":[");
+        for (i, name) in span.covers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", esc(name)));
+        }
+        s.push(']');
+    }
     s.push_str("}}");
 }
 
@@ -159,6 +169,7 @@ mod tests {
                     records: vec![5, 3],
                     bytes: vec![50, 30],
                 }),
+                covers: vec!["sort".to_string(), "distr".to_string()],
             }],
         }
     }
@@ -188,6 +199,8 @@ mod tests {
             assert!(json.contains(cat), "missing {cat}");
         }
         assert!(json.contains("\"skew_records\":[5,3]"));
+        // The fused job span names the logical jobs it stands for.
+        assert!(json.contains("\"covers\":[\"sort\",\"distr\"]"));
         assert!(json.contains("\"ts\":0.000"));
         assert!(json.contains("\"dur\":1234.567"));
         // Per-node tracks get named.

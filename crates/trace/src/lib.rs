@@ -216,6 +216,9 @@ pub struct Span {
     pub counters: Counters,
     /// Per-reducer skew (job spans only).
     pub skew: Option<SkewHistogram>,
+    /// Logical workflow jobs this span stands for, when the physical
+    /// plan fused them into one stage (job spans only; empty otherwise).
+    pub covers: Vec<String>,
 }
 
 /// The assembled trace of one workflow run.
@@ -285,6 +288,7 @@ impl WorkflowTrace {
             cpu: self.jobs.iter().map(JobTrace::cpu).sum(),
             counters: self.counters(),
             skew: None,
+            covers: Vec::new(),
         });
         let mut clock = 0u64;
         for job in &self.jobs {
@@ -300,6 +304,7 @@ impl WorkflowTrace {
                 cpu: job.cpu(),
                 counters: job.counters(),
                 skew: job.skew.clone(),
+                covers: job.covers.clone(),
             });
             for phase in &job.phases {
                 let pid = alloc();
@@ -314,6 +319,7 @@ impl WorkflowTrace {
                     cpu: phase.cpu,
                     counters: phase.counters,
                     skew: None,
+                    covers: Vec::new(),
                 });
                 for task in &phase.tasks {
                     let tid = alloc();
@@ -328,6 +334,7 @@ impl WorkflowTrace {
                         cpu: task.cpu,
                         counters: task.counters,
                         skew: None,
+                        covers: Vec::new(),
                     });
                 }
                 clock = clock.saturating_add(phase.det_ns);
@@ -374,6 +381,7 @@ mod tests {
                 records: vec![3, 1],
                 bytes: vec![30, 10],
             }),
+            covers: Vec::new(),
         };
         WorkflowTrace {
             jobs: vec![mk_job("a"), mk_job("b")],

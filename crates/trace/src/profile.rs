@@ -54,6 +54,13 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
                 skew.records.len()
             ));
         }
+        if !job.covers.is_empty() {
+            out.push_str(&format!(
+                "{:<24} └ covers: fused logical jobs {}\n",
+                "",
+                job.covers.join(", ")
+            ));
+        }
     }
     out.push_str(&format!(
         "{:<24} {:<8} {:>12} {:>6.1}%\n",
@@ -109,6 +116,16 @@ fn push_job(s: &mut String, job: &JobTrace) {
             skew.records.len(),
             (skew.imbalance() * 1000.0).round() as u64
         ));
+    }
+    if !job.covers.is_empty() {
+        s.push_str(",\"covers\":[");
+        for (i, name) in job.covers.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!("\"{}\"", esc(name)));
+        }
+        s.push(']');
     }
     s.push_str(",\"phases\":[");
     for (i, p) in job.phases.iter().enumerate() {
@@ -222,6 +239,7 @@ mod tests {
                     records: vec![60, 40],
                     bytes: vec![600, 400],
                 }),
+                covers: vec!["sort".to_string(), "distr".to_string()],
             }],
         }
     }
@@ -236,6 +254,7 @@ mod tests {
         assert!(rendered.contains("10.000 ms")); // 6 + 4, the makespan
         assert!(rendered.contains("100.0%"));
         assert!(rendered.contains("skew: imbalance 1.20"));
+        assert!(rendered.contains("covers: fused logical jobs sort, distr"));
     }
 
     #[test]
@@ -251,6 +270,7 @@ mod tests {
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.contains("\"total_virt_ns\":10000000"));
         assert!(json.contains("\"skew_imbalance_milli\":1200"));
+        assert!(json.contains("\"covers\":[\"sort\",\"distr\"]"));
         assert!(json.contains("\"kind\":\"map\""));
         assert!(json.contains("\"shuffle_bytes\":4096"));
         assert!(!json.contains('\n'));

@@ -89,6 +89,11 @@ pub struct JobTrace {
     /// Per-reducer record/byte distribution of the shuffle, when the
     /// job had one.
     pub skew: Option<SkewHistogram>,
+    /// Logical workflow jobs this trace covers, when the physical stage
+    /// fused more than one (empty for ordinary one-job stages). Keeps
+    /// `--profile`/`--trace` truthful under fusion: a `sort+distr` span
+    /// says it stands for both operators.
+    pub covers: Vec<String>,
 }
 
 impl JobTrace {
@@ -140,6 +145,11 @@ pub trait TraceSink: Send + Sync {
     /// the next recorded job.
     fn record_sample(&mut self, _sample: PhaseTrace) {}
 
+    /// Annotate the most recently recorded job with the logical jobs it
+    /// covers (fused stages call this right after the engine records the
+    /// job). No-op for sinks that do not collect.
+    fn annotate_last_job(&mut self, _covers: Vec<String>) {}
+
     /// Consume everything recorded and produce the assembled trace;
     /// `None` for sinks that do not collect.
     fn finish(&mut self) -> Option<WorkflowTrace> {
@@ -184,6 +194,12 @@ impl TraceSink for Collector {
         self.pending_sample = Some(sample);
     }
 
+    fn annotate_last_job(&mut self, covers: Vec<String>) {
+        if let Some(job) = self.jobs.last_mut() {
+            job.covers = covers;
+        }
+    }
+
     fn finish(&mut self) -> Option<WorkflowTrace> {
         let mut jobs = std::mem::take(&mut self.jobs);
         // A sampling pass with no job after it (failed run) still shows
@@ -193,6 +209,7 @@ impl TraceSink for Collector {
                 name: "(sample)".to_string(),
                 phases: vec![sample],
                 skew: None,
+                covers: Vec::new(),
             });
         }
         Some(WorkflowTrace { jobs })
@@ -211,7 +228,9 @@ mod tests {
             name: "x".into(),
             phases: Vec::new(),
             skew: None,
+            covers: Vec::new(),
         });
+        s.annotate_last_job(vec!["a".into()]);
         assert!(s.finish().is_none());
     }
 
@@ -229,17 +248,25 @@ mod tests {
             name: "sort".into(),
             phases: vec![PhaseTrace::barrier(PhaseKind::Map, vec![])],
             skew: None,
+            covers: Vec::new(),
         });
         c.record_job(JobTrace {
             name: "distr".into(),
             phases: Vec::new(),
             skew: None,
+            covers: Vec::new(),
         });
+        c.annotate_last_job(vec!["sort".into(), "distr".into()]);
         let t = c.finish().unwrap();
         assert_eq!(t.jobs.len(), 2);
         assert_eq!(t.jobs[0].phases[0].kind, PhaseKind::Sample);
         assert_eq!(t.jobs[0].virt(), Duration::from_millis(2));
         assert!(t.jobs[1].phases.is_empty());
+        assert!(t.jobs[0].covers.is_empty());
+        assert_eq!(
+            t.jobs[1].covers,
+            vec!["sort".to_string(), "distr".to_string()]
+        );
     }
 
     #[test]

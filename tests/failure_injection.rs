@@ -139,7 +139,8 @@ fn empty_input_produces_empty_partitions() {
         )
         .unwrap();
     let report = runner.run(&mut cluster).unwrap();
-    assert_eq!(report.jobs.len(), 2);
+    // The sort→distribute pair fuses into one physical stage.
+    assert_eq!(report.jobs.len(), 1);
     let parts = cluster.collect("/out").unwrap();
     assert_eq!(parts.len(), 4, "all partitions materialize even when empty");
     assert!(parts.iter().all(|p| p.batch.is_empty()));

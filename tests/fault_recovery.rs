@@ -173,16 +173,16 @@ fn chaos_cluster(nodes: usize, plan: FaultPlan) -> Cluster {
         .with_retry(RetryPolicy::default())
 }
 
-/// The acceptance scenario: a node crashes mid-shuffle (reduce side of the
-/// multi-job workflow's second job). The workflow must complete, the
-/// partitions must be byte-identical to the fault-free run, and the clock
-/// must show nonzero re-executed task time.
+/// The acceptance scenario: a node crashes mid-shuffle (reduce side of
+/// the fused sort→distribute stage, job slot 0). The workflow must
+/// complete, the partitions must be byte-identical to the fault-free run,
+/// and the clock must show nonzero re-executed task time.
 #[test]
 fn node_crash_mid_shuffle_recovers_byte_identically() {
     let (_, baseline) = run_blast(&mut Cluster::new(3), 300).unwrap();
     let plan = FaultPlan::new(vec![Fault::NodeCrash {
         node: 1,
-        job: 1,
+        job: 0,
         phase: TaskPhase::Reduce,
     }]);
     let mut cluster = chaos_cluster(3, plan);
@@ -221,7 +221,7 @@ fn map_crash_and_exchange_faults_recover_byte_identically() {
         Fault::ExchangeCorrupt {
             from: 2,
             to: 0,
-            job: 1,
+            job: 0,
         },
     ]);
     let mut cluster = chaos_cluster(3, plan);
@@ -279,7 +279,7 @@ fn powerlyra_workflow_recovers_byte_identically() {
 fn crash_without_replication_is_data_loss_not_silent_corruption() {
     let plan = FaultPlan::new(vec![Fault::NodeCrash {
         node: 1,
-        job: 1,
+        job: 0,
         phase: TaskPhase::Map,
     }]);
     let mut cluster = Cluster::try_new(3)

@@ -1,0 +1,264 @@
+//! Fusion transparency: the physical planner's rewrites (sort→distribute
+//! fusion, group→split fusion, dead-intermediate streaming) are pure
+//! performance transformations. Partition bytes must be identical with
+//! and without fusion, across thread counts, and under injected faults —
+//! only job counts and shuffle traffic may change.
+
+use mublastp::dbgen::DbSpec;
+use papar::core::exec::{ExecOptions, WorkflowReport, WorkflowRunner};
+use papar::core::plan::Planner;
+use papar::mr::{Cluster, Fault, FaultPlan, RetryPolicy, TaskPhase};
+use papar::record::batch::{Batch, Dataset};
+use papar::record::wire;
+use std::collections::HashMap;
+
+const BLAST_INPUT_CFG: &str = r#"
+<input id="blast_db" name="n">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+const EDGE_INPUT_CFG: &str = r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+/// Paper Figure 8: sort by sequence size, deal round-robin.
+const BLAST_WORKFLOW: &str = r#"
+<workflow id="blast_partition" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+/// Paper Figure 10: group by in-vertex, split at the degree threshold,
+/// distribute with the hybrid vertex-cut.
+const HYBRID_WORKFLOW: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn options(fuse: bool, threads: usize) -> ExecOptions {
+    ExecOptions {
+        fuse,
+        threads: Some(threads),
+        ..ExecOptions::default()
+    }
+}
+
+fn partition_bytes(cluster: &Cluster, name: &str) -> Vec<Vec<u8>> {
+    cluster
+        .collect(name)
+        .unwrap()
+        .into_iter()
+        .map(|d| {
+            let mut buf = Vec::new();
+            wire::encode_batch(&d.batch, &d.schema, &mut buf).unwrap();
+            buf
+        })
+        .collect()
+}
+
+fn run_blast(mut cluster: Cluster, options: ExecOptions) -> (Vec<Vec<u8>>, WorkflowReport) {
+    let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap();
+    let runner = WorkflowRunner::with_options(plan, options);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let db = DbSpec::env_nr_scaled(300, 7).generate();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/in",
+            Dataset::new(schema, Batch::Flat(db.index_records())),
+        )
+        .unwrap();
+    let report = runner.run(&mut cluster).unwrap();
+    (partition_bytes(&cluster, "/out"), report)
+}
+
+fn run_hybrid(mut cluster: Cluster, options: ExecOptions) -> (Vec<Vec<u8>>, WorkflowReport) {
+    let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_file", "/g/in"),
+            ("output_path", "/g/out"),
+            ("num_partitions", "4"),
+            ("threshold", "10"),
+        ]))
+        .unwrap();
+    let runner = WorkflowRunner::with_options(plan, options);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let graph = powerlyra::gen::chung_lu(120, 900, 2.1, 11).unwrap();
+    let cfg = papar_config::InputConfig::parse_str(EDGE_INPUT_CFG).unwrap();
+    let text = powerlyra::gen::to_snap_text(&graph);
+    let records = papar::record::codec::text::read(&cfg, &schema, &text).unwrap();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/g/in",
+            Dataset::new(schema, Batch::Flat(records)),
+        )
+        .unwrap();
+    let report = runner.run(&mut cluster).unwrap();
+    (partition_bytes(&cluster, "/g/out"), report)
+}
+
+fn shuffled_bytes(report: &WorkflowReport) -> u64 {
+    report.jobs.iter().map(|j| j.exchange.remote_bytes).sum()
+}
+
+/// A fault plan exercising both phases of the fused stage plus the
+/// exchange; job slot 1 is the elided distribute, covered to show that
+/// faults addressed to an elided slot are inert, not misdelivered.
+fn chaos_plan() -> FaultPlan {
+    FaultPlan::new(vec![
+        Fault::NodeCrash {
+            node: 1,
+            job: 0,
+            phase: TaskPhase::Map,
+        },
+        Fault::NodeCrash {
+            node: 2,
+            job: 0,
+            phase: TaskPhase::Reduce,
+        },
+        Fault::ExchangeDrop {
+            from: 0,
+            to: 2,
+            job: 0,
+        },
+        Fault::NodeCrash {
+            node: 0,
+            job: 1,
+            phase: TaskPhase::Map,
+        },
+    ])
+}
+
+fn chaos_cluster(nodes: usize, threads: usize) -> Cluster {
+    Cluster::try_new(nodes)
+        .unwrap()
+        .with_threads(threads)
+        .with_replication(1)
+        .with_fault_plan(chaos_plan())
+        .with_retry(RetryPolicy::default())
+}
+
+#[test]
+fn blast_fusion_is_byte_identical_and_halves_the_job_count() {
+    let (baseline, unfused) = run_blast(Cluster::new(3), options(false, 1));
+    assert_eq!(unfused.jobs.len(), 2, "unfused: sort then distribute");
+    for t in [1, 4] {
+        let (out, fused) = run_blast(Cluster::new(3), options(true, t));
+        assert_eq!(out, baseline, "fused output diverged at {t} threads");
+        assert_eq!(fused.jobs.len(), 1, "sort+distribute must fuse");
+        assert!(
+            shuffled_bytes(&fused) < shuffled_bytes(&unfused),
+            "fusion must shuffle fewer bytes: {} vs {}",
+            shuffled_bytes(&fused),
+            shuffled_bytes(&unfused)
+        );
+    }
+}
+
+#[test]
+fn hybrid_fusion_is_byte_identical_and_drops_one_job() {
+    let (baseline, unfused) = run_hybrid(Cluster::new(4), options(false, 1));
+    assert_eq!(unfused.jobs.len(), 3, "unfused: group, split, distribute");
+    for t in [1, 4] {
+        let (out, fused) = run_hybrid(Cluster::new(4), options(true, t));
+        assert_eq!(out, baseline, "fused output diverged at {t} threads");
+        assert_eq!(fused.jobs.len(), 2, "group+split must fuse");
+    }
+}
+
+#[test]
+fn fused_and_unfused_recover_identically_under_faults() {
+    let (fault_free, _) = run_blast(Cluster::new(3), options(true, 1));
+    for t in [1, 4] {
+        let (fused, fused_report) = run_blast(chaos_cluster(3, t), options(true, t));
+        let (unfused, unfused_report) = run_blast(chaos_cluster(3, t), options(false, t));
+        assert_eq!(fused, fault_free, "fused recovery diverged at {t} threads");
+        assert_eq!(
+            unfused, fault_free,
+            "unfused recovery diverged at {t} threads"
+        );
+        // The shared slots (job 0 both ways) fire in both modes; the
+        // job-1 fault only finds a task to kill without fusion.
+        assert!(
+            fused_report.faults_injected() >= 3,
+            "job-0 faults must fire"
+        );
+        assert!(
+            unfused_report.faults_injected() > fused_report.faults_injected(),
+            "the elided slot's fault must be inert under fusion"
+        );
+    }
+}

@@ -68,7 +68,7 @@ fn chaos_plan() -> FaultPlan {
         },
         Fault::NodeCrash {
             node: 2,
-            job: 1,
+            job: 0,
             phase: TaskPhase::Reduce,
         },
         Fault::ExchangeDrop {
