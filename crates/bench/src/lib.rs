@@ -13,6 +13,7 @@
 
 pub mod ablation;
 pub mod chaos;
+pub mod checkpoint;
 pub mod datasets;
 pub mod fig12;
 pub mod fig13;

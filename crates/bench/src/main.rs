@@ -8,7 +8,9 @@
 
 use papar_bench::datasets::Scale;
 use papar_bench::report::Table;
-use papar_bench::{ablation, chaos, fig12, fig13, fig14, fig15, fusion, parallel, table2};
+use papar_bench::{
+    ablation, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, parallel, table2,
+};
 use std::io::Write;
 
 const EXPERIMENTS: &[&str] = &[
@@ -23,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-sampling",
     "ablation-sort",
     "chaos",
+    "checkpoint",
     "fusion",
     "parallel",
 ];
@@ -49,6 +52,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Table {
         "ablation-sampling" => ablation::sampling(scale),
         "ablation-sort" => ablation::sort_comparison(scale),
         "chaos" => chaos::run(scale),
+        "checkpoint" => checkpoint::run(scale),
         "fusion" => fusion::run(scale),
         "parallel" => parallel::run(scale),
         other => {

@@ -181,6 +181,11 @@ codes! {
     /// An InputData configuration is semantically invalid (String field in
     /// a binary input, missing delimiter, no fields).
     P019 = "P019",
+    /// A `--resume` checkpoint was taken by a different run: its plan
+    /// fingerprint (physical plan, input contents, fault seed, or
+    /// configuration digest) does not match the current invocation, so
+    /// resuming would not be byte-identical and is refused.
+    P020 = "P020",
     /// Plan-invariant violation: the planner's compiled metadata diverges
     /// from the analyzer's inference (a framework bug, not a user error).
     P099 = "P099",

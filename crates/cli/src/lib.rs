@@ -70,6 +70,12 @@ pub struct RunSpec {
     /// Write a Chrome trace-event JSON file of the run's span tree
     /// (loadable in chrome://tracing or Perfetto).
     pub trace_out: Option<PathBuf>,
+    /// Persist per-stage progress into this run directory
+    /// (`--checkpoint`); with [`RunSpec::resume`] set, completed stages
+    /// are restored from it instead of re-executed.
+    pub checkpoint: Option<PathBuf>,
+    /// Resume from [`RunSpec::checkpoint`]'s manifest (`--resume`).
+    pub resume: bool,
 }
 
 impl Default for RunSpec {
@@ -92,6 +98,8 @@ impl Default for RunSpec {
             no_fuse: false,
             profile: false,
             trace_out: None,
+            checkpoint: None,
+            resume: false,
         }
     }
 }
@@ -120,6 +128,12 @@ pub struct RunSummary {
     pub profile: Option<String>,
     /// The Chrome trace-event file written (present with `--trace`).
     pub trace_file: Option<PathBuf>,
+    /// Stages restored from the checkpoint instead of executed (0 unless
+    /// `--resume` skipped work).
+    pub stages_resumed: usize,
+    /// Corrupt or torn checkpoint data found while resuming, already
+    /// quarantined and recomputed.
+    pub checkpoint_events: Vec<String>,
 }
 
 /// CLI error: a message for the user (exit code 1).
@@ -220,7 +234,7 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     }
     let input_name = plan.external_inputs[0].0.clone();
     let num_jobs = plan.jobs.len();
-    let runner = WorkflowRunner::with_options(
+    let mut runner = WorkflowRunner::with_options(
         plan,
         ExecOptions {
             threads: spec.threads,
@@ -229,6 +243,19 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             ..ExecOptions::default()
         },
     );
+    if let Some(dir) = &spec.checkpoint {
+        // Salt the resume fingerprint with everything byte-affecting the
+        // runner cannot see: the fault schedule and the recovery knobs.
+        let salt = format!(
+            "faults={:?} seed={} replication={} max_retries={}",
+            spec.faults, spec.fault_seed, spec.replication, spec.max_retries
+        );
+        runner = runner.with_checkpoint(
+            dir,
+            spec.resume,
+            papar_record::wire::checksum(salt.as_bytes()),
+        );
+    }
     let mut cluster = Cluster::try_new(spec.nodes)
         .map_err(|e| fail(e.to_string()))?
         .with_replication(spec.replication)
@@ -247,7 +274,16 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             Dataset::new(schema.clone(), Batch::Flat(records)),
         )
         .map_err(|e| fail(e.to_string()))?;
-    let report = runner.run(&mut cluster).map_err(|e| fail(e.to_string()))?;
+    let report = runner.run(&mut cluster).map_err(|e| match e {
+        papar_core::error::CoreError::Mr(papar_mr::MrError::ResumeMismatch { .. }) => {
+            fail(format!(
+                "error[P020]: {e}\n(the checkpoint was taken by a run with a different \
+                 plan, input, fault seed or configuration; re-run with --checkpoint \
+                 to start it over)"
+            ))
+        }
+        e => fail(e.to_string()),
+    })?;
 
     // Render/export the span tree before the partitions are written, so a
     // disk-full failure below still leaves the trace on disk for debugging.
@@ -314,6 +350,8 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         check_warnings,
         profile,
         trace_file,
+        stages_resumed: report.stages_resumed,
+        checkpoint_events: report.checkpoint_events.clone(),
     })
 }
 
@@ -767,6 +805,21 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
             "--no-fuse" => spec.no_fuse = true,
             "--profile" => spec.profile = true,
             "--trace" => spec.trace_out = Some(need("--trace", &mut argv)?.into()),
+            "--checkpoint" => {
+                let dir: PathBuf = need("--checkpoint", &mut argv)?.into();
+                if spec.checkpoint.as_ref().is_some_and(|d| *d != dir) {
+                    return Err(fail("--checkpoint and --resume name different directories"));
+                }
+                spec.checkpoint = Some(dir);
+            }
+            "--resume" => {
+                let dir: PathBuf = need("--resume", &mut argv)?.into();
+                if spec.checkpoint.as_ref().is_some_and(|d| *d != dir) {
+                    return Err(fail("--checkpoint and --resume name different directories"));
+                }
+                spec.checkpoint = Some(dir);
+                spec.resume = true;
+            }
             "-h" | "--help" => {
                 return Err(fail(USAGE));
             }
@@ -792,6 +845,7 @@ usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <di
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
              [--threads N] [--no-fuse] [--profile] [--trace <file>]
+             [--checkpoint <dir> | --resume <dir>]
        papar check --workflow <xml> [options]   (see `papar check --help`)
        papar plan --workflow <xml> [options]    (see `papar plan --help`)
 
@@ -817,7 +871,16 @@ Observability:
   --profile          print a per-phase virtual-time breakdown (paper Fig. 13 style)
   --trace FILE       write a Chrome trace-event JSON span tree; open it in
                      chrome://tracing or https://ui.perfetto.dev. The file is
-                     byte-identical for every --threads value.";
+                     byte-identical for every --threads value.
+
+Checkpointing (crash-consistent; resumed output is byte-identical to a cold run):
+  --checkpoint DIR   durably publish each completed stage's output fragments and
+                     stats into DIR (write-ahead manifest, fsync+rename commits)
+  --resume DIR       validate DIR's manifest, skip its completed stages and
+                     re-execute from the first incomplete one; refuses with
+                     error[P020] when the plan/input/seed/config fingerprint
+                     differs. Corrupt or torn data is quarantined (*.quarantine)
+                     and recomputed, never silently reused.";
 
 #[cfg(test)]
 mod tests {
@@ -956,6 +1019,43 @@ mod tests {
         assert!(parse(&[]).is_err());
         let e = parse(&["--input-config", "a", "--workflow", "b", "--data", "c"]).unwrap_err();
         assert!(e.to_string().contains("--out"), "{e}");
+    }
+
+    #[test]
+    fn parse_args_checkpoint_flags() {
+        let base = [
+            "--input-config",
+            "a",
+            "--workflow",
+            "b",
+            "--data",
+            "c",
+            "--out",
+            "d",
+        ];
+        let parse =
+            |extra: &[&str]| parse_args(base.iter().chain(extra.iter()).map(|s| s.to_string()));
+        // Defaults: no checkpointing.
+        let spec = parse(&[]).unwrap();
+        assert!(spec.checkpoint.is_none());
+        assert!(!spec.resume);
+        // --checkpoint writes; --resume reads and writes.
+        let spec = parse(&["--checkpoint", "run1"]).unwrap();
+        assert_eq!(spec.checkpoint, Some(PathBuf::from("run1")));
+        assert!(!spec.resume);
+        let spec = parse(&["--resume", "run1"]).unwrap();
+        assert_eq!(spec.checkpoint, Some(PathBuf::from("run1")));
+        assert!(spec.resume);
+        // Naming the same dir twice is fine; different dirs conflict.
+        let spec = parse(&["--checkpoint", "run1", "--resume", "run1"]).unwrap();
+        assert!(spec.resume);
+        let e = parse(&["--checkpoint", "run1", "--resume", "run2"]).unwrap_err();
+        assert!(e.to_string().contains("different directories"), "{e}");
+        let e = parse(&["--resume", "run2", "--checkpoint", "run1"]).unwrap_err();
+        assert!(e.to_string().contains("different directories"), "{e}");
+        // Both flags need a value.
+        assert!(parse_args(["--checkpoint"].iter().map(|s| s.to_string())).is_err());
+        assert!(parse_args(["--resume"].iter().map(|s| s.to_string())).is_err());
     }
 
     #[test]

@@ -75,7 +75,16 @@ fn run_main(argv: impl Iterator<Item = String>) {
             for w in &summary.check_warnings {
                 eprintln!("papar: {w}");
             }
+            for ev in &summary.checkpoint_events {
+                eprintln!("papar: {ev}");
+            }
             println!("read {} records", summary.records_in);
+            if summary.stages_resumed > 0 {
+                println!(
+                    "resumed from checkpoint: {} stage(s) restored, not re-executed",
+                    summary.stages_resumed
+                );
+            }
             for (id, time, bytes) in &summary.jobs {
                 println!("job '{id}': {time:?} simulated, {bytes} bytes shuffled");
             }

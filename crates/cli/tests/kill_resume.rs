@@ -1,0 +1,175 @@
+//! Crash-consistency harness: run the real `papar` binary with
+//! `--checkpoint`, SIGKILL it between two stage commits, then `--resume`
+//! and require the partition files to be byte-identical to an
+//! uninterrupted run — at more than one thread count.
+//!
+//! `PAPAR_CHECKPOINT_STALL_MS` (honored by the checkpoint layer) widens
+//! the window between fragment publication and the manifest commit so the
+//! kill lands mid-protocol deterministically enough to test.
+
+use mublastp::dbgen::DbSpec;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+const INPUT_CFG: &str = r#"
+<input id="blast_db" name="BLAST Database file">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+const WORKFLOW: &str = r#"
+<workflow id="blast_partition" name="BLAST database partition">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("papar-kill-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn papar(dir: &Path, out: &str, threads: usize) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_papar"));
+    cmd.args(["run", "--input-config"])
+        .arg(dir.join("blast_db.xml"))
+        .arg("--workflow")
+        .arg(dir.join("wf.xml"))
+        .arg("--data")
+        .arg(dir.join("env_nr.db"))
+        .arg("--out")
+        .arg(dir.join(out))
+        .args(["--nodes", "3", "--records", "500"])
+        .args(["--arg", "num_partitions=4"])
+        .args(["--threads", &threads.to_string()])
+        // Two physical stages, so there is a commit boundary to kill at.
+        .arg("--no-fuse");
+    cmd
+}
+
+fn partition_files(dir: &Path) -> Vec<Vec<u8>> {
+    let mut names: Vec<_> = std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .collect();
+    names.sort();
+    assert_eq!(names.len(), 4, "expected 4 partitions in {}", dir.display());
+    names.iter().map(|p| std::fs::read(p).unwrap()).collect()
+}
+
+#[test]
+fn sigkill_between_stage_commits_then_resume_is_byte_identical() {
+    let dir = temp_dir("resume");
+    std::fs::write(dir.join("blast_db.xml"), INPUT_CFG).unwrap();
+    std::fs::write(dir.join("wf.xml"), WORKFLOW).unwrap();
+    let db = DbSpec::env_nr_scaled(500, 7).generate();
+    std::fs::write(dir.join("env_nr.db"), db.to_bytes()).unwrap();
+
+    // Uninterrupted baseline, no checkpointing involved.
+    let status = papar(&dir, "base", 1).status().unwrap();
+    assert!(status.success(), "baseline run failed");
+    let baseline = partition_files(&dir.join("base"));
+
+    // Checkpointed run, stalled 1.5 s between publishing a stage's
+    // fragments and committing it. Poll the manifest until the first
+    // stage's commit lands, then SIGKILL the process while the second
+    // stage sits in its stall window — committed stage 0, published but
+    // uncommitted stage-1 fragments, no partition files.
+    // The output directory is a workflow argument, so it is covered by
+    // the resume fingerprint: the killed run and every resume must name
+    // the same one.
+    let ckpt = dir.join("ckpt");
+    let mut child = papar(&dir, "parts", 1)
+        .arg("--checkpoint")
+        .arg(&ckpt)
+        .env("PAPAR_CHECKPOINT_STALL_MS", "1500")
+        .spawn()
+        .unwrap();
+    let manifest = ckpt.join("MANIFEST");
+    let header_only = 25; // one header frame: 4 (len) + 8 (fnv) + 13 (payload)
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let committed = std::fs::metadata(&manifest)
+            .map(|m| m.len() > header_only)
+            .unwrap_or(false);
+        if committed {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no stage commit appeared within 30s"
+        );
+        assert!(
+            child.try_wait().unwrap().is_none(),
+            "the checkpointed run exited before it could be killed"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    child.kill().unwrap(); // SIGKILL: no destructors, no flushes
+    child.wait().unwrap();
+    assert!(
+        !dir.join("parts").exists() || partition_files_missing(&dir.join("parts")),
+        "the killed run must not have published partitions"
+    );
+
+    // Resume at two thread counts; both must reproduce the baseline. The
+    // first resume restores stage 0 and re-executes (and re-commits)
+    // stage 1; the second then restores both.
+    for (t, restored) in [(1usize, 1), (4, 2)] {
+        let output = papar(&dir, "parts", t)
+            .arg("--resume")
+            .arg(&ckpt)
+            .output()
+            .unwrap();
+        assert!(
+            output.status.success(),
+            "resume failed at {t} threads: {}",
+            String::from_utf8_lossy(&output.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(&format!(
+                "resumed from checkpoint: {restored} stage(s) restored"
+            )),
+            "missing resume banner at {t} threads:\n{stdout}"
+        );
+        assert_eq!(
+            partition_files(&dir.join("parts")),
+            baseline,
+            "resumed partitions diverged at {t} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+fn partition_files_missing(dir: &Path) -> bool {
+    std::fs::read_dir(dir)
+        .map(|d| d.count() == 0)
+        .unwrap_or(true)
+}

@@ -5,20 +5,23 @@
 use papar_mr::engine::{FnMapper, FnReducer, HashPartitioner, MapInput, Reducer};
 use papar_mr::fault::RecoveryAction;
 use papar_mr::sampler::{self, RangePartitioner};
-use papar_mr::stats::{job_trace_from_stats, JobStats, RecoveryStats};
-use papar_mr::{Cluster, Entry, MapReduceJob, Partitioner, TaskPhase};
+use papar_mr::stats::{job_trace_from_stats, JobStats, NetModel, RecoveryStats};
+use papar_mr::{CheckpointSession, Cluster, Entry, MapReduceJob, Partitioner, TaskPhase};
 use papar_record::batch::{Batch, Dataset};
 use papar_record::packed::PackedRecord;
+use papar_record::wire;
 use papar_record::{Record, Value};
 use papar_trace::{
     duration_ns, Collector, Counters, JobTrace, PhaseKind, PhaseTrace, TaskTrace, WorkflowTrace,
 };
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use crate::error::{CoreError, Result};
 use crate::operator::{BoundAddOn, CustomJobCtx, FormatOp};
-use crate::physplan::{lower, PhysicalStage, StageKind};
+use crate::physplan::{explain, lower, PhysicalStage, StageKind};
 use crate::plan::{DatasetMeta, Format, JobKind, JobPlan, WorkflowPlan};
 use crate::policy::{DistrPolicy, SplitPolicy};
 
@@ -75,6 +78,20 @@ impl Default for ExecOptions {
     }
 }
 
+/// Where a run persists (and resumes from) its per-stage progress.
+#[derive(Debug, Clone)]
+pub struct CheckpointCfg {
+    /// The checkpoint run directory.
+    pub dir: PathBuf,
+    /// Resume from the directory's manifest instead of starting fresh.
+    pub resume: bool,
+    /// Caller-supplied fingerprint salt: anything outside the runner's
+    /// view that changes output bytes (fault spec and seed, replication,
+    /// retry budget) must be folded in here so `--resume` refuses when it
+    /// changed.
+    pub extra: u64,
+}
+
 /// Everything a workflow run produced besides the output datasets.
 #[derive(Debug, Clone, Default)]
 pub struct WorkflowReport {
@@ -88,6 +105,12 @@ pub struct WorkflowReport {
     /// The workflow's span tree, when [`ExecOptions::trace`] was set (or a
     /// tracer was installed on the cluster directly).
     pub trace: Option<WorkflowTrace>,
+    /// Stages restored from a checkpoint instead of executed (0 unless
+    /// the run resumed).
+    pub stages_resumed: usize,
+    /// Corrupt or torn checkpoint data found while resuming, already
+    /// quarantined; the affected stages were recomputed.
+    pub checkpoint_events: Vec<String>,
 }
 
 impl WorkflowReport {
@@ -121,6 +144,11 @@ impl WorkflowReport {
 pub struct WorkflowRunner {
     plan: WorkflowPlan,
     options: ExecOptions,
+    checkpoint: Option<CheckpointCfg>,
+    /// FNV-1a of each scattered input's encoded bytes, keyed by dataset
+    /// name (idempotent under re-scatter, order-independent). Feeds the
+    /// resume fingerprint; a Mutex because `scatter_input` takes `&self`.
+    input_hashes: Mutex<BTreeMap<String, u64>>,
 }
 
 impl WorkflowRunner {
@@ -131,7 +159,23 @@ impl WorkflowRunner {
 
     /// Runner with explicit options.
     pub fn with_options(plan: WorkflowPlan, options: ExecOptions) -> Self {
-        WorkflowRunner { plan, options }
+        WorkflowRunner {
+            plan,
+            options,
+            checkpoint: None,
+            input_hashes: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Persist per-stage progress into (or resume it from) a checkpoint
+    /// run directory. See [`CheckpointCfg`] for what `extra` must cover.
+    pub fn with_checkpoint(mut self, dir: impl Into<PathBuf>, resume: bool, extra: u64) -> Self {
+        self.checkpoint = Some(CheckpointCfg {
+            dir: dir.into(),
+            resume,
+            extra,
+        });
+        self
     }
 
     /// The plan being run.
@@ -163,6 +207,18 @@ impl WorkflowRunner {
             return Err(CoreError::exec(format!(
                 "input '{name}' schema does not match the declared format"
             )));
+        }
+        // A checkpointed run fingerprints its input *content*, so a
+        // resume against different data refuses instead of producing a
+        // mix of old and new bytes.
+        if self.checkpoint.is_some() {
+            let mut buf = Vec::new();
+            wire::encode_batch(&data.batch, &data.schema, &mut buf)
+                .map_err(papar_mr::MrError::from)?;
+            self.input_hashes
+                .lock()
+                .expect("input hash lock poisoned")
+                .insert(name.to_string(), wire::checksum(&buf));
         }
         cluster.scatter(name, data)?;
         Ok(())
@@ -208,7 +264,45 @@ impl WorkflowRunner {
         }
         let phys = self.physical_plan(cluster);
         let mut report = WorkflowReport::default();
-        for stage in &phys.stages {
+        let mut session: Option<CheckpointSession> = match &self.checkpoint {
+            Some(cfg) => {
+                let fp = self.fingerprint(cluster, &phys, cfg.extra);
+                let s = if cfg.resume {
+                    CheckpointSession::resume(&cfg.dir, fp)?
+                } else {
+                    CheckpointSession::create(&cfg.dir, fp)?
+                };
+                report.checkpoint_events = s
+                    .corruption_events()
+                    .iter()
+                    .map(|e| e.to_string())
+                    .collect();
+                Some(s)
+            }
+            None => None,
+        };
+        let net = *cluster.net();
+        let mut scatter_charge_dropped = false;
+        for (sidx, stage) in phys.stages.iter().enumerate() {
+            if let Some(s) = &session {
+                if s.is_complete(sidx) {
+                    self.restore_stage(cluster, s, sidx, stage, &net)?;
+                    report.jobs.push(s.completed()[sidx].stats.clone());
+                    report.stages_resumed += 1;
+                    #[cfg(debug_assertions)]
+                    self.verify_stage_outputs(cluster, stage);
+                    continue;
+                }
+            }
+            if report.stages_resumed > 0 && !scatter_charge_dropped {
+                // The resumed run re-scattered the input, charging its
+                // replica placement to the pending recovery ledger again
+                // — but the skipped first stage's replayed stats already
+                // carry that charge from the original run. Drop the
+                // duplicate so a resumed report matches a cold one.
+                let _ = cluster.take_recovery();
+                scatter_charge_dropped = true;
+            }
             let stats = match &stage.kind {
                 StageKind::Single(j) => {
                     self.run_single(cluster, &self.plan.jobs[*j], &mut report.sample_time)?
@@ -225,6 +319,9 @@ impl WorkflowRunner {
                     self.run_fused_group_split(cluster, stage, *group, *split)?
                 }
             };
+            if let Some(s) = &mut session {
+                persist_stage(cluster, s, sidx, stage, &self.plan, &stats, &net)?;
+            }
             report.jobs.push(stats);
             #[cfg(debug_assertions)]
             self.verify_stage_outputs(cluster, stage);
@@ -232,6 +329,121 @@ impl WorkflowRunner {
         report.recovery_events = cluster.drain_events();
         report.trace = cluster.take_trace();
         Ok(report)
+    }
+
+    /// The run's resumability fingerprint: FNV-1a over a canonical text
+    /// of everything that decides output *bytes* — the lowered physical
+    /// plan (operators, fusion, reducer counts), the cluster size, the
+    /// byte-affecting options, every scattered input's content hash, and
+    /// the caller's salt (fault spec/seed, replication, retry budget).
+    /// Thread count is deliberately absent: output bytes are identical
+    /// for every value, so a checkpoint taken at `--threads 4` resumes
+    /// at `--threads 1` and vice versa.
+    fn fingerprint(
+        &self,
+        cluster: &Cluster,
+        phys: &crate::physplan::PhysicalPlan,
+        extra: u64,
+    ) -> u64 {
+        use std::fmt::Write as _;
+        let mut canon = explain(&self.plan, phys);
+        // `explain` names jobs and datasets but not operator parameters;
+        // the Debug form of each job's kind pins keys, policies, partition
+        // counts, and thresholds too. Custom-operator parameters live in a
+        // HashMap whose Debug order varies per process, so they are
+        // re-sorted before hashing.
+        for job in &self.plan.jobs {
+            match &job.kind {
+                JobKind::Custom { op_name, params } => {
+                    let sorted: BTreeMap<&String, &String> = params.iter().collect();
+                    let _ = writeln!(canon, "job '{}' kind=Custom {op_name} {sorted:?}", job.id);
+                }
+                kind => {
+                    let _ = writeln!(canon, "job '{}' kind={kind:?}", job.id);
+                }
+            }
+        }
+        let _ = writeln!(canon, "nodes={}", cluster.num_nodes());
+        let _ = writeln!(
+            canon,
+            "sampling={:?} compression={} stride={} reducers={:?} fuse={}",
+            self.options.sampling,
+            self.options.compression,
+            self.options.sample_stride,
+            self.options.default_reducers,
+            self.options.fuse
+        );
+        for (name, h) in self
+            .input_hashes
+            .lock()
+            .expect("input hash lock poisoned")
+            .iter()
+        {
+            let _ = writeln!(canon, "input '{name}'={h:#018x}");
+        }
+        let _ = writeln!(canon, "extra={extra:#018x}");
+        wire::checksum(canon.as_bytes())
+    }
+
+    /// Re-populate the cluster from a committed stage instead of running
+    /// it: every fragment decodes back onto its original node and
+    /// ordinal (replicas placed, nothing charged), and the stage's
+    /// fault-schedule slots are burned so later jobs keep their indices.
+    fn restore_stage(
+        &self,
+        cluster: &mut Cluster,
+        session: &CheckpointSession,
+        sidx: usize,
+        stage: &PhysicalStage,
+        net: &NetModel,
+    ) -> Result<()> {
+        let rec = &session.completed()[sidx];
+        let mut bytes = 0u64;
+        for f in &rec.fragments {
+            let payload = f.payload.as_ref().ok_or_else(|| {
+                CoreError::exec(format!(
+                    "checkpoint fragment '{}' has no verified payload",
+                    f.file
+                ))
+            })?;
+            let ds = decode_fragment_payload(payload)?;
+            cluster.restore_fragment(f.node as usize, &f.dataset, f.ordinal, ds);
+            bytes += f.len;
+        }
+        for _ in 0..stage.logical.len() {
+            let _ = cluster.next_job_index();
+        }
+        if cluster.tracing() {
+            let messages = rec.fragments.len() as u64;
+            let det_ns = duration_ns(net.transfer_time(messages, bytes));
+            let counters = Counters {
+                restored_bytes: bytes,
+                messages,
+                records_out: rec.stats.records_out,
+                ..Counters::default()
+            };
+            let covers = if stage.logical.len() > 1 {
+                stage
+                    .logical
+                    .iter()
+                    .map(|&i| self.plan.jobs[i].id.clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            cluster.record_job_trace(JobTrace {
+                name: rec.stats.name.clone(),
+                phases: vec![PhaseTrace::solo(
+                    PhaseKind::Restore,
+                    Duration::ZERO,
+                    det_ns,
+                    counters,
+                )],
+                skew: None,
+                covers,
+            });
+        }
+        Ok(())
     }
 
     /// Execute one unfused logical job.
@@ -557,7 +769,16 @@ impl WorkflowRunner {
                             node,
                             phase: TaskPhase::Map,
                             attempts: attempt,
-                            source: Box::new(papar_mr::MrError::msg("injected node crash")),
+                            source: Box::new(papar_mr::MrError::RetriesExhausted {
+                                attempts: attempt,
+                                stats: Box::new(RecoveryStats {
+                                    faults_injected: crashes as u32,
+                                    tasks_retried: attempt - 1,
+                                    reexec_task_time: cpu,
+                                    backoff_time: backoff_total,
+                                    ..Default::default()
+                                }),
+                            }),
                         }
                         .into());
                     }
@@ -1042,6 +1263,110 @@ impl WorkflowRunner {
     /// flat and a packed split output; the packed one decides).
     fn compress_key_any(&self, metas: &[DatasetMeta]) -> Option<usize> {
         metas.iter().find_map(|m| self.compress_key(m))
+    }
+}
+
+/// Durably publish an executed stage's final outputs: every fragment of
+/// the stage's last logical job (the only outputs downstream stages read
+/// — a fused stage's elided intermediate was never written) is encoded,
+/// staged, and committed write-ahead. When tracing, a `ckpt` phase with
+/// the bytes written lands on the stage's job span.
+fn persist_stage(
+    cluster: &mut Cluster,
+    session: &mut CheckpointSession,
+    sidx: usize,
+    stage: &PhysicalStage,
+    plan: &WorkflowPlan,
+    stats: &JobStats,
+    net: &NetModel,
+) -> Result<()> {
+    let last = *stage.logical.last().expect("stages cover >= 1 job");
+    let job = &plan.jobs[last];
+    let mut fragments = 0u64;
+    for (name, _) in &job.outputs {
+        for node in 0..cluster.num_nodes() {
+            let Some(frags) = cluster.node(node).get(name) else {
+                continue;
+            };
+            let payloads: Vec<(u32, Vec<u8>)> = frags
+                .into_iter()
+                .map(|f| Ok((f.ordinal, encode_fragment_payload(&f.data)?)))
+                .collect::<Result<_>>()?;
+            for (ordinal, payload) in payloads {
+                session.stage_fragment(name, node as u32, ordinal, payload);
+                fragments += 1;
+            }
+        }
+    }
+    let written = session.commit_stage(sidx as u32, &stage.id, stats)?;
+    if cluster.tracing() {
+        // The +1 message is the manifest commit append.
+        let det_ns = duration_ns(net.transfer_time(fragments + 1, written));
+        cluster.append_phase_to_last_job(PhaseTrace::solo(
+            PhaseKind::Checkpoint,
+            Duration::ZERO,
+            det_ns,
+            Counters {
+                checkpoint_bytes: written,
+                messages: fragments + 1,
+                records_out: stats.records_out,
+                ..Counters::default()
+            },
+        ));
+    }
+    Ok(())
+}
+
+/// Checkpoint fragment payload: the dataset's schema (so the decoder is
+/// self-contained) followed by its wire-encoded batch.
+fn encode_fragment_payload(ds: &Dataset) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    let fields = ds.schema.fields();
+    buf.extend_from_slice(&(fields.len() as u32).to_le_bytes());
+    for f in fields {
+        buf.extend_from_slice(&(f.name.len() as u32).to_le_bytes());
+        buf.extend_from_slice(f.name.as_bytes());
+        buf.push(field_type_tag(f.ty));
+    }
+    wire::encode_batch(&ds.batch, &ds.schema, &mut buf).map_err(papar_mr::MrError::from)?;
+    Ok(buf)
+}
+
+fn decode_fragment_payload(payload: &[u8]) -> Result<Dataset> {
+    use papar_config::input::FieldType;
+    let codec = |e: papar_record::CodecError| CoreError::from(papar_mr::MrError::from(e));
+    let mut r = wire::Reader::new(payload);
+    let nfields = r.read_u32().map_err(codec)? as usize;
+    let mut fields = Vec::with_capacity(nfields);
+    for _ in 0..nfields {
+        let len = r.read_u32().map_err(codec)? as usize;
+        let name = String::from_utf8(r.read_bytes(len).map_err(codec)?.to_vec())
+            .map_err(|_| CoreError::exec("checkpoint schema field name is not UTF-8"))?;
+        let ty = match r.read_u8().map_err(codec)? {
+            0 => FieldType::Integer,
+            1 => FieldType::Long,
+            2 => FieldType::Double,
+            3 => FieldType::Str,
+            t => {
+                return Err(CoreError::exec(format!(
+                    "unknown checkpoint field type tag {t}"
+                )))
+            }
+        };
+        fields.push((name, ty));
+    }
+    let schema = std::sync::Arc::new(papar_record::Schema::new(fields));
+    let batch = wire::decode_batch(&mut r, &schema).map_err(codec)?;
+    Ok(Dataset::new(schema, batch))
+}
+
+fn field_type_tag(ty: papar_config::input::FieldType) -> u8 {
+    use papar_config::input::FieldType;
+    match ty {
+        FieldType::Integer => 0,
+        FieldType::Long => 1,
+        FieldType::Double => 2,
+        FieldType::Str => 3,
     }
 }
 

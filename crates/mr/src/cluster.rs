@@ -297,6 +297,30 @@ impl Cluster {
         self.replicate_fragment(node, name, ordinal, &arc);
     }
 
+    /// Materialize a fragment from a checkpoint on `--resume`: placed and
+    /// replicated exactly like [`Cluster::put_fragment`], but the replica
+    /// copies charge *nothing* to the recovery accounting — the bytes were
+    /// already paid for (and reported) by the run that wrote the
+    /// checkpoint, and a resumed run's stats must match a cold run's.
+    pub fn restore_fragment(&mut self, node: usize, name: &str, ordinal: u32, data: Dataset) {
+        let arc = Arc::new(data);
+        self.nodes[node].put_arc(name, ordinal, Arc::clone(&arc));
+        let n = self.num_nodes();
+        if self.replication == 0 || n < 2 {
+            return;
+        }
+        for i in 1..=self.replication.min(n - 1) {
+            let target = (node + i) % n;
+            self.nodes[target].put_replica(name, ordinal, Arc::clone(&arc));
+        }
+    }
+
+    /// Append an extra phase (checkpoint publication, resume restore) to
+    /// the most recently recorded job trace.
+    pub fn append_phase_to_last_job(&mut self, phase: PhaseTrace) {
+        self.tracer.append_phase_last_job(phase);
+    }
+
     /// Place the replicas of an already-stored fragment.
     fn replicate_fragment(
         &mut self,

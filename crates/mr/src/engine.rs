@@ -761,7 +761,10 @@ impl Cluster {
                         node,
                         phase: TaskPhase::Map,
                         attempts: attempt,
-                        source: Box::new(MrError::msg("injected node crash")),
+                        source: Box::new(MrError::RetriesExhausted {
+                            attempts: attempt,
+                            stats: Box::new(out.recovery.clone()),
+                        }),
                     });
                 }
                 let backoff = pc.retry.backoff_for(attempt);
@@ -950,7 +953,10 @@ impl Cluster {
                         node,
                         phase: TaskPhase::Reduce,
                         attempts: attempt,
-                        source: Box::new(MrError::msg("injected node crash")),
+                        source: Box::new(MrError::RetriesExhausted {
+                            attempts: attempt,
+                            stats: Box::new(out.recovery.clone()),
+                        }),
                     });
                 }
                 let backoff = pc.retry.backoff_for(attempt);

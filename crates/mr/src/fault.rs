@@ -224,8 +224,14 @@ pub struct ChaosSpec {
 
 impl ChaosSpec {
     /// Parse a `kind=count` list, e.g. `"crash=1,drop=2,corrupt=1,straggler=1"`.
+    ///
+    /// Each kind may appear at most once: `crash=1,crash=2` used to sum
+    /// silently into three crashes, which is never what either entry
+    /// meant, so repeats now fail with
+    /// [`MrError::DuplicateFaultKind`].
     pub fn parse(spec: &str) -> Result<Self> {
         let mut out = ChaosSpec::default();
+        let mut seen = [false; 4];
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
             let (kind, count) = part.split_once('=').ok_or_else(|| {
                 MrError::msg(format!(
@@ -235,17 +241,36 @@ impl ChaosSpec {
             let count: u32 = count.trim().parse().map_err(|_| {
                 MrError::msg(format!("fault spec entry '{part}' has a non-numeric count"))
             })?;
-            match kind.trim() {
-                "crash" => out.crashes += count,
-                "drop" => out.drops += count,
-                "corrupt" => out.corrupts += count,
-                "straggler" => out.stragglers += count,
+            let kind = kind.trim();
+            let slot = match kind {
+                "crash" => {
+                    out.crashes = count;
+                    0
+                }
+                "drop" => {
+                    out.drops = count;
+                    1
+                }
+                "corrupt" => {
+                    out.corrupts = count;
+                    2
+                }
+                "straggler" => {
+                    out.stragglers = count;
+                    3
+                }
                 other => {
                     return Err(MrError::msg(format!(
                         "unknown fault kind '{other}' (want crash, drop, corrupt or straggler)"
                     )))
                 }
+            };
+            if seen[slot] {
+                return Err(MrError::DuplicateFaultKind {
+                    kind: kind.to_string(),
+                });
             }
+            seen[slot] = true;
         }
         Ok(out)
     }
@@ -496,6 +521,36 @@ mod tests {
             .unwrap_err()
             .to_string()
             .contains("unknown fault kind"));
+    }
+
+    #[test]
+    fn duplicate_fault_kinds_are_rejected_not_summed() {
+        let err = ChaosSpec::parse("crash=1,crash=2").unwrap_err();
+        assert!(
+            matches!(&err, MrError::DuplicateFaultKind { kind } if kind == "crash"),
+            "expected DuplicateFaultKind, got {err:?}"
+        );
+        assert!(err.to_string().contains("more than once"), "{err}");
+        // Whitespace around the kind does not disguise the repeat, and
+        // every kind is policed, not just crashes.
+        for spec in [
+            "drop=1, drop=1",
+            "corrupt=0,corrupt=0",
+            "straggler=2,crash=1,straggler=1",
+            "crash=1,  crash =2",
+        ] {
+            assert!(
+                matches!(
+                    ChaosSpec::parse(spec),
+                    Err(MrError::DuplicateFaultKind { .. })
+                ),
+                "spec {spec:?} should be rejected"
+            );
+        }
+        // Distinct kinds still parse fine in any order.
+        let ok = ChaosSpec::parse("straggler=1,crash=2").unwrap();
+        assert_eq!(ok.crashes, 2);
+        assert_eq!(ok.stragglers, 1);
     }
 
     #[test]

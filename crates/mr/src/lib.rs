@@ -44,6 +44,7 @@
 //! assumes even when threads exceed physical cores; residual cache and
 //! memory-bandwidth contention remains as measurement noise.
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod engine;
 pub mod fault;
@@ -52,6 +53,7 @@ pub mod stats;
 pub mod store;
 mod timer;
 
+pub use checkpoint::{CheckpointSession, StageRecord};
 pub use cluster::Cluster;
 pub use engine::{Entry, MapInput, MapReduceJob, Mapper, Partitioner, Reducer, TaskCtx};
 pub use fault::{ChaosSpec, Fault, FaultPlan, RecoveryAction, RetryPolicy};
@@ -122,6 +124,40 @@ pub enum MrError {
         /// The job's reducer count.
         num_reducers: usize,
     },
+    /// The same fault kind appeared more than once in a `--faults` spec.
+    /// Before this variant the counts silently summed, so
+    /// `crash=1,crash=2` injected three crashes — neither entry's intent
+    /// survives that merge, so the spec is rejected instead.
+    DuplicateFaultKind {
+        /// The repeated kind (`crash`, `drop`, `corrupt` or `straggler`).
+        kind: String,
+    },
+    /// A task's retry budget ran out while injected faults kept firing.
+    /// Carried as the `source` of [`MrError::TaskAborted`] so the abort
+    /// reports what recovery was attempted — not just that it failed.
+    RetriesExhausted {
+        /// Executions performed (original plus retries).
+        attempts: u32,
+        /// The worker's recovery accounting at the moment it gave up.
+        stats: Box<crate::stats::RecoveryStats>,
+    },
+    /// A checkpoint file or manifest failed its FNV-1a verification (or
+    /// was torn mid-write); the offending data was renamed aside and the
+    /// affected stages will be recomputed.
+    CheckpointCorrupt {
+        /// Path of the quarantined file.
+        path: String,
+        /// What the verifier saw.
+        detail: String,
+    },
+    /// A checkpoint's plan/input/config fingerprint does not match this
+    /// run, so `--resume` refuses rather than producing wrong bytes.
+    ResumeMismatch {
+        /// Fingerprint of the current run.
+        expected: u64,
+        /// Fingerprint stored in the checkpoint manifest.
+        found: u64,
+    },
 }
 
 impl MrError {
@@ -161,6 +197,32 @@ impl std::fmt::Display for MrError {
             MrError::PartitionOutOfRange { id, num_reducers } => write!(
                 f,
                 "partitioner assigned reducer {id}, outside 0..{num_reducers}"
+            ),
+            MrError::DuplicateFaultKind { kind } => write!(
+                f,
+                "fault kind '{kind}' appears more than once in the spec; \
+                 give each kind a single count"
+            ),
+            MrError::RetriesExhausted { attempts, stats } => write!(
+                f,
+                "retry budget exhausted after {attempts} attempt(s): {} fault(s) fired, \
+                 {} task retr{} ({:?} re-executed, {:?} backoff), {} B restored from replicas",
+                stats.faults_injected,
+                stats.tasks_retried,
+                if stats.tasks_retried == 1 { "y" } else { "ies" },
+                stats.reexec_task_time,
+                stats.backoff_time,
+                stats.restore_bytes,
+            ),
+            MrError::CheckpointCorrupt { path, detail } => write!(
+                f,
+                "checkpoint '{path}' is corrupt and was quarantined: {detail}"
+            ),
+            MrError::ResumeMismatch { expected, found } => write!(
+                f,
+                "checkpoint fingerprint {found:#018x} does not match this run's \
+                 fingerprint {expected:#018x} (plan, input, seed or config changed); \
+                 refusing to resume"
             ),
         }
     }
@@ -210,5 +272,46 @@ mod error_tests {
     #[test]
     fn msg_display_matches_legacy_format() {
         assert_eq!(MrError::msg("boom").to_string(), "mapreduce error: boom");
+    }
+
+    #[test]
+    fn retries_exhausted_reports_the_recovery_ledger() {
+        let stats = crate::stats::RecoveryStats {
+            faults_injected: 3,
+            tasks_retried: 2,
+            restore_bytes: 512,
+            ..Default::default()
+        };
+        let e = MrError::TaskAborted {
+            job: "distr".into(),
+            node: 1,
+            phase: TaskPhase::Map,
+            attempts: 3,
+            source: Box::new(MrError::RetriesExhausted {
+                attempts: 3,
+                stats: Box::new(stats),
+            }),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("aborted after 3 attempt(s)"), "{msg}");
+        assert!(msg.contains("3 fault(s) fired"), "{msg}");
+        assert!(msg.contains("2 task retries"), "{msg}");
+        assert!(msg.contains("512 B restored"), "{msg}");
+    }
+
+    #[test]
+    fn checkpoint_errors_name_the_path_and_fingerprints() {
+        let e = MrError::CheckpointCorrupt {
+            path: "/run/frag-0000.bin".into(),
+            detail: "frame checksum mismatch".into(),
+        };
+        assert!(e.to_string().contains("quarantined"));
+        assert!(e.to_string().contains("/run/frag-0000.bin"));
+        let e = MrError::ResumeMismatch {
+            expected: 0xAB,
+            found: 0xCD,
+        };
+        assert!(e.to_string().contains("0x00000000000000cd"));
+        assert!(e.to_string().contains("refusing to resume"));
     }
 }

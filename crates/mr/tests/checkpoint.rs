@@ -1,0 +1,101 @@
+//! Property tests for checkpoint crash-consistency: any single-byte
+//! corruption of a published fragment — anywhere in the file, including
+//! the frame header — is caught by verify-on-load, quarantined, and the
+//! owning stage invalidated; likewise any torn (truncated) write.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use papar_mr::{CheckpointSession, MrError};
+use proptest::prelude::*;
+
+fn tmpdir(tag: &str, case: u64) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "papar-ckpt-prop-{tag}-{}-{case}",
+        std::process::id()
+    ));
+    let _ = fs::remove_dir_all(&d);
+    fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Write one committed stage with a single fragment and return the
+/// fragment file's path.
+fn publish_one(dir: &Path, payload: &[u8]) -> PathBuf {
+    let mut s = CheckpointSession::create(dir, 0xC0FFEE).unwrap();
+    s.stage_fragment("/out", 0, 0, payload.to_vec());
+    s.commit_stage(0, "stage", &Default::default()).unwrap();
+    let r = CheckpointSession::resume(dir, 0xC0FFEE).unwrap();
+    assert!(r.corruption_events().is_empty());
+    dir.join(r.completed()[0].fragments[0].file.clone())
+}
+
+/// Assert the damaged checkpoint resumes with the stage invalidated, the
+/// fragment quarantined as evidence, and a second resume coming up clean.
+fn assert_caught(dir: &Path, frag: &Path) -> Result<(), TestCaseError> {
+    let r = CheckpointSession::resume(dir, 0xC0FFEE).unwrap();
+    prop_assert!(
+        !r.corruption_events().is_empty(),
+        "corruption went undetected"
+    );
+    prop_assert!(matches!(
+        r.corruption_events()[0],
+        MrError::CheckpointCorrupt { .. }
+    ));
+    prop_assert!(!r.is_complete(0), "corrupt stage still marked complete");
+    let mut q = frag.as_os_str().to_owned();
+    q.push(".quarantine");
+    prop_assert!(
+        PathBuf::from(q).exists(),
+        "corrupt fragment was not quarantined"
+    );
+    // The manifest was rewritten to the intact prefix, so a second resume
+    // sees a consistent (empty) checkpoint with no further incidents.
+    let clean = CheckpointSession::resume(dir, 0xC0FFEE).unwrap();
+    prop_assert!(clean.corruption_events().is_empty());
+    prop_assert!(clean.completed().is_empty());
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Flipping any single byte of a fragment file — length prefix, frame
+    /// checksum, or payload — is always caught on resume.
+    #[test]
+    fn single_byte_corruption_is_always_caught(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        pos_seed in any::<usize>(),
+        flip_seed in any::<u8>(),
+    ) {
+        let dir = tmpdir("flip", pos_seed as u64 ^ payload.len() as u64);
+        let frag = publish_one(&dir, &payload);
+
+        let mut bytes = fs::read(&frag).unwrap();
+        let pos = pos_seed % bytes.len();
+        let flip = flip_seed | 1; // nonzero mask: the byte is guaranteed to change
+        bytes[pos] ^= flip;
+        fs::write(&frag, &bytes).unwrap();
+
+        assert_caught(&dir, &frag)?;
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// A torn write — the fragment file truncated at any point short of
+    /// its full length — is always caught on resume.
+    #[test]
+    fn torn_fragment_write_is_always_caught(
+        payload in prop::collection::vec(any::<u8>(), 1..256),
+        cut_seed in any::<usize>(),
+    ) {
+        let dir = tmpdir("torn", cut_seed as u64 ^ payload.len() as u64);
+        let frag = publish_one(&dir, &payload);
+
+        let full = fs::read(&frag).unwrap();
+        let cut = cut_seed % full.len(); // 0..len, strictly shorter
+        fs::write(&frag, &full[..cut]).unwrap();
+
+        assert_caught(&dir, &frag)?;
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

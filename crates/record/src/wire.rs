@@ -62,6 +62,18 @@ impl<'a> Reader<'a> {
         self.u32()
     }
 
+    /// Read a little-endian `u64` (public for framing layers — manifest
+    /// records store checksums and fingerprints at this width).
+    pub fn read_u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Read exactly `n` raw bytes (public for framing layers — manifest
+    /// records carry length-prefixed strings and nested payloads).
+    pub fn read_bytes(&mut self, n: usize) -> Result<&'a [u8]> {
+        self.take(n)
+    }
+
     fn u8(&mut self) -> Result<u8> {
         Ok(self.take(1)?[0])
     }

@@ -75,6 +75,8 @@ fn push_span(s: &mut String, span: &Span) {
         ("retransmit_bytes", c.retransmit_bytes),
         ("retransmit_messages", c.retransmit_messages),
         ("replication_bytes", c.replication_bytes),
+        ("checkpoint_bytes", c.checkpoint_bytes),
+        ("restored_bytes", c.restored_bytes),
         ("backoff_ns", c.backoff_ns),
     ] {
         s.push_str(&format!(",\"{key}\":{v}"));

@@ -48,6 +48,12 @@ pub enum PhaseKind {
     Shuffle,
     /// The reduce side of an engine job.
     Reduce,
+    /// Durable publication of a completed stage's output fragments to a
+    /// checkpoint run directory.
+    Checkpoint,
+    /// Re-population of the cluster store from a checkpoint on
+    /// `--resume` (the stage itself is skipped).
+    Restore,
 }
 
 impl PhaseKind {
@@ -58,6 +64,8 @@ impl PhaseKind {
             PhaseKind::Map => "map",
             PhaseKind::Shuffle => "shuffle",
             PhaseKind::Reduce => "reduce",
+            PhaseKind::Checkpoint => "ckpt",
+            PhaseKind::Restore => "restore",
         }
     }
 }
@@ -110,6 +118,10 @@ pub struct Counters {
     pub retransmit_messages: u64,
     /// Bytes moved to place fragment replicas (checkpoint traffic).
     pub replication_bytes: u64,
+    /// Bytes written durably to a checkpoint run directory.
+    pub checkpoint_bytes: u64,
+    /// Bytes read back from a checkpoint on `--resume`.
+    pub restored_bytes: u64,
     /// Virtual nanoseconds spent in retry backoff.
     pub backoff_ns: u64,
 }
@@ -130,6 +142,8 @@ impl Counters {
         self.retransmit_bytes += o.retransmit_bytes;
         self.retransmit_messages += o.retransmit_messages;
         self.replication_bytes += o.replication_bytes;
+        self.checkpoint_bytes += o.checkpoint_bytes;
+        self.restored_bytes += o.restored_bytes;
         self.backoff_ns += o.backoff_ns;
     }
 
@@ -457,6 +471,8 @@ mod tests {
             retransmit_bytes: 1,
             retransmit_messages: 1,
             replication_bytes: 1,
+            checkpoint_bytes: 1,
+            restored_bytes: 1,
             backoff_ns: 1,
         };
         let mut sum = Counters::default();
@@ -466,6 +482,8 @@ mod tests {
         assert_eq!(sum.records_in, 2);
         assert_eq!(sum.backoff_ns, 2);
         assert_eq!(sum.replication_bytes, 2);
+        assert_eq!(sum.checkpoint_bytes, 2);
+        assert_eq!(sum.restored_bytes, 2);
         assert!(!sum.is_zero());
     }
 }

@@ -29,12 +29,16 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
         for phase in &job.phases {
             let c = &phase.counters;
             let records = match phase.kind {
-                PhaseKind::Sample | PhaseKind::Map => c.records_in,
+                PhaseKind::Sample | PhaseKind::Map | PhaseKind::Restore => c.records_in,
                 PhaseKind::Shuffle => c.pairs,
-                PhaseKind::Reduce => c.records_out,
+                PhaseKind::Reduce | PhaseKind::Checkpoint => c.records_out,
             };
-            let bytes =
-                c.shuffle_bytes + c.restore_bytes + c.retransmit_bytes + c.replication_bytes;
+            let bytes = c.shuffle_bytes
+                + c.restore_bytes
+                + c.retransmit_bytes
+                + c.replication_bytes
+                + c.checkpoint_bytes
+                + c.restored_bytes;
             out.push_str(&format!(
                 "{:<24} {:<8} {:>12} {:>6.1}% {:>12} {:>12} {:>14}\n",
                 truncate(&job.name, 24),
@@ -137,7 +141,7 @@ fn push_job(s: &mut String, job: &JobTrace) {
             "{{\"kind\":\"{}\",\"virt_ns\":{},\"det_ns\":{},\"cpu_ns\":{},\"tasks\":{},\
              \"records_in\":{},\"records_out\":{},\"pairs\":{},\"shuffle_bytes\":{},\
              \"retries\":{},\"crashes\":{},\"restore_bytes\":{},\"retransmit_bytes\":{},\
-             \"replication_bytes\":{}}}",
+             \"replication_bytes\":{},\"checkpoint_bytes\":{},\"restored_bytes\":{}}}",
             p.kind.name(),
             p.virt.as_nanos(),
             p.det_ns,
@@ -152,6 +156,8 @@ fn push_job(s: &mut String, job: &JobTrace) {
             c.restore_bytes,
             c.retransmit_bytes,
             c.replication_bytes,
+            c.checkpoint_bytes,
+            c.restored_bytes,
         ));
     }
     s.push_str("]}");

@@ -150,6 +150,11 @@ pub trait TraceSink: Send + Sync {
     /// job). No-op for sinks that do not collect.
     fn annotate_last_job(&mut self, _covers: Vec<String>) {}
 
+    /// Append an extra phase (checkpoint publication, resume restore) to
+    /// the most recently recorded job. No-op for sinks that do not
+    /// collect.
+    fn append_phase_last_job(&mut self, _phase: PhaseTrace) {}
+
     /// Consume everything recorded and produce the assembled trace;
     /// `None` for sinks that do not collect.
     fn finish(&mut self) -> Option<WorkflowTrace> {
@@ -197,6 +202,12 @@ impl TraceSink for Collector {
     fn annotate_last_job(&mut self, covers: Vec<String>) {
         if let Some(job) = self.jobs.last_mut() {
             job.covers = covers;
+        }
+    }
+
+    fn append_phase_last_job(&mut self, phase: PhaseTrace) {
+        if let Some(job) = self.jobs.last_mut() {
+            job.phases.push(phase);
         }
     }
 
