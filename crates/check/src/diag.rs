@@ -186,6 +186,10 @@ codes! {
     /// configuration digest) does not match the current invocation, so
     /// resuming would not be byte-identical and is refused.
     P020 = "P020",
+    /// The reducer count of a keyed stage provably exceeds the distinct-key
+    /// upper bound under a strict (value-routed) partitioner, so at least one
+    /// reducer can never receive a key group.
+    P021 = "P021",
     /// Plan-invariant violation: the planner's compiled metadata diverges
     /// from the analyzer's inference (a framework bug, not a user error).
     P099 = "P099",
@@ -208,6 +212,18 @@ codes! {
     /// physical planner streams the dataset instead of writing it to the
     /// cluster store (`--no-fuse` keeps it materialized).
     W006 = "W006",
+    /// A distribute stage has provably empty partitions: the record-count
+    /// upper bound is below the partition count, so the trailing partitions
+    /// can never receive a record under any launch.
+    W007 = "W007",
+    /// The static per-reducer load bound exceeds the configured skew ratio:
+    /// in the worst case admitted by the bounds, one reducer processes more
+    /// than `ratio` times its fair share.
+    W008 = "W008",
+    /// A structurally adjacent operator pair that looks fusible was not
+    /// fused; the message names the gate (and bound) that blocked the
+    /// rewrite, so the extra shuffle is deliberate, not an oversight.
+    W009 = "W009",
 }
 
 impl fmt::Display for Code {
@@ -257,6 +273,31 @@ mod tests {
             assert_eq!(Code::parse(c.as_str()), Some(*c));
         }
         assert_eq!(Code::parse("P042"), None);
+    }
+
+    #[test]
+    fn codes_are_unique_round_trip_and_documented() {
+        use std::collections::HashSet;
+        // Unique strings.
+        let mut seen = HashSet::new();
+        for c in Code::all() {
+            assert!(seen.insert(c.as_str()), "duplicate code string {}", c);
+        }
+        // Exact parse round-trip (as_str -> parse -> same variant).
+        for c in Code::all() {
+            assert_eq!(Code::parse(c.as_str()), Some(*c), "round-trip for {c}");
+        }
+        // Every code has a row in the DESIGN.md §8 table: a line starting
+        // with `| \`P0xx\` |`.
+        let design = include_str!("../../../DESIGN.md");
+        for c in Code::all() {
+            let row = format!("| `{}` |", c.as_str());
+            assert!(
+                design.lines().any(|l| l.trim_start().starts_with(&row)),
+                "code {} has no row in the DESIGN.md §8 table",
+                c
+            );
+        }
     }
 
     #[test]

@@ -24,10 +24,12 @@
 //! to start the cluster when any error-severity diagnostic exists.
 
 pub mod analyze;
+pub mod bounds;
 pub mod diag;
 pub mod json;
 pub mod verify;
 
 pub use analyze::{analyze, check_sources, Analysis, CheckContext, InferredJob};
+pub use bounds::{analyze_bounds, BoundsConfig, BoundsReport};
 pub use diag::{has_errors, render_text, Code, Diagnostic, Severity};
 pub use verify::{verify_physical_plan, verify_plan};

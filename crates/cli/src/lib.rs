@@ -291,7 +291,37 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     let mut trace_file = None;
     if let Some(trace) = &report.trace {
         if spec.profile {
-            profile = Some(papar_trace::render_profile(trace));
+            let mut rendered = papar_trace::render_profile(trace);
+            // Bound-vs-observed columns: re-run the static interpretation
+            // over the exact input count and line its intervals up with
+            // the traced counters (debug builds additionally assert
+            // containment after every stage).
+            let phys = papar_core::physplan::lower(runner.plan(), spec.nodes, None, !spec.no_fuse);
+            let mut opts = papar_core::bounds::BoundsOptions {
+                num_nodes: spec.nodes,
+                default_reducers: None,
+                sources: Default::default(),
+            };
+            for (name, _) in &runner.plan().external_inputs {
+                opts.sources.insert(
+                    name.clone(),
+                    papar_core::bounds::SourceBounds::exact(records_in as u64),
+                );
+            }
+            let bounds = papar_core::bounds::compute(runner.plan(), &phys, &opts);
+            let static_bounds: Vec<papar_trace::StaticBound> = bounds
+                .stages
+                .iter()
+                .map(|s| papar_trace::StaticBound {
+                    name: s.id.clone(),
+                    records_in: (s.records_in.lo, s.records_in.hi),
+                    records_out: (s.records_out.lo, s.records_out.hi),
+                    pairs: (s.pairs.lo, s.pairs.hi),
+                    max_load: (s.max_load.lo, s.max_load.hi),
+                })
+                .collect();
+            rendered.push_str(&papar_trace::render_bounds_check(trace, &static_bounds));
+            profile = Some(rendered);
         }
         if let Some(path) = &spec.trace_out {
             std::fs::write(path, papar_trace::to_chrome_json(trace))
@@ -422,6 +452,19 @@ pub struct CheckSpec {
     pub args: HashMap<String, String>,
     /// Emit machine-readable JSON instead of one-per-line text.
     pub json: bool,
+    /// Run the interval bounds analysis (`--bounds`): bind the plan with
+    /// placeholder paths, lower it, propagate cardinality/volume/skew
+    /// intervals, and print the per-stage table plus P021/W007/W008/W009.
+    pub bounds: bool,
+    /// Promote warning-severity diagnostics to errors (`--deny-warnings`):
+    /// a warnings-only run then exits 1 instead of 0.
+    pub deny_warnings: bool,
+    /// `W008` threshold (`--skew-ratio`, default 4.0): worst-case
+    /// busiest-partition load over the fair share.
+    pub skew_ratio: Option<f64>,
+    /// Declared upper bound on distinct values of any single input field
+    /// (`--distinct-keys`); enables `P021`.
+    pub distinct_keys: Option<u64>,
 }
 
 /// What `papar check` found, rendered and counted.
@@ -464,16 +507,59 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CliError> {
 
     // Cross-check the inference against the compiled plan whenever the
     // documents are clean enough to bind with the given arguments.
+    let mut bounds_table = None;
     if !analysis.has_errors() {
         if let Ok(wf) = WorkflowConfig::parse_str(&workflow_xml) {
             let cfgs: Vec<InputConfig> = input_texts
                 .iter()
                 .filter_map(|(_, t)| InputConfig::parse_str(t).ok())
                 .collect();
-            if let Ok(plan) = Planner::new(wf, cfgs).bind(&spec.args) {
+            // Path arguments bind to placeholders — neither the
+            // cross-check nor the bounds analysis reads data.
+            let mut args = spec.args.clone();
+            for (name, placeholder) in [
+                ("input_path", "/plan/input"),
+                ("input_file", "/plan/input"),
+                ("output_path", "/plan/output"),
+            ] {
+                if wf.argument(name).is_some() && !args.contains_key(name) {
+                    args.insert(name.to_string(), placeholder.to_string());
+                }
+            }
+            if let Ok(plan) = Planner::new(wf.clone(), cfgs).bind(&args) {
                 let divergences = papar_check::verify_plan(&analysis, &plan);
                 analysis.diagnostics.extend(divergences);
+                if spec.bounds {
+                    let nodes = spec.nodes.unwrap_or(4);
+                    let phys = papar_core::physplan::lower(&plan, nodes, None, true);
+                    let report = papar_check::analyze_bounds(
+                        &wf,
+                        &plan,
+                        &phys,
+                        &papar_check::BoundsConfig {
+                            num_nodes: nodes,
+                            default_reducers: None,
+                            records: spec.records.map(|n| n as u64),
+                            distinct_keys: spec.distinct_keys,
+                            skew_ratio: spec.skew_ratio.unwrap_or(4.0),
+                        },
+                    );
+                    analysis.diagnostics.extend(report.diagnostics);
+                    bounds_table = Some(report.table);
+                }
+            } else if spec.bounds {
+                return Err(fail(
+                    "--bounds needs the workflow to bind; pass the missing --arg values",
+                ));
             }
+        }
+    }
+    // `--deny-warnings` promotes every warning to an error, so a
+    // warnings-only run exits 1 instead of 0. Codes stay W0xx: the finding
+    // is the same, only the policy differs.
+    if spec.deny_warnings {
+        for d in &mut analysis.diagnostics {
+            d.severity = papar_check::Severity::Error;
         }
     }
 
@@ -483,6 +569,9 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CliError> {
         papar_check::json::to_json(&analysis.diagnostics)
     } else {
         let mut out = papar_check::render_text(&analysis.diagnostics);
+        if let Some(table) = bounds_table {
+            out.push_str(&table);
+        }
         out.push_str(&format!(
             "{}: {errors} error(s), {warnings} warning(s)",
             spec.workflow.display()
@@ -544,6 +633,26 @@ pub fn parse_check_args<I: Iterator<Item = String>>(mut argv: I) -> Result<Check
                     }
                 };
             }
+            "--bounds" => spec.bounds = true,
+            "--deny-warnings" => spec.deny_warnings = true,
+            "--skew-ratio" => {
+                let v = need("--skew-ratio", &mut argv)?;
+                let r: f64 = v
+                    .parse()
+                    .map_err(|_| fail(format!("--skew-ratio wants a number, got '{v}'")))?;
+                if !r.is_finite() || r < 1.0 {
+                    return Err(fail(format!("--skew-ratio wants a number >= 1, got '{v}'")));
+                }
+                spec.skew_ratio = Some(r);
+            }
+            "--distinct-keys" => {
+                let v = need("--distinct-keys", &mut argv)?;
+                spec.distinct_keys = Some(v.parse().map_err(|_| {
+                    fail(format!(
+                        "--distinct-keys wants a non-negative integer, got '{v}'"
+                    ))
+                })?);
+            }
             "-h" | "--help" => return Err(fail(CHECK_USAGE)),
             other => return Err(fail(format!("unknown flag '{other}'\n{CHECK_USAGE}"))),
         }
@@ -559,12 +668,25 @@ pub const CHECK_USAGE: &str = "\
 usage: papar check --workflow <xml> [--input-config <xml>]...
                    [--nodes N] [--replication N] [--records N]
                    [--arg key=value]... [--format text|json]
+                   [--bounds] [--distinct-keys N] [--skew-ratio R]
+                   [--deny-warnings]
 
 Statically analyzes the workflow without reading any data: dataflow over
 $variable references, schema inference through every operator, distribution
 legality, and determinism lints. Arguments left unbound are analyzed
 symbolically. Exit code 0 when clean or warnings only, 1 when any
-error-severity diagnostic is found, 2 on usage errors.";
+error-severity diagnostic is found, 2 on usage errors.
+
+Bounds analysis (abstract interpretation over the physical plan):
+  --bounds           propagate record/byte/distinct-key/max-load intervals
+                     through every physical stage; prints a per-stage table
+                     and enables P021/W007/W008/W009. Use --records N to make
+                     source counts exact; unhinted sources stay [0, ?].
+  --distinct-keys N  declared bound on distinct values of any input field
+                     (needed for P021: reducers that can never receive a key)
+  --skew-ratio R     W008 threshold: flag stages whose worst-case partition
+                     load exceeds R times the fair share (default 4.0)
+  --deny-warnings    promote warnings to errors: warnings-only runs exit 1";
 
 /// Everything `papar plan` needs.
 #[derive(Debug, Clone)]
@@ -585,6 +707,9 @@ pub struct PlanSpec {
     /// Print the full logical→physical mapping instead of the one-line
     /// summary.
     pub explain: bool,
+    /// Exact record count of every external input (`--records`); makes
+    /// the `--explain` bound columns exact instead of `[0, ?]`.
+    pub records: Option<u64>,
 }
 
 impl Default for PlanSpec {
@@ -596,6 +721,7 @@ impl Default for PlanSpec {
             args: HashMap::new(),
             no_fuse: false,
             explain: false,
+            records: None,
         }
     }
 }
@@ -641,7 +767,7 @@ pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
         }
     }
 
-    let plan = Planner::new(workflow, input_cfgs)
+    let plan = Planner::new(workflow.clone(), input_cfgs)
         .bind(&args)
         .map_err(|e| fail(e.to_string()))?;
     let phys = papar_core::physplan::lower(&plan, spec.nodes, None, !spec.no_fuse);
@@ -653,7 +779,23 @@ pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
         )));
     }
     let output = if spec.explain {
-        papar_core::physplan::explain(&plan, &phys)
+        // The explain text itself is fingerprint-stable (checkpoint resume
+        // hashes it); the bound table rides along after it.
+        let mut out = papar_core::physplan::explain(&plan, &phys);
+        let report = papar_check::analyze_bounds(
+            &workflow,
+            &plan,
+            &phys,
+            &papar_check::BoundsConfig {
+                num_nodes: spec.nodes,
+                default_reducers: None,
+                records: spec.records,
+                ..Default::default()
+            },
+        );
+        out.push_str("\nstatic bounds (intervals admitted by the declared sources):\n");
+        out.push_str(&report.table);
+        out
     } else {
         format!(
             "workflow '{}': {} logical job(s) -> {} physical stage(s) ({})\n\
@@ -703,6 +845,12 @@ pub fn parse_plan_args<I: Iterator<Item = String>>(mut argv: I) -> Result<PlanSp
             }
             "--no-fuse" => spec.no_fuse = true,
             "--explain" => spec.explain = true,
+            "--records" => {
+                let v = need("--records", &mut argv)?;
+                spec.records = Some(v.parse().map_err(|_| {
+                    fail(format!("--records wants a non-negative integer, got '{v}'"))
+                })?);
+            }
             "-h" | "--help" => return Err(fail(PLAN_USAGE)),
             other => return Err(fail(format!("unknown flag '{other}'\n{PLAN_USAGE}"))),
         }
@@ -717,13 +865,16 @@ pub fn parse_plan_args<I: Iterator<Item = String>>(mut argv: I) -> Result<PlanSp
 pub const PLAN_USAGE: &str = "\
 usage: papar plan --workflow <xml> [--input-config <xml>]...
                   [--nodes N] [--arg key=value]... [--no-fuse] [--explain]
+                  [--records N]
 
 Binds the workflow and lowers it to the physical plan `papar run` would
 execute, without reading any data. `--explain` prints every logical job and
-every physical stage with its fusion and streaming annotations; `--no-fuse`
-shows the unfused plan. Conventional path arguments (input_path, input_file,
-output_path) default to placeholders. Exit code 0 on success, 1 when binding
-or physical-plan verification fails, 2 on usage errors.";
+every physical stage with its fusion and streaming annotations, followed by
+the static bound table (record/pair/max-load intervals per stage; `--records
+N` makes source counts exact). `--no-fuse` shows the unfused plan.
+Conventional path arguments (input_path, input_file, output_path) default to
+placeholders. Exit code 0 on success, 1 when binding or physical-plan
+verification fails, 2 on usage errors.";
 
 /// Parse command-line arguments into a [`RunSpec`].
 pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, CliError> {
@@ -1201,6 +1352,119 @@ mod tests {
         assert!(parse(&["--workflow", "w", "--nodes", "x"]).is_err());
         assert!(parse(&["--workflow", "w", "--arg", "noequals"]).is_err());
         assert!(parse(&["--workflow", "w", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn parse_check_args_bounds_flags() {
+        let spec = parse_check_args(
+            [
+                "--workflow",
+                "wf.xml",
+                "--bounds",
+                "--records",
+                "1000",
+                "--distinct-keys",
+                "7",
+                "--skew-ratio",
+                "2.5",
+                "--deny-warnings",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        )
+        .unwrap();
+        assert!(spec.bounds);
+        assert!(spec.deny_warnings);
+        assert_eq!(spec.records, Some(1000));
+        assert_eq!(spec.distinct_keys, Some(7));
+        assert_eq!(spec.skew_ratio, Some(2.5));
+        // Defaults: bounds analysis and warning promotion are opt-in.
+        let spec = parse_check_args(["--workflow", "w"].iter().map(|s| s.to_string())).unwrap();
+        assert!(!spec.bounds);
+        assert!(!spec.deny_warnings);
+        assert!(spec.skew_ratio.is_none());
+        assert!(spec.distinct_keys.is_none());
+        // Ratios below 1 or non-numeric are rejected.
+        let parse = |v: &[&str]| parse_check_args(v.iter().map(|s| s.to_string()));
+        assert!(parse(&["--workflow", "w", "--skew-ratio", "0.5"]).is_err());
+        assert!(parse(&["--workflow", "w", "--skew-ratio", "x"]).is_err());
+        assert!(parse(&["--workflow", "w", "--distinct-keys", "x"]).is_err());
+    }
+
+    #[test]
+    fn run_check_bounds_prints_the_stage_table_on_fig8() {
+        let configs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/configs");
+        let spec = CheckSpec {
+            workflow: format!("{configs}/blast_partition.xml").into(),
+            input_configs: vec![format!("{configs}/blast_db.xml").into()],
+            nodes: Some(4),
+            records: Some(1000),
+            args: [("num_partitions".to_string(), "8".to_string())]
+                .into_iter()
+                .collect(),
+            bounds: true,
+            ..Default::default()
+        };
+        let report = run_check(&spec).unwrap();
+        assert_eq!(report.errors, 0, "{}", report.output);
+        // The per-stage table shows the fused stage with exact counts.
+        assert!(report.output.contains("max-load"), "{}", report.output);
+        assert!(report.output.contains("sort+distr"), "{}", report.output);
+        assert!(report.output.contains("1000"), "{}", report.output);
+    }
+
+    #[test]
+    fn run_check_deny_warnings_promotes_to_errors() {
+        let configs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/configs");
+        let base = CheckSpec {
+            workflow: format!("{configs}/blast_partition.xml").into(),
+            input_configs: vec![format!("{configs}/blast_db.xml").into()],
+            nodes: Some(4),
+            records: Some(1000),
+            args: [("num_partitions".to_string(), "8".to_string())]
+                .into_iter()
+                .collect(),
+            ..Default::default()
+        };
+        // Fig 8 is warnings-only (W004 + W006): exit would be 0.
+        let report = run_check(&base).unwrap();
+        assert_eq!(report.errors, 0, "{}", report.output);
+        assert!(report.warnings > 0, "{}", report.output);
+        // --deny-warnings flips the same findings to error severity.
+        let strict = CheckSpec {
+            deny_warnings: true,
+            ..base
+        };
+        let report = run_check(&strict).unwrap();
+        assert_eq!(report.warnings, 0, "{}", report.output);
+        assert!(report.errors > 0, "{}", report.output);
+        assert!(report.output.contains("error[W0"), "{}", report.output);
+    }
+
+    #[test]
+    fn run_plan_explain_appends_the_bounds_table() {
+        let configs = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/configs");
+        let spec = PlanSpec {
+            workflow: format!("{configs}/blast_partition.xml").into(),
+            input_configs: vec![format!("{configs}/blast_db.xml").into()],
+            args: [("num_partitions".to_string(), "8".to_string())]
+                .into_iter()
+                .collect(),
+            explain: true,
+            records: Some(640),
+            ..Default::default()
+        };
+        let report = run_plan(&spec).unwrap();
+        assert!(report.output.contains("static bounds"), "{}", report.output);
+        assert!(report.output.contains("max-load"), "{}", report.output);
+        assert!(report.output.contains("640"), "{}", report.output);
+        // Without --records the table still prints, with ? for unknowns.
+        let report = run_plan(&PlanSpec {
+            records: None,
+            ..spec
+        })
+        .unwrap();
+        assert!(report.output.contains("[0, ?]"), "{}", report.output);
     }
 
     #[test]

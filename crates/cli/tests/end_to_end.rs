@@ -336,6 +336,20 @@ fn trace_export_is_valid_and_identical_across_thread_counts() {
         );
     }
 
+    // The bound-vs-observed table rides along: every traced counter sits
+    // inside its static interval, even with faults injected (stats come
+    // from the successful attempt only).
+    for needle in ["static bounds vs observed", "records_in", "max_load"] {
+        assert!(
+            profile.contains(needle),
+            "profile missing {needle}:\n{profile}"
+        );
+    }
+    assert!(
+        !profile.contains("ESCAPED"),
+        "observed counter escaped its static bound:\n{profile}"
+    );
+
     // The Chrome export is structurally sane JSON...
     let t1 = std::fs::read_to_string(s1.trace_file.as_ref().unwrap()).unwrap();
     assert!(t1.starts_with("{\"traceEvents\":["));

@@ -1,0 +1,1246 @@
+//! Static interval bounds over physical plans (abstract interpretation).
+//!
+//! Every PaPar operator is a *permutation* of its input multiset (sort,
+//! group, distribute) or a *partition* of it (split), so record counts —
+//! and everything derived from them — can be bounded before any data is
+//! read. This module propagates an interval abstract domain through a
+//! lowered [`PhysicalPlan`]:
+//!
+//! * **records** `[lo, hi]` — member records of a dataset / phase counter;
+//! * **entries** `[lo, hi]` — shuffle units (flat records or packed
+//!   groups), what the index-routed distribute policies actually route;
+//! * **bytes** `[lo, hi]` — wire-encoded size ([`papar_record::wire`]);
+//! * **distinct** `[lo, hi]` — distinct values of any single field;
+//! * per-stage **max-load** `[lo, hi]` — member records on the busiest
+//!   reducer, with the pigeonhole `ceil(records.lo / R)` as the floor and
+//!   the routing policy deciding the ceiling (index-routed policies slice
+//!   evenly; value-routed ones admit everything on one reducer).
+//!
+//! `u64::MAX` is the ⊤ sentinel: an unbounded `hi` absorbs arithmetic and
+//! renders as `?`. Soundness contract (enforced at runtime by the
+//! executor's debug-mode verifier and by `tests/bounds_soundness.rs`):
+//! every counter the engine observes lies inside its static interval for
+//! *every* launch admitted by the source bounds. Transfer functions may
+//! be arbitrarily imprecise (custom operators are ⊤ everywhere) but never
+//! exclude a reachable value.
+//!
+//! The pass also *re-proves* the physical planner's rewrites instead of
+//! trusting them: every fused stage carries a [`FusionProof`] derived
+//! from the bounds and the dataflow (single consumption, entry/record
+//! agreement for the prefix-sum trick, reducer/node agreement for the
+//! reduce-side split), and every adjacent pair that *looks* fusible but
+//! stayed unfused carries a [`FusionReject`] naming the gate that blocked
+//! it. DESIGN.md §13 documents the domain and the soundness argument.
+
+use std::collections::BTreeMap;
+
+use papar_config::input::FieldType;
+use papar_record::Schema;
+
+use crate::physplan::{consumer_count, PhysicalPlan, StageKind};
+use crate::plan::{DatasetMeta, Format, JobKind, JobPlan, WorkflowPlan};
+use crate::policy::DistrPolicy;
+
+/// The ⊤ sentinel for an unbounded interval endpoint.
+pub const UNBOUNDED: u64 = u64::MAX;
+
+/// A closed interval `[lo, hi]` over `u64`, with `hi == UNBOUNDED` meaning
+/// "no upper bound". Arithmetic saturates and ⊤ absorbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound (`UNBOUNDED` = ⊤).
+    pub hi: u64,
+}
+
+impl Interval {
+    /// The exact singleton `[n, n]`.
+    pub fn exact(n: u64) -> Self {
+        Interval { lo: n, hi: n }
+    }
+
+    /// `[lo, hi]`; callers must keep `lo <= hi`.
+    pub fn new(lo: u64, hi: u64) -> Self {
+        debug_assert!(lo <= hi, "interval [{lo}, {hi}] is empty");
+        Interval { lo, hi }
+    }
+
+    /// The unknown interval `[0, ⊤]`.
+    pub fn top() -> Self {
+        Interval {
+            lo: 0,
+            hi: UNBOUNDED,
+        }
+    }
+
+    /// The exact zero `[0, 0]`.
+    pub fn zero() -> Self {
+        Interval::exact(0)
+    }
+
+    /// True when the upper bound is finite.
+    pub fn is_bounded(&self) -> bool {
+        self.hi != UNBOUNDED
+    }
+
+    /// True when the interval is a singleton.
+    pub fn is_exact(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// True when `v` lies inside the interval.
+    pub fn contains(&self, v: u64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval sum; ⊤ absorbs, everything saturates.
+    pub fn add(&self, o: Interval) -> Interval {
+        Interval {
+            lo: self.lo.saturating_add(o.lo),
+            hi: if self.hi == UNBOUNDED || o.hi == UNBOUNDED {
+                UNBOUNDED
+            } else {
+                self.hi.saturating_add(o.hi)
+            },
+        }
+    }
+
+    /// Multiply both ends by a constant; ⊤ absorbs.
+    pub fn mul(&self, k: u64) -> Interval {
+        Interval {
+            lo: self.lo.saturating_mul(k),
+            hi: if self.hi == UNBOUNDED {
+                UNBOUNDED
+            } else {
+                self.hi.saturating_mul(k)
+            },
+        }
+    }
+
+    /// Cap the upper bound at `cap` (meet with `[0, cap]` on the high
+    /// side), keeping `lo` consistent.
+    pub fn cap_hi(&self, cap: u64) -> Interval {
+        let hi = self.hi.min(cap);
+        Interval {
+            lo: self.lo.min(hi),
+            hi,
+        }
+    }
+
+    /// Apply a monotone nondecreasing map to both endpoints (the image of
+    /// an interval under a monotone map is an interval).
+    pub fn map_monotone(&self, f: impl Fn(u64) -> u64) -> Interval {
+        Interval {
+            lo: f(self.lo),
+            hi: if self.hi == UNBOUNDED {
+                UNBOUNDED
+            } else {
+                f(self.hi)
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Interval {
+    /// `1000` when exact, `[2, 8]` when bounded, `[0, ?]` at ⊤.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_exact() {
+            write!(f, "{}", self.lo)
+        } else if self.is_bounded() {
+            write!(f, "[{}, {}]", self.lo, self.hi)
+        } else {
+            write!(f, "[{}, ?]", self.lo)
+        }
+    }
+}
+
+/// Declared bounds of one external input dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceBounds {
+    /// Member records of the scattered dataset.
+    pub records: Interval,
+    /// Distinct values of any single field (⊤ when no hint; the pass
+    /// meets it with the record count anyway).
+    pub distinct: Interval,
+}
+
+impl SourceBounds {
+    /// An exact record count with no distinct-key hint.
+    pub fn exact(records: u64) -> Self {
+        SourceBounds {
+            records: Interval::exact(records),
+            distinct: Interval::top(),
+        }
+    }
+}
+
+/// Inputs to the interpretation.
+#[derive(Debug, Clone, Default)]
+pub struct BoundsOptions {
+    /// Cluster size the plan was lowered for.
+    pub num_nodes: usize,
+    /// `ExecOptions::default_reducers`.
+    pub default_reducers: Option<usize>,
+    /// Per-dataset source bounds; datasets without an entry start at ⊤.
+    pub sources: BTreeMap<String, SourceBounds>,
+}
+
+/// Bounds of one dataset as materialized in the cluster store.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetBounds {
+    /// Member records across all fragments.
+    pub records: Interval,
+    /// Entries (flat records, or packed groups) across all fragments.
+    pub entries: Interval,
+    /// Total `wire::encode_batch` bytes across all fragments.
+    pub bytes: Interval,
+    /// Distinct values of any single field.
+    pub distinct: Interval,
+}
+
+impl DatasetBounds {
+    fn top() -> Self {
+        DatasetBounds {
+            records: Interval::top(),
+            entries: Interval::top(),
+            bytes: Interval::top(),
+            distinct: Interval::top(),
+        }
+    }
+}
+
+/// Per-partition bounds of a distribute stage's output layout.
+#[derive(Debug, Clone)]
+pub struct PartitionBounds {
+    /// Entry-count interval of each output partition, in partition order.
+    pub per_partition: Vec<Interval>,
+    /// How many partitions are provably empty (`hi == 0`) for every
+    /// launch the source bounds admit.
+    pub provably_empty: usize,
+    /// Worst-case busiest-partition records over the fair share
+    /// (`max_load.hi * partitions / records.hi`), when both are bounded
+    /// and nonzero.
+    pub imbalance_hi: Option<f64>,
+}
+
+/// Static bounds of one physical stage, in the units the engine counts.
+#[derive(Debug, Clone)]
+pub struct StageBounds {
+    /// Stage id (`sort`, `sort+distr`, ...).
+    pub id: String,
+    /// Reducer count of the stage's engine job (0 for map-only split
+    /// stages, which never shuffle).
+    pub reducers: usize,
+    /// `JobStats::records_in`.
+    pub records_in: Interval,
+    /// `JobStats::records_out`.
+    pub records_out: Interval,
+    /// `JobStats::pairs_shuffled`.
+    pub pairs: Interval,
+    /// `ExchangeStats::remote_bytes` of the shuffle.
+    pub shuffle_bytes: Interval,
+    /// Member records on the busiest reducer (the skew histogram's max).
+    pub max_load: Interval,
+    /// `(dataset, bounds)` for every output this stage materializes.
+    pub outputs: Vec<(String, DatasetBounds)>,
+    /// Present on stages whose final step is an index- or value-routed
+    /// distribute (single or fused).
+    pub partitions: Option<PartitionBounds>,
+}
+
+/// A bounds-level re-proof of one fused stage's legality.
+#[derive(Debug, Clone)]
+pub struct FusionProof {
+    /// Stage index in the physical plan.
+    pub stage: usize,
+    /// Stage id.
+    pub id: String,
+    /// True when every obligation held.
+    pub ok: bool,
+    /// The proof obligations, human-readable; on failure the first
+    /// violated one explains what broke.
+    pub obligations: Vec<String>,
+    /// The violated obligation, when `ok` is false.
+    pub violation: Option<String>,
+}
+
+/// A structurally adjacent pair that looks fusible but was not fused,
+/// with the gate that blocked the rewrite (surfaced as `W009`).
+#[derive(Debug, Clone)]
+pub struct FusionReject {
+    /// Job index of the sort/group.
+    pub first: usize,
+    /// Job index of the distribute/split.
+    pub second: usize,
+    /// Why the rewrite was rejected.
+    pub reason: String,
+}
+
+/// The whole interpretation: per-stage bounds plus dataflow facts.
+#[derive(Debug, Clone)]
+pub struct WorkflowBounds {
+    /// One entry per physical stage, in launch order.
+    pub stages: Vec<StageBounds>,
+    /// Final per-dataset bounds (sources and every materialized output).
+    pub datasets: BTreeMap<String, DatasetBounds>,
+    /// Re-proofs of the fused stages' legality.
+    pub proofs: Vec<FusionProof>,
+    /// Adjacent pairs whose fusion was rejected (empty when lowered with
+    /// `--no-fuse`: an unfused plan needs no excuse).
+    pub rejects: Vec<FusionReject>,
+}
+
+impl WorkflowBounds {
+    /// Bounds of the stage with the given id, if any.
+    pub fn stage(&self, id: &str) -> Option<&StageBounds> {
+        self.stages.iter().find(|s| s.id == id)
+    }
+}
+
+/// Wire width of one *untagged* record under `schema`
+/// ([`papar_record::wire::encode_record`]): `(min, max)`, `max == None`
+/// when a `Str` field makes it unbounded.
+fn record_width(schema: &Schema) -> (u64, Option<u64>) {
+    let mut lo = 0u64;
+    let mut hi = Some(0u64);
+    for f in schema.fields() {
+        let (l, h) = match f.ty {
+            FieldType::Integer => (4, Some(4)),
+            FieldType::Long | FieldType::Double => (8, Some(8)),
+            // A Str field always writes its 4-byte length prefix.
+            FieldType::Str => (4, None),
+        };
+        lo += l;
+        hi = match (hi, h) {
+            (Some(a), Some(b)) => Some(a + b),
+            _ => None,
+        };
+    }
+    (lo, hi)
+}
+
+/// Wire width of one *tagged* value of field type `ty`
+/// ([`papar_record::wire::encode_value`]).
+fn value_width(ty: FieldType) -> (u64, Option<u64>) {
+    match ty {
+        FieldType::Integer => (5, Some(5)),
+        FieldType::Long | FieldType::Double => (9, Some(9)),
+        FieldType::Str => (5, None),
+    }
+}
+
+/// `ceil(n / k)` with `k >= 1`, as the pigeonhole floor and the
+/// even-slice ceiling both need it.
+fn div_ceil(n: u64, k: u64) -> u64 {
+    if k == 0 {
+        n
+    } else {
+        n.div_ceil(k)
+    }
+}
+
+/// The entry interval a dataset of `meta`'s format holds for `records`
+/// member records, given a distinct-key bound: flat entries are records;
+/// packed entries are key groups, at most one per distinct key.
+fn entries_of(meta: &DatasetMeta, records: Interval, distinct: Interval) -> Interval {
+    match meta.format {
+        Format::Flat => records,
+        Format::Packed => Interval {
+            lo: u64::from(records.lo > 0),
+            hi: records.hi.min(distinct.hi),
+        },
+    }
+}
+
+/// Bytes interval of a materialized dataset: per-record content plus
+/// packed-group and batch framing overhead. `frag_hi` bounds the fragment
+/// count (each fragment pays the 5-byte batch header).
+fn bytes_of(meta: &DatasetMeta, records: Interval, entries: Interval, frag_hi: u64) -> Interval {
+    let (w_lo, w_hi) = record_width(&meta.schema);
+    let lo = records.lo.saturating_mul(w_lo);
+    let hi = match w_hi {
+        None => UNBOUNDED,
+        Some(w) => {
+            if records.hi == UNBOUNDED {
+                UNBOUNDED
+            } else {
+                let mut h = records.hi.saturating_mul(w).saturating_add(
+                    // 1-byte batch tag + 4-byte count per fragment.
+                    frag_hi.saturating_mul(5),
+                );
+                if meta.format == Format::Packed {
+                    let key_w = meta
+                        .packed_key
+                        .and_then(|k| meta.schema.fields().get(k))
+                        .map(|f| value_width(f.ty).1)
+                        .unwrap_or(None);
+                    match (key_w, entries.hi == UNBOUNDED) {
+                        // Tagged group key + 4-byte member count per group.
+                        (Some(kw), false) => {
+                            h = h.saturating_add(entries.hi.saturating_mul(kw + 4))
+                        }
+                        _ => return Interval { lo, hi: UNBOUNDED },
+                    }
+                }
+                h
+            }
+        }
+    };
+    Interval { lo, hi }
+}
+
+/// Distinct-value bound of an output holding `records` member records
+/// whose values come from inputs with a combined distinct bound: field
+/// values are preserved (and add-on aggregates take at most one value per
+/// key group), so the union bound meets the record count.
+fn distinct_of(records: Interval, in_distinct: Interval) -> Interval {
+    Interval {
+        lo: u64::from(records.lo > 0),
+        hi: records.hi.min(in_distinct.hi),
+    }
+}
+
+/// Entry count of partition `p` (0-based) when `e` entries are routed by
+/// global index under `policy` over `m` partitions. Monotone
+/// nondecreasing in `e` for both policies, which is what lets the
+/// interval transfer go endpoint-wise.
+fn indexed_partition_count(policy: DistrPolicy, e: u64, p: u64, m: u64) -> u64 {
+    match policy {
+        // Partition p holds indices p, p+m, p+2m, ...
+        DistrPolicy::Cyclic => {
+            if e > p {
+                div_ceil(e - p, m)
+            } else {
+                0
+            }
+        }
+        // Contiguous chunks; the first e % m chunks take the remainder.
+        DistrPolicy::Block => {
+            let base = e / m;
+            let extra = e % m;
+            base + u64::from(p < extra)
+        }
+        DistrPolicy::GraphVertexCut => unreachable!("value-routed policy has no index form"),
+    }
+}
+
+/// The max over input schemas of the tagged width of the shuffle key
+/// (`key_idx` into each input's member schema).
+fn key_width(job: &JobPlan, key_idx: usize) -> Option<u64> {
+    let mut w = 0u64;
+    for meta in &job.input_metas {
+        let f = meta.schema.fields().get(key_idx)?;
+        w = w.max(value_width(f.ty).1?);
+    }
+    Some(w)
+}
+
+/// Upper bound on one shuffle's `remote_bytes`: every pair pays the
+/// 8-byte routing header, a 1-byte entry tag and its key; flat entries
+/// add a record, packed entries add the group key, a count and the
+/// members. Compression (CSC) only shrinks, so it is ignored.
+fn shuffle_hi(job: &JobPlan, records: Interval, pairs: Interval, key_w: Option<u64>) -> u64 {
+    let Some(kw) = key_w else { return UNBOUNDED };
+    if records.hi == UNBOUNDED || pairs.hi == UNBOUNDED {
+        return UNBOUNDED;
+    }
+    let mut rec_w = 0u64;
+    let mut packed_key_w = 0u64;
+    let mut any_packed = false;
+    for meta in &job.input_metas {
+        match record_width(&meta.schema).1 {
+            Some(w) => rec_w = rec_w.max(w),
+            None => return UNBOUNDED,
+        }
+        if meta.format == Format::Packed {
+            any_packed = true;
+            let kwp = meta
+                .packed_key
+                .and_then(|k| meta.schema.fields().get(k))
+                .and_then(|f| value_width(f.ty).1);
+            match kwp {
+                Some(w) => packed_key_w = packed_key_w.max(w),
+                None => return UNBOUNDED,
+            }
+        }
+    }
+    let per_pair = 8 + 1 + kw + if any_packed { packed_key_w + 4 } else { 0 };
+    pairs
+        .hi
+        .saturating_mul(per_pair)
+        .saturating_add(records.hi.saturating_mul(rec_w))
+}
+
+/// The effective reducer count of a job (mirrors the executor).
+fn reducers_for(job: &JobPlan, opts: &BoundsOptions) -> usize {
+    job.num_reducers
+        .or(opts.default_reducers)
+        .unwrap_or(opts.num_nodes)
+        .max(1)
+}
+
+/// Sum the bounds of a job's input datasets (⊤ for anything unknown).
+fn sum_inputs(env: &BTreeMap<String, DatasetBounds>, job: &JobPlan) -> DatasetBounds {
+    let mut acc = DatasetBounds {
+        records: Interval::zero(),
+        entries: Interval::zero(),
+        bytes: Interval::zero(),
+        distinct: Interval::zero(),
+    };
+    for name in &job.inputs {
+        let b = env.get(name).copied().unwrap_or_else(DatasetBounds::top);
+        acc.records = acc.records.add(b.records);
+        acc.entries = acc.entries.add(b.entries);
+        acc.bytes = acc.bytes.add(b.bytes);
+        // Distinct values of a union: at most the sum of the parts.
+        acc.distinct = acc.distinct.add(b.distinct);
+    }
+    acc
+}
+
+/// The keyed-shuffle max-load interval: pigeonhole floor, and everything
+/// on one reducer as the ceiling (a single hot key is always admissible
+/// under a value-routed partitioner).
+fn keyed_max_load(records: Interval, reducers: usize) -> Interval {
+    Interval {
+        lo: div_ceil(records.lo, reducers as u64),
+        hi: records.hi,
+    }
+}
+
+/// Interpret `plan`/`phys` under `opts`.
+pub fn compute(plan: &WorkflowPlan, phys: &PhysicalPlan, opts: &BoundsOptions) -> WorkflowBounds {
+    let nodes = opts.num_nodes.max(1) as u64;
+    let mut env: BTreeMap<String, DatasetBounds> = BTreeMap::new();
+    for (name, meta) in &plan.external_inputs {
+        let src = opts.sources.get(name);
+        let records = src.map(|s| s.records).unwrap_or_else(Interval::top);
+        let distinct = distinct_of(
+            records,
+            src.map(|s| s.distinct).unwrap_or_else(Interval::top),
+        );
+        let entries = entries_of(meta, records, distinct);
+        // Scatter splits each input into at most one chunk per node.
+        let bytes = bytes_of(meta, records, entries, nodes);
+        env.insert(
+            name.clone(),
+            DatasetBounds {
+                records,
+                entries,
+                bytes,
+                distinct,
+            },
+        );
+    }
+
+    let mut stages = Vec::with_capacity(phys.stages.len());
+    let mut proofs = Vec::new();
+    for (sidx, stage) in phys.stages.iter().enumerate() {
+        let sb = match &stage.kind {
+            StageKind::Single(j) => {
+                single_stage(plan, &plan.jobs[*j], stage.id.clone(), &env, opts)
+            }
+            StageKind::FusedSortDistribute { sort, distribute } => {
+                proofs.push(prove_sort_distribute(
+                    plan,
+                    sidx,
+                    stage.id.clone(),
+                    *sort,
+                    *distribute,
+                ));
+                fused_sort_distribute_stage(
+                    plan,
+                    &plan.jobs[*sort],
+                    &plan.jobs[*distribute],
+                    stage.id.clone(),
+                    &env,
+                    opts,
+                )
+            }
+            StageKind::FusedGroupSplit { group, split } => {
+                proofs.push(prove_group_split(
+                    plan,
+                    sidx,
+                    stage.id.clone(),
+                    *group,
+                    *split,
+                    opts,
+                ));
+                fused_group_split_stage(
+                    &plan.jobs[*group],
+                    &plan.jobs[*split],
+                    stage.id.clone(),
+                    &env,
+                    opts,
+                )
+            }
+        };
+        for (name, b) in &sb.outputs {
+            env.insert(name.clone(), *b);
+        }
+        stages.push(sb);
+    }
+
+    let rejects = if phys.fused {
+        fusion_rejects(plan, phys, opts)
+    } else {
+        Vec::new()
+    };
+
+    WorkflowBounds {
+        stages,
+        datasets: env,
+        proofs,
+        rejects,
+    }
+}
+
+/// Bounds of one unfused stage.
+fn single_stage(
+    plan: &WorkflowPlan,
+    job: &JobPlan,
+    id: String,
+    env: &BTreeMap<String, DatasetBounds>,
+    opts: &BoundsOptions,
+) -> StageBounds {
+    let input = sum_inputs(env, job);
+    let n = input.records;
+    match &job.kind {
+        JobKind::Sort { key_idx, .. } | JobKind::Group { key_idx, .. } => {
+            let reducers = reducers_for(job, opts);
+            let meta = &job.outputs[0].1;
+            let distinct = distinct_of(n, input.distinct);
+            let entries = entries_of(meta, n, distinct);
+            let bytes = bytes_of(meta, n, entries, reducers as u64);
+            let kw = key_width(job, *key_idx);
+            StageBounds {
+                id,
+                reducers,
+                records_in: n,
+                records_out: n,
+                pairs: input.entries,
+                shuffle_bytes: Interval {
+                    lo: 0,
+                    hi: shuffle_hi(job, n, input.entries, kw),
+                },
+                max_load: keyed_max_load(n, reducers),
+                outputs: vec![(
+                    job.output().to_string(),
+                    DatasetBounds {
+                        records: n,
+                        entries,
+                        bytes,
+                        distinct,
+                    },
+                )],
+                partitions: None,
+            }
+        }
+        JobKind::Split { .. } => {
+            // Map-only and local: no shuffle, no reducers; every input
+            // record lands on exactly one branch (an unmatched key is a
+            // runtime error, not a drop).
+            let distinct = distinct_of(n, input.distinct);
+            let outputs = job
+                .outputs
+                .iter()
+                .map(|(name, meta)| {
+                    let records = Interval { lo: 0, hi: n.hi };
+                    let d = distinct_of(records, distinct);
+                    let entries = entries_of(meta, records, d);
+                    let bytes = bytes_of(meta, records, entries, opts.num_nodes.max(1) as u64);
+                    (
+                        name.clone(),
+                        DatasetBounds {
+                            records,
+                            entries,
+                            bytes,
+                            distinct: d,
+                        },
+                    )
+                })
+                .collect();
+            StageBounds {
+                id,
+                reducers: 0,
+                records_in: n,
+                records_out: n,
+                pairs: Interval::zero(),
+                shuffle_bytes: Interval::zero(),
+                max_load: Interval::zero(),
+                outputs,
+                partitions: None,
+            }
+        }
+        JobKind::Distribute {
+            policy,
+            num_partitions,
+            ..
+        } => distribute_stage(job, id, *policy, *num_partitions, &input, env),
+        JobKind::Custom { .. } => {
+            // A custom operator owns its counters; nothing is provable.
+            let _ = plan;
+            StageBounds {
+                id,
+                reducers: reducers_for(job, opts),
+                records_in: Interval::top(),
+                records_out: Interval::top(),
+                pairs: Interval::top(),
+                shuffle_bytes: Interval::top(),
+                max_load: Interval::top(),
+                outputs: job
+                    .outputs
+                    .iter()
+                    .map(|(name, _)| (name.clone(), DatasetBounds::top()))
+                    .collect(),
+                partitions: None,
+            }
+        }
+    }
+}
+
+/// Bounds of a distribute stage (the engine runs it with one reducer per
+/// partition, so reducer loads and partition loads coincide).
+fn distribute_stage(
+    job: &JobPlan,
+    id: String,
+    policy: DistrPolicy,
+    num_partitions: usize,
+    input: &DatasetBounds,
+    _env: &BTreeMap<String, DatasetBounds>,
+) -> StageBounds {
+    let m = num_partitions.max(1) as u64;
+    let n = input.records;
+    let e = input.entries;
+    let all_flat = job
+        .input_metas
+        .iter()
+        .all(|meta| meta.format == Format::Flat);
+
+    let per_partition: Vec<Interval> = (0..m)
+        .map(|p| match policy {
+            DistrPolicy::Cyclic | DistrPolicy::Block => {
+                e.map_monotone(|v| indexed_partition_count(policy, v, p, m))
+            }
+            DistrPolicy::GraphVertexCut => Interval { lo: 0, hi: e.hi },
+        })
+        .collect();
+    let provably_empty = per_partition.iter().filter(|i| i.hi == 0).count();
+
+    let max_load = match policy {
+        // Index-routed over flat entries: entries are records, sliced
+        // evenly; with packed groups a single group caps only entries,
+        // so member records fall back to the whole input.
+        DistrPolicy::Cyclic | DistrPolicy::Block if all_flat => Interval {
+            lo: div_ceil(n.lo, m),
+            hi: if n.hi == UNBOUNDED {
+                UNBOUNDED
+            } else {
+                div_ceil(n.hi, m)
+            },
+        },
+        _ => keyed_max_load(n, m as usize),
+    };
+    // Only meaningful once the fair share reaches one record: below m
+    // records the ceiling alone inflates the ratio, and the real finding
+    // there is emptiness (W007), not skew.
+    let imbalance_hi = if n.hi != UNBOUNDED && n.hi >= m && max_load.hi != UNBOUNDED {
+        Some(max_load.hi as f64 * m as f64 / n.hi as f64)
+    } else {
+        None
+    };
+
+    let meta = &job.outputs[0].1;
+    let distinct = distinct_of(n, input.distinct);
+    let entries = entries_of(meta, n, distinct);
+    let bytes = bytes_of(meta, n, entries, m);
+    StageBounds {
+        id,
+        reducers: m as usize,
+        records_in: n,
+        records_out: n,
+        pairs: e,
+        shuffle_bytes: Interval {
+            lo: 0,
+            // The embedded-order key is always a tagged Long.
+            hi: shuffle_hi(job, n, e, Some(9)),
+        },
+        max_load,
+        outputs: vec![(
+            job.output().to_string(),
+            DatasetBounds {
+                records: n,
+                entries,
+                bytes,
+                distinct,
+            },
+        )],
+        partitions: Some(PartitionBounds {
+            per_partition,
+            provably_empty,
+            imbalance_hi,
+        }),
+    }
+}
+
+/// Bounds of a fused sort→distribute stage: the engine job is the sort
+/// (its reducers, its shuffle); the distribute permutation is applied
+/// driver-side over the sorted runs, so the stage's counters are the
+/// sort's and the output layout is the distribute's.
+fn fused_sort_distribute_stage(
+    plan: &WorkflowPlan,
+    sort: &JobPlan,
+    dist: &JobPlan,
+    id: String,
+    env: &BTreeMap<String, DatasetBounds>,
+    opts: &BoundsOptions,
+) -> StageBounds {
+    let _ = plan;
+    let input = sum_inputs(env, sort);
+    let n = input.records;
+    let reducers = reducers_for(sort, opts);
+    let JobKind::Distribute {
+        policy,
+        num_partitions,
+        ..
+    } = &dist.kind
+    else {
+        unreachable!("fused stage pairs a sort with a distribute");
+    };
+    let m = (*num_partitions).max(1) as u64;
+    // The fusion gate proved the intermediate flat: entries == records.
+    let per_partition: Vec<Interval> = (0..m)
+        .map(|p| n.map_monotone(|v| indexed_partition_count(*policy, v, p, m)))
+        .collect();
+    let provably_empty = per_partition.iter().filter(|i| i.hi == 0).count();
+    // Same fair-share gate as the unfused distribute: ratios computed
+    // from fewer records than partitions only restate emptiness.
+    let imbalance_hi = if n.hi != UNBOUNDED && n.hi >= m {
+        Some(div_ceil(n.hi, m) as f64 * m as f64 / n.hi as f64)
+    } else {
+        None
+    };
+
+    let key_idx = match &sort.kind {
+        JobKind::Sort { key_idx, .. } => *key_idx,
+        _ => unreachable!("fused stage pairs a sort with a distribute"),
+    };
+    let meta = &dist.outputs[0].1;
+    let distinct = distinct_of(n, input.distinct);
+    let entries = entries_of(meta, n, distinct);
+    let bytes = bytes_of(meta, n, entries, m);
+    StageBounds {
+        id,
+        reducers,
+        records_in: n,
+        records_out: n,
+        pairs: input.entries,
+        shuffle_bytes: Interval {
+            lo: 0,
+            hi: shuffle_hi(sort, n, input.entries, key_width(sort, key_idx)),
+        },
+        max_load: keyed_max_load(n, reducers),
+        outputs: vec![(
+            dist.output().to_string(),
+            DatasetBounds {
+                records: n,
+                entries,
+                bytes,
+                distinct,
+            },
+        )],
+        partitions: Some(PartitionBounds {
+            per_partition,
+            provably_empty,
+            imbalance_hi,
+        }),
+    }
+}
+
+/// Bounds of a fused group→split stage: the group's shuffle, the split's
+/// outputs (one fragment per reducer per branch).
+fn fused_group_split_stage(
+    group: &JobPlan,
+    split: &JobPlan,
+    id: String,
+    env: &BTreeMap<String, DatasetBounds>,
+    opts: &BoundsOptions,
+) -> StageBounds {
+    let input = sum_inputs(env, group);
+    let n = input.records;
+    let reducers = reducers_for(group, opts);
+    let key_idx = match &group.kind {
+        JobKind::Group { key_idx, .. } => *key_idx,
+        _ => unreachable!("fused stage pairs a group with a split"),
+    };
+    let distinct = distinct_of(n, input.distinct);
+    let outputs = split
+        .outputs
+        .iter()
+        .map(|(name, meta)| {
+            let records = Interval { lo: 0, hi: n.hi };
+            let d = distinct_of(records, distinct);
+            let entries = entries_of(meta, records, d);
+            let bytes = bytes_of(meta, records, entries, reducers as u64);
+            (
+                name.clone(),
+                DatasetBounds {
+                    records,
+                    entries,
+                    bytes,
+                    distinct: d,
+                },
+            )
+        })
+        .collect();
+    StageBounds {
+        id,
+        reducers,
+        records_in: n,
+        records_out: n,
+        pairs: input.entries,
+        shuffle_bytes: Interval {
+            lo: 0,
+            hi: shuffle_hi(group, n, input.entries, key_width(group, key_idx)),
+        },
+        max_load: keyed_max_load(n, reducers),
+        outputs,
+        partitions: None,
+    }
+}
+
+/// Re-prove the sort→distribute fusion from the dataflow: the streamed
+/// intermediate must have exactly one consumer, survive nowhere, and the
+/// prefix-sum rank trick needs entries == records (flat) and an
+/// index-routed policy.
+fn prove_sort_distribute(
+    plan: &WorkflowPlan,
+    stage: usize,
+    id: String,
+    sort: usize,
+    distribute: usize,
+) -> FusionProof {
+    let sjob = &plan.jobs[sort];
+    let djob = &plan.jobs[distribute];
+    let mut obligations = Vec::new();
+    let mut violation = None;
+    let mut check = |ok: bool, text: String| {
+        if !ok && violation.is_none() {
+            violation = Some(text.clone());
+        }
+        obligations.push(text);
+        ok
+    };
+    let consumers = consumer_count(plan, sjob.output());
+    check(
+        consumers == 1,
+        format!(
+            "streamed intermediate '{}' has exactly one consumer (found {consumers})",
+            sjob.output()
+        ),
+    );
+    check(
+        plan.output_path != sjob.output(),
+        format!(
+            "streamed intermediate '{}' is not the workflow output",
+            sjob.output()
+        ),
+    );
+    check(
+        sjob.outputs[0].1.format == Format::Flat,
+        "sort output is flat, so entry ranks equal record ranks".to_string(),
+    );
+    let index_routed = matches!(
+        djob.kind,
+        JobKind::Distribute {
+            policy: DistrPolicy::Cyclic | DistrPolicy::Block,
+            ..
+        }
+    );
+    check(
+        index_routed,
+        "distribute policy routes by index, computable from prefix sums".to_string(),
+    );
+    let ok = violation.is_none();
+    FusionProof {
+        stage,
+        id,
+        ok,
+        obligations,
+        violation,
+    }
+}
+
+/// Re-prove the group→split fusion: single consumption plus the
+/// reducer/node agreement that keeps fragment ordinals identical.
+fn prove_group_split(
+    plan: &WorkflowPlan,
+    stage: usize,
+    id: String,
+    group: usize,
+    _split: usize,
+    opts: &BoundsOptions,
+) -> FusionProof {
+    let gjob = &plan.jobs[group];
+    let mut obligations = Vec::new();
+    let mut violation = None;
+    let mut check = |ok: bool, text: String| {
+        if !ok && violation.is_none() {
+            violation = Some(text.clone());
+        }
+        obligations.push(text);
+        ok
+    };
+    let consumers = consumer_count(plan, gjob.output());
+    check(
+        consumers == 1,
+        format!(
+            "streamed intermediate '{}' has exactly one consumer (found {consumers})",
+            gjob.output()
+        ),
+    );
+    check(
+        plan.output_path != gjob.output(),
+        format!(
+            "streamed intermediate '{}' is not the workflow output",
+            gjob.output()
+        ),
+    );
+    let reducers = reducers_for(gjob, opts);
+    check(
+        reducers == opts.num_nodes,
+        format!(
+            "group runs {reducers} reducer(s) on {} node(s): fused and unfused \
+             fragment ordinals coincide",
+            opts.num_nodes
+        ),
+    );
+    let ok = violation.is_none();
+    FusionProof {
+        stage,
+        id,
+        ok,
+        obligations,
+        violation,
+    }
+}
+
+/// Adjacent pairs that look fusible (right kinds, right order) but were
+/// not fused, with the blocking gate spelled out.
+fn fusion_rejects(
+    plan: &WorkflowPlan,
+    phys: &PhysicalPlan,
+    opts: &BoundsOptions,
+) -> Vec<FusionReject> {
+    let fused_firsts: Vec<usize> = phys
+        .stages
+        .iter()
+        .filter(|s| s.logical.len() > 1)
+        .map(|s| s.logical[0])
+        .collect();
+    let mut out = Vec::new();
+    for i in 0..plan.jobs.len().saturating_sub(1) {
+        if fused_firsts.contains(&i) {
+            continue;
+        }
+        let a = &plan.jobs[i];
+        let b = &plan.jobs[i + 1];
+        if a.outputs.is_empty() || b.outputs.is_empty() {
+            continue;
+        }
+        let reason = match (&a.kind, &b.kind) {
+            (JobKind::Sort { .. }, JobKind::Distribute { policy, .. }) => {
+                if b.inputs != vec![a.output().to_string()] {
+                    Some(format!(
+                        "the distribute does not read exactly the sort output '{}'",
+                        a.output()
+                    ))
+                } else if matches!(policy, DistrPolicy::GraphVertexCut) {
+                    Some(
+                        "distribute policy 'graphVertexCut' routes by value, so partition \
+                         assignments cannot be derived from the sorted runs' prefix sums"
+                            .to_string(),
+                    )
+                } else if a.outputs[0].1.format != Format::Flat {
+                    Some(format!(
+                        "sort output '{}' is packed: entry ranks diverge from record ranks",
+                        a.output()
+                    ))
+                } else if plan.output_path == a.output() {
+                    Some(format!(
+                        "sort output '{}' is the workflow output and must survive the run",
+                        a.output()
+                    ))
+                } else {
+                    let c = consumer_count(plan, a.output());
+                    if c != 1 {
+                        Some(format!(
+                            "sort output '{}' has {c} consumers; streaming it would starve one",
+                            a.output()
+                        ))
+                    } else {
+                        None
+                    }
+                }
+            }
+            (JobKind::Group { .. }, JobKind::Split { .. }) => {
+                if b.inputs != vec![a.output().to_string()] {
+                    Some(format!(
+                        "the split does not read exactly the group output '{}'",
+                        a.output()
+                    ))
+                } else if plan.output_path == a.output() {
+                    Some(format!(
+                        "group output '{}' is the workflow output and must survive the run",
+                        a.output()
+                    ))
+                } else {
+                    let reducers = reducers_for(a, opts);
+                    if reducers != opts.num_nodes {
+                        Some(format!(
+                            "group runs {reducers} reducer(s) but the cluster has {} node(s): \
+                             fused (per-reducer) and unfused (per-node) fragment ordinals \
+                             would diverge",
+                            opts.num_nodes
+                        ))
+                    } else {
+                        let c = consumer_count(plan, a.output());
+                        if c != 1 {
+                            Some(format!(
+                                "group output '{}' has {c} consumers; streaming it would \
+                                 starve one",
+                                a.output()
+                            ))
+                        } else {
+                            None
+                        }
+                    }
+                }
+            }
+            _ => None,
+        };
+        if let Some(reason) = reason {
+            out.push(FusionReject {
+                first: i,
+                second: i + 1,
+                reason,
+            });
+        }
+    }
+    out
+}
+
+/// Render the per-stage bound table `papar check --bounds` and `papar
+/// plan --explain` print (fixed-width, one row per stage).
+pub fn render_table(bounds: &WorkflowBounds) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>8} {:>14} {:>14} {:>14} {:>14} {:>18}\n",
+        "stage", "reducers", "records-in", "records-out", "pairs", "max-load", "out-bytes"
+    ));
+    for s in &bounds.stages {
+        let out_bytes = s
+            .outputs
+            .iter()
+            .fold(Interval::zero(), |acc, (_, b)| acc.add(b.bytes));
+        out.push_str(&format!(
+            "{:<16} {:>8} {:>14} {:>14} {:>14} {:>14} {:>18}\n",
+            s.id,
+            s.reducers,
+            s.records_in.to_string(),
+            s.records_out.to_string(),
+            s.pairs.to_string(),
+            s.max_load.to_string(),
+            out_bytes.to_string(),
+        ));
+        if let Some(p) = &s.partitions {
+            if p.provably_empty > 0 {
+                out.push_str(&format!(
+                    "{:<16} {} of {} partition(s) provably empty\n",
+                    "",
+                    p.provably_empty,
+                    p.per_partition.len()
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_arithmetic_saturates_and_absorbs_top() {
+        let a = Interval::new(2, 8);
+        let b = Interval::exact(5);
+        assert_eq!(a.add(b), Interval::new(7, 13));
+        assert_eq!(a.add(Interval::top()).hi, UNBOUNDED);
+        assert_eq!(Interval::top().mul(3).hi, UNBOUNDED);
+        assert!(a.contains(2) && a.contains(8) && !a.contains(9));
+        assert_eq!(Interval::new(3, 9).cap_hi(4), Interval::new(3, 4));
+        assert_eq!(Interval::new(6, 9).cap_hi(4), Interval::new(4, 4));
+        assert_eq!(Interval::exact(7).to_string(), "7");
+        assert_eq!(Interval::new(1, 2).to_string(), "[1, 2]");
+        assert_eq!(Interval::top().to_string(), "[0, ?]");
+    }
+
+    #[test]
+    fn indexed_partition_counts_match_the_policies() {
+        // 10 entries cyclic over 4: partitions get 3,3,2,2.
+        let got: Vec<u64> = (0..4)
+            .map(|p| indexed_partition_count(DistrPolicy::Cyclic, 10, p, 4))
+            .collect();
+        assert_eq!(got, vec![3, 3, 2, 2]);
+        // 10 entries block over 4: 3,3,2,2 as well (remainder first).
+        let got: Vec<u64> = (0..4)
+            .map(|p| indexed_partition_count(DistrPolicy::Block, 10, p, 4))
+            .collect();
+        assert_eq!(got, vec![3, 3, 2, 2]);
+        // Fewer entries than partitions: trailing partitions are empty.
+        for policy in [DistrPolicy::Cyclic, DistrPolicy::Block] {
+            let got: Vec<u64> = (0..6)
+                .map(|p| indexed_partition_count(policy, 3, p, 6))
+                .collect();
+            assert_eq!(got, vec![1, 1, 1, 0, 0, 0], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn indexed_partition_counts_are_monotone_in_entry_count() {
+        for policy in [DistrPolicy::Cyclic, DistrPolicy::Block] {
+            for m in 1..6u64 {
+                for p in 0..m {
+                    let mut last = 0;
+                    for e in 0..40u64 {
+                        let c = indexed_partition_count(policy, e, p, m);
+                        assert!(c >= last, "{policy:?} m={m} p={p} e={e}");
+                        last = c;
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn record_width_handles_strings() {
+        let fixed = Schema::new(vec![
+            ("a", FieldType::Integer),
+            ("b", FieldType::Long),
+            ("c", FieldType::Double),
+        ]);
+        assert_eq!(record_width(&fixed), (20, Some(20)));
+        let stringy = Schema::new(vec![("a", FieldType::Str), ("b", FieldType::Integer)]);
+        assert_eq!(record_width(&stringy), (8, None));
+    }
+
+    #[test]
+    fn keyed_max_load_uses_pigeonhole_floor() {
+        let ml = keyed_max_load(Interval::exact(10), 4);
+        assert_eq!(ml, Interval::new(3, 10));
+        assert_eq!(keyed_max_load(Interval::zero(), 4), Interval::zero());
+        assert_eq!(keyed_max_load(Interval::top(), 4).hi, UNBOUNDED);
+    }
+}

@@ -282,6 +282,13 @@ impl WorkflowRunner {
             None => None,
         };
         let net = *cluster.net();
+        // Debug-mode bounds verifier: interpret the physical plan over the
+        // *exact* scattered source counts, then assert after every stage
+        // that each observed counter lies inside its static interval. Any
+        // escape is an unsound transfer function — a framework bug worth a
+        // hard failure, which is why this is an assert and not a warning.
+        #[cfg(debug_assertions)]
+        let static_bounds = self.static_bounds(cluster, &phys);
         let mut scatter_charge_dropped = false;
         for (sidx, stage) in phys.stages.iter().enumerate() {
             if let Some(s) = &session {
@@ -290,7 +297,15 @@ impl WorkflowRunner {
                     report.jobs.push(s.completed()[sidx].stats.clone());
                     report.stages_resumed += 1;
                     #[cfg(debug_assertions)]
-                    self.verify_stage_outputs(cluster, stage);
+                    {
+                        self.verify_stage_outputs(cluster, stage);
+                        self.verify_stage_bounds(
+                            cluster,
+                            stage,
+                            &static_bounds.stages[sidx],
+                            report.jobs.last().expect("stats just pushed"),
+                        );
+                    }
                     continue;
                 }
             }
@@ -324,7 +339,15 @@ impl WorkflowRunner {
             }
             report.jobs.push(stats);
             #[cfg(debug_assertions)]
-            self.verify_stage_outputs(cluster, stage);
+            {
+                self.verify_stage_outputs(cluster, stage);
+                self.verify_stage_bounds(
+                    cluster,
+                    stage,
+                    &static_bounds.stages[sidx],
+                    report.jobs.last().expect("stats just pushed"),
+                );
+            }
         }
         report.recovery_events = cluster.drain_events();
         report.trace = cluster.take_trace();
@@ -508,6 +531,109 @@ impl WorkflowRunner {
                 };
                 for f in frags {
                     verify_batch_conforms(&f.data.batch, meta, &job.id, name);
+                }
+            }
+        }
+    }
+
+    /// Interpret the physical plan over the exact record counts of the
+    /// scattered inputs (callers scatter before [`WorkflowRunner::run`]),
+    /// giving the tightest intervals the bounds domain can express for
+    /// this launch.
+    #[cfg(debug_assertions)]
+    fn static_bounds(
+        &self,
+        cluster: &Cluster,
+        phys: &crate::physplan::PhysicalPlan,
+    ) -> crate::bounds::WorkflowBounds {
+        use crate::bounds::{BoundsOptions, SourceBounds};
+        let mut opts = BoundsOptions {
+            num_nodes: cluster.num_nodes(),
+            default_reducers: self.options.default_reducers,
+            sources: BTreeMap::new(),
+        };
+        for (name, _) in &self.plan.external_inputs {
+            let total: u64 = (0..cluster.num_nodes())
+                .map(|n| cluster.node(n).record_count(name) as u64)
+                .sum();
+            opts.sources
+                .insert(name.clone(), SourceBounds::exact(total));
+        }
+        crate::bounds::compute(&self.plan, phys, &opts)
+    }
+
+    /// Assert every observed counter of a finished (or restored) stage
+    /// lies inside its static interval: the job's stats, the materialized
+    /// outputs' record totals, the largest output fragment against the
+    /// max-load bound, and — for distribute stages — each partition's
+    /// entry count against its per-partition interval. Custom stages
+    /// interpret to ⊤ everywhere, so they pass vacuously.
+    #[cfg(debug_assertions)]
+    fn verify_stage_bounds(
+        &self,
+        cluster: &Cluster,
+        stage: &PhysicalStage,
+        bounds: &crate::bounds::StageBounds,
+        stats: &JobStats,
+    ) {
+        debug_assert_eq!(stage.id, bounds.id, "stage/bounds zip skewed");
+        if let Err(violation) = stats.counters_within(
+            (bounds.records_in.lo, bounds.records_in.hi),
+            (bounds.pairs.lo, bounds.pairs.hi),
+            (bounds.records_out.lo, bounds.records_out.hi),
+            bounds.shuffle_bytes.hi,
+        ) {
+            panic!("stage '{}': {violation}", stage.id);
+        }
+        for (name, db) in &bounds.outputs {
+            let mut records = 0u64;
+            let mut max_fragment = 0u64;
+            let mut per_ordinal: BTreeMap<u32, u64> = BTreeMap::new();
+            for node in 0..cluster.num_nodes() {
+                let Some(frags) = cluster.node(node).get(name) else {
+                    continue;
+                };
+                for f in frags {
+                    let rc = f.data.batch.record_count() as u64;
+                    records += rc;
+                    max_fragment = max_fragment.max(rc);
+                    *per_ordinal.entry(f.ordinal).or_default() += f.data.batch.entry_count() as u64;
+                }
+            }
+            assert!(
+                db.records.contains(records),
+                "stage '{}': dataset '{name}' holds {records} record(s), outside its \
+                 static bound {}",
+                stage.id,
+                db.records
+            );
+            // The max-load bound is the shuffle histogram's ceiling; each
+            // reducer writes at most one fragment per output, so fragment
+            // sizes are under it. Map-only stages (reducers == 0) never
+            // shuffle and carry no load bound.
+            if bounds.reducers > 0 {
+                assert!(
+                    max_fragment <= bounds.max_load.hi,
+                    "stage '{}': dataset '{name}' has a {max_fragment}-record fragment, \
+                     above the static max-load bound {}",
+                    stage.id,
+                    bounds.max_load
+                );
+            }
+            // A distribute stage writes one fragment per partition, keyed
+            // by ordinal; the output layout must match the per-partition
+            // entry intervals (only the final output carries the layout).
+            if let Some(p) = &bounds.partitions {
+                for (ordinal, entries) in &per_ordinal {
+                    let Some(interval) = p.per_partition.get(*ordinal as usize) else {
+                        continue;
+                    };
+                    assert!(
+                        interval.contains(*entries),
+                        "stage '{}': partition {ordinal} of '{name}' holds {entries} \
+                         entr(y/ies), outside its static bound {interval}",
+                        stage.id
+                    );
                 }
             }
         }

@@ -26,6 +26,7 @@
 //!   physical stages one by one on a [`papar_mr::Cluster`], wiring
 //!   samplers, add-ons, format conversions and the distribution matrices.
 
+pub mod bounds;
 pub mod error;
 pub mod exec;
 pub mod operator;
@@ -33,6 +34,10 @@ pub mod physplan;
 pub mod plan;
 pub mod policy;
 
+pub use bounds::{
+    BoundsOptions, DatasetBounds, FusionProof, FusionReject, Interval, SourceBounds, StageBounds,
+    WorkflowBounds,
+};
 pub use error::{CoreError, Result};
 pub use exec::{ExecOptions, WorkflowReport, WorkflowRunner};
 pub use physplan::{lower, PhysicalPlan, PhysicalStage, StageKind};

@@ -237,6 +237,40 @@ impl JobStats {
         }
         self.recovery = recovery;
     }
+
+    /// Cross-check the engine's counters against static `[lo, hi]` bounds
+    /// (the executor's debug-mode bounds verifier feeds intervals from the
+    /// abstract interpretation in `papar_core::bounds`). Shuffle bytes are
+    /// the nominal exchange only — retransmits live in the recovery ledger
+    /// and are bounded separately. Returns the first violation, rendered.
+    pub fn counters_within(
+        &self,
+        records_in: (u64, u64),
+        pairs: (u64, u64),
+        records_out: (u64, u64),
+        shuffle_bytes_hi: u64,
+    ) -> std::result::Result<(), String> {
+        let checks = [
+            ("records_in", self.records_in, records_in),
+            ("pairs_shuffled", self.pairs_shuffled, pairs),
+            ("records_out", self.records_out, records_out),
+            (
+                "exchange.remote_bytes",
+                self.exchange.remote_bytes,
+                (0, shuffle_bytes_hi),
+            ),
+        ];
+        for (what, observed, (lo, hi)) in checks {
+            if observed < lo || observed > hi {
+                return Err(format!(
+                    "job '{}': observed {what} = {observed} escapes its static bound \
+                     [{lo}, {hi}]",
+                    self.name
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Sum of the simulated times of a sequence of jobs (a whole workflow, which
@@ -310,6 +344,34 @@ pub fn job_trace_from_stats(
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn counters_within_reports_the_first_escape() {
+        let stats = JobStats {
+            name: "sort".to_string(),
+            records_in: 100,
+            pairs_shuffled: 100,
+            records_out: 100,
+            exchange: ExchangeStats {
+                remote_bytes: 2048,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!(stats
+            .counters_within((100, 100), (0, 100), (100, 100), 4096)
+            .is_ok());
+        // A violated interval names the counter and the bound.
+        let err = stats
+            .counters_within((100, 100), (0, 99), (100, 100), 4096)
+            .unwrap_err();
+        assert!(err.contains("pairs_shuffled"), "{err}");
+        assert!(err.contains("[0, 99]"), "{err}");
+        let err = stats
+            .counters_within((100, 100), (0, 100), (100, 100), 1024)
+            .unwrap_err();
+        assert!(err.contains("remote_bytes"), "{err}");
+    }
 
     #[test]
     fn transfer_time_scales_with_volume() {

@@ -87,6 +87,98 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
     out
 }
 
+/// Static `[lo, hi]` bounds of one job's counters, as computed by an
+/// abstract interpretation *before* the run (`papar_core::bounds`; this
+/// crate sits below the planner, so the caller flattens the intervals).
+/// `hi == u64::MAX` means unbounded and renders as `?`.
+#[derive(Debug, Clone)]
+pub struct StaticBound {
+    /// Job name, matched against [`JobTrace::name`].
+    pub name: String,
+    /// Records entering the map phase.
+    pub records_in: (u64, u64),
+    /// Records leaving the reduce phase.
+    pub records_out: (u64, u64),
+    /// Key-value pairs shuffled.
+    pub pairs: (u64, u64),
+    /// Member records on the busiest reducer.
+    pub max_load: (u64, u64),
+}
+
+/// Render a bound-vs-observed table: each traced job's counters next to
+/// the static interval that predicted them, flagging any escape. Jobs
+/// without a matching bound (and bounds without a traced job) are
+/// skipped — custom operators interpret to ⊤ and never flag.
+pub fn render_bounds_check(trace: &WorkflowTrace, bounds: &[StaticBound]) -> String {
+    let fmt_bound = |(lo, hi): (u64, u64)| -> String {
+        if lo == hi {
+            format!("{lo}")
+        } else if hi == u64::MAX {
+            format!("[{lo}, ?]")
+        } else {
+            format!("[{lo}, {hi}]")
+        }
+    };
+    let mut out = String::new();
+    out.push_str("static bounds vs observed (debug builds assert containment)\n");
+    out.push_str(&format!(
+        "{:<24} {:<12} {:>12} {:>16} {:>8}\n",
+        "job", "counter", "observed", "bound", ""
+    ));
+    for job in &trace.jobs {
+        let Some(b) = bounds.iter().find(|b| b.name == job.name) else {
+            continue;
+        };
+        let mut observed = Counters4::default();
+        for phase in &job.phases {
+            let c = &phase.counters;
+            match phase.kind {
+                PhaseKind::Map => {
+                    observed.records_in += c.records_in;
+                    observed.pairs += c.pairs;
+                }
+                PhaseKind::Reduce => observed.records_out += c.records_out,
+                _ => {}
+            }
+        }
+        let max_load = job
+            .skew
+            .as_ref()
+            .and_then(|s| s.records.iter().copied().max());
+        let mut rows: Vec<(&str, u64, (u64, u64))> = vec![
+            ("records_in", observed.records_in, b.records_in),
+            ("pairs", observed.pairs, b.pairs),
+            ("records_out", observed.records_out, b.records_out),
+        ];
+        if let Some(ml) = max_load {
+            rows.push(("max_load", ml, b.max_load));
+        }
+        for (i, (counter, obs, bound)) in rows.iter().enumerate() {
+            let ok = bound.0 <= *obs && *obs <= bound.1;
+            out.push_str(&format!(
+                "{:<24} {:<12} {:>12} {:>16} {:>8}\n",
+                if i == 0 {
+                    truncate(&job.name, 24)
+                } else {
+                    String::new()
+                },
+                counter,
+                obs,
+                fmt_bound(*bound),
+                if ok { "ok" } else { "ESCAPED" },
+            ));
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct Counters4 {
+    records_in: u64,
+    records_out: u64,
+    pairs: u64,
+}
+
 /// Compact (single-line) machine-readable summary of a trace, suitable
 /// for embedding in a larger JSON report. Integer fields only; skew
 /// imbalance is reported in thousandths.
@@ -261,6 +353,35 @@ mod tests {
         assert!(rendered.contains("100.0%"));
         assert!(rendered.contains("skew: imbalance 1.20"));
         assert!(rendered.contains("covers: fused logical jobs sort, distr"));
+    }
+
+    #[test]
+    fn bounds_check_flags_escapes_and_renders_intervals() {
+        let t = trace();
+        let bounds = vec![StaticBound {
+            name: "blast.sort".to_string(),
+            records_in: (100, 100),
+            records_out: (0, u64::MAX),
+            pairs: (0, 100),
+            max_load: (50, 100),
+        }];
+        let rendered = render_bounds_check(&t, &bounds);
+        assert!(rendered.contains("blast.sort"), "{rendered}");
+        // Exact, capped, and unbounded forms all render.
+        assert!(rendered.contains(" 100"), "{rendered}");
+        assert!(rendered.contains("[0, ?]"), "{rendered}");
+        // Skew max 60 lies inside [50, 100].
+        assert!(rendered.contains("max_load"), "{rendered}");
+        assert!(!rendered.contains("ESCAPED"), "{rendered}");
+        // Shrink a bound below the observation: the row is flagged.
+        let tight = vec![StaticBound {
+            pairs: (0, 10),
+            ..bounds[0].clone()
+        }];
+        let rendered = render_bounds_check(&t, &tight);
+        assert!(rendered.contains("ESCAPED"), "{rendered}");
+        // Jobs with no matching bound are skipped silently.
+        assert!(render_bounds_check(&t, &[]).lines().count() <= 2);
     }
 
     #[test]
