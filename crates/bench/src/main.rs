@@ -9,7 +9,7 @@
 use papar_bench::datasets::Scale;
 use papar_bench::report::Table;
 use papar_bench::{
-    ablation, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, parallel, table2,
+    ablation, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, hotpath, parallel, table2,
 };
 use std::io::Write;
 
@@ -27,6 +27,7 @@ const EXPERIMENTS: &[&str] = &[
     "chaos",
     "checkpoint",
     "fusion",
+    "hotpath",
     "parallel",
 ];
 
@@ -54,6 +55,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Table {
         "chaos" => chaos::run(scale),
         "checkpoint" => checkpoint::run(scale),
         "fusion" => fusion::run(scale),
+        "hotpath" => hotpath::run(scale),
         "parallel" => parallel::run(scale),
         other => {
             eprintln!("unknown experiment '{other}'");

@@ -65,6 +65,11 @@ pub struct RunSpec {
     /// job runs as its own MR job. Output bytes are identical either way;
     /// only job counts and shuffle traffic change.
     pub no_fuse: bool,
+    /// Disable the engine's zero-copy reduce path (`--no-zerocopy`):
+    /// shuffled pairs are decoded into owned values before sorting, the
+    /// pre-optimization baseline. Output bytes are identical either way;
+    /// only staged bytes and allocations change.
+    pub no_zerocopy: bool,
     /// Print a per-phase virtual-time breakdown after the run.
     pub profile: bool,
     /// Write a Chrome trace-event JSON file of the run's span tree
@@ -96,6 +101,7 @@ impl Default for RunSpec {
             max_retries: 3,
             threads: None,
             no_fuse: false,
+            no_zerocopy: false,
             profile: false,
             trace_out: None,
             checkpoint: None,
@@ -240,6 +246,7 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             threads: spec.threads,
             trace: spec.profile || spec.trace_out.is_some(),
             fuse: !spec.no_fuse,
+            zerocopy: !spec.no_zerocopy,
             ..ExecOptions::default()
         },
     );
@@ -954,6 +961,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                 spec.threads = Some(t);
             }
             "--no-fuse" => spec.no_fuse = true,
+            "--no-zerocopy" => spec.no_zerocopy = true,
             "--profile" => spec.profile = true,
             "--trace" => spec.trace_out = Some(need("--trace", &mut argv)?.into()),
             "--checkpoint" => {
@@ -995,7 +1003,7 @@ pub const USAGE: &str = "\
 usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
-             [--threads N] [--no-fuse] [--profile] [--trace <file>]
+             [--threads N] [--no-fuse] [--no-zerocopy] [--profile] [--trace <file>]
              [--checkpoint <dir> | --resume <dir>]
        papar check --workflow <xml> [options]   (see `papar check --help`)
        papar plan --workflow <xml> [options]    (see `papar plan --help`)
@@ -1017,6 +1025,11 @@ Performance:
                      adjacent sort+distribute / group+split pairs; output bytes
                      are identical, only job counts and shuffle traffic change
                      (`papar plan --explain` shows what fusion would do)
+  --no-zerocopy      decode shuffled pairs into owned values before the reduce
+                     sort (the pre-optimization baseline) instead of sorting
+                     borrowed views with packed key prefixes; output bytes are
+                     identical, only staged bytes and allocations change
+                     (compare with --profile's staged/allocs columns)
 
 Observability:
   --profile          print a per-phase virtual-time breakdown (paper Fig. 13 style)
@@ -1225,6 +1238,27 @@ mod tests {
         assert!(!spec.no_fuse, "fusion is on by default");
         let with = base.iter().chain(&["--no-fuse"]).map(|s| s.to_string());
         assert!(parse_args(with).unwrap().no_fuse);
+    }
+
+    #[test]
+    fn parse_args_no_zerocopy_flag() {
+        let base = [
+            "--input-config",
+            "a",
+            "--workflow",
+            "b",
+            "--data",
+            "c",
+            "--out",
+            "d",
+        ];
+        let spec = parse_args(base.iter().map(|s| s.to_string())).unwrap();
+        assert!(
+            !spec.no_zerocopy,
+            "the zero-copy reduce path is on by default"
+        );
+        let with = base.iter().chain(&["--no-zerocopy"]).map(|s| s.to_string());
+        assert!(parse_args(with).unwrap().no_zerocopy);
     }
 
     #[test]

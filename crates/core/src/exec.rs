@@ -62,6 +62,12 @@ pub struct ExecOptions {
     /// by default; `--no-fuse` clears it. Output bytes are identical
     /// either way — only job counts and shuffle traffic change.
     pub fuse: bool,
+    /// Use the engine's zero-copy reduce path (borrowed wire views and
+    /// packed key-prefix sort keys). On by default; `--no-zerocopy` clears
+    /// it. Output bytes are identical either way — only staged bytes and
+    /// allocations change — so, like `threads`, it is excluded from the
+    /// checkpoint resume fingerprint.
+    pub zerocopy: bool,
 }
 
 impl Default for ExecOptions {
@@ -74,6 +80,7 @@ impl Default for ExecOptions {
             threads: None,
             trace: false,
             fuse: true,
+            zerocopy: true,
         }
     }
 }
@@ -249,6 +256,7 @@ impl WorkflowRunner {
         if let Some(threads) = self.options.threads {
             cluster.set_threads(threads);
         }
+        cluster.set_zerocopy(self.options.zerocopy);
         if self.options.trace && !cluster.tracing() {
             cluster.set_tracer(Box::new(Collector::new()));
         }
@@ -359,9 +367,11 @@ impl WorkflowRunner {
     /// plan (operators, fusion, reducer counts), the cluster size, the
     /// byte-affecting options, every scattered input's content hash, and
     /// the caller's salt (fault spec/seed, replication, retry budget).
-    /// Thread count is deliberately absent: output bytes are identical
-    /// for every value, so a checkpoint taken at `--threads 4` resumes
-    /// at `--threads 1` and vice versa.
+    /// Thread count and the zero-copy toggle are deliberately absent:
+    /// output bytes are identical for every combination, so a checkpoint
+    /// taken at `--threads 4` resumes at `--threads 1`, and one taken
+    /// with the zero-copy path resumes under `--no-zerocopy` (and vice
+    /// versa).
     fn fingerprint(
         &self,
         cluster: &Cluster,

@@ -50,13 +50,13 @@ use std::time::Duration;
 
 use papar_record::wire::{self, Reader};
 
-use crate::stats::{ExchangeStats, JobStats, RecoveryStats};
+use crate::stats::{ExchangeStats, HotPathStats, JobStats, RecoveryStats};
 use crate::{MrError, Result};
 
 /// Name of the write-ahead commit log inside a checkpoint directory.
 pub const MANIFEST: &str = "MANIFEST";
 
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const TAG_HEADER: u8 = 1;
 const TAG_STAGE: u8 = 2;
 
@@ -199,6 +199,10 @@ fn encode_stats(stats: &JobStats, buf: &mut Vec<u8>) {
     put_u64(buf, rec.retransmit_bytes);
     put_u64(buf, rec.retransmit_messages);
     put_duration(buf, rec.comm_time);
+    put_u64(buf, stats.hot.staged_bytes);
+    put_u64(buf, stats.hot.staged_allocs);
+    put_u64(buf, stats.hot.materialized_bytes);
+    put_u64(buf, stats.hot.tie_pairs);
 }
 
 fn decode_stats(r: &mut Reader<'_>) -> Result<JobStats> {
@@ -228,6 +232,12 @@ fn decode_stats(r: &mut Reader<'_>) -> Result<JobStats> {
             retransmit_bytes: r.read_u64()?,
             retransmit_messages: r.read_u64()?,
             comm_time: read_duration(r)?,
+        },
+        hot: HotPathStats {
+            staged_bytes: r.read_u64()?,
+            staged_allocs: r.read_u64()?,
+            materialized_bytes: r.read_u64()?,
+            tie_pairs: r.read_u64()?,
         },
     })
 }
@@ -625,6 +635,12 @@ mod tests {
                 restore_bytes: 256,
                 restore_messages: 2,
                 ..Default::default()
+            },
+            hot: HotPathStats {
+                staged_bytes: 512,
+                staged_allocs: 12,
+                materialized_bytes: 400,
+                tie_pairs: 3,
             },
         }
     }

@@ -45,6 +45,10 @@ pub struct Cluster {
     /// `hints[from][to]`: the previous map phase's outbox sizes, used to
     /// pre-size the next phase's shuffle buffers.
     shuffle_hints: Vec<Vec<usize>>,
+    /// Reduce tasks sort borrowed references into their inbox buffers
+    /// (key-prefix packed sort) instead of eagerly decoded owned pairs.
+    /// Output bytes are identical either way; off is the escape hatch.
+    zerocopy: bool,
     /// Where the engine reports spans. Defaults to the disabled
     /// [`NoopSink`]; `Send + Sync` because phase workers share
     /// `&Cluster`, though all sink calls happen on the driver thread.
@@ -94,6 +98,7 @@ impl Cluster {
             events: Vec::new(),
             threads: default_threads(),
             shuffle_hints: Vec::new(),
+            zerocopy: true,
             tracer: Box::new(NoopSink),
             cost: CostModel::default(),
         })
@@ -173,6 +178,30 @@ impl Cluster {
     /// environment variable, else the host's available parallelism).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enable/disable the zero-copy reduce path (builder form). See
+    /// [`Cluster::set_zerocopy`].
+    pub fn with_zerocopy(mut self, on: bool) -> Self {
+        self.set_zerocopy(on);
+        self
+    }
+
+    /// Toggle the zero-copy reduce path: on (the default), reduce tasks
+    /// sort packed `(reducer, key-prefix, scan-index)` integers referencing
+    /// their inbox buffers and materialize owned values only at group
+    /// build; off, they eagerly decode every pair before sorting (the
+    /// pre-zero-copy behavior, kept as an escape hatch and ablation
+    /// baseline). Output bytes, stats and the deterministic trace clock
+    /// are identical for both settings; only wall time and the hot-path
+    /// staging counters change.
+    pub fn set_zerocopy(&mut self, on: bool) {
+        self.zerocopy = on;
+    }
+
+    /// Whether reduce tasks use the zero-copy sort path.
+    pub fn zerocopy(&self) -> bool {
+        self.zerocopy
     }
 
     /// Keep `r` replicas of every materialized fragment on the `r` nodes

@@ -31,6 +31,8 @@
 
 use papar_record::batch::{Batch, Dataset};
 use papar_record::packed::PackedRecord;
+use papar_record::prefix;
+use papar_record::view::{EntryView, OwnedEntry, ENTRY_PACKED, ENTRY_PACKED_CSC, ENTRY_REC};
 use papar_record::wire::{self, Reader};
 use papar_record::{Record, Schema, Value};
 use papar_trace::{
@@ -43,7 +45,7 @@ use std::time::Duration;
 
 use crate::cluster::Cluster;
 use crate::fault::{Fault, RecoveryAction, RetryPolicy};
-use crate::stats::{JobStats, NetModel, RecoveryStats};
+use crate::stats::{HotPathStats, JobStats, NetModel, RecoveryStats};
 use crate::timer::TaskTimer;
 use crate::{MrError, Result, TaskPhase};
 
@@ -213,10 +215,6 @@ pub struct MapReduceJob<'a> {
     pub compress_key: Option<usize>,
 }
 
-const ENTRY_REC: u8 = 0;
-const ENTRY_PACKED: u8 = 1;
-const ENTRY_PACKED_CSC: u8 = 2;
-
 fn encode_entry(
     entry: &Entry,
     schema: &Schema,
@@ -276,7 +274,7 @@ fn decode_entry(r: &mut Reader<'_>, schema: &Schema, compress_key: Option<usize>
             })?;
             let key = wire::decode_value(r)?;
             let count = r.read_u32()? as usize;
-            let mut columns: Vec<Vec<Value>> = Vec::new();
+            let mut columns: Vec<std::vec::IntoIter<Value>> = Vec::new();
             for (fi, field) in schema.fields().iter().enumerate() {
                 if fi == key_idx {
                     continue;
@@ -285,18 +283,20 @@ fn decode_entry(r: &mut Reader<'_>, schema: &Schema, compress_key: Option<usize>
                 for _ in 0..count {
                     col.push(wire::decode_field(r, field.ty)?);
                 }
-                columns.push(col);
+                columns.push(col.into_iter());
             }
+            // Rebuild rows by draining the columns — each decoded cell is
+            // moved into its row exactly once; only the factored-out key is
+            // cloned per row.
             let mut records = Vec::with_capacity(count);
-            #[allow(clippy::needless_range_loop)] // ri walks several columns in lockstep
-            for ri in 0..count {
+            for _ in 0..count {
                 let mut values = Vec::with_capacity(schema.len());
                 let mut ci = 0;
                 for fi in 0..schema.len() {
                     if fi == key_idx {
                         values.push(key.clone());
                     } else {
-                        values.push(columns[ci][ri].clone());
+                        values.push(columns[ci].next().expect("column has `count` cells"));
                         ci += 1;
                     }
                 }
@@ -352,6 +352,169 @@ fn shuffle_cmp(
 /// emitting past `u32::MAX` pairs must fail loudly, not wrap.
 fn wire_u32(field: &'static str, value: usize) -> Result<u32> {
     u32::try_from(value).map_err(|_| MrError::WireOverflow { field, value })
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy reduce path: borrowed views + packed 128-bit sort keys.
+//
+// Instead of decoding every shuffled pair into an owned `(Value, Entry)`
+// before sorting, the zero-copy path scans each inbox buffer once, records a
+// 16-byte [`PairLoc`] locating the pair's bytes, and packs the sort order
+// into a single `u128`:
+//
+// ```text
+//   bit 127..104   reducer id              (24 bits)
+//   bit 103..38    key prefix `packed66`   (66 bits; 0 when !sort_by_key,
+//                                           bitwise-NOT'd when descending)
+//   bit  37..0     scan index              (38 bits)
+// ```
+//
+// Inboxes are built sender-ascending and each sender's pairs arrive in
+// emission order, so the scan index ascends exactly like `(mapper, seq)` —
+// unsigned `u128` comparison therefore equals [`shuffle_cmp`] *except* where
+// two pairs share a reducer and an inexact key prefix; those tie runs are
+// re-sorted from decoded keys afterwards (see [`fixup_prefix_ties`]).
+// ---------------------------------------------------------------------------
+
+/// Reducer ids must fit the 24-bit field; wider jobs use the owned path.
+const REDUCER_BITS: u32 = 24;
+/// Scan-index width; inboxes holding ≥ 2^38 pairs fall back to the owned path.
+const IDX_BITS: u32 = 38;
+const IDX_MASK: u128 = (1 << IDX_BITS) - 1;
+/// Mask of a 66-bit `packed66` key prefix (before shifting into position).
+const KEY66_MASK: u128 = (1 << 66) - 1;
+
+/// Where one shuffled pair's bytes live inside the reduce inboxes. Offsets
+/// are u32 (buffers over `u32::MAX` bytes fall back to the owned path), so
+/// the whole index entry is 16 bytes — sorting moves these and the packed
+/// keys, never the record bytes.
+#[derive(Clone, Copy)]
+struct PairLoc {
+    /// Index into the inbox slice (senders ascending).
+    buf: u32,
+    /// Offset of the tagged key.
+    key_off: u32,
+    /// Offset of the entry (tag byte); `entry_off - key_off` = key bytes.
+    entry_off: u32,
+    /// End of the entry; `end_off - key_off` = the pair's payload bytes.
+    end_off: u32,
+}
+
+fn pack_pair(reducer: u32, key66: u128, idx: usize) -> u128 {
+    ((reducer as u128) << (66 + IDX_BITS)) | (key66 << IDX_BITS) | idx as u128
+}
+
+/// Heap allocations needed to own one decoded `Value`.
+fn value_allocs(v: &Value) -> u64 {
+    matches!(v, Value::Str(_)) as u64
+}
+
+fn record_allocs(r: &Record) -> u64 {
+    1 + r.values().iter().map(value_allocs).sum::<u64>()
+}
+
+/// Heap allocations needed to own one decoded `Entry` (the analytic count
+/// behind `HotPathStats::staged_allocs` — a function of the data, not of
+/// the allocator, so it is identical at every thread count).
+fn entry_allocs(e: &Entry) -> u64 {
+    match e {
+        Entry::Rec(r) => record_allocs(r),
+        Entry::Packed(p) => {
+            1 + value_allocs(&p.key) + p.records.iter().map(record_allocs).sum::<u64>()
+        }
+    }
+}
+
+/// Count the pairs in a reduce inbox with an allocation-free skip scan so
+/// decode buffers can be pre-sized exactly before the first attempt.
+/// `None` when the bytes are malformed — the decode pass will surface the
+/// error with full context.
+fn count_inbox_pairs(
+    inbox: &[(usize, Vec<u8>)],
+    schema: &Schema,
+    compress_key: Option<usize>,
+) -> Option<usize> {
+    let mut count = 0usize;
+    for (_, buf) in inbox {
+        let mut r = Reader::new(buf);
+        while r.remaining() > 0 {
+            r.read_bytes(8).ok()?; // reducer + seq
+            wire::skip_value(&mut r).ok()?;
+            EntryView::parse(&mut r, schema, compress_key).ok()?;
+            count += 1;
+        }
+    }
+    Some(count)
+}
+
+/// Re-sort runs of pairs whose packed keys tie on an *inexact* prefix.
+///
+/// A tie on `(reducer, key66)` means `Value::cmp` is `Equal` only when both
+/// prefixes are exact (see `papar_record::prefix`); runs where every member
+/// is exact are already correctly ordered (equal keys, ascending scan index)
+/// and are skipped without decoding. Otherwise the run's keys are decoded
+/// and stably re-sorted by the true key order — stability keeps truly-equal
+/// keys in ascending scan order, preserving [`shuffle_cmp`]'s total order.
+fn fixup_prefix_ties(
+    descending: bool,
+    inbox: &[(usize, Vec<u8>)],
+    locs: &[PairLoc],
+    packed: &mut [u128],
+    hot: &mut HotPathStats,
+) -> Result<()> {
+    let key_bytes = |p: u128| {
+        let loc = &locs[(p & IDX_MASK) as usize];
+        &inbox[loc.buf as usize].1[loc.key_off as usize..loc.entry_off as usize]
+    };
+    let mut i = 0;
+    while i < packed.len() {
+        let run_key = packed[i] >> IDX_BITS;
+        let mut j = i + 1;
+        while j < packed.len() && packed[j] >> IDX_BITS == run_key {
+            j += 1;
+        }
+        if j - i >= 2 {
+            hot.tie_pairs += (j - i) as u64;
+            let all_exact = packed[i..j].iter().try_fold(true, |acc, &p| {
+                let kp = prefix::from_wire(&mut Reader::new(key_bytes(p)))?;
+                Ok::<_, MrError>(acc && kp.exact)
+            })?;
+            if !all_exact {
+                let mut keyed: Vec<(Value, u128)> = Vec::with_capacity(j - i);
+                for &p in &packed[i..j] {
+                    let bytes = key_bytes(p);
+                    let key = wire::decode_value(&mut Reader::new(bytes))?;
+                    hot.staged_bytes +=
+                        bytes.len() as u64 + std::mem::size_of::<(Value, u128)>() as u64;
+                    hot.staged_allocs += value_allocs(&key);
+                    keyed.push((key, p));
+                }
+                // Stable sort: members arrive in ascending scan order, so
+                // truly-equal keys keep that order after the re-sort.
+                keyed.sort_by(|a, b| {
+                    let ord = a.0.cmp(&b.0);
+                    if descending {
+                        ord.reverse()
+                    } else {
+                        ord
+                    }
+                });
+                for (k, (_, p)) in keyed.into_iter().enumerate() {
+                    packed[i + k] = p;
+                }
+            }
+        }
+        i = j;
+    }
+    Ok(())
+}
+
+/// What one reduce attempt (either decode path) hands back.
+struct ReduceAttempt {
+    outputs: Vec<(u32, Vec<Batch>)>,
+    records_out: u64,
+    pair_count: u64,
+    hot: HotPathStats,
 }
 
 /// Everything a phase worker needs besides `&Cluster`: per-job constants
@@ -412,6 +575,8 @@ struct ReduceOutcome {
     records_out: u64,
     recovery: RecoveryStats,
     events: Vec<RecoveryAction>,
+    /// Hot-path counters from the successful attempt.
+    hot: HotPathStats,
     /// The task's span, when tracing.
     trace: Option<TaskTrace>,
 }
@@ -471,6 +636,32 @@ fn reduce_slots(
         )));
     }
     Ok(batches)
+}
+
+/// Reducers that received nothing still own an (empty) output fragment, so
+/// a distribute job always materializes every partition. Shared by both
+/// reduce-attempt paths.
+fn fill_empty_reducers(
+    pc: &PhaseCtx<'_>,
+    node: usize,
+    handled: &[bool],
+    slots: usize,
+    outputs: &mut Vec<(u32, Vec<Batch>)>,
+) -> Result<()> {
+    let job = pc.job;
+    for rid in (node..job.num_reducers).step_by(pc.n) {
+        if !handled[rid] {
+            let ctx = TaskCtx {
+                node,
+                num_nodes: pc.n,
+                num_reducers: job.num_reducers,
+                reducer: Some(rid),
+            };
+            let batches = reduce_slots(job, &ctx, Vec::new(), slots)?;
+            outputs.push((rid as u32, batches));
+        }
+    }
+    Ok(())
 }
 
 impl Cluster {
@@ -620,6 +811,7 @@ impl Cluster {
                 Ok(o) if first_err.is_none() => {
                     stats.reduce_time_by_node[node] += o.phase_time;
                     stats.records_out += o.records_out;
+                    stats.hot.merge(&o.hot);
                     self.absorb_worker_recovery(o.recovery, o.events);
                     if let Some(t) = o.trace {
                         reduce_tasks.push(t);
@@ -827,6 +1019,7 @@ impl Cluster {
             records_out: 0,
             recovery: RecoveryStats::default(),
             events: Vec::new(),
+            hot: HotPathStats::default(),
             trace: None,
         };
         // Threads left over beyond one per node parallelize this node's
@@ -836,75 +1029,44 @@ impl Cluster {
         let mut attempt: u32 = 1;
         // Raw (unscaled) on-CPU time across attempts, for the trace.
         let mut cpu = Duration::ZERO;
-        // The decode vector survives retry attempts (cleared, capacity
-        // kept), so a crashed attempt's re-decode does not reallocate.
+        // The exchange builds inboxes sender-ascending; the zero-copy scan
+        // index stands in for `(mapper, seq)` only because of that.
+        debug_assert!(inbox.windows(2).all(|w| w[0].0 < w[1].0));
+        let use_zerocopy = self.zerocopy() && job.num_reducers < (1usize << REDUCER_BITS);
+        // Decode buffers survive retry attempts (cleared, capacity kept)
+        // and are pre-sized to the exact pair count by an allocation-free
+        // skip scan, so the first attempt never grows from empty.
         let mut pairs: Vec<ShuffledPair> = Vec::new();
+        let mut locs: Vec<PairLoc> = Vec::new();
+        let mut packed: Vec<u128> = Vec::new();
+        if let Some(count) = count_inbox_pairs(inbox, &job.map_output_schema, job.compress_key) {
+            if use_zerocopy {
+                locs.reserve_exact(count);
+                packed.reserve_exact(count);
+            } else {
+                pairs.reserve_exact(count);
+            }
+        }
         loop {
             let t0 = TaskTimer::start();
-            pairs.clear();
-            for (from, buf) in inbox {
-                let mut r = Reader::new(buf);
-                while r.remaining() > 0 {
-                    let reducer = r.read_u32().map_err(MrError::from)?;
-                    let seq = r.read_u32().map_err(MrError::from)?;
-                    let key = wire::decode_value(&mut r)?;
-                    let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
-                    pairs.push(ShuffledPair {
-                        reducer,
-                        mapper: *from as u32,
-                        seq,
-                        key,
-                        entry,
-                    });
-                }
-            }
-            // Group pairs per owned reducer. `shuffle_cmp` is a total
-            // order, so the unstable parallel samplesort is deterministic.
-            papar_sort::parallel::par_sort_unstable_by(&mut pairs, sort_threads, |a, b| {
-                shuffle_cmp(job.sort_by_key, job.descending, a, b) == Ordering::Less
-            });
-            let pair_count = pairs.len() as u64;
             // Outputs are buffered and only committed if the task survives
-            // its boundary — a crashed attempt leaves nothing.
-            let slots = 1 + pc.extra_outputs.len();
-            let mut outputs: Vec<(u32, Vec<Batch>)> = Vec::new();
-            let mut records_out: u64 = 0;
-            let mut handled: Vec<bool> = vec![false; job.num_reducers];
-            let mut iter = pairs.drain(..).peekable();
-            while let Some(first) = iter.next() {
-                let rid = first.reducer;
-                let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
-                while iter.peek().is_some_and(|p| p.reducer == rid) {
-                    let p = iter.next().expect("peeked");
-                    group.push((p.key, p.entry));
-                }
-                let ctx = TaskCtx {
-                    node,
-                    num_nodes: pc.n,
-                    num_reducers: job.num_reducers,
-                    reducer: Some(rid as usize),
-                };
-                let batches = reduce_slots(job, &ctx, group, slots)?;
-                records_out += batches.iter().map(|b| b.record_count() as u64).sum::<u64>();
-                handled[rid as usize] = true;
-                outputs.push((rid, batches));
-            }
-            drop(iter);
-            // Reducers that received nothing still own an (empty) output
-            // fragment, so a distribute job always materializes every
-            // partition.
-            for rid in (node..job.num_reducers).step_by(pc.n) {
-                if !handled[rid] {
-                    let ctx = TaskCtx {
-                        node,
-                        num_nodes: pc.n,
-                        num_reducers: job.num_reducers,
-                        reducer: Some(rid),
-                    };
-                    let batches = reduce_slots(job, &ctx, Vec::new(), slots)?;
-                    outputs.push((rid as u32, batches));
-                }
-            }
+            // its boundary — a crashed attempt leaves nothing. The
+            // zero-copy path declines (`None`) on jobs exceeding its packed
+            // index ranges; the owned path handles those attempts.
+            let attempted = if use_zerocopy {
+                self.reduce_attempt_zerocopy(pc, node, inbox, &mut locs, &mut packed, sort_threads)?
+            } else {
+                None
+            };
+            let ReduceAttempt {
+                outputs,
+                records_out,
+                pair_count,
+                hot,
+            } = match attempted {
+                Some(a) => a,
+                None => self.reduce_attempt_owned(pc, node, inbox, &mut pairs, sort_threads)?,
+            };
             let raw = t0.elapsed();
             cpu += raw;
             let elapsed = scale_compute(raw, pc.stragglers[node]);
@@ -976,6 +1138,7 @@ impl Cluster {
 
             out.records_out = records_out;
             out.outputs = outputs;
+            out.hot = hot;
             if pc.tracing {
                 let inbox_bytes: u64 = inbox.iter().map(|(_, b)| b.len() as u64).sum();
                 let counters = Counters {
@@ -988,6 +1151,10 @@ impl Cluster {
                     retransmit_bytes: out.recovery.retransmit_bytes,
                     retransmit_messages: out.recovery.retransmit_messages,
                     backoff_ns: duration_ns(out.recovery.backoff_time),
+                    staged_bytes: out.hot.staged_bytes,
+                    staged_allocs: out.hot.staged_allocs,
+                    materialized_bytes: out.hot.materialized_bytes,
+                    tie_pairs: out.hot.tie_pairs,
                     ..Counters::default()
                 };
                 out.trace = Some(TaskTrace {
@@ -1007,6 +1174,196 @@ impl Cluster {
             }
             return Ok(out);
         }
+    }
+
+    /// One owned-path reduce attempt: decode every pair into an owned
+    /// `(Value, Entry)` before sorting. This is the baseline the zero-copy
+    /// path is measured against, and the fallback for jobs exceeding the
+    /// packed-index ranges.
+    fn reduce_attempt_owned(
+        &self,
+        pc: &PhaseCtx<'_>,
+        node: usize,
+        inbox: &[(usize, Vec<u8>)],
+        pairs: &mut Vec<ShuffledPair>,
+        sort_threads: usize,
+    ) -> Result<ReduceAttempt> {
+        let job = pc.job;
+        let mut hot = HotPathStats::default();
+        pairs.clear();
+        for (from, buf) in inbox {
+            let mut r = Reader::new(buf);
+            while r.remaining() > 0 {
+                let reducer = r.read_u32().map_err(MrError::from)?;
+                let seq = r.read_u32().map_err(MrError::from)?;
+                let start = r.position();
+                let key = wire::decode_value(&mut r)?;
+                let entry = decode_entry(&mut r, &job.map_output_schema, job.compress_key)?;
+                hot.materialized_bytes += (r.position() - start) as u64;
+                hot.staged_bytes += std::mem::size_of::<ShuffledPair>() as u64;
+                hot.staged_allocs += value_allocs(&key) + entry_allocs(&entry);
+                pairs.push(ShuffledPair {
+                    reducer,
+                    mapper: *from as u32,
+                    seq,
+                    key,
+                    entry,
+                });
+            }
+        }
+        // Group pairs per owned reducer. `shuffle_cmp` is a total
+        // order, so the unstable parallel samplesort is deterministic.
+        papar_sort::parallel::par_sort_unstable_by(pairs, sort_threads, |a, b| {
+            shuffle_cmp(job.sort_by_key, job.descending, a, b) == Ordering::Less
+        });
+        let pair_count = pairs.len() as u64;
+        let slots = 1 + pc.extra_outputs.len();
+        let mut outputs: Vec<(u32, Vec<Batch>)> = Vec::new();
+        let mut records_out: u64 = 0;
+        let mut handled: Vec<bool> = vec![false; job.num_reducers];
+        let mut iter = pairs.drain(..).peekable();
+        while let Some(first) = iter.next() {
+            let rid = first.reducer;
+            let mut group: Vec<(Value, Entry)> = vec![(first.key, first.entry)];
+            while iter.peek().is_some_and(|p| p.reducer == rid) {
+                let p = iter.next().expect("peeked");
+                group.push((p.key, p.entry));
+            }
+            let ctx = TaskCtx {
+                node,
+                num_nodes: pc.n,
+                num_reducers: job.num_reducers,
+                reducer: Some(rid as usize),
+            };
+            let batches = reduce_slots(job, &ctx, group, slots)?;
+            records_out += batches.iter().map(|b| b.record_count() as u64).sum::<u64>();
+            handled[rid as usize] = true;
+            outputs.push((rid, batches));
+        }
+        drop(iter);
+        fill_empty_reducers(pc, node, &handled, slots, &mut outputs)?;
+        Ok(ReduceAttempt {
+            outputs,
+            records_out,
+            pair_count,
+            hot,
+        })
+    }
+
+    /// One zero-copy reduce attempt: scan the inbox once into a 16-byte
+    /// location index plus packed 128-bit sort keys, sort *those*, fix up
+    /// inexact prefix ties, then materialize each pair exactly once — in
+    /// final order, straight into its reduce group. Returns `Ok(None)` —
+    /// caller falls back to the owned path — when a buffer or pair count
+    /// exceeds the packed ranges.
+    fn reduce_attempt_zerocopy(
+        &self,
+        pc: &PhaseCtx<'_>,
+        node: usize,
+        inbox: &[(usize, Vec<u8>)],
+        locs: &mut Vec<PairLoc>,
+        packed: &mut Vec<u128>,
+        sort_threads: usize,
+    ) -> Result<Option<ReduceAttempt>> {
+        let job = pc.job;
+        let schema: &Schema = &job.map_output_schema;
+        let mut hot = HotPathStats::default();
+        locs.clear();
+        packed.clear();
+        for (bi, (_from, buf)) in inbox.iter().enumerate() {
+            if buf.len() > u32::MAX as usize {
+                return Ok(None);
+            }
+            let mut r = Reader::new(buf);
+            while r.remaining() > 0 {
+                let reducer = r.read_u32().map_err(MrError::from)?;
+                // `seq` is never read: senders ascend and each sender's
+                // pairs arrive in emission order, so the scan index already
+                // orders like `(mapper, seq)`.
+                r.read_bytes(4).map_err(MrError::from)?;
+                let key_off = r.position();
+                let key66 = if job.sort_by_key {
+                    let kp = prefix::from_wire(&mut r)?;
+                    if job.descending {
+                        // Inverting the 66-bit field reverses strict prefix
+                        // order but preserves prefix equality, so tie runs
+                        // are detected identically.
+                        kp.packed66() ^ KEY66_MASK
+                    } else {
+                        kp.packed66()
+                    }
+                } else {
+                    wire::skip_value(&mut r)?;
+                    0
+                };
+                let entry_off = r.position();
+                EntryView::parse(&mut r, schema, job.compress_key)?;
+                let idx = locs.len();
+                if idx >= (1usize << IDX_BITS) {
+                    return Ok(None);
+                }
+                locs.push(PairLoc {
+                    buf: bi as u32,
+                    key_off: key_off as u32,
+                    entry_off: entry_off as u32,
+                    end_off: r.position() as u32,
+                });
+                packed.push(pack_pair(reducer, key66, idx));
+            }
+        }
+        // What sorting moves: one PairLoc + one packed key per pair.
+        hot.staged_bytes =
+            (locs.len() * (std::mem::size_of::<PairLoc>() + std::mem::size_of::<u128>())) as u64;
+        papar_sort::packed::par_sort_packed(packed, sort_threads);
+        if job.sort_by_key {
+            fixup_prefix_ties(job.descending, inbox, locs, packed, &mut hot)?;
+        }
+        // Group per owned reducer, materializing each pair exactly once.
+        let slots = 1 + pc.extra_outputs.len();
+        let mut outputs: Vec<(u32, Vec<Batch>)> = Vec::new();
+        let mut records_out: u64 = 0;
+        let mut handled: Vec<bool> = vec![false; job.num_reducers];
+        let mut i = 0usize;
+        while i < packed.len() {
+            let rid = (packed[i] >> (66 + IDX_BITS)) as u32;
+            let mut j = i + 1;
+            while j < packed.len() && (packed[j] >> (66 + IDX_BITS)) as u32 == rid {
+                j += 1;
+            }
+            let mut group: Vec<(Value, Entry)> = Vec::with_capacity(j - i);
+            for &p in &packed[i..j] {
+                let loc = &locs[(p & IDX_MASK) as usize];
+                let buf = &inbox[loc.buf as usize].1;
+                let mut r = Reader::new(&buf[loc.key_off as usize..loc.end_off as usize]);
+                let key = wire::decode_value(&mut r)?;
+                let entry =
+                    match EntryView::parse(&mut r, schema, job.compress_key)?.materialize()? {
+                        OwnedEntry::Rec(rec) => Entry::Rec(rec),
+                        OwnedEntry::Packed(pk) => Entry::Packed(pk),
+                    };
+                hot.materialized_bytes += (loc.end_off - loc.key_off) as u64;
+                group.push((key, entry));
+            }
+            let ctx = TaskCtx {
+                node,
+                num_nodes: pc.n,
+                num_reducers: job.num_reducers,
+                reducer: Some(rid as usize),
+            };
+            let batches = reduce_slots(job, &ctx, group, slots)?;
+            records_out += batches.iter().map(|b| b.record_count() as u64).sum::<u64>();
+            handled[rid as usize] = true;
+            outputs.push((rid, batches));
+            i = j;
+        }
+        let pair_count = locs.len() as u64;
+        fill_empty_reducers(pc, node, &handled, slots, &mut outputs)?;
+        Ok(Some(ReduceAttempt {
+            outputs,
+            records_out,
+            pair_count,
+            hot,
+        }))
     }
 
     /// Simulate a node crash at a task boundary without mutating a store:

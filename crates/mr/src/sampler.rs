@@ -10,6 +10,7 @@
 //! gathered, and the quantiles of the combined sample become the range
 //! boundaries.
 
+use papar_record::prefix;
 use papar_record::Value;
 
 use crate::engine::Partitioner;
@@ -50,16 +51,34 @@ pub fn boundaries_from_samples(per_node: &[Vec<Value>], num_reducers: usize) -> 
 }
 
 /// A partitioner that routes keys by sampled range boundaries.
+///
+/// Each boundary's order-preserving key prefix (`papar_record::prefix`) is
+/// precomputed at construction, so the per-key binary search compares raw
+/// `u128`s and falls back to `Value::cmp` only on a prefix tie where either
+/// side is inexact — the map hot path pays one prefix extraction per key
+/// instead of `log(boundaries)` structural comparisons.
 #[derive(Debug, Clone)]
 pub struct RangePartitioner {
     boundaries: Vec<Value>,
+    /// `(packed66, exact)` per boundary, parallel to `boundaries`.
+    prefixes: Vec<(u128, bool)>,
 }
 
 impl RangePartitioner {
     /// Build from precomputed boundaries (ascending).
     pub fn new(boundaries: Vec<Value>) -> Self {
         debug_assert!(boundaries.windows(2).all(|w| w[0] <= w[1]));
-        RangePartitioner { boundaries }
+        let prefixes = boundaries
+            .iter()
+            .map(|b| {
+                let p = prefix::of_value(b);
+                (p.packed66(), p.exact)
+            })
+            .collect();
+        RangePartitioner {
+            boundaries,
+            prefixes,
+        }
     }
 
     /// Build by sampling per-node key sets.
@@ -80,7 +99,31 @@ impl Partitioner for RangePartitioner {
         // range; boundaries built for a *different* reducer count used
         // to be silently clamped onto the last reducer, mis-routing
         // keys instead of surfacing the mismatch.
-        let r = self.boundaries.partition_point(|b| b <= key);
+        let kp = prefix::of_value(key);
+        let (k66, k_exact) = (kp.packed66(), kp.exact);
+        // Manual partition point over `b <= key`, resolved from the
+        // precomputed prefixes: strict prefix inequality is always
+        // truthful, and a tie with both sides exact means equal keys
+        // (see `papar_record::prefix`); only the remaining ties touch
+        // the boundary `Value`s.
+        let (mut lo, mut hi) = (0usize, self.boundaries.len());
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let (b66, b_exact) = self.prefixes[mid];
+            let le = if b66 != k66 {
+                b66 < k66
+            } else if b_exact && k_exact {
+                true // equal keys: `b <= key` holds
+            } else {
+                self.boundaries[mid] <= *key
+            };
+            if le {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        let r = lo;
         if r >= num_reducers {
             return Err(crate::MrError::PartitionOutOfRange {
                 id: r as i64,
@@ -178,6 +221,53 @@ mod tests {
         let p = RangePartitioner::new(ints(&[7, 7, 7]));
         assert_eq!(p.reducer_for(&Value::Int(6), 4).unwrap(), 0);
         assert_eq!(p.reducer_for(&Value::Int(7), 4).unwrap(), 3);
+    }
+
+    #[test]
+    fn prefix_fast_path_matches_plain_comparison_on_ties() {
+        // Boundaries engineered to tie on their 8-byte prefix: long strings
+        // sharing a prefix, and Longs beyond f64's 2^53 integer range. The
+        // fast path must fall back to Value::cmp and agree with a plain
+        // partition_point for every probe.
+        let cases: Vec<(Vec<Value>, Vec<Value>)> = vec![
+            (
+                vec![
+                    Value::Str("prefix-aaaa".into()),
+                    Value::Str("prefix-bbbb".into()),
+                ],
+                vec![
+                    Value::Str("prefix-a".into()),
+                    Value::Str("prefix-aaaa".into()),
+                    Value::Str("prefix-abzz".into()),
+                    Value::Str("prefix-bbbb".into()),
+                    Value::Str("prefix-zzzz".into()),
+                    Value::Str("a".into()),
+                ],
+            ),
+            (
+                vec![Value::Long((1 << 53) + 2), Value::Long((1 << 53) + 100)],
+                vec![
+                    Value::Long(1 << 53),
+                    Value::Long((1 << 53) + 1),
+                    Value::Long((1 << 53) + 2),
+                    Value::Long((1 << 53) + 3),
+                    Value::Long((1 << 53) + 100),
+                    Value::Long(i64::MAX),
+                ],
+            ),
+        ];
+        for (bounds, probes) in cases {
+            let p = RangePartitioner::new(bounds.clone());
+            let n = bounds.len() + 1;
+            for key in &probes {
+                let expect = bounds.partition_point(|b| b <= key);
+                assert_eq!(
+                    p.reducer_for(key, n).unwrap(),
+                    expect,
+                    "key {key:?} against {bounds:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -176,6 +176,53 @@ impl RecoveryStats {
     }
 }
 
+/// Reduce-side hot-path accounting: how many bytes and heap allocations
+/// the shuffle→reduce hop *staged* through intermediate representations
+/// that exist only to be sorted, versus the bytes it *materialized* into
+/// reducer-visible owned values.
+///
+/// On the legacy (owned) path every pair is eagerly decoded into a
+/// `ShuffledPair` before the sort: the struct shell is staged per pair and
+/// every decoded key/entry heap allocation is live across the sort. On the
+/// zero-copy path the sort operates on a 16-byte location index plus a
+/// 16-byte packed `(reducer, key-prefix, scan-index)` integer per pair;
+/// only prefix-tie runs re-decode their keys. Both paths materialize the
+/// same owned values for the (unchanged) `Reducer` API, so
+/// `materialized_bytes` is mode-invariant and reported for transparency.
+///
+/// All four counters are computed analytically from the data and the mode
+/// — never from sort internals — so they are identical at every thread
+/// count (the Chrome trace export byte-compares across thread counts).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HotPathStats {
+    /// Bytes written into sort-side staging that is discarded after the
+    /// sort (pair structs on the owned path; location + packed-key indexes
+    /// and tie-run key re-decodes on the zero-copy path).
+    pub staged_bytes: u64,
+    /// Heap allocations live across the reduce-side sort (eagerly decoded
+    /// keys/entries on the owned path; tie-run key decodes on the
+    /// zero-copy path). Per-vector container allocations are O(1) per task
+    /// in both modes and not counted.
+    pub staged_allocs: u64,
+    /// Wire bytes decoded into reducer-visible owned values (keys +
+    /// entries); equal in both modes.
+    pub materialized_bytes: u64,
+    /// Pairs that landed in a key-prefix tie run (≥ 2 pairs sharing
+    /// `(reducer, prefix)`) during a zero-copy keyed sort; 0 on the owned
+    /// path, where no prefixes exist.
+    pub tie_pairs: u64,
+}
+
+impl HotPathStats {
+    /// Fold another task's hot-path accounting into this one.
+    pub fn merge(&mut self, other: &HotPathStats) {
+        self.staged_bytes += other.staged_bytes;
+        self.staged_allocs += other.staged_allocs;
+        self.materialized_bytes += other.materialized_bytes;
+        self.tie_pairs += other.tie_pairs;
+    }
+}
+
 /// Timing and volume summary of one MapReduce job under the virtual clock.
 #[derive(Debug, Clone, Default)]
 pub struct JobStats {
@@ -198,6 +245,9 @@ pub struct JobStats {
     /// Fault-recovery accounting (all zero on a fault-free run without
     /// replication).
     pub recovery: RecoveryStats,
+    /// Reduce-side hot-path staging/allocation accounting (summed over
+    /// nodes; zero for jobs that bypass the engine's reduce path).
+    pub hot: HotPathStats,
 }
 
 impl JobStats {

@@ -17,15 +17,22 @@
 //! * [`wire`] — the byte serialization used when records travel between
 //!   simulated cluster nodes, and
 //! * [`compress`] — the CSR/CSC-style compression of packed data described
-//!   in paper Section III-D ("Data Compression").
+//!   in paper Section III-D ("Data Compression"),
+//! * [`view`] — borrowed zero-copy views over wire bytes (the reduce hot
+//!   path sorts references into shuffle buffers instead of owned pairs), and
+//! * [`prefix`] — order-preserving fixed-width key prefixes so sorts and
+//!   range partitioning compare raw integers, falling back to full decode
+//!   only on prefix ties.
 
 pub mod batch;
 pub mod codec;
 pub mod compress;
 pub mod packed;
+pub mod prefix;
 pub mod record;
 pub mod schema;
 pub mod value;
+pub mod view;
 pub mod wire;
 
 pub use batch::Batch;

@@ -1,0 +1,414 @@
+//! Borrowed views over wire bytes: zero-copy counterparts to the owned
+//! decode path in [`crate::wire`].
+//!
+//! A view validates structure (tags, lengths, bounds) in a single forward
+//! pass and then *borrows* the validated span instead of materializing
+//! `Record`/`Value` heap structures. Integrity is already guaranteed one
+//! layer down — shuffle transfers are FNV-checksummed frames — so a view
+//! only has to prove the span is well-formed, not uncorrupted.
+//!
+//! Fixed-width fast path: when every field of a schema has a static binary
+//! width, a record parses with a single bounds check
+//! (`Schema::binary_record_width`), and packed CSC columns skip in one
+//! multiplication. Variable-width (string) fields fall back to a per-field
+//! walk over their length prefixes.
+//!
+//! The shuffle's entry framing (tag byte + payload, see the engine's
+//! `encode_entry`) lives here as [`EntryView`] so the reduce hot path can
+//! sort and group *references into inbox buffers* and decode each entry
+//! exactly once, at output-materialization time.
+
+use crate::packed::PackedRecord;
+use crate::record::Record;
+use crate::value::Value;
+use crate::wire::{self, Reader};
+use crate::{CodecError, Result, Schema};
+
+/// Entry tag: a single flat record.
+pub const ENTRY_REC: u8 = 0;
+/// Entry tag: a packed group (tagged key + u32 count + records).
+pub const ENTRY_PACKED: u8 = 1;
+/// Entry tag: a CSC-compressed packed group (tagged key + u32 count +
+/// column-major non-key fields; the key column is factored out).
+pub const ENTRY_PACKED_CSC: u8 = 2;
+
+/// A tagged value read without allocating; strings borrow the wire bytes
+/// (UTF-8 validated at parse time, exactly like the owned decoder).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ValueView<'a> {
+    /// 32-bit integer.
+    Int(i32),
+    /// 64-bit integer.
+    Long(i64),
+    /// 64-bit float.
+    Double(f64),
+    /// Borrowed string slice into the wire buffer.
+    Str(&'a str),
+}
+
+impl<'a> ValueView<'a> {
+    /// Parse one tagged value, borrowing string payloads.
+    pub fn parse(r: &mut Reader<'a>) -> Result<Self> {
+        Ok(match r.read_u8()? {
+            0 => ValueView::Int(i32::from_le_bytes(r.read_bytes(4)?.try_into().unwrap())),
+            1 => ValueView::Long(i64::from_le_bytes(r.read_bytes(8)?.try_into().unwrap())),
+            2 => ValueView::Double(f64::from_le_bytes(r.read_bytes(8)?.try_into().unwrap())),
+            3 => {
+                let len = r.read_u32()? as usize;
+                let bytes = r.read_bytes(len)?;
+                ValueView::Str(
+                    std::str::from_utf8(bytes).map_err(|_| CodecError("invalid UTF-8".into()))?,
+                )
+            }
+            t => return Err(CodecError(format!("unknown value tag {t}"))),
+        })
+    }
+
+    /// Copy into an owned [`Value`] (allocates only for strings).
+    pub fn to_value(self) -> Value {
+        match self {
+            ValueView::Int(x) => Value::Int(x),
+            ValueView::Long(x) => Value::Long(x),
+            ValueView::Double(x) => Value::Double(x),
+            ValueView::Str(s) => Value::Str(s.to_string()),
+        }
+    }
+}
+
+/// A schema-driven record view: a validated byte span plus its schema.
+#[derive(Debug, Clone, Copy)]
+pub struct RecordView<'a> {
+    schema: &'a Schema,
+    bytes: &'a [u8],
+}
+
+impl<'a> RecordView<'a> {
+    /// Parse one record off the cursor, validating bounds without decoding.
+    /// Fixed-width schemas validate with a single bounds check.
+    pub fn parse(r: &mut Reader<'a>, schema: &'a Schema) -> Result<Self> {
+        let start = r.position();
+        wire::skip_record(r, schema)?;
+        Ok(RecordView {
+            schema,
+            bytes: &r.buffer()[start..r.position()],
+        })
+    }
+
+    /// The validated encoded span.
+    pub fn as_bytes(&self) -> &'a [u8] {
+        self.bytes
+    }
+
+    /// Decode field `idx` only (walks length prefixes up to `idx` for
+    /// variable-width schemas; direct offset for fixed-width ones).
+    pub fn field(&self, idx: usize) -> Result<Value> {
+        let fields = self.schema.fields();
+        if idx >= fields.len() {
+            return Err(CodecError(format!(
+                "field index {idx} out of range for arity {}",
+                fields.len()
+            )));
+        }
+        let mut r = Reader::new(self.bytes);
+        for f in &fields[..idx] {
+            wire::skip_field(&mut r, f.ty)?;
+        }
+        wire::decode_field(&mut r, fields[idx].ty)
+    }
+
+    /// Decode the whole record into owned values.
+    pub fn materialize(&self) -> Result<Record> {
+        let mut r = Reader::new(self.bytes);
+        wire::decode_record(&mut r, self.schema)
+    }
+}
+
+/// An owned entry produced by [`EntryView::materialize`]; the engine maps
+/// this 1:1 onto its `Entry` enum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedEntry {
+    /// A single flat record.
+    Rec(Record),
+    /// A packed group.
+    Packed(PackedRecord),
+}
+
+/// A borrowed shuffle entry: the tag plus the validated payload span.
+/// Parsing walks the payload once (bounds + tags only, no allocation);
+/// [`EntryView::materialize`] decodes it into owned structures exactly once,
+/// when the reducer actually needs the data.
+#[derive(Debug, Clone, Copy)]
+pub struct EntryView<'a> {
+    tag: u8,
+    schema: &'a Schema,
+    compress_key: Option<usize>,
+    /// Payload bytes after the tag.
+    payload: &'a [u8],
+}
+
+/// Skip a CSC column block: `count` cells of each non-key field,
+/// column-major. Fixed-width columns skip with one multiplication.
+fn skip_csc_columns(
+    r: &mut Reader<'_>,
+    schema: &Schema,
+    key_idx: usize,
+    count: usize,
+) -> Result<()> {
+    for (fi, field) in schema.fields().iter().enumerate() {
+        if fi == key_idx {
+            continue;
+        }
+        match field.ty.binary_width() {
+            Some(w) => {
+                r.read_bytes(w * count)?;
+            }
+            None => {
+                for _ in 0..count {
+                    wire::skip_field(r, field.ty)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+impl<'a> EntryView<'a> {
+    /// Parse one entry off the cursor: reads the tag, validates the payload
+    /// structure in a single forward pass, and borrows the span.
+    pub fn parse(
+        r: &mut Reader<'a>,
+        schema: &'a Schema,
+        compress_key: Option<usize>,
+    ) -> Result<Self> {
+        let tag = r.read_u8()?;
+        let start = r.position();
+        match tag {
+            ENTRY_REC => wire::skip_record(r, schema)?,
+            ENTRY_PACKED => {
+                wire::skip_value(r)?;
+                let count = r.read_u32()? as usize;
+                // Fixed-width groups skip in one bounds check.
+                if let Some(w) = schema.binary_record_width() {
+                    r.read_bytes(w * count)?;
+                } else {
+                    for _ in 0..count {
+                        wire::skip_record(r, schema)?;
+                    }
+                }
+            }
+            ENTRY_PACKED_CSC => {
+                let key_idx = compress_key.ok_or_else(|| {
+                    CodecError("received CSC-compressed entry but no compress_key".into())
+                })?;
+                wire::skip_value(r)?;
+                let count = r.read_u32()? as usize;
+                skip_csc_columns(r, schema, key_idx, count)?;
+            }
+            t => return Err(CodecError(format!("unknown entry tag {t}"))),
+        }
+        Ok(EntryView {
+            tag,
+            schema,
+            compress_key,
+            payload: &r.buffer()[start..r.position()],
+        })
+    }
+
+    /// The entry tag byte.
+    pub fn tag(&self) -> u8 {
+        self.tag
+    }
+
+    /// Encoded length including the tag byte.
+    pub fn encoded_len(&self) -> usize {
+        1 + self.payload.len()
+    }
+
+    /// Decode into owned structures. This is the single wire→owned copy on
+    /// the zero-copy path; rows of CSC entries are rebuilt by *draining* the
+    /// decoded columns, never cloning cells.
+    pub fn materialize(&self) -> Result<OwnedEntry> {
+        let mut r = Reader::new(self.payload);
+        match self.tag {
+            ENTRY_REC => Ok(OwnedEntry::Rec(wire::decode_record(&mut r, self.schema)?)),
+            ENTRY_PACKED => {
+                let key = wire::decode_value(&mut r)?;
+                let count = r.read_u32()? as usize;
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    records.push(wire::decode_record(&mut r, self.schema)?);
+                }
+                Ok(OwnedEntry::Packed(PackedRecord { key, records }))
+            }
+            ENTRY_PACKED_CSC => {
+                let key_idx = self.compress_key.ok_or_else(|| {
+                    CodecError("received CSC-compressed entry but no compress_key".into())
+                })?;
+                let key = wire::decode_value(&mut r)?;
+                let count = r.read_u32()? as usize;
+                let mut columns: Vec<std::vec::IntoIter<Value>> =
+                    Vec::with_capacity(self.schema.len().saturating_sub(1));
+                for (fi, field) in self.schema.fields().iter().enumerate() {
+                    if fi == key_idx {
+                        continue;
+                    }
+                    let mut col = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        col.push(wire::decode_field(&mut r, field.ty)?);
+                    }
+                    columns.push(col.into_iter());
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let mut values = Vec::with_capacity(self.schema.len());
+                    let mut ci = 0;
+                    for fi in 0..self.schema.len() {
+                        if fi == key_idx {
+                            values.push(key.clone());
+                        } else {
+                            values.push(columns[ci].next().expect("column has `count` cells"));
+                            ci += 1;
+                        }
+                    }
+                    records.push(Record::new(values));
+                }
+                Ok(OwnedEntry::Packed(PackedRecord { key, records }))
+            }
+            t => Err(CodecError(format!("unknown entry tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rec;
+    use papar_config::input::FieldType;
+
+    fn fixed_schema() -> Schema {
+        Schema::new(vec![
+            ("a", FieldType::Integer),
+            ("b", FieldType::Long),
+            ("c", FieldType::Double),
+        ])
+    }
+
+    fn str_schema() -> Schema {
+        Schema::new(vec![("k", FieldType::Str), ("n", FieldType::Integer)])
+    }
+
+    #[test]
+    fn value_view_matches_owned_decoder() {
+        for v in [
+            Value::Int(-3),
+            Value::Long(1 << 40),
+            Value::Double(0.5),
+            Value::Str("zürich".into()),
+        ] {
+            let mut buf = Vec::new();
+            wire::encode_value(&v, &mut buf);
+            let view = ValueView::parse(&mut Reader::new(&buf)).unwrap();
+            assert_eq!(view.to_value(), v);
+        }
+        // Invalid UTF-8 is rejected at parse, like the owned path.
+        let bad = [3u8, 2, 0, 0, 0, 0xFF, 0xFE];
+        assert!(ValueView::parse(&mut Reader::new(&bad)).is_err());
+    }
+
+    #[test]
+    fn record_view_fixed_width_span_and_fields() {
+        let schema = fixed_schema();
+        let rec = rec![7, 1i64 << 40, 2.5];
+        let mut buf = Vec::new();
+        wire::encode_record(&rec, &schema, &mut buf).unwrap();
+        buf.extend_from_slice(&[0xAA; 3]); // trailing bytes must be left alone
+        let mut r = Reader::new(&buf);
+        let view = RecordView::parse(&mut r, &schema).unwrap();
+        assert_eq!(view.as_bytes().len(), 20);
+        assert_eq!(r.remaining(), 3);
+        assert_eq!(view.materialize().unwrap(), rec);
+        assert_eq!(view.field(1).unwrap(), Value::Long(1 << 40));
+    }
+
+    #[test]
+    fn record_view_variable_width() {
+        let schema = str_schema();
+        let rec = rec!["vertex", 9];
+        let mut buf = Vec::new();
+        wire::encode_record(&rec, &schema, &mut buf).unwrap();
+        let view = RecordView::parse(&mut Reader::new(&buf), &schema).unwrap();
+        assert_eq!(view.field(0).unwrap(), Value::Str("vertex".into()));
+        assert_eq!(view.field(1).unwrap(), Value::Int(9));
+        assert!(view.field(2).is_err());
+        assert_eq!(view.materialize().unwrap(), rec);
+    }
+
+    #[test]
+    fn record_view_rejects_truncation() {
+        let schema = fixed_schema();
+        let mut buf = Vec::new();
+        wire::encode_record(&rec![1, 2i64, 3.0], &schema, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(RecordView::parse(&mut Reader::new(&buf[..cut]), &schema).is_err());
+        }
+    }
+
+    fn encode_entry_rec(rec: &Record, schema: &Schema) -> Vec<u8> {
+        let mut buf = vec![ENTRY_REC];
+        wire::encode_record(rec, schema, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn entry_view_rec_roundtrip() {
+        let schema = fixed_schema();
+        let rec = rec![1, 2i64, 3.0];
+        let buf = encode_entry_rec(&rec, &schema);
+        let view = EntryView::parse(&mut Reader::new(&buf), &schema, None).unwrap();
+        assert_eq!(view.encoded_len(), buf.len());
+        assert_eq!(view.materialize().unwrap(), OwnedEntry::Rec(rec));
+    }
+
+    #[test]
+    fn entry_view_packed_and_csc_roundtrip() {
+        let schema = str_schema();
+        let group = PackedRecord {
+            key: Value::Str("k1".into()),
+            records: vec![rec!["k1", 1], rec!["k1", 2], rec!["k1", 3]],
+        };
+        // Packed (uncompressed): key + count + rows.
+        let mut packed = vec![ENTRY_PACKED];
+        wire::encode_value(&group.key, &mut packed);
+        packed.extend_from_slice(&(group.records.len() as u32).to_le_bytes());
+        for r in &group.records {
+            wire::encode_record(r, &schema, &mut packed).unwrap();
+        }
+        let view = EntryView::parse(&mut Reader::new(&packed), &schema, None).unwrap();
+        assert_eq!(
+            view.materialize().unwrap(),
+            OwnedEntry::Packed(group.clone())
+        );
+
+        // CSC: key factored out of column 0.
+        let mut csc = vec![ENTRY_PACKED_CSC];
+        wire::encode_value(&group.key, &mut csc);
+        csc.extend_from_slice(&(group.records.len() as u32).to_le_bytes());
+        for r in &group.records {
+            wire::encode_field(r.require(1).unwrap(), FieldType::Integer, &mut csc).unwrap();
+        }
+        let view = EntryView::parse(&mut Reader::new(&csc), &schema, Some(0)).unwrap();
+        assert_eq!(view.materialize().unwrap(), OwnedEntry::Packed(group));
+        // Missing compress_key on a CSC entry is an error, not a guess.
+        assert!(EntryView::parse(&mut Reader::new(&csc), &schema, None).is_err());
+    }
+
+    #[test]
+    fn entry_view_rejects_bad_tags_and_truncation() {
+        let schema = fixed_schema();
+        assert!(EntryView::parse(&mut Reader::new(&[9]), &schema, None).is_err());
+        let buf = encode_entry_rec(&rec![1, 2i64, 3.0], &schema);
+        for cut in 0..buf.len() {
+            assert!(EntryView::parse(&mut Reader::new(&buf[..cut]), &schema, None).is_err());
+        }
+    }
+}

@@ -40,6 +40,17 @@ impl<'a> Reader<'a> {
         self.buf.len() - self.pos
     }
 
+    /// Absolute byte offset of the cursor within the wrapped slice (public so
+    /// view layers can record where a value starts without copying it).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// The whole wrapped slice, independent of cursor position.
+    pub fn buffer(&self) -> &'a [u8] {
+        self.buf
+    }
+
     fn take(&mut self, n: usize) -> Result<&'a [u8]> {
         if self.remaining() < n {
             return Err(CodecError(format!(
@@ -224,6 +235,42 @@ pub fn decode_value(r: &mut Reader<'_>) -> Result<Value> {
         3 => Value::Str(r.str()?),
         t => return Err(CodecError(format!("unknown value tag {t}"))),
     })
+}
+
+/// Advance past one tagged value without decoding or allocating.
+pub fn skip_value(r: &mut Reader<'_>) -> Result<()> {
+    match r.u8()? {
+        0 => r.take(4).map(|_| ()),
+        1 | 2 => r.take(8).map(|_| ()),
+        3 => {
+            let len = r.u32()? as usize;
+            r.take(len).map(|_| ())
+        }
+        t => Err(CodecError(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Advance past one schema-driven field without decoding or allocating.
+pub fn skip_field(r: &mut Reader<'_>, ty: FieldType) -> Result<()> {
+    match ty.binary_width() {
+        Some(w) => r.take(w).map(|_| ()),
+        None => {
+            let len = r.u32()? as usize;
+            r.take(len).map(|_| ())
+        }
+    }
+}
+
+/// Advance past one schema-driven record without decoding or allocating.
+/// Fixed-width schemas skip in a single bounds check.
+pub fn skip_record(r: &mut Reader<'_>, schema: &Schema) -> Result<()> {
+    if let Some(w) = schema.binary_record_width() {
+        return r.take(w).map(|_| ());
+    }
+    for f in schema.fields() {
+        skip_field(r, f.ty)?;
+    }
+    Ok(())
 }
 
 const BATCH_FLAT: u8 = 0;

@@ -2,7 +2,7 @@
 //! codec round-trips, and pack/compress invariants.
 
 use papar_record::codec;
-use papar_record::{rec, Record, Schema, Value};
+use papar_record::{prefix, rec, Record, Schema, Value};
 use proptest::prelude::*;
 
 fn value_strategy() -> impl Strategy<Value = Value> {
@@ -13,6 +13,27 @@ fn value_strategy() -> impl Strategy<Value = Value> {
             .prop_filter("finite", |f| f.is_finite())
             .prop_map(Value::Double),
         "[ -~]{0,16}".prop_map(Value::Str),
+    ]
+}
+
+/// Broader key strategy for the prefix-agreement property: biased toward
+/// collisions (ties) and edge shapes — negative ints, Longs around the
+/// 2^53 exactness boundary, empty and multi-byte-UTF-8 strings, strings
+/// sharing a long common prefix.
+fn key_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i32>().prop_map(Value::Int),
+        (-16i32..16).prop_map(Value::Int),
+        any::<i64>().prop_map(Value::Long),
+        ((1i64 << 53) - 4..(1i64 << 53) + 4).prop_map(Value::Long),
+        any::<f64>()
+            .prop_filter("finite", |f| f.is_finite())
+            .prop_map(Value::Double),
+        (-4i64..4).prop_map(|x| Value::Double(x as f64)),
+        "[ -~]{0,16}".prop_map(Value::Str),
+        "(müll|straße|)[a-b]{0,12}".prop_map(Value::Str),
+        "common-prefix-[a-c]{0,4}".prop_map(Value::Str),
+        Just(Value::Str(String::new())),
     ]
 }
 
@@ -49,6 +70,31 @@ proptest! {
         let text = codec::text::write(&cfg, &schema, &records).unwrap();
         let back = codec::text::read(&cfg, &schema, &text).unwrap();
         prop_assert_eq!(back, records);
+    }
+
+    /// The order-preserving key prefix agrees with `Value::cmp`: strict
+    /// prefix inequality implies the same strict value inequality, and a
+    /// prefix tie with both sides exact implies equal values — the exact
+    /// contract the engine's zero-copy sort relies on (ties with an
+    /// inexact side are re-checked from decoded keys).
+    #[test]
+    fn prefix_order_agrees_with_value_cmp(a in key_strategy(), b in key_strategy()) {
+        use std::cmp::Ordering::*;
+        let pa = prefix::of_value(&a);
+        let pb = prefix::of_value(&b);
+        match pa.packed66().cmp(&pb.packed66()) {
+            Less => prop_assert_eq!(a.cmp(&b), Less, "{:?} vs {:?}", a, b),
+            Greater => prop_assert_eq!(a.cmp(&b), Greater, "{:?} vs {:?}", a, b),
+            Equal => {
+                if pa.exact && pb.exact {
+                    prop_assert_eq!(a.cmp(&b), Equal, "{:?} vs {:?}", a, b);
+                }
+                // An inexact tie promises nothing; the engine decodes.
+            }
+        }
+        // Exactness round-trip: an exact prefix must reproduce under the
+        // wire codec (`from_wire` is tested equivalent in the unit tests).
+        prop_assert_eq!(prefix::of_value(&a), pa);
     }
 
     /// Binary codec round-trips arbitrary mixed-width rows.

@@ -8,10 +8,13 @@
 //! * [`network`] — branch-free compare–exchange sorting networks (Batcher
 //!   odd–even mergesort) for small fixed sizes, the role ASPaS gives to its
 //!   SIMD intra-register sorters,
-//! * [`merge`] — two-way and k-way merges, and
+//! * [`merge`] — two-way and k-way merges,
 //! * [`parallel`] — multi-threaded mergesort (stable and unstable) and a
 //!   samplesort, the shared-memory sorts each simulated cluster node runs
-//!   inside its map/reduce stages.
+//!   inside its map/reduce stages, and
+//! * [`packed`] — widened monomorphic kernels over packed 128-bit keys
+//!   (branchless compare–exchange, unrolled network base case), the hot
+//!   path of the engine's zero-copy reduce sort.
 //!
 //! The public entry points are [`parallel::sort_by_key`] /
 //! [`parallel::sort_unstable_by_key`]; everything else is exposed for tests
@@ -19,6 +22,7 @@
 
 pub mod merge;
 pub mod network;
+pub mod packed;
 pub mod parallel;
 
 pub use parallel::{sort_by_key, sort_unstable_by_key};

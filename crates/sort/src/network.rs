@@ -61,7 +61,7 @@ fn merge_rec(lo: usize, n: usize, r: usize, pairs: &mut Vec<(usize, usize)>) {
     }
 }
 
-fn cached_network(n: usize) -> &'static [(usize, usize)] {
+pub(crate) fn cached_network(n: usize) -> &'static [(usize, usize)] {
     static NETWORKS: OnceLock<Vec<Vec<(usize, usize)>>> = OnceLock::new();
     let all = NETWORKS.get_or_init(|| (0..=MAX_NETWORK_SIZE).map(batcher_network).collect());
     &all[n]

@@ -1,0 +1,234 @@
+//! Widened sort kernels over packed 128-bit keys.
+//!
+//! The engine's zero-copy reduce path compresses each shuffled pair into a
+//! single `u128` — reducer id, order-preserving key prefix, and scan index
+//! packed so that *unsigned integer comparison equals the shuffle order*
+//! (see the engine's packing layout). Sorting those is the scalar analog of
+//! ASPaS operating on vector registers: every element is a fixed-width POD
+//! in two machine words, comparisons are register compares instead of
+//! `Value::cmp` calls chasing heap pointers, and the compare–exchange
+//! primitive is branchless (`min`/xor — compiles to `cmp`/`cmov` chains, no
+//! data-dependent branches), so the sorting-network base case runs at full
+//! pipeline width.
+//!
+//! Everything here is monomorphic on `u128`: the samplesort's splitter
+//! sampling and bucket moves — `Clone` calls for generic element types —
+//! become plain register copies.
+
+use crate::network::{self, MAX_NETWORK_SIZE};
+use crate::parallel::PARALLEL_CUTOFF;
+
+/// Branchless compare–exchange: after the call `v[i] <= v[j]`. The xor
+/// trick writes both lanes unconditionally, so there is no data-dependent
+/// branch for the predictor to miss on random keys.
+#[inline(always)]
+pub fn compare_exchange(v: &mut [u128], i: usize, j: usize) {
+    let (a, b) = (v[i], v[j]);
+    let lo = if a < b { a } else { b };
+    v[i] = lo;
+    v[j] = a ^ b ^ lo;
+}
+
+/// Sort up to [`MAX_NETWORK_SIZE`] packed keys with the cached Batcher
+/// network, unrolled four comparators at a time. Comparator pairs are
+/// data-independent within a Batcher round, so the unrolled exchanges
+/// pipeline without serializing on a branch per comparator.
+///
+/// # Panics
+///
+/// Panics if `v.len() > MAX_NETWORK_SIZE`; callers dispatch on length.
+pub fn sort_small_packed(v: &mut [u128]) {
+    assert!(
+        v.len() <= MAX_NETWORK_SIZE,
+        "sort_small_packed called with {} > {MAX_NETWORK_SIZE} elements",
+        v.len()
+    );
+    let pairs = network::cached_network(v.len());
+    let mut quads = pairs.chunks_exact(4);
+    for quad in &mut quads {
+        compare_exchange(v, quad[0].0, quad[0].1);
+        compare_exchange(v, quad[1].0, quad[1].1);
+        compare_exchange(v, quad[2].0, quad[2].1);
+        compare_exchange(v, quad[3].0, quad[3].1);
+    }
+    for &(i, j) in quads.remainder() {
+        compare_exchange(v, i, j);
+    }
+}
+
+/// Sequential sort of packed keys: three-way quicksort (duplicate prefixes
+/// are the common case for partitioning workloads) with the branchless
+/// network as base case. Monomorphic `u128` throughout — the pivot is a
+/// register copy, not a `clone`.
+pub fn sort_packed(mut v: &mut [u128]) {
+    loop {
+        if v.len() <= MAX_NETWORK_SIZE {
+            sort_small_packed(v);
+            return;
+        }
+        let pivot = v[median_of_three(v)];
+        let (mut lt, mut i, mut gt) = (0usize, 0usize, v.len());
+        while i < gt {
+            let x = v[i];
+            if x < pivot {
+                v.swap(lt, i);
+                lt += 1;
+                i += 1;
+            } else if x > pivot {
+                gt -= 1;
+                v.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        // Recurse into the smaller side, loop on the larger: O(log n) stack.
+        if lt < v.len() - gt {
+            sort_packed(&mut v[..lt]);
+            v = &mut v[gt..];
+        } else {
+            sort_packed(&mut v[gt..]);
+            v = &mut v[..lt];
+        }
+    }
+}
+
+fn median_of_three(v: &[u128]) -> usize {
+    let (a, b, c) = (0, v.len() / 2, v.len() - 1);
+    let lt = |i: usize, j: usize| v[i] < v[j];
+    if lt(a, b) {
+        if lt(b, c) {
+            b
+        } else if lt(a, c) {
+            c
+        } else {
+            a
+        }
+    } else if lt(a, c) {
+        a
+    } else if lt(b, c) {
+        c
+    } else {
+        b
+    }
+}
+
+/// Parallel samplesort of packed keys: sample splitters, bucket, sort
+/// buckets on `threads` OS threads, concatenate. The packed order is total
+/// (the low bits carry a unique scan index), so the unstable parallel sort
+/// still yields one unique permutation at every thread count.
+pub fn par_sort_packed(v: &mut Vec<u128>, threads: usize) {
+    if v.len() < PARALLEL_CUTOFF || threads <= 1 {
+        sort_packed(v);
+        return;
+    }
+    let buckets = threads;
+    let oversample = 32;
+    let step = (v.len() / (buckets * oversample)).max(1);
+    let mut sample: Vec<u128> = v.iter().step_by(step).copied().collect();
+    sort_packed(&mut sample);
+    let splitters: Vec<u128> = (1..buckets)
+        .map(|i| sample[i * sample.len() / buckets])
+        .collect();
+
+    let mut parts: Vec<Vec<u128>> = (0..buckets).map(|_| Vec::new()).collect();
+    for item in v.drain(..) {
+        let b = splitters.partition_point(|&s| s < item);
+        parts[b].push(item);
+    }
+    // The caller sorts bucket 0 itself while helpers run (same CPU-time
+    // accounting rationale as `parallel::par_sort_unstable_by`).
+    let (first, rest) = parts.split_at_mut(1);
+    crossbeam::thread::scope(|s| {
+        for part in rest.iter_mut() {
+            s.spawn(move |_| sort_packed(part));
+        }
+        sort_packed(&mut first[0]);
+    })
+    .expect("sort worker panicked");
+    for part in parts {
+        v.extend(part);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(state: &mut u64) -> u64 {
+        *state ^= *state << 13;
+        *state ^= *state >> 7;
+        *state ^= *state << 17;
+        *state
+    }
+
+    fn random_packed(n: usize, seed: u64, modulo: u128) -> Vec<u128> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|_| {
+                let hi = xorshift(&mut s) as u128;
+                let lo = xorshift(&mut s) as u128;
+                ((hi << 64) | lo) % modulo
+            })
+            .collect()
+    }
+
+    #[test]
+    fn compare_exchange_orders_both_lanes() {
+        let mut v = vec![9u128 << 100, 3u128];
+        compare_exchange(&mut v, 0, 1);
+        assert_eq!(v, vec![3u128, 9u128 << 100]);
+        compare_exchange(&mut v, 0, 1); // already ordered: no-op
+        assert_eq!(v, vec![3u128, 9u128 << 100]);
+        let mut eq = vec![7u128, 7u128];
+        compare_exchange(&mut eq, 0, 1);
+        assert_eq!(eq, vec![7u128, 7u128]);
+    }
+
+    #[test]
+    fn network_sorts_every_size() {
+        for n in 0..=MAX_NETWORK_SIZE {
+            for seed in [1, 42, 977] {
+                let mut v = random_packed(n, seed, u128::MAX);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_small_packed(&mut v);
+                assert_eq!(v, expect, "n={n} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_sort_matches_std() {
+        for n in [0, 1, 33, 100, 5000] {
+            // Wide keys and a heavy-duplicate regime (small modulus).
+            for modulo in [u128::MAX, 7] {
+                let mut v = random_packed(n, 9, modulo);
+                let mut expect = v.clone();
+                expect.sort_unstable();
+                sort_packed(&mut v);
+                assert_eq!(v, expect, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_sort_matches_std_across_thread_counts() {
+        let orig = random_packed(20_000, 77, u128::MAX >> 20);
+        let mut expect = orig.clone();
+        expect.sort_unstable();
+        for threads in [1, 2, 4, 8] {
+            let mut v = orig.clone();
+            par_sort_packed(&mut v, threads);
+            assert_eq!(v, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_sort_with_heavy_duplicates() {
+        let mut v = random_packed(50_000, 5, 3);
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        par_sort_packed(&mut v, 8);
+        assert_eq!(v, expect);
+    }
+}

@@ -18,7 +18,7 @@ use crate::merge::{kway_merge, merge_into};
 use crate::network::{insertion_sort_by, sort_small, MAX_NETWORK_SIZE};
 
 /// Below this length sorting sequentially beats spawning threads.
-const PARALLEL_CUTOFF: usize = 4096;
+pub(crate) const PARALLEL_CUTOFF: usize = 4096;
 
 /// Sequential stable mergesort with an insertion-sort base case.
 pub fn mergesort_by<T: Clone, F>(v: &mut [T], mut cmp: F)

@@ -78,6 +78,10 @@ fn push_span(s: &mut String, span: &Span) {
         ("checkpoint_bytes", c.checkpoint_bytes),
         ("restored_bytes", c.restored_bytes),
         ("backoff_ns", c.backoff_ns),
+        ("staged_bytes", c.staged_bytes),
+        ("staged_allocs", c.staged_allocs),
+        ("materialized_bytes", c.materialized_bytes),
+        ("tie_pairs", c.tie_pairs),
     ] {
         s.push_str(&format!(",\"{key}\":{v}"));
     }

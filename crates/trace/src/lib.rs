@@ -124,6 +124,20 @@ pub struct Counters {
     pub restored_bytes: u64,
     /// Virtual nanoseconds spent in retry backoff.
     pub backoff_ns: u64,
+    /// Bytes the reduce sort stage *moves*: owned decoded pairs on the
+    /// legacy path, 32-byte index entries (+ tie re-decodes) on the
+    /// zero-copy path. Analytic (a function of the data and mode, not the
+    /// allocator), so identical at every thread count.
+    pub staged_bytes: u64,
+    /// Heap allocations needed to stage the reduce sort's elements —
+    /// analytic like `staged_bytes`.
+    pub staged_allocs: u64,
+    /// Wire bytes materialized into owned records on the reduce side;
+    /// equal across zero-copy modes (every pair is decoded exactly once).
+    pub materialized_bytes: u64,
+    /// Pairs that landed in a key-prefix tie run (≥ 2 members sharing a
+    /// `(reducer, prefix)`), the runs the zero-copy sort re-checks.
+    pub tie_pairs: u64,
 }
 
 impl Counters {
@@ -145,6 +159,10 @@ impl Counters {
         self.checkpoint_bytes += o.checkpoint_bytes;
         self.restored_bytes += o.restored_bytes;
         self.backoff_ns += o.backoff_ns;
+        self.staged_bytes += o.staged_bytes;
+        self.staged_allocs += o.staged_allocs;
+        self.materialized_bytes += o.materialized_bytes;
+        self.tie_pairs += o.tie_pairs;
     }
 
     /// True when every counter is zero.
@@ -474,6 +492,10 @@ mod tests {
             checkpoint_bytes: 1,
             restored_bytes: 1,
             backoff_ns: 1,
+            staged_bytes: 1,
+            staged_allocs: 1,
+            materialized_bytes: 1,
+            tie_pairs: 1,
         };
         let mut sum = Counters::default();
         assert!(sum.is_zero());
@@ -484,6 +506,10 @@ mod tests {
         assert_eq!(sum.replication_bytes, 2);
         assert_eq!(sum.checkpoint_bytes, 2);
         assert_eq!(sum.restored_bytes, 2);
+        assert_eq!(sum.staged_bytes, 2);
+        assert_eq!(sum.staged_allocs, 2);
+        assert_eq!(sum.materialized_bytes, 2);
+        assert_eq!(sum.tie_pairs, 2);
         assert!(!sum.is_zero());
     }
 }

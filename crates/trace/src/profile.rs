@@ -18,12 +18,12 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
     let mut out = String::new();
     out.push_str("workflow profile (virtual time; phases sum to the makespan)\n");
     out.push_str(&format!(
-        "{:<24} {:<8} {:>12} {:>7} {:>12} {:>12} {:>14}\n",
-        "job", "phase", "time", "%", "cpu", "records", "bytes moved"
+        "{:<24} {:<8} {:>12} {:>7} {:>12} {:>12} {:>14} {:>12} {:>10}\n",
+        "job", "phase", "time", "%", "cpu", "records", "bytes moved", "staged", "allocs"
     ));
     out.push_str(&format!(
         "{}\n",
-        "-".repeat(24 + 1 + 8 + 1 + 12 + 1 + 7 + 1 + 12 + 1 + 12 + 1 + 14)
+        "-".repeat(24 + 1 + 8 + 1 + 12 + 1 + 7 + 1 + 12 + 1 + 12 + 1 + 14 + 1 + 12 + 1 + 10)
     ));
     for job in &trace.jobs {
         for phase in &job.phases {
@@ -40,7 +40,7 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
                 + c.checkpoint_bytes
                 + c.restored_bytes;
             out.push_str(&format!(
-                "{:<24} {:<8} {:>12} {:>6.1}% {:>12} {:>12} {:>14}\n",
+                "{:<24} {:<8} {:>12} {:>6.1}% {:>12} {:>12} {:>14} {:>12} {:>10}\n",
                 truncate(&job.name, 24),
                 phase.kind.name(),
                 fmt_dur(phase.virt),
@@ -48,6 +48,8 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
                 fmt_dur(phase.cpu),
                 records,
                 bytes,
+                c.staged_bytes,
+                c.staged_allocs,
             ));
         }
         if let Some(skew) = &job.skew {
@@ -82,6 +84,12 @@ pub fn render_profile(trace: &WorkflowTrace) -> String {
             fmt_dur(Duration::from_nanos(c.backoff_ns)),
             c.restore_bytes,
             c.retransmit_bytes,
+        ));
+    }
+    if c.staged_bytes > 0 {
+        out.push_str(&format!(
+            "hot path: {} B staged for sort, {} heap allocs, {} B materialized, {} tie pairs\n",
+            c.staged_bytes, c.staged_allocs, c.materialized_bytes, c.tie_pairs,
         ));
     }
     out
@@ -233,7 +241,9 @@ fn push_job(s: &mut String, job: &JobTrace) {
             "{{\"kind\":\"{}\",\"virt_ns\":{},\"det_ns\":{},\"cpu_ns\":{},\"tasks\":{},\
              \"records_in\":{},\"records_out\":{},\"pairs\":{},\"shuffle_bytes\":{},\
              \"retries\":{},\"crashes\":{},\"restore_bytes\":{},\"retransmit_bytes\":{},\
-             \"replication_bytes\":{},\"checkpoint_bytes\":{},\"restored_bytes\":{}}}",
+             \"replication_bytes\":{},\"checkpoint_bytes\":{},\"restored_bytes\":{},\
+             \"staged_bytes\":{},\"staged_allocs\":{},\"materialized_bytes\":{},\
+             \"tie_pairs\":{}}}",
             p.kind.name(),
             p.virt.as_nanos(),
             p.det_ns,
@@ -250,6 +260,10 @@ fn push_job(s: &mut String, job: &JobTrace) {
             c.replication_bytes,
             c.checkpoint_bytes,
             c.restored_bytes,
+            c.staged_bytes,
+            c.staged_allocs,
+            c.materialized_bytes,
+            c.tie_pairs,
         ));
     }
     s.push_str("]}");

@@ -1,0 +1,327 @@
+//! Zero-copy transparency: the engine's zero-copy reduce path (borrowed
+//! wire views sorted through packed key prefixes) is a pure performance
+//! transformation. Partition bytes must be identical with and without it
+//! (`--no-zerocopy`), across thread counts, with fusion on or off, under
+//! injected faults, and across a checkpoint/resume boundary — only the
+//! staged-bytes/allocation counters may change.
+
+use mublastp::dbgen::DbSpec;
+use papar::core::exec::{ExecOptions, WorkflowReport, WorkflowRunner};
+use papar::core::plan::Planner;
+use papar::mr::{Cluster, Fault, FaultPlan, RetryPolicy, TaskPhase};
+use papar::record::batch::{Batch, Dataset};
+use papar::record::wire;
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+
+const BLAST_INPUT_CFG: &str = r#"
+<input id="blast_db" name="n">
+  <input_format>binary</input_format>
+  <start_position>32</start_position>
+  <element>
+    <value name="seq_start" type="integer"/>
+    <value name="seq_size" type="integer"/>
+    <value name="desc_start" type="integer"/>
+    <value name="desc_size" type="integer"/>
+  </element>
+</input>"#;
+
+const EDGE_INPUT_CFG: &str = r#"
+<input id="graph_edge" name="edge lists">
+  <input_format>text</input_format>
+  <element>
+    <value name="vertex_a" type="String"/>
+    <delimiter value="\t"/>
+    <value name="vertex_b" type="String"/>
+    <delimiter value="\n"/>
+  </element>
+</input>"#;
+
+/// Paper Figure 8: sort by sequence size, deal round-robin. Integer sort
+/// keys — always-exact prefixes, heavy duplicate runs.
+const BLAST_WORKFLOW: &str = r#"
+<workflow id="blast_partition" name="n">
+  <arguments>
+    <param name="input_path" type="hdfs" format="blast_db"/>
+    <param name="output_path" type="hdfs" format="blast_db"/>
+    <param name="num_partitions" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="sort" operator="Sort">
+      <param name="inputPath" type="String" value="$input_path"/>
+      <param name="outputPath" type="String" value="/user/sort_output"/>
+      <param name="key" type="KeyId" value="seq_size"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="$sort.outputPath"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="distrPolicy" type="DistrPolicy" value="roundRobin"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+/// Paper Figure 10: group by in-vertex, split at the degree threshold,
+/// distribute with the hybrid vertex-cut. String keys and packed entries —
+/// the tie-prone, allocation-heavy regime.
+const HYBRID_WORKFLOW: &str = r#"
+<workflow id="hybrid_cut" name="Hybrid-cut">
+  <arguments>
+    <param name="input_file" type="hdfs" format="graph_edge"/>
+    <param name="output_path" type="hdfs" format="graph_edge"/>
+    <param name="num_partitions" type="integer"/>
+    <param name="threshold" type="integer"/>
+  </arguments>
+  <operators>
+    <operator id="group" operator="group">
+      <param name="inputPath" type="String" value="$input_file"/>
+      <param name="outputPath" type="String" value="/tmp/group" format="pack"/>
+      <param name="key" type="KeyId" value="vertex_b"/>
+      <addon operator="count" key="vertex_b" attr="indegree"/>
+    </operator>
+    <operator id="split" operator="Split">
+      <param name="inputPath" type="String" value="$group.outputPath"/>
+      <param name="outputPathList" type="StringList"
+             value="/tmp/split/high_degree,/tmp/split/low_degree"
+             format="unpack,orig"/>
+      <param name="key" type="KeyId" value="$group.$indegree"/>
+      <param name="policy" type="SplitPolicy" value="{&gt;=, $threshold},{&lt;,$threshold}"/>
+    </operator>
+    <operator id="distr" operator="Distribute">
+      <param name="inputPath" type="String" value="/tmp/split/"/>
+      <param name="outputPath" type="String" value="$output_path"/>
+      <param name="policy" type="distrPolicy" value="graphVertexCut"/>
+      <param name="numPartitions" type="integer" value="$num_partitions"/>
+    </operator>
+  </operators>
+</workflow>"#;
+
+fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
+    pairs
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+fn options(zerocopy: bool, threads: usize) -> ExecOptions {
+    ExecOptions {
+        zerocopy,
+        threads: Some(threads),
+        ..ExecOptions::default()
+    }
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("papar-hotpath-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+fn partition_bytes(cluster: &Cluster, name: &str) -> Vec<Vec<u8>> {
+    cluster
+        .collect(name)
+        .unwrap()
+        .into_iter()
+        .map(|d| {
+            let mut buf = Vec::new();
+            wire::encode_batch(&d.batch, &d.schema, &mut buf).unwrap();
+            buf
+        })
+        .collect()
+}
+
+fn run_blast(
+    mut cluster: Cluster,
+    options: ExecOptions,
+    checkpoint: Option<(&PathBuf, bool)>,
+) -> (Vec<Vec<u8>>, WorkflowReport) {
+    let planner = Planner::from_xml(BLAST_WORKFLOW, &[BLAST_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_path", "/in"),
+            ("output_path", "/out"),
+            ("num_partitions", "4"),
+        ]))
+        .unwrap();
+    let mut runner = WorkflowRunner::with_options(plan, options);
+    if let Some((dir, resume)) = checkpoint {
+        runner = runner.with_checkpoint(dir, resume, 0);
+    }
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let db = DbSpec::env_nr_scaled(300, 7).generate();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/in",
+            Dataset::new(schema, Batch::Flat(db.index_records())),
+        )
+        .unwrap();
+    let report = runner.run(&mut cluster).unwrap();
+    (partition_bytes(&cluster, "/out"), report)
+}
+
+fn run_hybrid(mut cluster: Cluster, options: ExecOptions) -> (Vec<Vec<u8>>, WorkflowReport) {
+    let planner = Planner::from_xml(HYBRID_WORKFLOW, &[EDGE_INPUT_CFG]).unwrap();
+    let plan = planner
+        .bind(&args(&[
+            ("input_file", "/g/in"),
+            ("output_path", "/g/out"),
+            ("num_partitions", "4"),
+            ("threshold", "10"),
+        ]))
+        .unwrap();
+    let runner = WorkflowRunner::with_options(plan, options);
+    let schema = runner.plan().external_inputs[0].1.schema.clone();
+    let graph = powerlyra::gen::chung_lu(120, 900, 2.1, 11).unwrap();
+    let cfg = papar_config::InputConfig::parse_str(EDGE_INPUT_CFG).unwrap();
+    let text = powerlyra::gen::to_snap_text(&graph);
+    let records = papar::record::codec::text::read(&cfg, &schema, &text).unwrap();
+    runner
+        .scatter_input(
+            &mut cluster,
+            "/g/in",
+            Dataset::new(schema, Batch::Flat(records)),
+        )
+        .unwrap();
+    let report = runner.run(&mut cluster).unwrap();
+    (partition_bytes(&cluster, "/g/out"), report)
+}
+
+fn staged_bytes(report: &WorkflowReport) -> u64 {
+    report.jobs.iter().map(|j| j.hot.staged_bytes).sum()
+}
+
+fn staged_allocs(report: &WorkflowReport) -> u64 {
+    report.jobs.iter().map(|j| j.hot.staged_allocs).sum()
+}
+
+fn materialized_bytes(report: &WorkflowReport) -> u64 {
+    report.jobs.iter().map(|j| j.hot.materialized_bytes).sum()
+}
+
+fn chaos_cluster(nodes: usize, threads: usize) -> Cluster {
+    Cluster::try_new(nodes)
+        .unwrap()
+        .with_threads(threads)
+        .with_replication(1)
+        .with_fault_plan(FaultPlan::new(vec![
+            Fault::NodeCrash {
+                node: 1,
+                job: 0,
+                phase: TaskPhase::Map,
+            },
+            Fault::NodeCrash {
+                node: 2,
+                job: 0,
+                phase: TaskPhase::Reduce,
+            },
+            Fault::ExchangeDrop {
+                from: 0,
+                to: 2,
+                job: 0,
+            },
+        ]))
+        .with_retry(RetryPolicy::default())
+}
+
+#[test]
+fn blast_zerocopy_is_byte_identical_and_cuts_staged_bytes() {
+    let (baseline, owned) = run_blast(Cluster::new(3), options(false, 1), None);
+    assert!(staged_bytes(&owned) > 0, "owned path must report staging");
+    for t in [1, 4] {
+        let (out, zc) = run_blast(Cluster::new(3), options(true, t), None);
+        assert_eq!(out, baseline, "zero-copy output diverged at {t} threads");
+        assert!(
+            (staged_bytes(&zc) as f64) < 0.6 * staged_bytes(&owned) as f64,
+            "zero-copy must stage >=40% fewer bytes: {} vs {}",
+            staged_bytes(&zc),
+            staged_bytes(&owned)
+        );
+        assert!(
+            staged_allocs(&zc) < staged_allocs(&owned),
+            "zero-copy must stage fewer allocations: {} vs {}",
+            staged_allocs(&zc),
+            staged_allocs(&owned)
+        );
+        assert_eq!(
+            materialized_bytes(&zc),
+            materialized_bytes(&owned),
+            "both modes decode every pair exactly once"
+        );
+    }
+}
+
+#[test]
+fn zerocopy_composes_with_no_fuse() {
+    // The two toggles are independent pure-performance axes: every
+    // combination must produce the same bytes.
+    let (baseline, _) = run_blast(Cluster::new(3), options(true, 1), None);
+    for zerocopy in [false, true] {
+        for fuse in [false, true] {
+            let opts = ExecOptions {
+                fuse,
+                ..options(zerocopy, 1)
+            };
+            let (out, _) = run_blast(Cluster::new(3), opts, None);
+            assert_eq!(out, baseline, "diverged at zerocopy={zerocopy} fuse={fuse}");
+        }
+    }
+}
+
+#[test]
+fn hybrid_zerocopy_is_byte_identical_across_threads() {
+    let (baseline, owned) = run_hybrid(Cluster::new(4), options(false, 1));
+    for t in [1, 4] {
+        let (out, zc) = run_hybrid(Cluster::new(4), options(true, t));
+        assert_eq!(out, baseline, "zero-copy output diverged at {t} threads");
+        assert!(
+            staged_bytes(&zc) < staged_bytes(&owned),
+            "zero-copy must stage fewer bytes on string keys too: {} vs {}",
+            staged_bytes(&zc),
+            staged_bytes(&owned)
+        );
+    }
+}
+
+#[test]
+fn zerocopy_modes_recover_identically_under_faults() {
+    let (fault_free, _) = run_blast(Cluster::new(3), options(true, 1), None);
+    for t in [1, 4] {
+        for zerocopy in [false, true] {
+            let (out, report) = run_blast(chaos_cluster(3, t), options(zerocopy, t), None);
+            assert_eq!(
+                out, fault_free,
+                "recovery diverged at {t} threads (zerocopy={zerocopy})"
+            );
+            assert!(
+                report
+                    .jobs
+                    .iter()
+                    .map(|j| j.recovery.faults_injected)
+                    .sum::<u32>()
+                    >= 3,
+                "the fault plan must fire in both modes"
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_crosses_the_zerocopy_boundary() {
+    // The resume fingerprint deliberately excludes the zero-copy toggle
+    // (like the thread count): a checkpoint taken with the zero-copy path
+    // resumes under --no-zerocopy, byte-identically.
+    let (baseline, _) = run_blast(Cluster::new(3), options(true, 1), None);
+    let dir = tmpdir("cross-mode");
+    let (ckpt_out, ckpt) = run_blast(Cluster::new(3), options(true, 1), Some((&dir, false)));
+    assert_eq!(ckpt_out, baseline);
+    assert_eq!(ckpt.stages_resumed, 0);
+    let (out, resumed) = run_blast(Cluster::new(3), options(false, 4), Some((&dir, true)));
+    assert_eq!(out, baseline, "cross-mode resume changed the output");
+    assert!(
+        resumed.stages_resumed > 0,
+        "the completed stage must be restored, not re-executed"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
