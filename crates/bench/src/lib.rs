@@ -23,6 +23,7 @@ pub mod fusion;
 pub mod hotpath;
 pub mod parallel;
 pub mod report;
+pub mod serve;
 pub mod table2;
 pub mod workflows;
 

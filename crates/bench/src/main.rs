@@ -9,7 +9,8 @@
 use papar_bench::datasets::Scale;
 use papar_bench::report::Table;
 use papar_bench::{
-    ablation, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, hotpath, parallel, table2,
+    ablation, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, hotpath, parallel, serve,
+    table2,
 };
 use std::io::Write;
 
@@ -29,6 +30,7 @@ const EXPERIMENTS: &[&str] = &[
     "fusion",
     "hotpath",
     "parallel",
+    "serve",
 ];
 
 fn usage() -> ! {
@@ -57,6 +59,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Table {
         "fusion" => fusion::run(scale),
         "hotpath" => hotpath::run(scale),
         "parallel" => parallel::run(scale),
+        "serve" => serve::run(scale),
         other => {
             eprintln!("unknown experiment '{other}'");
             usage()

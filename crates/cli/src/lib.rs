@@ -158,6 +158,25 @@ fn fail(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Parse one `--arg key=value` pair into the argument map, refusing
+/// duplicates. Workflow arguments bind exactly once; before this check a
+/// repeated `--arg` silently kept the last value, so a typo'd sweep
+/// (`--arg num_partitions=4 ... --arg num_partitions=8`) ran with a
+/// surprise binding instead of an error naming both values.
+fn insert_arg(args: &mut HashMap<String, String>, kv: &str) -> Result<(), CliError> {
+    let (k, v) = kv
+        .split_once('=')
+        .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
+    if let Some(prev) = args.get(k) {
+        return Err(fail(format!(
+            "--arg '{k}' given twice: '{prev}' then '{v}' (each workflow argument \
+             binds exactly once)"
+        )));
+    }
+    args.insert(k.to_string(), v.to_string());
+    Ok(())
+}
+
 /// Execute a run spec end-to-end.
 pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     let input_cfg_text = std::fs::read_to_string(&spec.input_config)
@@ -392,53 +411,17 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     })
 }
 
-/// Read the input data file per its configuration. Binary files may carry
-/// payload beyond the index region: `records` (the `--records` flag) bounds
-/// the region explicitly; otherwise the longest whole-record prefix after
-/// `start_position` is read, matching the paper's reading of Figure 4
-/// ("treat every 16 bytes as an entry").
+/// Read the input data file per its configuration — delegated to the
+/// loader the daemon uses ([`papar_serve::job::load_records`]), so
+/// `papar run` and a served job can never diverge on how a file's
+/// record region is bounded.
 fn read_data_file(
     cfg: &InputConfig,
     schema: &Schema,
     path: &Path,
     records: Option<usize>,
 ) -> Result<Vec<papar_record::Record>, CliError> {
-    match cfg.format {
-        InputFormat::Binary => {
-            let bytes = std::fs::read(path)
-                .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
-            let width = schema
-                .binary_record_width()
-                .ok_or_else(|| fail("binary schema has variable-width fields"))?;
-            let start = cfg.start_position as usize;
-            if bytes.len() < start {
-                return Err(fail(format!(
-                    "{} is shorter than start_position {start}",
-                    path.display()
-                )));
-            }
-            let region = match records {
-                Some(n) => {
-                    let need = n * width;
-                    if bytes.len() - start < need {
-                        return Err(fail(format!(
-                            "--records {n} wants {need} bytes after the header, file has {}",
-                            bytes.len() - start
-                        )));
-                    }
-                    need
-                }
-                None => (bytes.len() - start) / width * width,
-            };
-            papar_record::codec::binary::read(cfg, schema, &bytes[..start + region])
-                .map_err(|e| fail(e.to_string()))
-        }
-        InputFormat::Text => {
-            let text = std::fs::read_to_string(path)
-                .map_err(|e| fail(format!("cannot read {}: {e}", path.display())))?;
-            papar_record::codec::text::read(cfg, schema, &text).map_err(|e| fail(e.to_string()))
-        }
-    }
+    papar_serve::job::load_records(cfg, schema, path, records).map_err(fail)
 }
 
 /// Everything `papar check` needs.
@@ -621,13 +604,7 @@ pub fn parse_check_args<I: Iterator<Item = String>>(mut argv: I) -> Result<Check
             "--records" => {
                 spec.records = Some(parse_usize("--records", need("--records", &mut argv)?)?);
             }
-            "--arg" => {
-                let kv = need("--arg", &mut argv)?;
-                let (k, v) = kv
-                    .split_once('=')
-                    .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
-                spec.args.insert(k.to_string(), v.to_string());
-            }
+            "--arg" => insert_arg(&mut spec.args, &need("--arg", &mut argv)?)?,
             "--format" => {
                 let v = need("--format", &mut argv)?;
                 spec.json = match v.as_str() {
@@ -843,13 +820,7 @@ pub fn parse_plan_args<I: Iterator<Item = String>>(mut argv: I) -> Result<PlanSp
                     return Err(fail("--nodes wants a positive integer, got '0'"));
                 }
             }
-            "--arg" => {
-                let kv = need("--arg", &mut argv)?;
-                let (k, v) = kv
-                    .split_once('=')
-                    .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
-                spec.args.insert(k.to_string(), v.to_string());
-            }
+            "--arg" => insert_arg(&mut spec.args, &need("--arg", &mut argv)?)?,
             "--no-fuse" => spec.no_fuse = true,
             "--explain" => spec.explain = true,
             "--records" => {
@@ -915,13 +886,7 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
                     fail(format!("--records wants a non-negative integer, got '{v}'"))
                 })?);
             }
-            "--arg" => {
-                let kv = need("--arg", &mut argv)?;
-                let (k, v) = kv
-                    .split_once('=')
-                    .ok_or_else(|| fail(format!("--arg wants key=value, got '{kv}'")))?;
-                spec.args.insert(k.to_string(), v.to_string());
-            }
+            "--arg" => insert_arg(&mut spec.args, &need("--arg", &mut argv)?)?,
             "--faults" => {
                 let v = need("--faults", &mut argv)?;
                 // Validate now so the user hears about a typo before any
@@ -1045,6 +1010,360 @@ Checkpointing (crash-consistent; resumed output is byte-identical to a cold run)
                      error[P020] when the plan/input/seed/config fingerprint
                      differs. Corrupt or torn data is quarantined (*.quarantine)
                      and recomputed, never silently reused.";
+
+// ---------------------------------------------------------------------
+// papar serve / submit / status: the resident daemon surface.
+// ---------------------------------------------------------------------
+
+/// Everything `papar serve` needs.
+#[derive(Debug, Clone)]
+pub struct ServeSpec {
+    /// Where to listen: a Unix socket path, or `tcp:HOST:PORT`.
+    pub socket: String,
+    /// Pending-job admission limit (queued + running).
+    pub queue_capacity: usize,
+    /// Compiled plans kept resident.
+    pub plan_cache: usize,
+    /// Decoded input files kept resident.
+    pub data_cache: usize,
+}
+
+impl Default for ServeSpec {
+    fn default() -> Self {
+        ServeSpec {
+            socket: String::new(),
+            queue_capacity: 32,
+            plan_cache: 16,
+            data_cache: 8,
+        }
+    }
+}
+
+/// Parse `papar serve` arguments into a [`ServeSpec`].
+pub fn parse_serve_args<I: Iterator<Item = String>>(mut argv: I) -> Result<ServeSpec, CliError> {
+    let mut spec = ServeSpec::default();
+    let need = |flag: &str, it: &mut I| -> Result<String, CliError> {
+        it.next()
+            .ok_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    let parse_cap = |flag: &str, v: String| -> Result<usize, CliError> {
+        let n: usize = v
+            .parse()
+            .map_err(|_| fail(format!("{flag} wants a positive integer, got '{v}'")))?;
+        if n == 0 {
+            return Err(fail(format!("{flag} wants a positive integer, got '0'")));
+        }
+        Ok(n)
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--socket" => spec.socket = need("--socket", &mut argv)?,
+            "--queue" => {
+                spec.queue_capacity = parse_cap("--queue", need("--queue", &mut argv)?)?;
+            }
+            "--plan-cache" => {
+                spec.plan_cache = parse_cap("--plan-cache", need("--plan-cache", &mut argv)?)?;
+            }
+            "--data-cache" => {
+                spec.data_cache = parse_cap("--data-cache", need("--data-cache", &mut argv)?)?;
+            }
+            "-h" | "--help" => return Err(fail(SERVE_USAGE)),
+            other => return Err(fail(format!("unknown flag '{other}'\n{SERVE_USAGE}"))),
+        }
+    }
+    if spec.socket.is_empty() {
+        return Err(fail(format!("--socket is required\n{SERVE_USAGE}")));
+    }
+    Ok(spec)
+}
+
+/// Run the daemon until a `papar submit --shutdown` or SIGTERM/SIGINT,
+/// then drain and exit. Startup validation (socket, `PAPAR_THREADS`)
+/// fails here, before any request is accepted.
+pub fn run_serve(spec: &ServeSpec) -> Result<(), CliError> {
+    let server = papar_serve::Server::bind(papar_serve::ServeOptions {
+        endpoint: papar_serve::Endpoint::parse(&spec.socket),
+        queue_capacity: spec.queue_capacity,
+        plan_cache: spec.plan_cache,
+        data_cache: spec.data_cache,
+        handle_signals: true,
+    })
+    .map_err(|e| fail(e.to_string()))?;
+    eprintln!(
+        "papar serve: listening on {} (engine threads: {}, queue capacity: {})",
+        server.endpoint(),
+        server.default_threads(),
+        spec.queue_capacity,
+    );
+    server.run().map_err(|e| fail(e.to_string()))
+}
+
+/// Everything `papar submit` needs.
+#[derive(Debug, Clone, Default)]
+pub struct SubmitSpec {
+    /// The daemon's socket (same syntax as `papar serve --socket`).
+    pub socket: String,
+    /// The job, with `papar run`'s flag names.
+    pub job: papar_serve::JobSpec,
+    /// Return immediately after admission instead of waiting for the
+    /// result (`--detach`); poll with `papar status <job-id>`.
+    pub detach: bool,
+    /// Ask the daemon to drain its queue and exit (`--shutdown`).
+    pub shutdown: bool,
+}
+
+/// Parse `papar submit` arguments into a [`SubmitSpec`].
+pub fn parse_submit_args<I: Iterator<Item = String>>(mut argv: I) -> Result<SubmitSpec, CliError> {
+    let mut spec = SubmitSpec {
+        job: papar_serve::JobSpec {
+            nodes: 4,
+            ..papar_serve::JobSpec::default()
+        },
+        ..SubmitSpec::default()
+    };
+    let mut args: HashMap<String, String> = HashMap::new();
+    let need = |flag: &str, it: &mut I| -> Result<String, CliError> {
+        it.next()
+            .ok_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--socket" => spec.socket = need("--socket", &mut argv)?,
+            "--input-config" => spec.job.input_config = need("--input-config", &mut argv)?,
+            "--workflow" => spec.job.workflow = need("--workflow", &mut argv)?,
+            "--data" => spec.job.data = need("--data", &mut argv)?,
+            "--out" => spec.job.out_dir = need("--out", &mut argv)?,
+            "--nodes" => {
+                let v = need("--nodes", &mut argv)?;
+                spec.job.nodes = v
+                    .parse()
+                    .map_err(|_| fail(format!("--nodes wants a positive integer, got '{v}'")))?;
+                if spec.job.nodes == 0 {
+                    return Err(fail("--nodes wants a positive integer, got '0'"));
+                }
+            }
+            "--records" => {
+                let v = need("--records", &mut argv)?;
+                spec.job.records = Some(v.parse().map_err(|_| {
+                    fail(format!("--records wants a non-negative integer, got '{v}'"))
+                })?);
+            }
+            "--arg" => insert_arg(&mut args, &need("--arg", &mut argv)?)?,
+            "--threads" => {
+                let v = need("--threads", &mut argv)?;
+                let t: u32 = v
+                    .parse()
+                    .map_err(|_| fail(format!("--threads wants a positive integer, got '{v}'")))?;
+                if t == 0 {
+                    return Err(fail("--threads wants a positive integer, got '0'"));
+                }
+                spec.job.threads = Some(t);
+            }
+            "--no-fuse" => spec.job.no_fuse = true,
+            "--no-zerocopy" => spec.job.no_zerocopy = true,
+            "--detach" => spec.detach = true,
+            "--shutdown" => spec.shutdown = true,
+            "-h" | "--help" => return Err(fail(SUBMIT_USAGE)),
+            other => return Err(fail(format!("unknown flag '{other}'\n{SUBMIT_USAGE}"))),
+        }
+    }
+    if spec.socket.is_empty() {
+        return Err(fail(format!("--socket is required\n{SUBMIT_USAGE}")));
+    }
+    if !spec.shutdown {
+        for (flag, v) in [
+            ("--input-config", &spec.job.input_config),
+            ("--workflow", &spec.job.workflow),
+            ("--data", &spec.job.data),
+            ("--out", &spec.job.out_dir),
+        ] {
+            if v.is_empty() {
+                return Err(fail(format!("{flag} is required\n{SUBMIT_USAGE}")));
+            }
+        }
+    }
+    // Sorted for a deterministic wire encoding (the daemon re-sorts for
+    // hashing anyway; this keeps repeated submits byte-identical on the
+    // wire too).
+    let mut pairs: Vec<(String, String)> = args.into_iter().collect();
+    pairs.sort();
+    spec.job.args = pairs;
+    // The daemon resolves paths against *its* working directory;
+    // absolutize against ours so `papar submit` behaves like `papar run`
+    // regardless of where the daemon was started.
+    for p in [
+        &mut spec.job.input_config,
+        &mut spec.job.workflow,
+        &mut spec.job.data,
+        &mut spec.job.out_dir,
+    ] {
+        let path = std::path::Path::new(p.as_str());
+        if !p.is_empty() && path.is_relative() {
+            if let Ok(cwd) = std::env::current_dir() {
+                *p = cwd.join(path).display().to_string();
+            }
+        }
+    }
+    Ok(spec)
+}
+
+/// Execute a submit: admit the job and either detach or block for the
+/// result. Returns the lines to print.
+pub fn run_submit(spec: &SubmitSpec) -> Result<String, CliError> {
+    let endpoint = papar_serve::Endpoint::parse(&spec.socket);
+    let mut client = papar_serve::Client::connect(&endpoint).map_err(|e| fail(e.to_string()))?;
+    if spec.shutdown {
+        client.shutdown().map_err(|e| fail(e.to_string()))?;
+        return Ok("daemon is draining its queue and shutting down".to_string());
+    }
+    let (id, position) = client
+        .submit(spec.job.clone())
+        .map_err(|e| fail(e.to_string()))?;
+    if spec.detach {
+        return Ok(format!(
+            "job {id} queued at position {position}\n(`papar status {id} --socket {}` follows it)",
+            spec.socket
+        ));
+    }
+    let report = client.wait(id).map_err(|e| fail(e.to_string()))?;
+    render_job_report(&report)
+}
+
+/// Everything `papar status` needs.
+#[derive(Debug, Clone, Default)]
+pub struct StatusSpec {
+    /// The daemon's socket.
+    pub socket: String,
+    /// The job to report on; `None` pings the daemon and prints its
+    /// lifetime counters instead.
+    pub job: Option<u64>,
+}
+
+/// Parse `papar status` arguments into a [`StatusSpec`].
+pub fn parse_status_args<I: Iterator<Item = String>>(mut argv: I) -> Result<StatusSpec, CliError> {
+    let mut spec = StatusSpec::default();
+    let need = |flag: &str, it: &mut I| -> Result<String, CliError> {
+        it.next()
+            .ok_or_else(|| fail(format!("{flag} needs a value")))
+    };
+    while let Some(a) = argv.next() {
+        match a.as_str() {
+            "--socket" => spec.socket = need("--socket", &mut argv)?,
+            "-h" | "--help" => return Err(fail(STATUS_USAGE)),
+            other => {
+                let id: u64 = other.parse().map_err(|_| {
+                    fail(format!("expected a job id, got '{other}'\n{STATUS_USAGE}"))
+                })?;
+                if spec.job.is_some() {
+                    return Err(fail(format!("more than one job id given\n{STATUS_USAGE}")));
+                }
+                spec.job = Some(id);
+            }
+        }
+    }
+    if spec.socket.is_empty() {
+        return Err(fail(format!("--socket is required\n{STATUS_USAGE}")));
+    }
+    Ok(spec)
+}
+
+/// Execute a status query. Returns the lines to print.
+pub fn run_status(spec: &StatusSpec) -> Result<String, CliError> {
+    let endpoint = papar_serve::Endpoint::parse(&spec.socket);
+    let mut client = papar_serve::Client::connect(&endpoint).map_err(|e| fail(e.to_string()))?;
+    match spec.job {
+        Some(id) => {
+            let report = client.status(id).map_err(|e| fail(e.to_string()))?;
+            render_job_report(&report)
+        }
+        None => {
+            let stats = client.ping().map_err(|e| fail(e.to_string()))?;
+            Ok(format!(
+                "daemon alive on {}\n\
+                 jobs: {} done, {} failed\n\
+                 plans: {} resident, {} hit(s), {} miss(es)\n\
+                 data: {} hit(s), {} miss(es)",
+                spec.socket,
+                stats.jobs_done,
+                stats.jobs_failed,
+                stats.plans_cached,
+                stats.plan_hits,
+                stats.plan_misses,
+                stats.data_hits,
+                stats.data_misses,
+            ))
+        }
+    }
+}
+
+/// Render a job report the way the daemon's stats deserve: one state
+/// line, then the job's own detail (summary + profile table, or the
+/// failure). A `Failed` report comes back as `Err` so callers exit 1.
+fn render_job_report(report: &papar_serve::JobReport) -> Result<String, CliError> {
+    use papar_serve::JobStateKind;
+    match report.state {
+        JobStateKind::Queued { position } => {
+            Ok(format!("job {}: queued at position {position}", report.id))
+        }
+        JobStateKind::Running => Ok(format!("job {}: running", report.id)),
+        JobStateKind::Done => Ok(format!(
+            "job {}: done in {} ms\n{}",
+            report.id,
+            report.wall_ms,
+            report.detail.trim_end()
+        )),
+        JobStateKind::Failed => Err(fail(format!(
+            "job {} failed: {}",
+            report.id,
+            report.detail.trim_end()
+        ))),
+    }
+}
+
+/// Usage text for `papar serve`.
+pub const SERVE_USAGE: &str = "\
+usage: papar serve --socket <path|tcp:HOST:PORT>
+                   [--queue N] [--plan-cache N] [--data-cache N]
+
+Runs the resident partitioning daemon: compiled plans and decoded input
+files stay cached between requests (LRU, keyed by the plan fingerprint),
+and jobs execute one at a time on a resident cluster — output bytes are
+identical to one-shot `papar run`. Submit work with `papar submit`, follow
+it with `papar status`. SIGTERM/SIGINT (or `papar submit --shutdown`)
+drains the queue and exits cleanly.
+
+  --socket S       Unix socket path, or tcp:HOST:PORT (tcp:127.0.0.1:0
+                   picks a free port and prints it)
+  --queue N        admission limit on pending jobs; submits beyond it are
+                   refused with a typed queue-full error (default 32)
+  --plan-cache N   compiled plans kept resident (default 16)
+  --data-cache N   decoded input files kept resident (default 8)";
+
+/// Usage text for `papar submit`.
+pub const SUBMIT_USAGE: &str = "\
+usage: papar submit --socket <path|tcp:HOST:PORT>
+                    --input-config <xml> --workflow <xml> --data <file> --out <dir>
+                    [--nodes N] [--records N] [--arg key=value]...
+                    [--threads N] [--no-fuse] [--no-zerocopy] [--detach]
+       papar submit --socket <path|tcp:HOST:PORT> --shutdown
+
+Submits one partitioning job to a `papar serve` daemon. Without --detach,
+blocks until the job completes and prints the same summary `papar run`
+would (plus cache verdicts and the profile table); with --detach, prints
+the job id immediately. --shutdown asks the daemon to drain and exit.
+Paths are resolved against this command's working directory. Exit code 0
+on success, 1 when the job fails or the daemon refuses it, 2 on usage
+errors.";
+
+/// Usage text for `papar status`.
+pub const STATUS_USAGE: &str = "\
+usage: papar status [<job-id>] --socket <path|tcp:HOST:PORT>
+
+With a job id: prints the job's state — queue position while queued, or
+the completed job's summary, cache verdicts, and per-phase profile table.
+Without one: pings the daemon and prints its lifetime counters (jobs,
+plan/data cache hits). Exit code 0 on success, 1 when the job failed or
+the daemon is unreachable, 2 on usage errors.";
 
 #[cfg(test)]
 mod tests {

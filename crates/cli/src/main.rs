@@ -1,10 +1,14 @@
 //! `papar` binary: thin shell around [`papar_cli::run`],
-//! [`papar_cli::run_check`], and [`papar_cli::run_plan`].
+//! [`papar_cli::run_check`], [`papar_cli::run_plan`], and the daemon
+//! surface ([`papar_cli::run_serve`] / [`papar_cli::run_submit`] /
+//! [`papar_cli::run_status`]).
 //!
 //! `papar check ...` analyzes configurations without touching data;
 //! `papar plan ...` shows the physical plan a run would execute;
 //! `papar run ...` (or bare `papar ...`, kept for compatibility) executes
-//! the workflow, refusing to start when the same analysis finds errors.
+//! the workflow, refusing to start when the same analysis finds errors;
+//! `papar serve ...` keeps plans, datasets, and the cluster resident,
+//! with `papar submit ...` / `papar status ...` as its clients.
 
 fn main() {
     let mut argv = std::env::args().skip(1).peekable();
@@ -21,7 +25,67 @@ fn main() {
             argv.next();
             run_main(argv);
         }
+        Some("serve") => {
+            argv.next();
+            serve_main(argv);
+        }
+        Some("submit") => {
+            argv.next();
+            submit_main(argv);
+        }
+        Some("status") => {
+            argv.next();
+            status_main(argv);
+        }
         _ => run_main(argv),
+    }
+}
+
+fn serve_main(argv: impl Iterator<Item = String>) {
+    let spec = match papar_cli::parse_serve_args(argv) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = papar_cli::run_serve(&spec) {
+        eprintln!("papar: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn submit_main(argv: impl Iterator<Item = String>) {
+    let spec = match papar_cli::parse_submit_args(argv) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match papar_cli::run_submit(&spec) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("papar: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn status_main(argv: impl Iterator<Item = String>) {
+    let spec = match papar_cli::parse_status_args(argv) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
+    match papar_cli::run_status(&spec) {
+        Ok(output) => println!("{output}"),
+        Err(e) => {
+            eprintln!("papar: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -19,13 +19,15 @@ pub mod string;
 pub mod test_runner;
 
 pub mod prelude {
-    pub use crate::arbitrary::{any, Arbitrary};
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
-    pub use crate::test_runner::{ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
     /// `prop::collection::vec`, `prop::char::range`, ... — upstream
     /// proptest re-exports the crate root under this name.
     pub use crate as prop;
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Define property tests. Each function body runs once per generated

@@ -147,6 +147,65 @@ impl WorkflowReport {
     }
 }
 
+/// Canonical text of everything *plan-side* that decides a run's output
+/// bytes: the lowered physical plan (operators, fusion decisions, reducer
+/// counts), every job's full kind (keys, policies, partition counts,
+/// thresholds), the cluster size, and the byte-affecting execution
+/// options. Thread count and the zero-copy toggle are deliberately
+/// absent — output bytes are identical for every combination.
+///
+/// This is the prefix of the checkpoint resume fingerprint (which appends
+/// input content hashes and the caller's fault/seed salt); hashed alone it
+/// is the *plan fingerprint* a resident `papar serve` daemon keys its
+/// plan cache by, so "same fingerprint" means "same partitioning plan,
+/// whatever data arrives".
+pub fn plan_canon(
+    plan: &WorkflowPlan,
+    phys: &crate::physplan::PhysicalPlan,
+    nodes: usize,
+    options: &ExecOptions,
+) -> String {
+    use std::fmt::Write as _;
+    let mut canon = explain(plan, phys);
+    // `explain` names jobs and datasets but not operator parameters;
+    // the Debug form of each job's kind pins keys, policies, partition
+    // counts, and thresholds too. Custom-operator parameters live in a
+    // HashMap whose Debug order varies per process, so they are
+    // re-sorted before hashing.
+    for job in &plan.jobs {
+        match &job.kind {
+            JobKind::Custom { op_name, params } => {
+                let sorted: BTreeMap<&String, &String> = params.iter().collect();
+                let _ = writeln!(canon, "job '{}' kind=Custom {op_name} {sorted:?}", job.id);
+            }
+            kind => {
+                let _ = writeln!(canon, "job '{}' kind={kind:?}", job.id);
+            }
+        }
+    }
+    let _ = writeln!(canon, "nodes={nodes}");
+    let _ = writeln!(
+        canon,
+        "sampling={:?} compression={} stride={} reducers={:?} fuse={}",
+        options.sampling,
+        options.compression,
+        options.sample_stride,
+        options.default_reducers,
+        options.fuse
+    );
+    canon
+}
+
+/// FNV-1a hash of [`plan_canon`] — the plan-cache key for `papar serve`.
+pub fn plan_fingerprint(
+    plan: &WorkflowPlan,
+    phys: &crate::physplan::PhysicalPlan,
+    nodes: usize,
+    options: &ExecOptions,
+) -> u64 {
+    wire::checksum(plan_canon(plan, phys, nodes, options).as_bytes())
+}
+
 /// Runs a [`WorkflowPlan`] on a cluster.
 pub struct WorkflowRunner {
     plan: WorkflowPlan,
@@ -379,33 +438,7 @@ impl WorkflowRunner {
         extra: u64,
     ) -> u64 {
         use std::fmt::Write as _;
-        let mut canon = explain(&self.plan, phys);
-        // `explain` names jobs and datasets but not operator parameters;
-        // the Debug form of each job's kind pins keys, policies, partition
-        // counts, and thresholds too. Custom-operator parameters live in a
-        // HashMap whose Debug order varies per process, so they are
-        // re-sorted before hashing.
-        for job in &self.plan.jobs {
-            match &job.kind {
-                JobKind::Custom { op_name, params } => {
-                    let sorted: BTreeMap<&String, &String> = params.iter().collect();
-                    let _ = writeln!(canon, "job '{}' kind=Custom {op_name} {sorted:?}", job.id);
-                }
-                kind => {
-                    let _ = writeln!(canon, "job '{}' kind={kind:?}", job.id);
-                }
-            }
-        }
-        let _ = writeln!(canon, "nodes={}", cluster.num_nodes());
-        let _ = writeln!(
-            canon,
-            "sampling={:?} compression={} stride={} reducers={:?} fuse={}",
-            self.options.sampling,
-            self.options.compression,
-            self.options.sample_stride,
-            self.options.default_reducers,
-            self.options.fuse
-        );
+        let mut canon = plan_canon(&self.plan, phys, cluster.num_nodes(), &self.options);
         for (name, h) in self
             .input_hashes
             .lock()
@@ -928,7 +961,7 @@ impl WorkflowRunner {
                 stats.records_in += records_in;
                 stats.records_out += records_out;
                 for (out_name, ds) in outputs {
-                    cluster.put_fragment(node, &out_name, node as u32, ds);
+                    cluster.put_fragment(node, &out_name, node as u32, ds)?;
                 }
                 break (records_in, records_out);
             };
@@ -1294,7 +1327,7 @@ impl WorkflowRunner {
                 djob.output(),
                 p as u32,
                 Dataset::new(out_schema.clone(), batch),
-            );
+            )?;
         }
         Ok(())
     }

@@ -125,7 +125,10 @@ impl JobPlan {
 }
 
 /// An executable workflow: jobs in launch order plus the resolved
-/// environment.
+/// environment. `Clone` so a resident daemon can cache a bound plan and
+/// hand each request its own copy (the operator registry is shared via
+/// its `Arc`).
+#[derive(Clone)]
 pub struct WorkflowPlan {
     /// Workflow id.
     pub id: String,

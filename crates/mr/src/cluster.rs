@@ -81,8 +81,10 @@ impl Cluster {
     }
 
     /// Fallible constructor with an explicit network model; rejects
-    /// zero-node clusters instead of panicking, so callers validating
-    /// external input (e.g. a CLI `--nodes` flag) can report the error.
+    /// zero-node clusters and a malformed `PAPAR_THREADS` budget
+    /// ([`MrError::BadThreadBudget`]) instead of panicking, so callers
+    /// validating external input (e.g. a CLI `--nodes` flag or a daemon's
+    /// startup environment) can report the error.
     pub fn try_with_net(num_nodes: usize, net: NetModel) -> Result<Self> {
         if num_nodes == 0 {
             return Err(MrError::msg("a cluster needs at least one node"));
@@ -96,7 +98,7 @@ impl Cluster {
             jobs_run: 0,
             pending_recovery: RecoveryStats::default(),
             events: Vec::new(),
-            threads: default_threads(),
+            threads: default_threads()?,
             shuffle_hints: Vec::new(),
             zerocopy: true,
             tracer: Box::new(NoopSink),
@@ -253,6 +255,27 @@ impl Cluster {
         std::mem::take(&mut self.pending_recovery)
     }
 
+    /// Return the cluster to its post-construction state for the next
+    /// resident run: every node's fragments and replicas are dropped, the
+    /// job counter, recovery ledger, event log, shuffle hints and fault
+    /// plan are cleared, and the trace sink reverts to the disabled
+    /// [`NoopSink`]. The thread budget, network model, replication
+    /// factor, retry policy and zero-copy toggle are *kept* — they are
+    /// deployment configuration, not run state. This is what lets a
+    /// long-running `papar serve` daemon reuse one cluster across
+    /// requests instead of paying construction per job.
+    pub fn reset(&mut self) {
+        for node in &mut self.nodes {
+            node.wipe();
+        }
+        self.fault_plan = None;
+        self.jobs_run = 0;
+        self.pending_recovery = RecoveryStats::default();
+        self.events.clear();
+        self.shuffle_hints.clear();
+        self.tracer = Box::new(NoopSink);
+    }
+
     /// Number of simulated nodes.
     pub fn num_nodes(&self) -> usize {
         self.nodes.len()
@@ -289,7 +312,7 @@ impl Cluster {
                         name,
                         i as u32,
                         Dataset::new(schema.clone(), Batch::Flat(chunk)),
-                    );
+                    )?;
                 }
             }
             Batch::Packed(groups) => {
@@ -299,7 +322,7 @@ impl Cluster {
                         name,
                         i as u32,
                         Dataset::new(schema.clone(), Batch::Packed(chunk)),
-                    );
+                    )?;
                 }
             }
         }
@@ -309,21 +332,30 @@ impl Cluster {
     /// Place explicit fragments: `fragments[i]` goes to node `i % N` with
     /// ordinal `i` (how a previous job's reducer outputs are already laid
     /// out, or how pre-partitioned data is loaded).
-    pub fn scatter_fragments(&mut self, name: &str, fragments: Vec<Dataset>) {
+    pub fn scatter_fragments(&mut self, name: &str, fragments: Vec<Dataset>) -> Result<()> {
         let n = self.num_nodes();
         for (i, frag) in fragments.into_iter().enumerate() {
-            self.put_fragment(i % n, name, i as u32, frag);
+            self.put_fragment(i % n, name, i as u32, frag)?;
         }
+        Ok(())
     }
 
     /// Materialize a fragment on `node` and replicate it per the cluster's
     /// replication factor: copy `i` lands on node `(node + i) % N`, and each
     /// copy's wire size is charged as checkpoint traffic. This is how job
     /// outputs, scattered inputs and map-only job outputs enter a store.
-    pub fn put_fragment(&mut self, node: usize, name: &str, ordinal: u32, data: Dataset) {
+    /// Errors when the fragment cannot be wire-encoded (its replication
+    /// traffic would otherwise be unaccountable).
+    pub fn put_fragment(
+        &mut self,
+        node: usize,
+        name: &str,
+        ordinal: u32,
+        data: Dataset,
+    ) -> Result<()> {
         let arc = Arc::new(data);
         self.nodes[node].put_arc(name, ordinal, Arc::clone(&arc));
-        self.replicate_fragment(node, name, ordinal, &arc);
+        self.replicate_fragment(node, name, ordinal, &arc)
     }
 
     /// Materialize a fragment from a checkpoint on `--resume`: placed and
@@ -357,18 +389,19 @@ impl Cluster {
         name: &str,
         ordinal: u32,
         data: &Arc<Dataset>,
-    ) {
+    ) -> Result<()> {
         let n = self.num_nodes();
         if self.replication == 0 || n < 2 {
-            return;
+            return Ok(());
         }
-        let bytes = fragment_bytes(data);
+        let bytes = fragment_bytes(data)?;
         for i in 1..=self.replication.min(n - 1) {
             let target = (primary + i) % n;
             self.nodes[target].put_replica(name, ordinal, Arc::clone(data));
             self.pending_recovery.replication_bytes += bytes;
             self.pending_recovery.replication_messages += 1;
         }
+        Ok(())
     }
 
     /// Gather every fragment of a dataset across all nodes, in global
@@ -580,7 +613,7 @@ impl Cluster {
                     "fragment {ordinal} has no replica; run with a replication factor >= 1"
                 ),
             })?;
-            bytes += fragment_bytes(&arc);
+            bytes += fragment_bytes(&arc)?;
             fragments += 1;
         }
         for (name, ordinal) in self.nodes[node].replica_ids() {
@@ -591,7 +624,7 @@ impl Cluster {
                 .filter(|(j, _)| *j != node)
                 .find_map(|(_, other)| other.primary(&name, ordinal));
             if let Some(arc) = source {
-                bytes += fragment_bytes(&arc);
+                bytes += fragment_bytes(&arc)?;
                 fragments += 1;
             }
         }
@@ -647,7 +680,7 @@ impl Cluster {
                     "fragment {ordinal} has no replica; run with a replication factor >= 1"
                 ),
             })?;
-            let bytes = fragment_bytes(&arc);
+            let bytes = fragment_bytes(&arc)?;
             self.nodes[node].put_arc(&name, ordinal, arc);
             self.pending_recovery.restore_bytes += bytes;
             self.pending_recovery.restore_messages += 1;
@@ -666,7 +699,7 @@ impl Cluster {
                 .filter(|(j, _)| *j != node)
                 .find_map(|(_, other)| other.primary(&name, ordinal));
             if let Some(arc) = source {
-                let bytes = fragment_bytes(&arc);
+                let bytes = fragment_bytes(&arc)?;
                 self.nodes[node].put_replica(&name, ordinal, arc);
                 self.pending_recovery.restore_bytes += bytes;
                 self.pending_recovery.restore_messages += 1;
@@ -757,24 +790,46 @@ impl Cluster {
 }
 
 /// Wire size of a fragment — what replication and restore transfers cost.
-fn fragment_bytes(data: &Dataset) -> u64 {
-    wire::encoded_size(&data.batch, &data.schema).unwrap_or(0) as u64
+/// An unencodable fragment is an error, not zero bytes: `unwrap_or(0)`
+/// here used to under-report replication traffic in `JobStats` and the
+/// trace counters instead of failing.
+fn fragment_bytes(data: &Dataset) -> Result<u64> {
+    Ok(wire::encoded_size(&data.batch, &data.schema)? as u64)
 }
 
 /// The default engine thread budget: the `PAPAR_THREADS` environment
 /// variable when set to a positive integer (how CI pins both extremes of
-/// the determinism matrix), else the host's available parallelism.
-fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("PAPAR_THREADS") {
-        if let Ok(t) = v.trim().parse::<usize>() {
-            if t >= 1 {
-                return t;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+/// the determinism matrix), else the host's available parallelism. A set
+/// but malformed or zero value is a typed [`MrError::BadThreadBudget`] —
+/// silently falling back to host parallelism would mis-size a resident
+/// daemon's every request with no signal. The effective budget is printed
+/// to stderr once per process so the sizing is never a mystery.
+///
+/// This is the public face of the internal resolution, so a long-running
+/// daemon can validate `PAPAR_THREADS` once at startup (and report the
+/// typed [`MrError::BadThreadBudget`]) before accepting any request.
+pub fn default_thread_budget() -> Result<usize> {
+    default_threads()
+}
+
+fn default_threads() -> Result<usize> {
+    static ANNOUNCE: std::sync::Once = std::sync::Once::new();
+    let (threads, source) = match std::env::var("PAPAR_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t >= 1 => (t, "PAPAR_THREADS"),
+            _ => return Err(MrError::BadThreadBudget { value: v }),
+        },
+        Err(_) => (
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+            "host parallelism",
+        ),
+    };
+    ANNOUNCE.call_once(|| {
+        eprintln!("papar: engine thread budget: {threads} ({source})");
+    });
+    Ok(threads)
 }
 
 /// Per-receiver `(sender, buffer)` lists produced by [`Cluster::exchange`].
@@ -845,7 +900,7 @@ mod tests {
     fn scatter_fragments_round_robin() {
         let mut c = Cluster::new(2);
         let frags: Vec<Dataset> = (0..5).map(|i| flat(i..i + 1)).collect();
-        c.scatter_fragments("p", frags);
+        c.scatter_fragments("p", frags).unwrap();
         assert_eq!(c.node(0).get("p").unwrap().len(), 3); // ordinals 0, 2, 4
         assert_eq!(c.node(1).get("p").unwrap().len(), 2); // ordinals 1, 3
         let collected = c.collect("p").unwrap();

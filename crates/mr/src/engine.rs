@@ -824,7 +824,12 @@ impl Cluster {
                                 let (n, s) = &extra_outputs[slot - 1];
                                 (n.as_str(), s)
                             };
-                            self.put_fragment(node, name, rid, Dataset::new(schema.clone(), batch));
+                            self.put_fragment(
+                                node,
+                                name,
+                                rid,
+                                Dataset::new(schema.clone(), batch),
+                            )?;
                         }
                     }
                 }

@@ -54,7 +54,7 @@ pub mod store;
 mod timer;
 
 pub use checkpoint::{CheckpointSession, StageRecord};
-pub use cluster::Cluster;
+pub use cluster::{default_thread_budget, Cluster};
 pub use engine::{Entry, MapInput, MapReduceJob, Mapper, Partitioner, Reducer, TaskCtx};
 pub use fault::{ChaosSpec, Fault, FaultPlan, RecoveryAction, RetryPolicy};
 pub use sampler::RangePartitioner;
@@ -158,6 +158,15 @@ pub enum MrError {
         /// Fingerprint stored in the checkpoint manifest.
         found: u64,
     },
+    /// The `PAPAR_THREADS` environment variable is set but is not a
+    /// positive integer. Before this variant the value was silently
+    /// ignored in favor of the host's parallelism — tolerable for one
+    /// `papar run`, but a resident daemon would mis-size every request
+    /// forever with no signal — so the budget is rejected at startup.
+    BadThreadBudget {
+        /// The offending `PAPAR_THREADS` value, verbatim.
+        value: String,
+    },
 }
 
 impl MrError {
@@ -223,6 +232,11 @@ impl std::fmt::Display for MrError {
                 "checkpoint fingerprint {found:#018x} does not match this run's \
                  fingerprint {expected:#018x} (plan, input, seed or config changed); \
                  refusing to resume"
+            ),
+            MrError::BadThreadBudget { value } => write!(
+                f,
+                "PAPAR_THREADS wants a positive integer, got '{value}'; \
+                 unset it to use the host's parallelism"
             ),
         }
     }

@@ -132,7 +132,7 @@ impl CustomOperator for RecalcOperator {
             for (ordinal, ds) in outputs {
                 // Replicated like every materialized fragment, so node
                 // crashes after this job stay recoverable.
-                cluster.put_fragment(node, &ctx.output, ordinal, ds);
+                cluster.put_fragment(node, &ctx.output, ordinal, ds)?;
             }
             stats.map_time_by_node[node] = t0.elapsed();
         }

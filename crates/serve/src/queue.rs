@@ -1,0 +1,354 @@
+//! The daemon's bounded FIFO job queue.
+//!
+//! Connection handler threads *admit* jobs; one worker thread *drains*
+//! them in submission order onto the resident cluster, so two jobs
+//! never contend for the engine. Admission control is strict: at
+//! capacity, `submit` answers a typed [`ServeError::QueueFull`]
+//! immediately — the daemon never blocks a client on a full queue and
+//! never silently drops a request. Completed jobs stay in the table so
+//! `papar status` keeps working after the fact; only *pending* entries
+//! count against capacity.
+
+use crate::protocol::{CacheOutcome, JobReport, JobSpec, JobStateKind};
+use crate::ServeError;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// What a finished job leaves behind for `status`/`wait`.
+#[derive(Debug, Clone, Default)]
+pub struct JobOutcome {
+    /// Rendered summary + profile table (or nothing on failure).
+    pub detail: String,
+    /// Plan fingerprint the plan cache keyed this job by.
+    pub plan_fingerprint: u64,
+    /// Whether the compiled plan was served from cache.
+    pub plan_cache_hit: bool,
+    /// Whether the decoded input was served from cache.
+    pub data_cache_hit: bool,
+    /// Wall-clock milliseconds spent executing.
+    pub wall_ms: u64,
+    /// Simulated partitioning time in nanoseconds.
+    pub sim_ns: u64,
+}
+
+#[derive(Debug)]
+enum JobStatus {
+    Queued,
+    Running,
+    Done(JobOutcome),
+    Failed(String),
+}
+
+#[derive(Debug)]
+struct JobEntry {
+    spec: JobSpec,
+    status: JobStatus,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    /// Ids waiting to run, oldest first.
+    pending: VecDeque<u64>,
+    /// Every job ever admitted, by id (completed ones included).
+    jobs: HashMap<u64, JobEntry>,
+    next_id: u64,
+    /// Closed queues admit nothing; the worker drains what remains.
+    closed: bool,
+}
+
+/// The shared queue. All methods are safe to call from any thread.
+#[derive(Debug)]
+pub struct JobQueue {
+    inner: Mutex<Inner>,
+    /// Signaled on every admit, completion, and close.
+    changed: Condvar,
+    capacity: usize,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` pending jobs.
+    pub fn new(capacity: usize) -> JobQueue {
+        JobQueue {
+            inner: Mutex::new(Inner {
+                next_id: 1,
+                ..Inner::default()
+            }),
+            changed: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The admission limit on pending (queued + running) jobs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admit a job. Returns its id and queue position, or the typed
+    /// admission failure.
+    pub fn submit(&self, spec: JobSpec) -> Result<(u64, u32), ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        let running = inner
+            .jobs
+            .values()
+            .filter(|j| matches!(j.status, JobStatus::Running))
+            .count();
+        if inner.pending.len() + running >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let position = inner.pending.len() as u32;
+        inner.pending.push_back(id);
+        inner.jobs.insert(
+            id,
+            JobEntry {
+                spec,
+                status: JobStatus::Queued,
+            },
+        );
+        self.changed.notify_all();
+        Ok((id, position))
+    }
+
+    /// Worker side: take the oldest queued job and mark it running.
+    /// Blocks up to `timeout` when the queue is empty; `None` means
+    /// nothing arrived (poll your shutdown flag and call again).
+    pub fn next_job(&self, timeout: Duration) -> Option<(u64, JobSpec)> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.pending.is_empty() && !inner.closed {
+            let (guard, _) = self.changed.wait_timeout(inner, timeout).unwrap();
+            inner = guard;
+        }
+        let id = inner.pending.pop_front()?;
+        let entry = inner.jobs.get_mut(&id).expect("pending id has an entry");
+        entry.status = JobStatus::Running;
+        let spec = entry.spec.clone();
+        self.changed.notify_all();
+        Some((id, spec))
+    }
+
+    /// Worker side: record a job's terminal state and wake waiters.
+    pub fn complete(&self, id: u64, result: Result<JobOutcome, String>) {
+        let mut inner = self.inner.lock().unwrap();
+        if let Some(entry) = inner.jobs.get_mut(&id) {
+            entry.status = match result {
+                Ok(outcome) => JobStatus::Done(outcome),
+                Err(msg) => JobStatus::Failed(msg),
+            };
+        }
+        self.changed.notify_all();
+    }
+
+    /// Stop admitting; already-queued jobs still drain. Wakes every
+    /// waiter so blocked `wait`s and the worker notice.
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.closed = true;
+        self.changed.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
+
+    /// Whether any job is still queued or running (a closing daemon
+    /// exits only once this is false).
+    pub fn has_pending(&self) -> bool {
+        let inner = self.inner.lock().unwrap();
+        !inner.pending.is_empty()
+            || inner
+                .jobs
+                .values()
+                .any(|j| matches!(j.status, JobStatus::Running))
+    }
+
+    /// One-shot state snapshot for `papar status`.
+    pub fn report(&self, id: u64) -> Result<JobReport, ServeError> {
+        let inner = self.inner.lock().unwrap();
+        Self::report_locked(&inner, id)
+    }
+
+    /// Block until the job reaches `Done`/`Failed`, then report it.
+    /// Unblocks with the current (non-terminal) state if the queue
+    /// closes while the job is still pending and it will never run.
+    pub fn wait(&self, id: u64) -> Result<JobReport, ServeError> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            let report = Self::report_locked(&inner, id)?;
+            match report.state {
+                JobStateKind::Done | JobStateKind::Failed => return Ok(report),
+                _ => {}
+            }
+            inner = self.changed.wait(inner).unwrap();
+        }
+    }
+
+    fn report_locked(inner: &Inner, id: u64) -> Result<JobReport, ServeError> {
+        let entry = inner.jobs.get(&id).ok_or(ServeError::UnknownJob { id })?;
+        let mut report = JobReport {
+            id,
+            state: JobStateKind::Running,
+            detail: String::new(),
+            plan_fingerprint: 0,
+            plan_cache: CacheOutcome::Pending,
+            data_cache: CacheOutcome::Pending,
+            wall_ms: 0,
+            sim_ns: 0,
+        };
+        match &entry.status {
+            JobStatus::Queued => {
+                let position = inner.pending.iter().position(|&p| p == id).unwrap_or(0) as u32;
+                report.state = JobStateKind::Queued { position };
+            }
+            JobStatus::Running => {}
+            JobStatus::Done(outcome) => {
+                report.state = JobStateKind::Done;
+                report.detail = outcome.detail.clone();
+                report.plan_fingerprint = outcome.plan_fingerprint;
+                report.plan_cache = if outcome.plan_cache_hit {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                };
+                report.data_cache = if outcome.data_cache_hit {
+                    CacheOutcome::Hit
+                } else {
+                    CacheOutcome::Miss
+                };
+                report.wall_ms = outcome.wall_ms;
+                report.sim_ns = outcome.sim_ns;
+            }
+            JobStatus::Failed(msg) => {
+                report.state = JobStateKind::Failed;
+                report.detail = msg.clone();
+            }
+        }
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(tag: &str) -> JobSpec {
+        JobSpec {
+            workflow: tag.to_string(),
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_positions() {
+        let q = JobQueue::new(4);
+        let (a, pa) = q.submit(spec("a")).unwrap();
+        let (b, pb) = q.submit(spec("b")).unwrap();
+        assert_eq!((pa, pb), (0, 1));
+        assert!(matches!(
+            q.report(b).unwrap().state,
+            JobStateKind::Queued { position: 1 }
+        ));
+        let (first, s) = q.next_job(Duration::ZERO).unwrap();
+        assert_eq!((first, s.workflow.as_str()), (a, "a"));
+        // b moves up once a leaves the queue.
+        assert!(matches!(
+            q.report(b).unwrap().state,
+            JobStateKind::Queued { position: 0 }
+        ));
+        assert!(matches!(q.report(a).unwrap().state, JobStateKind::Running));
+    }
+
+    #[test]
+    fn admission_control_is_typed_and_counts_running_jobs() {
+        let q = JobQueue::new(2);
+        q.submit(spec("a")).unwrap();
+        q.submit(spec("b")).unwrap();
+        assert_eq!(
+            q.submit(spec("c")),
+            Err(ServeError::QueueFull { capacity: 2 })
+        );
+        // Starting a job keeps it counted: still full.
+        q.next_job(Duration::ZERO).unwrap();
+        assert_eq!(
+            q.submit(spec("c")),
+            Err(ServeError::QueueFull { capacity: 2 })
+        );
+        // Completion frees the slot.
+        q.complete(1, Ok(JobOutcome::default()));
+        q.submit(spec("c")).unwrap();
+    }
+
+    #[test]
+    fn completed_jobs_remain_queryable() {
+        let q = JobQueue::new(2);
+        let (id, _) = q.submit(spec("a")).unwrap();
+        q.next_job(Duration::ZERO).unwrap();
+        q.complete(
+            id,
+            Ok(JobOutcome {
+                detail: "42 partitions".into(),
+                plan_fingerprint: 7,
+                plan_cache_hit: true,
+                ..JobOutcome::default()
+            }),
+        );
+        let report = q.report(id).unwrap();
+        assert_eq!(report.state, JobStateKind::Done);
+        assert_eq!(report.detail, "42 partitions");
+        assert_eq!(report.plan_cache, CacheOutcome::Hit);
+        assert_eq!(q.report(99), Err(ServeError::UnknownJob { id: 99 }));
+    }
+
+    #[test]
+    fn failures_carry_their_message() {
+        let q = JobQueue::new(2);
+        let (id, _) = q.submit(spec("a")).unwrap();
+        q.next_job(Duration::ZERO).unwrap();
+        q.complete(id, Err("static analysis refused".into()));
+        let report = q.report(id).unwrap();
+        assert_eq!(report.state, JobStateKind::Failed);
+        assert!(report.detail.contains("refused"));
+    }
+
+    #[test]
+    fn closed_queue_refuses_new_work_but_drains_old() {
+        let q = JobQueue::new(4);
+        let (id, _) = q.submit(spec("a")).unwrap();
+        q.close();
+        assert_eq!(q.submit(spec("b")), Err(ServeError::ShuttingDown));
+        assert!(q.has_pending());
+        let (got, _) = q.next_job(Duration::ZERO).unwrap();
+        assert_eq!(got, id);
+        q.complete(id, Ok(JobOutcome::default()));
+        assert!(!q.has_pending());
+    }
+
+    #[test]
+    fn wait_blocks_until_terminal() {
+        let q = std::sync::Arc::new(JobQueue::new(2));
+        let (id, _) = q.submit(spec("a")).unwrap();
+        let waiter = {
+            let q = q.clone();
+            std::thread::spawn(move || q.wait(id).unwrap())
+        };
+        let (got, _) = q.next_job(Duration::from_secs(1)).unwrap();
+        assert_eq!(got, id);
+        q.complete(
+            id,
+            Ok(JobOutcome {
+                sim_ns: 123,
+                ..JobOutcome::default()
+            }),
+        );
+        let report = waiter.join().unwrap();
+        assert_eq!(report.state, JobStateKind::Done);
+        assert_eq!(report.sim_ns, 123);
+    }
+}

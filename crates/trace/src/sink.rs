@@ -160,6 +160,13 @@ pub trait TraceSink: Send + Sync {
     fn finish(&mut self) -> Option<WorkflowTrace> {
         None
     }
+
+    /// Discard anything recorded so far without producing a trace — the
+    /// per-request handoff for resident engines (`papar serve`): a sink
+    /// that stays installed across requests is reset at each request
+    /// boundary so one request's spans can never bleed into the next
+    /// report. No-op for sinks that do not collect.
+    fn reset(&mut self) {}
 }
 
 /// The default sink: disabled, records nothing, costs nothing.
@@ -225,6 +232,11 @@ impl TraceSink for Collector {
         }
         Some(WorkflowTrace { jobs })
     }
+
+    fn reset(&mut self) {
+        self.jobs.clear();
+        self.pending_sample = None;
+    }
 }
 
 #[cfg(test)]
@@ -243,6 +255,28 @@ mod tests {
         });
         s.annotate_last_job(vec!["a".into()]);
         assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn collector_reset_discards_partial_request_state() {
+        let mut c = Collector::new();
+        c.record_sample(PhaseTrace::solo(
+            PhaseKind::Sample,
+            Duration::from_millis(1),
+            1_000_000,
+            Counters::default(),
+        ));
+        c.record_job(JobTrace {
+            name: "req1".into(),
+            phases: Vec::new(),
+            skew: None,
+            covers: Vec::new(),
+        });
+        // Request boundary: the previous request's spans must not bleed
+        // into the next report.
+        c.reset();
+        let trace = c.finish().expect("collector always yields a trace");
+        assert!(trace.jobs.is_empty(), "{:?}", trace.jobs);
     }
 
     #[test]
