@@ -12,6 +12,7 @@
 //! to `EXPERIMENTS.md` in markdown.
 
 pub mod ablation;
+pub mod adaptive;
 pub mod chaos;
 pub mod checkpoint;
 pub mod datasets;

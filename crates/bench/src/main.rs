@@ -9,8 +9,8 @@
 use papar_bench::datasets::Scale;
 use papar_bench::report::Table;
 use papar_bench::{
-    ablation, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, hotpath, parallel, serve,
-    table2,
+    ablation, adaptive, chaos, checkpoint, fig12, fig13, fig14, fig15, fusion, hotpath, parallel,
+    serve, table2,
 };
 use std::io::Write;
 
@@ -25,6 +25,7 @@ const EXPERIMENTS: &[&str] = &[
     "ablation-compress",
     "ablation-sampling",
     "ablation-sort",
+    "adaptive",
     "chaos",
     "checkpoint",
     "fusion",
@@ -54,6 +55,7 @@ fn run_experiment(name: &str, scale: &Scale) -> Table {
         "ablation-compress" => ablation::compression(scale),
         "ablation-sampling" => ablation::sampling(scale),
         "ablation-sort" => ablation::sort_comparison(scale),
+        "adaptive" => adaptive::run(scale),
         "chaos" => chaos::run(scale),
         "checkpoint" => checkpoint::run(scale),
         "fusion" => fusion::run(scale),

@@ -83,6 +83,7 @@ fn spec(dir: &Path) -> JobSpec {
         threads: Some(1),
         no_fuse: false,
         no_zerocopy: false,
+        adaptive: false,
     }
 }
 

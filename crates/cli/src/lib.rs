@@ -81,6 +81,12 @@ pub struct RunSpec {
     pub checkpoint: Option<PathBuf>,
     /// Resume from [`RunSpec::checkpoint`]'s manifest (`--resume`).
     pub resume: bool,
+    /// Run the cost-based adaptive planner (`--adaptive`): a sampling
+    /// pre-pass over the input feeds a candidate enumeration whose
+    /// winner overrides the literal reducer/stride/boundary/fusion
+    /// knobs. Output bytes are identical either way (only output-neutral
+    /// knobs are tunable); `--no-adaptive` names the default explicitly.
+    pub adaptive: bool,
 }
 
 impl Default for RunSpec {
@@ -106,6 +112,7 @@ impl Default for RunSpec {
             trace_out: None,
             checkpoint: None,
             resume: false,
+            adaptive: false,
         }
     }
 }
@@ -140,6 +147,11 @@ pub struct RunSummary {
     /// Corrupt or torn checkpoint data found while resuming, already
     /// quarantined and recomputed.
     pub checkpoint_events: Vec<String>,
+    /// Rendered adaptive-planner rationale (present with `--adaptive`).
+    pub rationale: Option<String>,
+    /// Rendered engine notes: collapsed reducer counts, post-run
+    /// re-balance hints.
+    pub notes: Vec<String>,
 }
 
 /// CLI error: a message for the user (exit code 1).
@@ -242,15 +254,6 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             papar_check::render_text(&divergences)
         )));
     }
-    // The physical plan the runner will execute must pass the same gate.
-    let phys = papar_core::physplan::lower(&plan, spec.nodes, None, !spec.no_fuse);
-    let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes, None);
-    if !divergences.is_empty() {
-        return Err(fail(format!(
-            "physical-plan verification failed:\n{}",
-            papar_check::render_text(&divergences)
-        )));
-    }
     if plan.external_inputs.len() != 1 {
         return Err(fail(format!(
             "the workflow expects {} external inputs; the CLI provides exactly one (--data)",
@@ -259,16 +262,53 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
     }
     let input_name = plan.external_inputs[0].0.clone();
     let num_jobs = plan.jobs.len();
-    let mut runner = WorkflowRunner::with_options(
-        plan,
-        ExecOptions {
-            threads: spec.threads,
-            trace: spec.profile || spec.trace_out.is_some(),
-            fuse: !spec.no_fuse,
-            zerocopy: !spec.no_zerocopy,
-            ..ExecOptions::default()
-        },
-    );
+
+    let exec_options = ExecOptions {
+        threads: spec.threads,
+        trace: spec.profile || spec.trace_out.is_some(),
+        fuse: !spec.no_fuse,
+        zerocopy: !spec.no_zerocopy,
+        adaptive: spec.adaptive,
+        ..ExecOptions::default()
+    };
+    // Adaptive planning: sample the loaded input, enumerate and cost
+    // candidate knob settings, and hand the winning decision to the
+    // runner (the literal configured knobs become overridable defaults).
+    let input_batch = Batch::Flat(records);
+    let decision = if spec.adaptive {
+        let stats = papar_core::stats::collect_for_plan(
+            &plan,
+            |name| (name == input_name).then_some(&input_batch),
+            exec_options.sample_stride,
+        )
+        .map_err(|e| fail(e.to_string()))?;
+        Some(papar_core::adaptive::choose(
+            &plan,
+            spec.nodes,
+            &exec_options,
+            stats.as_ref(),
+        ))
+    } else {
+        None
+    };
+
+    // The physical plan the runner will execute must pass the same gate.
+    let toggles = decision
+        .as_ref()
+        .map(|d| d.knobs().fuse)
+        .unwrap_or_else(|| papar_core::physplan::FuseToggles::from_flag(!spec.no_fuse));
+    let phys = papar_core::physplan::lower_with(&plan, spec.nodes, None, toggles);
+    let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes, None);
+    if !divergences.is_empty() {
+        return Err(fail(format!(
+            "physical-plan verification failed:\n{}",
+            papar_check::render_text(&divergences)
+        )));
+    }
+    let mut runner = WorkflowRunner::with_options(plan, exec_options);
+    if let Some(d) = decision.clone() {
+        runner = runner.with_decision(d);
+    }
     if let Some(dir) = &spec.checkpoint {
         // Salt the resume fingerprint with everything byte-affecting the
         // runner cannot see: the fault schedule and the recovery knobs.
@@ -297,7 +337,7 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         .scatter_input(
             &mut cluster,
             &input_name,
-            Dataset::new(schema.clone(), Batch::Flat(records)),
+            Dataset::new(schema.clone(), input_batch),
         )
         .map_err(|e| fail(e.to_string()))?;
     let report = runner.run(&mut cluster).map_err(|e| match e {
@@ -322,11 +362,15 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
             // over the exact input count and line its intervals up with
             // the traced counters (debug builds additionally assert
             // containment after every stage).
-            let phys = papar_core::physplan::lower(runner.plan(), spec.nodes, None, !spec.no_fuse);
+            let phys = papar_core::physplan::lower_with(runner.plan(), spec.nodes, None, toggles);
             let mut opts = papar_core::bounds::BoundsOptions {
                 num_nodes: spec.nodes,
                 default_reducers: None,
                 sources: Default::default(),
+                reducer_overrides: decision
+                    .as_ref()
+                    .map(|d| d.knobs().sort_reducers.clone())
+                    .unwrap_or_default(),
             };
             for (name, _) in &runner.plan().external_inputs {
                 opts.sources.insert(
@@ -347,6 +391,19 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
                 })
                 .collect();
             rendered.push_str(&papar_trace::render_bounds_check(trace, &static_bounds));
+            // Predicted-vs-observed row of the adaptive cost model.
+            if let Some(r) = &report.rationale {
+                rendered.push('\n');
+                rendered.push_str(&papar_trace::render_prediction_check(
+                    trace,
+                    &r.stats_job,
+                    &papar_trace::Prediction {
+                        cost_ns: r.predicted.cost_ns,
+                        max_load: r.predicted.max_load,
+                        shuffle_bytes: r.predicted.shuffle_bytes,
+                    },
+                ));
+            }
             profile = Some(rendered);
         }
         if let Some(path) = &spec.trace_out {
@@ -408,6 +465,8 @@ pub fn run(spec: &RunSpec) -> Result<RunSummary, CliError> {
         trace_file,
         stages_resumed: report.stages_resumed,
         checkpoint_events: report.checkpoint_events.clone(),
+        rationale: report.rationale.as_ref().map(|r| r.render()),
+        notes: report.notes.iter().map(|n| n.to_string()).collect(),
     })
 }
 
@@ -532,6 +591,7 @@ pub fn run_check(spec: &CheckSpec) -> Result<CheckReport, CliError> {
                             records: spec.records.map(|n| n as u64),
                             distinct_keys: spec.distinct_keys,
                             skew_ratio: spec.skew_ratio.unwrap_or(4.0),
+                            reducer_overrides: Default::default(),
                         },
                     );
                     analysis.diagnostics.extend(report.diagnostics);
@@ -694,6 +754,13 @@ pub struct PlanSpec {
     /// Exact record count of every external input (`--records`); makes
     /// the `--explain` bound columns exact instead of `[0, ?]`.
     pub records: Option<u64>,
+    /// Run the adaptive planner and print its rationale (`--adaptive`).
+    /// With [`PlanSpec::data`] set, the real sampling pre-pass feeds it;
+    /// without data it degenerates to weighing fusion toggles.
+    pub adaptive: bool,
+    /// Input data file to sample for `--adaptive` (`--data`); read with
+    /// the first `--input-config`, never partitioned.
+    pub data: Option<PathBuf>,
 }
 
 impl Default for PlanSpec {
@@ -706,6 +773,8 @@ impl Default for PlanSpec {
             no_fuse: false,
             explain: false,
             records: None,
+            adaptive: false,
+            data: None,
         }
     }
 }
@@ -751,10 +820,49 @@ pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
         }
     }
 
-    let plan = Planner::new(workflow.clone(), input_cfgs)
+    let plan = Planner::new(workflow.clone(), input_cfgs.clone())
         .bind(&args)
         .map_err(|e| fail(e.to_string()))?;
-    let phys = papar_core::physplan::lower(&plan, spec.nodes, None, !spec.no_fuse);
+
+    // Adaptive planning: sample the data file (when given) and run the
+    // enumerate → cost → choose loop; the rationale prints after the
+    // plan and the bound table reflects the chosen reducer counts.
+    let decision = if spec.adaptive {
+        let exec_options = ExecOptions {
+            fuse: !spec.no_fuse,
+            adaptive: true,
+            ..ExecOptions::default()
+        };
+        let stats = match (&spec.data, input_cfgs.first()) {
+            (Some(data), Some(cfg)) => {
+                let schema = Arc::new(Schema::from_input_config(cfg));
+                let records = read_data_file(cfg, &schema, data, None)?;
+                let batch = Batch::Flat(records);
+                papar_core::stats::collect_for_plan(
+                    &plan,
+                    |name| (plan.external_inputs.iter().any(|(n, _)| n == name))
+                        .then_some(&batch),
+                    exec_options.sample_stride,
+                )
+                .map_err(|e| fail(e.to_string()))?
+            }
+            _ => None,
+        };
+        Some(papar_core::adaptive::choose(
+            &plan,
+            spec.nodes,
+            &exec_options,
+            stats.as_ref(),
+        ))
+    } else {
+        None
+    };
+
+    let toggles = decision
+        .as_ref()
+        .map(|d| d.knobs().fuse)
+        .unwrap_or_else(|| papar_core::physplan::FuseToggles::from_flag(!spec.no_fuse));
+    let phys = papar_core::physplan::lower_with(&plan, spec.nodes, None, toggles);
     let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes, None);
     if !divergences.is_empty() {
         return Err(fail(format!(
@@ -762,7 +870,7 @@ pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
             papar_check::render_text(&divergences)
         )));
     }
-    let output = if spec.explain {
+    let mut output = if spec.explain {
         // The explain text itself is fingerprint-stable (checkpoint resume
         // hashes it); the bound table rides along after it.
         let mut out = papar_core::physplan::explain(&plan, &phys);
@@ -774,6 +882,10 @@ pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
                 num_nodes: spec.nodes,
                 default_reducers: None,
                 records: spec.records,
+                reducer_overrides: decision
+                    .as_ref()
+                    .map(|d| d.knobs().sort_reducers.clone())
+                    .unwrap_or_default(),
                 ..Default::default()
             },
         );
@@ -790,6 +902,10 @@ pub fn run_plan(spec: &PlanSpec) -> Result<PlanReport, CliError> {
             if phys.fused { "fused" } else { "--no-fuse" },
         )
     };
+    if let Some(d) = &decision {
+        output.push('\n');
+        output.push_str(&d.rationale.render());
+    }
     Ok(PlanReport {
         output,
         logical_jobs: plan.jobs.len(),
@@ -823,6 +939,9 @@ pub fn parse_plan_args<I: Iterator<Item = String>>(mut argv: I) -> Result<PlanSp
             "--arg" => insert_arg(&mut spec.args, &need("--arg", &mut argv)?)?,
             "--no-fuse" => spec.no_fuse = true,
             "--explain" => spec.explain = true,
+            "--adaptive" => spec.adaptive = true,
+            "--no-adaptive" => spec.adaptive = false,
+            "--data" => spec.data = Some(need("--data", &mut argv)?.into()),
             "--records" => {
                 let v = need("--records", &mut argv)?;
                 spec.records = Some(v.parse().map_err(|_| {
@@ -843,16 +962,20 @@ pub fn parse_plan_args<I: Iterator<Item = String>>(mut argv: I) -> Result<PlanSp
 pub const PLAN_USAGE: &str = "\
 usage: papar plan --workflow <xml> [--input-config <xml>]...
                   [--nodes N] [--arg key=value]... [--no-fuse] [--explain]
-                  [--records N]
+                  [--records N] [--adaptive [--data <file>]]
 
 Binds the workflow and lowers it to the physical plan `papar run` would
 execute, without reading any data. `--explain` prints every logical job and
 every physical stage with its fusion and streaming annotations, followed by
 the static bound table (record/pair/max-load intervals per stage; `--records
 N` makes source counts exact). `--no-fuse` shows the unfused plan.
-Conventional path arguments (input_path, input_file, output_path) default to
-placeholders. Exit code 0 on success, 1 when binding or physical-plan
-verification fails, 2 on usage errors.";
+`--adaptive` runs the cost-based planner and prints its rationale — every
+candidate considered, every rejection and its reason, and the winner's
+predicted cost; give `--data <file>` to feed it the real sampling pre-pass
+(otherwise it only weighs fusion toggles). Conventional path arguments
+(input_path, input_file, output_path) default to placeholders. Exit code 0 on
+success, 1 when binding or physical-plan verification fails, 2 on usage
+errors.";
 
 /// Parse command-line arguments into a [`RunSpec`].
 pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, CliError> {
@@ -927,6 +1050,8 @@ pub fn parse_args<I: Iterator<Item = String>>(mut argv: I) -> Result<RunSpec, Cl
             }
             "--no-fuse" => spec.no_fuse = true,
             "--no-zerocopy" => spec.no_zerocopy = true,
+            "--adaptive" => spec.adaptive = true,
+            "--no-adaptive" => spec.adaptive = false,
             "--profile" => spec.profile = true,
             "--trace" => spec.trace_out = Some(need("--trace", &mut argv)?.into()),
             "--checkpoint" => {
@@ -968,8 +1093,8 @@ pub const USAGE: &str = "\
 usage: papar [run] --input-config <xml> --workflow <xml> --data <file> --out <dir>
              [--nodes N] [--records N] [--arg key=value]...
              [--faults SPEC] [--fault-seed N] [--replication N] [--max-retries N]
-             [--threads N] [--no-fuse] [--no-zerocopy] [--profile] [--trace <file>]
-             [--checkpoint <dir> | --resume <dir>]
+             [--threads N] [--no-fuse] [--no-zerocopy] [--adaptive] [--profile]
+             [--trace <file>] [--checkpoint <dir> | --resume <dir>]
        papar check --workflow <xml> [options]   (see `papar check --help`)
        papar plan --workflow <xml> [options]    (see `papar plan --help`)
 
@@ -995,6 +1120,14 @@ Performance:
                      borrowed views with packed key prefixes; output bytes are
                      identical, only staged bytes and allocations change
                      (compare with --profile's staged/allocs columns)
+  --adaptive         run the cost-based adaptive planner: a sampling pre-pass
+                     summarizes the input's key distribution, candidate plans
+                     (reducer counts, sampling stride, range-vs-cyclic
+                     boundaries, per-rewrite fusion) are priced with the cost
+                     model under static bounds, and the cheapest admissible one
+                     runs; the rationale is printed and output bytes stay
+                     identical (only output-neutral knobs are tuned)
+  --no-adaptive      keep the configured literal knobs (the default, named)
 
 Observability:
   --profile          print a per-phase virtual-time breakdown (paper Fig. 13 style)
@@ -1161,6 +1294,8 @@ pub fn parse_submit_args<I: Iterator<Item = String>>(mut argv: I) -> Result<Subm
             }
             "--no-fuse" => spec.job.no_fuse = true,
             "--no-zerocopy" => spec.job.no_zerocopy = true,
+            "--adaptive" => spec.job.adaptive = true,
+            "--no-adaptive" => spec.job.adaptive = false,
             "--detach" => spec.detach = true,
             "--shutdown" => spec.shutdown = true,
             "-h" | "--help" => return Err(fail(SUBMIT_USAGE)),
@@ -1344,7 +1479,8 @@ pub const SUBMIT_USAGE: &str = "\
 usage: papar submit --socket <path|tcp:HOST:PORT>
                     --input-config <xml> --workflow <xml> --data <file> --out <dir>
                     [--nodes N] [--records N] [--arg key=value]...
-                    [--threads N] [--no-fuse] [--no-zerocopy] [--detach]
+                    [--threads N] [--no-fuse] [--no-zerocopy] [--adaptive]
+                    [--detach]
        papar submit --socket <path|tcp:HOST:PORT> --shutdown
 
 Submits one partitioning job to a `papar serve` daemon. Without --detach,

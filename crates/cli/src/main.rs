@@ -143,6 +143,12 @@ fn run_main(argv: impl Iterator<Item = String>) {
                 eprintln!("papar: {ev}");
             }
             println!("read {} records", summary.records_in);
+            if let Some(rationale) = &summary.rationale {
+                print!("{rationale}");
+            }
+            for note in &summary.notes {
+                println!("papar: {note}");
+            }
             if summary.stages_resumed > 0 {
                 println!(
                     "resumed from checkpoint: {} stage(s) restored, not re-executed",

@@ -184,6 +184,11 @@ pub struct BoundsOptions {
     pub default_reducers: Option<usize>,
     /// Per-dataset source bounds; datasets without an entry start at ⊤.
     pub sources: BTreeMap<String, SourceBounds>,
+    /// Per-job reducer overrides, keyed by job id — the adaptive
+    /// planner's chosen counts, which take precedence over both the
+    /// configuration literal and the default (mirroring the executor's
+    /// resolution under a `PlanDecision`).
+    pub reducer_overrides: BTreeMap<String, usize>,
 }
 
 /// Bounds of one dataset as materialized in the cluster store.
@@ -472,9 +477,13 @@ fn shuffle_hi(job: &JobPlan, records: Interval, pairs: Interval, key_w: Option<u
         .saturating_add(records.hi.saturating_mul(rec_w))
 }
 
-/// The effective reducer count of a job (mirrors the executor).
+/// The effective reducer count of a job (mirrors the executor,
+/// including any adaptive override).
 fn reducers_for(job: &JobPlan, opts: &BoundsOptions) -> usize {
-    job.num_reducers
+    opts.reducer_overrides
+        .get(&job.id)
+        .copied()
+        .or(job.num_reducers)
         .or(opts.default_reducers)
         .unwrap_or(opts.num_nodes)
         .max(1)

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 
 use crate::error::{CoreError, Result};
 use crate::operator::{BoundAddOn, CustomJobCtx, FormatOp};
-use crate::physplan::{explain, lower, PhysicalStage, StageKind};
+use crate::physplan::{explain, PhysicalStage, StageKind};
 use crate::plan::{DatasetMeta, Format, JobKind, JobPlan, WorkflowPlan};
 use crate::policy::{DistrPolicy, SplitPolicy};
 
@@ -68,6 +68,13 @@ pub struct ExecOptions {
     /// allocations change — so, like `threads`, it is excluded from the
     /// checkpoint resume fingerprint.
     pub zerocopy: bool,
+    /// Let the cost-based planner override the literal knobs above
+    /// (reducer counts, sampling stride, boundary placement, per-rewrite
+    /// fusion) from sampled key statistics. Off by default (`--adaptive`
+    /// sets it); when on, the literal values become *defaults the
+    /// planner may override* and the decision record travels with the
+    /// run (see [`crate::adaptive`]).
+    pub adaptive: bool,
 }
 
 impl Default for ExecOptions {
@@ -81,6 +88,7 @@ impl Default for ExecOptions {
             trace: false,
             fuse: true,
             zerocopy: true,
+            adaptive: false,
         }
     }
 }
@@ -118,6 +126,69 @@ pub struct WorkflowReport {
     /// Corrupt or torn checkpoint data found while resuming, already
     /// quarantined; the affected stages were recomputed.
     pub checkpoint_events: Vec<String>,
+    /// Typed engine notes (collapsed reducer counts, post-run re-balance
+    /// hints) — things worth telling the user that are not errors.
+    pub notes: Vec<RunNote>,
+    /// The adaptive planner's decision record, when the run was adaptive
+    /// (injected via [`WorkflowRunner::with_decision`] or computed by the
+    /// runner itself under [`ExecOptions::adaptive`]).
+    pub rationale: Option<crate::adaptive::PlanRationale>,
+}
+
+/// A typed note the engine attaches to a run's report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunNote {
+    /// A sort's sample held fewer distinct keys than requested reducers:
+    /// the duplicate quantile boundaries were collapsed and the job ran
+    /// with the achievable reducer count instead of silently empty
+    /// reducers.
+    ReducersCollapsed {
+        /// The sort job.
+        job: String,
+        /// Reducers the configuration asked for.
+        requested: usize,
+        /// Reducers the sampled key domain can actually fill.
+        achievable: usize,
+    },
+    /// The observed shuffle skew contradicts the adaptive prediction:
+    /// the statistics are stale or the sample missed a hot key, and a
+    /// re-run with fresh stats may re-balance.
+    RebalanceHint {
+        /// The keyed job whose skew histogram escaped the prediction.
+        job: String,
+        /// Predicted busiest-reducer records.
+        predicted: u64,
+        /// Observed busiest-reducer records.
+        observed: u64,
+    },
+}
+
+impl std::fmt::Display for RunNote {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunNote::ReducersCollapsed {
+                job,
+                requested,
+                achievable,
+            } => write!(
+                f,
+                "note: job '{job}' asked for {requested} reducers but the sampled key \
+                 domain fills only {achievable}; collapsed to {achievable} (duplicate \
+                 range boundaries would have left {} reducer(s) provably empty)",
+                requested - achievable
+            ),
+            RunNote::RebalanceHint {
+                job,
+                predicted,
+                observed,
+            } => write!(
+                f,
+                "re-balance hint: job '{job}' observed a busiest reducer of {observed} \
+                 record(s) vs {predicted} predicted; the key statistics look stale — \
+                 re-run with --adaptive to re-sample and re-balance"
+            ),
+        }
+    }
 }
 
 impl WorkflowReport {
@@ -165,6 +236,21 @@ pub fn plan_canon(
     nodes: usize,
     options: &ExecOptions,
 ) -> String {
+    plan_canon_with(plan, phys, nodes, options, None)
+}
+
+/// [`plan_canon`] plus the adaptive decision record, when one is active.
+/// The rationale canon pins the chosen knobs *and* the key-statistics
+/// fingerprint they were derived from, so an adaptive plan's fingerprint
+/// changes whenever the input's key distribution does — which is what
+/// keeps `papar serve`'s plan cache and checkpoint resume honest.
+pub fn plan_canon_with(
+    plan: &WorkflowPlan,
+    phys: &crate::physplan::PhysicalPlan,
+    nodes: usize,
+    options: &ExecOptions,
+    rationale: Option<&crate::adaptive::PlanRationale>,
+) -> String {
     use std::fmt::Write as _;
     let mut canon = explain(plan, phys);
     // `explain` names jobs and datasets but not operator parameters;
@@ -193,6 +279,9 @@ pub fn plan_canon(
         options.default_reducers,
         options.fuse
     );
+    if let Some(r) = rationale {
+        canon.push_str(&r.canon());
+    }
     canon
 }
 
@@ -206,6 +295,18 @@ pub fn plan_fingerprint(
     wire::checksum(plan_canon(plan, phys, nodes, options).as_bytes())
 }
 
+/// FNV-1a hash of [`plan_canon_with`] — the fingerprint of an adaptive
+/// plan together with its decision record.
+pub fn plan_fingerprint_with(
+    plan: &WorkflowPlan,
+    phys: &crate::physplan::PhysicalPlan,
+    nodes: usize,
+    options: &ExecOptions,
+    rationale: Option<&crate::adaptive::PlanRationale>,
+) -> u64 {
+    wire::checksum(plan_canon_with(plan, phys, nodes, options, rationale).as_bytes())
+}
+
 /// Runs a [`WorkflowPlan`] on a cluster.
 pub struct WorkflowRunner {
     plan: WorkflowPlan,
@@ -215,6 +316,14 @@ pub struct WorkflowRunner {
     /// name (idempotent under re-scatter, order-independent). Feeds the
     /// resume fingerprint; a Mutex because `scatter_input` takes `&self`.
     input_hashes: Mutex<BTreeMap<String, u64>>,
+    /// The adaptive planner's decision, when one is active: injected by
+    /// the caller (CLI/serve compute it before the run so they can show
+    /// the rationale up front) or filled in by [`run`] itself from the
+    /// scattered input when [`ExecOptions::adaptive`] is set. A
+    /// `OnceLock` because `run` takes `&self`.
+    ///
+    /// [`run`]: WorkflowRunner::run
+    decision: std::sync::OnceLock<crate::adaptive::PlanDecision>,
 }
 
 impl WorkflowRunner {
@@ -230,7 +339,25 @@ impl WorkflowRunner {
             options,
             checkpoint: None,
             input_hashes: Mutex::new(BTreeMap::new()),
+            decision: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Inject a pre-computed adaptive decision (the planner ran against
+    /// the same input data this runner will scatter). The runner applies
+    /// the decision's knobs verbatim; with none injected and
+    /// [`ExecOptions::adaptive`] set, [`run`] computes one itself from
+    /// the scattered input.
+    ///
+    /// [`run`]: WorkflowRunner::run
+    pub fn with_decision(self, decision: crate::adaptive::PlanDecision) -> Self {
+        let _ = self.decision.set(decision);
+        self
+    }
+
+    /// The active adaptive decision, if any.
+    pub fn decision(&self) -> Option<&crate::adaptive::PlanDecision> {
+        self.decision.get()
     }
 
     /// Persist per-stage progress into (or resume it from) a checkpoint
@@ -297,12 +424,69 @@ impl WorkflowRunner {
     ///
     /// [`run`]: WorkflowRunner::run
     pub fn physical_plan(&self, cluster: &Cluster) -> crate::physplan::PhysicalPlan {
-        lower(
+        let toggles = match self.decision.get() {
+            Some(d) => d.knobs().fuse,
+            None => crate::physplan::FuseToggles::from_flag(self.options.fuse),
+        };
+        crate::physplan::lower_with(
             &self.plan,
             cluster.num_nodes(),
             self.options.default_reducers,
-            self.options.fuse,
+            toggles,
         )
+    }
+
+    /// Compute the adaptive decision from the scattered input, when
+    /// [`ExecOptions::adaptive`] is set and none was injected. The stats
+    /// walk visits fragments in `(node, ordinal)` order — for data
+    /// scattered from one flat batch that is the original record order,
+    /// so the runner and a pre-run CLI/serve planner derive identical
+    /// statistics and identical decisions.
+    fn ensure_decision(&self, cluster: &Cluster) -> Result<()> {
+        if !self.options.adaptive || self.decision.get().is_some() {
+            return Ok(());
+        }
+        let stats = match crate::stats::stats_target(&self.plan) {
+            Some(target) => {
+                let mut collector = crate::stats::KeyCollector::new(self.options.sample_stride);
+                for name in &target.inputs {
+                    let mut frags: Vec<(usize, u32)> = Vec::new();
+                    for node in 0..cluster.num_nodes() {
+                        if let Some(fs) = cluster.node(node).get(name) {
+                            for f in fs {
+                                frags.push((node, f.ordinal));
+                            }
+                        }
+                    }
+                    frags.sort();
+                    for (node, ordinal) in frags {
+                        let fs = cluster.node(node).get(name).expect("fragment just listed");
+                        for f in fs.iter().filter(|f| f.ordinal == ordinal) {
+                            collector.offer_batch(&f.data.batch, target.key_idx)?;
+                        }
+                    }
+                }
+                Some(collector.finish(&target.job_id, target.key_idx))
+            }
+            None => None,
+        };
+        let decision = crate::adaptive::choose(
+            &self.plan,
+            cluster.num_nodes(),
+            &self.options,
+            stats.as_ref(),
+        );
+        let _ = self.decision.set(decision);
+        Ok(())
+    }
+
+    /// The effective sampling stride (decision override, else the
+    /// configured literal).
+    fn effective_stride(&self) -> usize {
+        match self.decision.get() {
+            Some(d) => d.knobs().sample_stride.max(1),
+            None => self.options.sample_stride.max(1),
+        }
     }
 
     /// Execute the plan's physical stages in order. Outputs stay in the
@@ -329,6 +513,7 @@ impl WorkflowRunner {
                 )));
             }
         }
+        self.ensure_decision(cluster)?;
         let phys = self.physical_plan(cluster);
         let mut report = WorkflowReport::default();
         let mut session: Option<CheckpointSession> = match &self.checkpoint {
@@ -386,9 +571,12 @@ impl WorkflowRunner {
                 scatter_charge_dropped = true;
             }
             let stats = match &stage.kind {
-                StageKind::Single(j) => {
-                    self.run_single(cluster, &self.plan.jobs[*j], &mut report.sample_time)?
-                }
+                StageKind::Single(j) => self.run_single(
+                    cluster,
+                    &self.plan.jobs[*j],
+                    &mut report.sample_time,
+                    &mut report.notes,
+                )?,
                 StageKind::FusedSortDistribute { sort, distribute } => self
                     .run_fused_sort_distribute(
                         cluster,
@@ -396,6 +584,7 @@ impl WorkflowRunner {
                         *sort,
                         *distribute,
                         &mut report.sample_time,
+                        &mut report.notes,
                     )?,
                 StageKind::FusedGroupSplit { group, split } => {
                     self.run_fused_group_split(cluster, stage, *group, *split)?
@@ -418,6 +607,34 @@ impl WorkflowRunner {
         }
         report.recovery_events = cluster.drain_events();
         report.trace = cluster.take_trace();
+        if let Some(d) = self.decision.get() {
+            report.rationale = Some(d.rationale.clone());
+            // Post-run re-balance hint: when the observed skew histogram
+            // contradicts the prediction by more than 2x, the statistics
+            // were stale (or the stride missed a hot key).
+            let predicted = d.rationale.predicted.max_load;
+            if predicted > 0 {
+                if let Some(trace) = &report.trace {
+                    let job = &d.rationale.stats_job;
+                    let fused_prefix = format!("{job}+");
+                    for jt in &trace.jobs {
+                        if jt.name != *job && !jt.name.starts_with(&fused_prefix) {
+                            continue;
+                        }
+                        if let Some(skew) = &jt.skew {
+                            let observed = skew.records.iter().copied().max().unwrap_or(0);
+                            if observed > predicted.saturating_mul(2) {
+                                report.notes.push(RunNote::RebalanceHint {
+                                    job: job.clone(),
+                                    predicted,
+                                    observed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
         Ok(report)
     }
 
@@ -438,7 +655,13 @@ impl WorkflowRunner {
         extra: u64,
     ) -> u64 {
         use std::fmt::Write as _;
-        let mut canon = plan_canon(&self.plan, phys, cluster.num_nodes(), &self.options);
+        let mut canon = plan_canon_with(
+            &self.plan,
+            phys,
+            cluster.num_nodes(),
+            &self.options,
+            self.decision.get().map(|d| &d.rationale),
+        );
         for (name, h) in self
             .input_hashes
             .lock()
@@ -518,6 +741,7 @@ impl WorkflowRunner {
         cluster: &mut Cluster,
         job: &JobPlan,
         sample_time: &mut Duration,
+        notes: &mut Vec<RunNote>,
     ) -> Result<JobStats> {
         match &job.kind {
             JobKind::Sort {
@@ -533,6 +757,7 @@ impl WorkflowRunner {
                 addons,
                 *output_format,
                 sample_time,
+                notes,
             ),
             JobKind::Group {
                 key_idx,
@@ -594,6 +819,11 @@ impl WorkflowRunner {
             num_nodes: cluster.num_nodes(),
             default_reducers: self.options.default_reducers,
             sources: BTreeMap::new(),
+            reducer_overrides: self
+                .decision
+                .get()
+                .map(|d| d.knobs().sort_reducers.clone())
+                .unwrap_or_default(),
         };
         for (name, _) in &self.plan.external_inputs {
             let total: u64 = (0..cluster.num_nodes())
@@ -683,7 +913,10 @@ impl WorkflowRunner {
     }
 
     fn reducers_for(&self, job: &JobPlan, cluster: &Cluster) -> usize {
-        job.num_reducers
+        self.decision
+            .get()
+            .and_then(|d| d.reducer_override(&job.id))
+            .or(job.num_reducers)
             .or(self.options.default_reducers)
             .unwrap_or_else(|| cluster.num_nodes())
             .max(1)
@@ -699,6 +932,7 @@ impl WorkflowRunner {
         addons: &[BoundAddOn],
         output_format: FormatOp,
         sample_time: &mut Duration,
+        notes: &mut Vec<RunNote>,
     ) -> Result<JobStats> {
         let output = job.output().to_string();
         self.run_sort_into(
@@ -709,6 +943,7 @@ impl WorkflowRunner {
             addons,
             output_format,
             sample_time,
+            notes,
             &job.id,
             &output,
         )
@@ -727,10 +962,11 @@ impl WorkflowRunner {
         addons: &[BoundAddOn],
         output_format: FormatOp,
         sample_time: &mut Duration,
+        notes: &mut Vec<RunNote>,
         job_name: &str,
         output_name: &str,
     ) -> Result<JobStats> {
-        let num_reducers = self.reducers_for(job, cluster);
+        let mut num_reducers = self.reducers_for(job, cluster);
 
         // Pre-job sampling pass (paper: "sampled when reading the input").
         let t0 = Instant::now();
@@ -740,12 +976,7 @@ impl WorkflowRunner {
             for name in &job.inputs {
                 if let Some(frags) = cluster.node(node).get(name) {
                     for f in frags {
-                        sample_keys(
-                            &f.data.batch,
-                            key_idx,
-                            self.options.sample_stride,
-                            &mut sample,
-                        )?;
+                        sample_keys(&f.data.batch, key_idx, self.effective_stride(), &mut sample)?;
                     }
                 }
             }
@@ -756,7 +987,48 @@ impl WorkflowRunner {
                 break 'nodes;
             }
         }
-        let range = RangePartitioner::from_samples(&per_node, num_reducers)?;
+        // Boundary placement: sampled quantiles by default; the adaptive
+        // planner may have chosen cyclic (equi-width) striping instead.
+        let boundary_mode = self
+            .decision
+            .get()
+            .map(|d| d.knobs().boundary_mode)
+            .unwrap_or(crate::adaptive::BoundaryMode::Range);
+        let boundaries = match boundary_mode {
+            crate::adaptive::BoundaryMode::Cyclic => {
+                let lo = per_node.iter().flatten().min();
+                let hi = per_node.iter().flatten().max();
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) => {
+                        crate::adaptive::cyclic_boundaries(lo, hi, num_reducers).unwrap_or(
+                            // Non-numeric key: the planner never chooses
+                            // cyclic here, but a hand-built decision
+                            // falls back to sampled quantiles.
+                            sampler::boundaries_from_samples(&per_node, num_reducers)?,
+                        )
+                    }
+                    _ => Vec::new(),
+                }
+            }
+            crate::adaptive::BoundaryMode::Range => {
+                sampler::boundaries_from_samples(&per_node, num_reducers)?
+            }
+        };
+        // Fewer distinct sampled keys than reducers: the deduplicated
+        // boundary list describes all the ranges the key domain can
+        // fill. Collapse to that count (and say so) instead of running
+        // provably empty reducers. An empty boundary list from an empty
+        // sample keeps the configured count — there is nothing to place.
+        let achievable = boundaries.len() + 1;
+        if !boundaries.is_empty() && achievable < num_reducers {
+            notes.push(RunNote::ReducersCollapsed {
+                job: job_name.to_string(),
+                requested: num_reducers,
+                achievable,
+            });
+            num_reducers = achievable;
+        }
+        let range = RangePartitioner::new(boundaries);
         let sample_elapsed = t0.elapsed();
         *sample_time += sample_elapsed;
         if cluster.tracing() {
@@ -1200,6 +1472,7 @@ impl WorkflowRunner {
         sort_idx: usize,
         dist_idx: usize,
         sample_time: &mut Duration,
+        notes: &mut Vec<RunNote>,
     ) -> Result<JobStats> {
         let sjob = &self.plan.jobs[sort_idx];
         let djob = &self.plan.jobs[dist_idx];
@@ -1238,6 +1511,7 @@ impl WorkflowRunner {
             addons,
             *output_format,
             sample_time,
+            notes,
             &stage.id,
             &temp,
         )?;

@@ -26,6 +26,7 @@
 //!   physical stages one by one on a [`papar_mr::Cluster`], wiring
 //!   samplers, add-ons, format conversions and the distribution matrices.
 
+pub mod adaptive;
 pub mod bounds;
 pub mod error;
 pub mod exec;
@@ -33,13 +34,16 @@ pub mod operator;
 pub mod physplan;
 pub mod plan;
 pub mod policy;
+pub mod stats;
 
+pub use adaptive::{BoundaryMode, Knobs, PlanDecision, PlanRationale};
 pub use bounds::{
     BoundsOptions, DatasetBounds, FusionProof, FusionReject, Interval, SourceBounds, StageBounds,
     WorkflowBounds,
 };
 pub use error::{CoreError, Result};
 pub use exec::{ExecOptions, WorkflowReport, WorkflowRunner};
-pub use physplan::{lower, PhysicalPlan, PhysicalStage, StageKind};
+pub use physplan::{lower, lower_with, FuseToggles, PhysicalPlan, PhysicalStage, StageKind};
 pub use plan::{Planner, WorkflowPlan};
 pub use policy::{DistrPolicy, SplitPolicy, StridePermutation};
+pub use stats::{KeyCollector, KeyStats};

@@ -184,6 +184,51 @@ pub fn group_split_fusible(
         && consumer_count(plan, group.output()) == 1
 }
 
+/// Per-rewrite fusion switches: which of the gated rewrites [`lower_with`]
+/// may apply. The boolean `fuse` flag maps to [`all`](Self::all) /
+/// [`none`](Self::none); the adaptive planner enumerates the individual
+/// toggles as plan candidates (every rewrite is byte-identical, so any
+/// combination is legal — the toggles only move cost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuseToggles {
+    /// Allow the sort→distribute rewrite.
+    pub sort_distribute: bool,
+    /// Allow the group→split rewrite.
+    pub group_split: bool,
+}
+
+impl FuseToggles {
+    /// Every rewrite enabled (the `fuse = true` default).
+    pub fn all() -> Self {
+        FuseToggles {
+            sort_distribute: true,
+            group_split: true,
+        }
+    }
+
+    /// Every rewrite disabled (`--no-fuse`).
+    pub fn none() -> Self {
+        FuseToggles {
+            sort_distribute: false,
+            group_split: false,
+        }
+    }
+
+    /// From the legacy boolean flag.
+    pub fn from_flag(fuse: bool) -> Self {
+        if fuse {
+            Self::all()
+        } else {
+            Self::none()
+        }
+    }
+
+    /// True when any rewrite may apply.
+    pub fn any(&self) -> bool {
+        self.sort_distribute || self.group_split
+    }
+}
+
 /// Lower a logical plan to a physical one.
 ///
 /// `num_nodes` and `default_reducers` describe the cluster the plan will
@@ -196,13 +241,25 @@ pub fn lower(
     default_reducers: Option<usize>,
     fuse: bool,
 ) -> PhysicalPlan {
+    lower_with(plan, num_nodes, default_reducers, FuseToggles::from_flag(fuse))
+}
+
+/// [`lower`] with per-rewrite fusion control: the adaptive planner's
+/// entry point, where each gated rewrite is a candidate knob rather than
+/// an all-or-nothing flag.
+pub fn lower_with(
+    plan: &WorkflowPlan,
+    num_nodes: usize,
+    default_reducers: Option<usize>,
+    toggles: FuseToggles,
+) -> PhysicalPlan {
     let mut stages = Vec::new();
     let mut i = 0;
     while i < plan.jobs.len() {
         // A job with no outputs can't anchor a fusion pair (and the
         // executor rejects it with a typed error before running it).
-        if fuse && i + 1 < plan.jobs.len() && !plan.jobs[i].outputs.is_empty() {
-            if sort_distribute_fusible(plan, i) {
+        if toggles.any() && i + 1 < plan.jobs.len() && !plan.jobs[i].outputs.is_empty() {
+            if toggles.sort_distribute && sort_distribute_fusible(plan, i) {
                 stages.push(PhysicalStage {
                     id: format!("{}+{}", plan.jobs[i].id, plan.jobs[i + 1].id),
                     logical: vec![i, i + 1],
@@ -215,7 +272,7 @@ pub fn lower(
                 i += 2;
                 continue;
             }
-            if group_split_fusible(plan, i, num_nodes, default_reducers) {
+            if toggles.group_split && group_split_fusible(plan, i, num_nodes, default_reducers) {
                 stages.push(PhysicalStage {
                     id: format!("{}+{}", plan.jobs[i].id, plan.jobs[i + 1].id),
                     logical: vec![i, i + 1],
@@ -239,7 +296,7 @@ pub fn lower(
     }
     PhysicalPlan {
         stages,
-        fused: fuse,
+        fused: toggles.any(),
     }
 }
 

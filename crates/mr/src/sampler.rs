@@ -28,13 +28,18 @@ pub fn local_sample(keys: &[Value], stride: usize) -> Vec<Value> {
     keys.iter().step_by(stride).cloned().collect()
 }
 
-/// Combine per-node samples and compute `num_reducers - 1` range
+/// Combine per-node samples and compute up to `num_reducers - 1` range
 /// boundaries at the sample quantiles.
 ///
 /// Reducer `i` handles keys in `[boundaries[i-1], boundaries[i])` with the
-/// first reducer open below and the last open above. Duplicate boundary
-/// values are allowed (heavily skewed keys); lookup uses the first matching
-/// range so behaviour stays deterministic.
+/// first reducer open below and the last open above. When the sample holds
+/// fewer distinct keys than requested reducers, the raw quantiles repeat; a
+/// repeated boundary describes an *empty* range, so duplicates are removed
+/// and the result may carry fewer than `num_reducers - 1` boundaries. The
+/// achievable reducer count is `boundaries.len() + 1`; callers that want to
+/// know a collapse happened compare that against what they asked for (the
+/// engine surfaces it as a typed `ReducersCollapsed` note instead of running
+/// silently empty reducers).
 pub fn boundaries_from_samples(per_node: &[Vec<Value>], num_reducers: usize) -> Result<Vec<Value>> {
     let mut all: Vec<Value> = per_node.iter().flatten().cloned().collect();
     if num_reducers <= 1 || all.is_empty() {
@@ -47,6 +52,7 @@ pub fn boundaries_from_samples(per_node: &[Vec<Value>], num_reducers: usize) -> 
         let idx = (i * n / num_reducers).min(n - 1);
         out.push(all[idx].clone());
     }
+    out.dedup();
     Ok(out)
 }
 
@@ -163,6 +169,25 @@ mod tests {
         let samples = vec![ints(&[5, 1, 9])];
         assert!(boundaries_from_samples(&samples, 1).unwrap().is_empty());
         assert!(boundaries_from_samples(&[], 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn few_distinct_keys_collapse_to_achievable_reducers() {
+        // Two distinct sample keys cannot feed eight reducers: the raw
+        // quantiles repeat, which used to leave provably empty ranges.
+        // Dedup collapses to the achievable boundary set.
+        let samples = vec![ints(&[3, 3, 3, 3, 9, 9, 9, 9])];
+        let b = boundaries_from_samples(&samples, 8).unwrap();
+        assert_eq!(b, ints(&[3, 9]), "expected collapse, got {b:?}");
+        let p = RangePartitioner::new(b);
+        assert_eq!(p.reducer_for(&Value::Int(2), 3).unwrap(), 0);
+        assert_eq!(p.reducer_for(&Value::Int(3), 3).unwrap(), 1);
+        assert_eq!(p.reducer_for(&Value::Int(9), 3).unwrap(), 2);
+
+        // One distinct key collapses all the way to a single boundary.
+        let one = vec![ints(&[7; 16])];
+        let b = boundaries_from_samples(&one, 8).unwrap();
+        assert_eq!(b, ints(&[7]));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use crate::protocol::JobSpec;
 use crate::queue::JobOutcome;
 use papar_config::input::InputFormat;
 use papar_config::{InputConfig, WorkflowConfig};
-use papar_core::exec::{plan_fingerprint, ExecOptions, WorkflowRunner};
+use papar_core::exec::{plan_fingerprint_with, ExecOptions, WorkflowRunner};
 use papar_core::plan::Planner;
 use papar_mr::{Cluster, RetryPolicy};
 use papar_record::batch::{Batch, Dataset};
@@ -122,6 +122,7 @@ fn spec_hash(spec: &JobSpec, cfg_text: &str, wf_text: &str, len: u64, mtime_ns: 
     }
     let _ = writeln!(canon, "records={:?}", spec.records);
     let _ = writeln!(canon, "fuse={}", !spec.no_fuse);
+    let _ = writeln!(canon, "adaptive={}", spec.adaptive);
     wire::checksum(canon.as_bytes())
 }
 
@@ -132,9 +133,10 @@ fn compile_plan(
     spec: &JobSpec,
     cfg_text: &str,
     wf_text: &str,
-    records_in: usize,
+    records: &[Record],
     options: &ExecOptions,
 ) -> Result<CachedPlan, String> {
+    let records_in = records.len();
     let input_cfg =
         InputConfig::parse_str(cfg_text).map_err(|e| format!("{}: {e}", spec.input_config))?;
     let workflow =
@@ -183,14 +185,6 @@ fn compile_plan(
             papar_check::render_text(&divergences)
         ));
     }
-    let phys = papar_core::physplan::lower(&plan, spec.nodes as usize, None, !spec.no_fuse);
-    let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes as usize, None);
-    if !divergences.is_empty() {
-        return Err(format!(
-            "physical-plan verification failed:\n{}",
-            papar_check::render_text(&divergences)
-        ));
-    }
     if plan.external_inputs.len() != 1 {
         return Err(format!(
             "the workflow expects {} external inputs; a submit provides exactly one (--data)",
@@ -198,8 +192,49 @@ fn compile_plan(
         ));
     }
     let input_name = plan.external_inputs[0].0.clone();
+
+    // Adaptive planning: run the sampling pre-pass over the loaded
+    // records and let the cost-based planner pick the knobs; the
+    // decision travels with the cached plan and its rationale is folded
+    // into the fingerprint below.
+    let decision = if spec.adaptive {
+        let batch = Batch::Flat(records.to_vec());
+        let stats = papar_core::stats::collect_for_plan(
+            &plan,
+            |name| (name == input_name).then_some(&batch),
+            options.sample_stride,
+        )
+        .map_err(|e| e.to_string())?;
+        Some(papar_core::adaptive::choose(
+            &plan,
+            spec.nodes as usize,
+            options,
+            stats.as_ref(),
+        ))
+    } else {
+        None
+    };
+
+    let toggles = decision
+        .as_ref()
+        .map(|d| d.knobs().fuse)
+        .unwrap_or_else(|| papar_core::physplan::FuseToggles::from_flag(!spec.no_fuse));
+    let phys = papar_core::physplan::lower_with(&plan, spec.nodes as usize, None, toggles);
+    let divergences = papar_check::verify_physical_plan(&plan, &phys, spec.nodes as usize, None);
+    if !divergences.is_empty() {
+        return Err(format!(
+            "physical-plan verification failed:\n{}",
+            papar_check::render_text(&divergences)
+        ));
+    }
     let num_jobs = plan.jobs.len();
-    let fingerprint = plan_fingerprint(&plan, &phys, spec.nodes as usize, options);
+    let fingerprint = plan_fingerprint_with(
+        &plan,
+        &phys,
+        spec.nodes as usize,
+        options,
+        decision.as_ref().map(|d| &d.rationale),
+    );
     let schema = Arc::new(Schema::from_input_config(&input_cfg));
     Ok(CachedPlan {
         plan,
@@ -210,6 +245,7 @@ fn compile_plan(
         input_name,
         num_jobs,
         fingerprint,
+        decision,
     })
 }
 
@@ -247,6 +283,7 @@ pub fn execute(spec: &JobSpec, res: &mut Resources) -> Result<JobOutcome, String
         trace: true,
         fuse: !spec.no_fuse,
         zerocopy: !spec.no_zerocopy,
+        adaptive: spec.adaptive,
         ..ExecOptions::default()
     };
 
@@ -263,9 +300,7 @@ pub fn execute(spec: &JobSpec, res: &mut Resources) -> Result<JobOutcome, String
     let (cached, plan_cache_hit) = match res.plans.get_by_spec(shash) {
         Some(cached) => (cached, true),
         None => {
-            let cached = Arc::new(compile_plan(
-                spec, &cfg_text, &wf_text, records_in, &options,
-            )?);
+            let cached = Arc::new(compile_plan(spec, &cfg_text, &wf_text, &records, &options)?);
             res.plans.insert(shash, cached.clone());
             (cached, false)
         }
@@ -290,7 +325,10 @@ pub fn execute(spec: &JobSpec, res: &mut Resources) -> Result<JobOutcome, String
         cluster.reset();
     }
 
-    let runner = WorkflowRunner::with_options(cached.plan.clone(), options);
+    let mut runner = WorkflowRunner::with_options(cached.plan.clone(), options);
+    if let Some(d) = cached.decision.clone() {
+        runner = runner.with_decision(d);
+    }
     runner
         .scatter_input(
             cluster,
@@ -357,6 +395,12 @@ pub fn execute(spec: &JobSpec, res: &mut Resources) -> Result<JobOutcome, String
         spec.data,
         if data_cache_hit { "hit" } else { "miss" }
     );
+    if let Some(d) = &cached.decision {
+        detail.push_str(&d.rationale.render());
+    }
+    for note in &report.notes {
+        let _ = writeln!(detail, "note: {note}");
+    }
     for stats in &report.jobs {
         let _ = writeln!(
             detail,

@@ -87,6 +87,11 @@ pub struct JobSpec {
     pub no_fuse: bool,
     /// Disable the zero-copy reduce path (`--no-zerocopy`).
     pub no_zerocopy: bool,
+    /// Run the cost-based adaptive planner (`--adaptive`). Folded into
+    /// the spec hash AND — via the decision's rationale — the plan
+    /// fingerprint, so a data-file change re-plans instead of reusing a
+    /// cached plan derived from stale statistics.
+    pub adaptive: bool,
 }
 
 /// A job's lifecycle state, as reported to clients.
@@ -315,6 +320,8 @@ impl JobSpec {
         put_opt_u64(out, self.threads.map(u64::from));
         put_u8(out, self.no_fuse as u8);
         put_u8(out, self.no_zerocopy as u8);
+        // Wire compatibility: new fields append last.
+        put_u8(out, self.adaptive as u8);
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<JobSpec, ServeError> {
@@ -347,6 +354,7 @@ impl JobSpec {
         };
         let no_fuse = get_bool(r)?;
         let no_zerocopy = get_bool(r)?;
+        let adaptive = get_bool(r)?;
         Ok(JobSpec {
             input_config,
             workflow,
@@ -358,6 +366,7 @@ impl JobSpec {
             threads,
             no_fuse,
             no_zerocopy,
+            adaptive,
         })
     }
 }

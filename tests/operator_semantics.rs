@@ -2,7 +2,7 @@
 //! sort flag, add-ons attached to sort, block distribution after sorting,
 //! and reducer-count overrides.
 
-use papar::core::exec::WorkflowRunner;
+use papar::core::exec::{ExecOptions, RunNote, WorkflowReport, WorkflowRunner};
 use papar::core::plan::Planner;
 use papar::mr::Cluster;
 use papar::record::batch::{Batch, Dataset};
@@ -28,11 +28,20 @@ fn args(pairs: &[(&str, &str)]) -> HashMap<String, String> {
 }
 
 fn run_workflow(wf: &str, records: Vec<Record>, nodes: usize) -> (WorkflowRunner, Cluster) {
+    run_workflow_opts(wf, records, nodes, ExecOptions::default()).0
+}
+
+fn run_workflow_opts(
+    wf: &str,
+    records: Vec<Record>,
+    nodes: usize,
+    options: ExecOptions,
+) -> ((WorkflowRunner, Cluster), WorkflowReport) {
     let planner = Planner::from_xml(wf, &[INPUT_CFG]).unwrap();
     let plan = planner
         .bind(&args(&[("input_path", "/in"), ("output_path", "/out")]))
         .unwrap();
-    let runner = WorkflowRunner::new(plan);
+    let runner = WorkflowRunner::with_options(plan, options);
     let mut cluster = Cluster::new(nodes);
     let schema = runner.plan().external_inputs[0].1.schema.clone();
     runner
@@ -42,8 +51,8 @@ fn run_workflow(wf: &str, records: Vec<Record>, nodes: usize) -> (WorkflowRunner
             Dataset::new(schema, Batch::Flat(records)),
         )
         .unwrap();
-    runner.run(&mut cluster).unwrap();
-    (runner, cluster)
+    let report = runner.run(&mut cluster).unwrap();
+    ((runner, cluster), report)
 }
 
 fn scores(ds: &Dataset) -> Vec<i64> {
@@ -210,7 +219,38 @@ fn num_reducers_override_controls_intermediate_fragments() {
   </operators>
 </workflow>"#;
     let records: Vec<Record> = (0..50).map(|i| rec![format!("p{i}"), i]).collect();
-    let (runner, cluster) = run_workflow(wf, records, 2);
+    // A dense sample (stride 1) sees all 50 distinct keys, so the
+    // configured reducer count is achievable and honored.
+    let ((runner, cluster), report) = run_workflow_opts(
+        wf,
+        records.clone(),
+        2,
+        ExecOptions {
+            sample_stride: 1,
+            ..ExecOptions::default()
+        },
+    );
     let parts = cluster.collect(&runner.plan().output_path).unwrap();
     assert_eq!(parts.len(), 5, "num_reducers=5 means five output fragments");
+    assert!(report.notes.is_empty());
+
+    // Under the default coarse stride (64), two nodes with 25 records
+    // each contribute one sample apiece: only 3 reducer ranges are
+    // achievable, and the engine collapses to them with a typed note
+    // instead of silently writing empty fragments.
+    let records: Vec<Record> = (0..50).map(|i| rec![format!("p{i}"), i]).collect();
+    let ((runner, cluster), report) = run_workflow_opts(wf, records, 2, ExecOptions::default());
+    let parts = cluster.collect(&runner.plan().output_path).unwrap();
+    assert_eq!(parts.len(), 3, "sparse sample collapses 5 reducers to 3");
+    assert!(report.notes.iter().any(|n| matches!(
+        n,
+        RunNote::ReducersCollapsed {
+            requested: 5,
+            achievable: 3,
+            ..
+        }
+    )));
+    let all: Vec<i64> = parts.iter().flat_map(|p| scores(p)).collect();
+    assert_eq!(all.len(), 50);
+    assert!(all.windows(2).all(|w| w[0] <= w[1]));
 }
